@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+.PHONY: all build vet test bench experiments fuzz cover clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# One benchmark per experiment of EXPERIMENTS.md.
+bench:
+	go test -bench=. -benchmem .
+
+# Regenerate every experiment with PASS/FAIL checks.
+experiments:
+	go run ./cmd/nsbench
+
+# Short fuzz pass over both parsers.
+fuzz:
+	go test -fuzz=FuzzParseQuery -fuzztime=30s ./internal/parser/
+	go test -fuzz=FuzzParseSPARQL -fuzztime=30s ./internal/parser/
+
+cover:
+	go test -cover ./...
+
+clean:
+	go clean ./...

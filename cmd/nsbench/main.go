@@ -1,0 +1,78 @@
+// Command nsbench regenerates every experiment of EXPERIMENTS.md: the
+// paper's worked examples (Figures 1–4), the separation-theorem
+// witnesses (Theorems 3.5/3.6), the constructive translations
+// (Theorems 4.1/5.1, Propositions 5.6/6.7, Lemma 6.3) and the
+// complexity-shape measurements for the Section 7 reductions.
+//
+// Usage:
+//
+//	nsbench            # run every experiment
+//	nsbench -run E7    # run one experiment
+//	nsbench -list      # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func()
+}
+
+var experiments []experiment
+
+func register(id, title string, run func()) {
+	experiments = append(experiments, experiment{id: id, title: title, run: run})
+}
+
+func main() {
+	var (
+		runID = flag.String("run", "", "run only the experiment with this id (e.g. E7)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	sort.Slice(experiments, func(i, j int) bool {
+		return numOf(experiments[i].id) < numOf(experiments[j].id)
+	})
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+	found := false
+	for _, e := range experiments {
+		if *runID != "" && !strings.EqualFold(e.id, *runID) {
+			continue
+		}
+		found = true
+		fmt.Printf("== %s — %s ==\n", e.id, e.title)
+		e.run()
+		fmt.Println()
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "nsbench: unknown experiment %q (use -list)\n", *runID)
+		os.Exit(1)
+	}
+}
+
+func numOf(id string) int {
+	n := 0
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+func check(pass bool, what string) {
+	status := "PASS"
+	if !pass {
+		status = "FAIL"
+	}
+	fmt.Printf("  [%s] %s\n", status, what)
+}

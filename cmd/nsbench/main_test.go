@@ -1,0 +1,44 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestExperimentRegistry(t *testing.T) {
+	if len(experiments) < 20 {
+		t.Fatalf("only %d experiments registered", len(experiments))
+	}
+	seen := make(map[string]bool)
+	for _, e := range experiments {
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %s", e.id)
+		}
+		seen[e.id] = true
+		if e.title == "" || e.run == nil {
+			t.Errorf("experiment %s incomplete", e.id)
+		}
+		if numOf(e.id) == 0 {
+			t.Errorf("experiment id %s does not parse", e.id)
+		}
+	}
+	// The E-numbers of DESIGN.md §4 must all be present.
+	for n := 1; n <= 23; n++ {
+		id := fmt.Sprintf("E%d", n)
+		if !seen[id] {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+}
+
+// TestFastExperimentsRun executes the cheap correctness experiments end
+// to end (the measured ones are exercised by `go test -bench` and the
+// nsbench binary itself).
+func TestFastExperimentsRun(t *testing.T) {
+	fast := map[string]bool{"E1": true, "E2": true, "E3": true, "E4": true, "E5": true, "E18": true}
+	for _, e := range experiments {
+		if fast[e.id] {
+			e.run() // must not panic
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Command nscheck reports the static and semantic properties of an
+// NS-SPARQL query: operator fragment, well designedness, simple /
+// ns-pattern shape, and tested semantic properties (monotonicity, weak
+// monotonicity, subsumption-freeness).
+//
+// The semantic notions are undecidable in general, so nscheck *tests*
+// them on sampled and exhaustively enumerated small graph pairs: a
+// reported counterexample is definitive, a pass is evidence.
+//
+// Usage:
+//
+//	nscheck -query '(?X was_born_in Chile) OPT (?X email ?Y)'
+//	nscheck -query '...' -trials 1000 -exhaustive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/parser"
+	"repro/internal/sparql"
+)
+
+func main() {
+	var (
+		queryText  = flag.String("query", "", "graph pattern or CONSTRUCT query")
+		equivText  = flag.String("equiv", "", "second graph pattern: test equivalence against -query instead")
+		trials     = flag.Int("trials", 400, "random graph pairs to sample per property")
+		exhaustive = flag.Bool("exhaustive", true, "also enumerate all small graph pairs")
+		seed       = flag.Int64("seed", 1, "random seed")
+		verbose    = flag.Bool("v", false, "print counterexample graphs")
+	)
+	flag.Parse()
+	var err error
+	if *equivText != "" {
+		err = runEquiv(*queryText, *equivText, *trials, *exhaustive, *seed, *verbose)
+	} else {
+		err = run(*queryText, *trials, *exhaustive, *seed, *verbose)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nscheck:", err)
+		os.Exit(1)
+	}
+}
+
+func runEquiv(q1, q2 string, trials int, exhaustive bool, seed int64, verbose bool) error {
+	if q1 == "" {
+		return fmt.Errorf("-query is required with -equiv")
+	}
+	p1, err := parser.ParsePattern(q1)
+	if err != nil {
+		return fmt.Errorf("parsing -query: %w", err)
+	}
+	p2, err := parser.ParsePattern(q2)
+	if err != nil {
+		return fmt.Errorf("parsing -equiv: %w", err)
+	}
+	opts := analysis.CheckOpts{Trials: trials, Exhaustive: exhaustive, Seed: seed}
+	report("equivalent (tested)", analysis.CheckEquivalent(p1, p2, opts), verbose)
+	report("subsumption-equivalent (tested)", analysis.CheckSubsumptionEquivalent(p1, p2, opts), verbose)
+	return nil
+}
+
+func run(queryText string, trials int, exhaustive bool, seed int64, verbose bool) error {
+	if queryText == "" {
+		return fmt.Errorf("-query is required")
+	}
+	q, err := parser.ParseQuery(queryText)
+	if err != nil {
+		return fmt.Errorf("parsing query: %w", err)
+	}
+	opts := analysis.CheckOpts{Trials: trials, Exhaustive: exhaustive, Seed: seed}
+
+	if q.Construct != nil {
+		fmt.Println("query kind:         CONSTRUCT")
+		fmt.Println("pattern fragment:  ", fragmentName(q.Construct.Where))
+		inAUF := sparql.InFragment(q.Construct.Where, sparql.FragmentAUF)
+		fmt.Printf("CONSTRUCT[AUF]:     %v   (the monotone fragment, Corollary 6.8)\n", inAUF)
+		report("monotone (tested)", analysis.CheckConstructMonotone(*q.Construct, opts), verbose)
+		return nil
+	}
+
+	p := q.Pattern
+	fmt.Println("query kind:         graph pattern")
+	fmt.Println("fragment:          ", fragmentName(p))
+	fmt.Printf("variables:          %v\n", sparql.Vars(p))
+	fmt.Printf("size (AST nodes):   %d\n", sparql.Size(p))
+	fmt.Printf("simple pattern:     %v   (Definition 5.3)\n", sparql.IsSimple(p))
+	fmt.Printf("ns-pattern:         %v   (Definition 5.7)\n", sparql.IsNSPattern(p))
+
+	if wd, err := analysis.IsWellDesigned(p); err == nil {
+		fmt.Printf("well designed:      %v   (Definition 3.4)\n", wd)
+	} else if wdu, err2 := analysis.IsWellDesignedUnion(p); err2 == nil {
+		fmt.Printf("well-designed union:%v   (Section 3.3)\n", wdu)
+	} else {
+		fmt.Println("well designed:      n/a  (outside SPARQL[AUOF])")
+	}
+
+	report("monotone (tested)", analysis.CheckMonotone(p, opts), verbose)
+	report("weakly monotone (tested)", analysis.CheckWeaklyMonotone(p, opts), verbose)
+	report("subsumption-free (tested)", analysis.CheckSubsumptionFree(p, opts), verbose)
+	return nil
+}
+
+func report(name string, ce *analysis.Counterexample, verbose bool) {
+	if ce == nil {
+		fmt.Printf("%-26s yes (no counterexample found)\n", name+":")
+		return
+	}
+	fmt.Printf("%-26s NO — %s\n", name+":", ce.Detail)
+	if verbose {
+		fmt.Println(ce)
+	}
+}
+
+func fragmentName(p sparql.Pattern) string {
+	ops := sparql.Ops(p)
+	letters := map[sparql.Op]string{
+		sparql.OpAnd: "A", sparql.OpUnion: "U", sparql.OpOpt: "O",
+		sparql.OpFilter: "F", sparql.OpSelect: "S", sparql.OpNS: "N",
+	}
+	order := []sparql.Op{sparql.OpAnd, sparql.OpUnion, sparql.OpOpt, sparql.OpFilter, sparql.OpSelect, sparql.OpNS}
+	var name string
+	for _, op := range order {
+		if ops[op] {
+			name += letters[op]
+		}
+	}
+	if name == "" {
+		return "triple pattern"
+	}
+	var words []string
+	for op := range ops {
+		words = append(words, op.String())
+	}
+	sort.Strings(words)
+	return fmt.Sprintf("SPARQL[%s] %v", name, words)
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/sparql"
+)
+
+func TestRunOnPatternKinds(t *testing.T) {
+	queries := []string{
+		"(?X was_born_in Chile) OPT (?X email ?Y)",
+		"(?X was_born_in Chile) AND ((?Y was_born_in Chile) OPT (?Y email ?X))",
+		"NS((?x a b) UNION ((?x a b) AND (?x c ?y)))",
+		"((?x a b) OPT (?x c ?y)) UNION (?z d e)",
+		"SELECT {?x} WHERE NS((?x a ?y))",
+		"CONSTRUCT {(?x out ?y)} WHERE (?x a ?y) UNION (?x b ?y)",
+		"CONSTRUCT {(?x out ?y)} WHERE (?x a ?y) OPT (?x b ?z)",
+	}
+	for _, q := range queries {
+		if err := run(q, 60, false, 1, false); err != nil {
+			t.Errorf("run(%q) failed: %v", q, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 10, false, 1, false); err == nil {
+		t.Error("empty query accepted")
+	}
+	if err := run("(?x a", 10, false, 1, false); err == nil {
+		t.Error("malformed query accepted")
+	}
+	if err := runEquiv("", "(?x a b)", 10, false, 1, false); err == nil {
+		t.Error("missing first query accepted")
+	}
+	if err := runEquiv("(?x a b)", "(?x a", 10, false, 1, false); err == nil {
+		t.Error("malformed second query accepted")
+	}
+}
+
+func TestRunEquiv(t *testing.T) {
+	if err := runEquiv("(?x a b) OPT (?x c ?y)",
+		"NS((?x a b) UNION ((?x a b) AND (?x c ?y)))", 60, true, 1, false); err != nil {
+		t.Fatalf("runEquiv failed: %v", err)
+	}
+}
+
+func TestFragmentName(t *testing.T) {
+	p := sparql.NS{P: sparql.Union{
+		L: sparql.TP(sparql.V("x"), sparql.I("a"), sparql.I("b")),
+		R: sparql.TP(sparql.V("x"), sparql.I("c"), sparql.V("y")),
+	}}
+	name := fragmentName(p)
+	if name == "" || name == "triple pattern" {
+		t.Fatalf("fragmentName = %q", name)
+	}
+	if got := fragmentName(sparql.TP(sparql.V("x"), sparql.I("a"), sparql.I("b"))); got != "triple pattern" {
+		t.Fatalf("fragmentName(triple) = %q", got)
+	}
+}

@@ -1,0 +1,67 @@
+// Command nsgen generates synthetic RDF workloads in the N-Triples
+// style format accepted by nsq, for experimenting at scale.
+//
+// Usage:
+//
+//	nsgen -scenario university -people 5000 -optional 50 > data.nt
+//	nsgen -scenario figure1 > orgs.nt
+//	nsgen -scenario random -triples 1000 -iris 50 > random.nt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/rdf"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "university", "one of: university, figure1, figure2a, figure2b, figure3, random")
+		people   = flag.Int("people", 1000, "university: number of people")
+		optional = flag.Int("optional", 50, "university: probability (0-100) of each optional attribute")
+		founders = flag.Int("founders", 10, "university: probability (0-100) of founder/supporter edges")
+		triples  = flag.Int("triples", 1000, "random: number of triples drawn")
+		iris     = flag.Int("iris", 50, "random: size of the IRI pool")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	g, err := generate(*scenario, *people, *optional, *founders, *triples, *iris, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nsgen:", err)
+		os.Exit(1)
+	}
+	if err := rdf.WriteGraph(os.Stdout, g); err != nil {
+		fmt.Fprintln(os.Stderr, "nsgen:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(scenario string, people, optional, founders, triples, iris int, seed int64) (*rdf.Graph, error) {
+	switch scenario {
+	case "university":
+		return workload.University(workload.UniversityOpts{
+			People: people, OptionalPct: optional, FoundersPct: founders, Seed: seed,
+		}), nil
+	case "figure1":
+		return workload.Figure1(), nil
+	case "figure2a":
+		return workload.Figure2G1(), nil
+	case "figure2b":
+		return workload.Figure2G2(), nil
+	case "figure3":
+		return workload.Figure3(), nil
+	case "random":
+		rng := rand.New(rand.NewSource(seed))
+		pool := make([]rdf.IRI, iris)
+		for i := range pool {
+			pool[i] = rdf.IRI(fmt.Sprintf("r%d", i))
+		}
+		return workload.RandomGraph(rng, triples, pool), nil
+	default:
+		return nil, fmt.Errorf("unknown scenario %q", scenario)
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestGenerateScenarios(t *testing.T) {
+	for _, sc := range []string{"university", "figure1", "figure2a", "figure2b", "figure3", "random"} {
+		g, err := generate(sc, 50, 50, 10, 100, 20, 1)
+		if err != nil {
+			t.Errorf("%s: %v", sc, err)
+			continue
+		}
+		if g.Len() == 0 {
+			t.Errorf("%s: empty graph", sc)
+		}
+	}
+	if _, err := generate("nope", 0, 0, 0, 0, 0, 0); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := generate("university", 100, 50, 10, 0, 0, 7)
+	b, _ := generate("university", 100, 50, 10, 0, 0, 7)
+	if !a.Equal(b) {
+		t.Error("same seed produced different graphs")
+	}
+}

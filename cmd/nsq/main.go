@@ -1,0 +1,127 @@
+// Command nsq evaluates an NS-SPARQL query over an RDF graph and prints
+// the result: an aligned mapping table for graph patterns (as in the
+// paper's examples) or N-Triples for CONSTRUCT queries.
+//
+// Usage:
+//
+//	nsq -graph data.nt -query '(?p founder ?o)'
+//	nsq -graph data.nt -query-file q.rq -max
+//	echo 'a b c .' | nsq -query '(?x b ?y)'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exec"
+	"repro/internal/parser"
+	"repro/internal/plan"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "path to the graph in N-Triples-style format (default: stdin)")
+		queryText = flag.String("query", "", "query text (graph pattern or CONSTRUCT query)")
+		queryFile = flag.String("query-file", "", "read the query from a file instead")
+		maxOnly   = flag.Bool("max", false, "wrap the pattern in NS(...) to keep only maximal answers")
+		showPlan  = flag.Bool("ast", false, "print the parsed query before evaluating")
+		optimize  = flag.Bool("optimize", true, "use the query planner (hash joins, join reordering)")
+		w3c       = flag.Bool("sparql", false, "parse the query in W3C-style SPARQL surface syntax")
+	)
+	flag.Parse()
+	if err := run(*graphPath, *queryText, *queryFile, *maxOnly, *showPlan, *optimize, *w3c); err != nil {
+		fmt.Fprintln(os.Stderr, "nsq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, queryText, queryFile string, maxOnly, showPlan, optimize, w3c bool) error {
+	if queryText == "" && queryFile == "" {
+		return fmt.Errorf("one of -query or -query-file is required")
+	}
+	if queryText != "" && queryFile != "" {
+		return fmt.Errorf("-query and -query-file are mutually exclusive")
+	}
+	if queryFile != "" {
+		data, err := os.ReadFile(queryFile)
+		if err != nil {
+			return err
+		}
+		queryText = string(data)
+	}
+
+	var g *rdf.Graph
+	var err error
+	if graphPath == "" {
+		g, err = rdf.ReadGraph(os.Stdin)
+	} else {
+		var f *os.File
+		f, err = os.Open(graphPath)
+		if err == nil {
+			defer f.Close()
+			g, err = rdf.ReadGraph(f)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("reading graph: %w", err)
+	}
+
+	var q parser.Query
+	if w3c {
+		sq, err := parser.ParseSPARQL(queryText)
+		if err != nil {
+			return fmt.Errorf("parsing query: %w", err)
+		}
+		if sq.Ask {
+			fmt.Println(exec.Ask(g, sq.Pattern))
+			return nil
+		}
+		q = parser.Query{Pattern: sq.Pattern, Construct: sq.Construct}
+	} else {
+		var err error
+		q, err = parser.ParseQuery(queryText)
+		if err != nil {
+			return fmt.Errorf("parsing query: %w", err)
+		}
+	}
+
+	evalPattern := sparql.Eval
+	evalConstruct := sparql.EvalConstruct
+	if optimize {
+		evalPattern = plan.Eval
+		evalConstruct = plan.EvalConstruct
+	}
+	switch {
+	case q.Construct != nil:
+		if maxOnly {
+			q.Construct.Where = sparql.NS{P: q.Construct.Where}
+		}
+		if showPlan {
+			fmt.Println("#", q.Construct)
+		}
+		out := evalConstruct(g, *q.Construct)
+		fmt.Print(out)
+	default:
+		p := q.Pattern
+		if maxOnly {
+			p = sparql.NS{P: p}
+		}
+		if showPlan {
+			fmt.Println("#", plan.Optimize(g, p))
+		}
+		res := evalPattern(g, p)
+		fmt.Print(res.Table())
+		fmt.Printf("(%d solution%s)\n", res.Len(), plural(res.Len()))
+	}
+	return nil
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTempGraph(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.nt")
+	data := "juan was_born_in chile .\njuan email juan@puc.cl .\nana was_born_in chile .\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunQueries(t *testing.T) {
+	g := writeTempGraph(t)
+	cases := []struct {
+		name                        string
+		query                       string
+		maxOnly, ast, optimize, w3c bool
+	}{
+		{"pattern", `(?p was_born_in chile) OPT (?p email ?e)`, false, false, false, false},
+		{"pattern planner+ast", `(?p was_born_in chile) OPT (?p email ?e)`, false, true, true, false},
+		{"max wrap", `(?p was_born_in chile) UNION ((?p was_born_in chile) AND (?p email ?e))`, true, false, true, false},
+		{"construct", `CONSTRUCT {(?p contact ?e)} WHERE (?p email ?e)`, false, true, false, false},
+		{"construct max", `CONSTRUCT {(?p contact ?e)} WHERE (?p email ?e)`, true, false, true, false},
+		{"w3c select", `SELECT ?p WHERE { ?p was_born_in chile }`, false, false, true, true},
+		{"w3c ask", `ASK { ?p email ?e }`, false, false, true, true},
+		{"w3c construct", `CONSTRUCT { ?p contact ?e } WHERE { ?p email ?e }`, false, false, true, true},
+	}
+	for _, c := range cases {
+		if err := run(g, c.query, "", c.maxOnly, c.ast, c.optimize, c.w3c); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestRunQueryFile(t *testing.T) {
+	g := writeTempGraph(t)
+	qf := filepath.Join(t.TempDir(), "q.rq")
+	if err := os.WriteFile(qf, []byte("(?p was_born_in chile)"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(g, "", qf, false, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g := writeTempGraph(t)
+	if err := run(g, "", "", false, false, false, false); err == nil {
+		t.Error("missing query accepted")
+	}
+	if err := run(g, "(?x a b)", "also-a-file", false, false, false, false); err == nil {
+		t.Error("both -query and -query-file accepted")
+	}
+	if err := run(g, "(?x a", "", false, false, false, false); err == nil {
+		t.Error("malformed query accepted")
+	}
+	if err := run(g, "SELECT nope", "", false, false, false, true); err == nil {
+		t.Error("malformed W3C query accepted")
+	}
+	if err := run("/does/not/exist.nt", "(?x a b)", "", false, false, false, false); err == nil {
+		t.Error("missing graph file accepted")
+	}
+	if err := run(g, "", "/does/not/exist.rq", false, false, false, false); err == nil {
+		t.Error("missing query file accepted")
+	}
+}

@@ -1,0 +1,95 @@
+// Command nsrewrite applies the paper's constructive rewrites to a
+// query and prints the result together with size statistics.
+//
+// Usage:
+//
+//	nsrewrite -query '(?x a b) OPT (?x c ?y)' -rewrites opt-to-ns
+//	nsrewrite -query 'NS((?x a b) UNION ((?x a b) AND (?x c ?y)))' -rewrites eliminate-ns
+//	nsrewrite -query '(?x a b) OPT (?x c ?y)' -rewrites wd-to-simple,eliminate-ns
+//
+// Available rewrites:
+//
+//	opt-to-ns            (P1 OPT P2) ↦ NS(P1 UNION (P1 AND P2))     [§5.1]
+//	eliminate-ns         NS-SPARQL → SPARQL                         [Thm 5.1]
+//	eliminate-ns-noprune the same, without subset pruning           [Thm 5.1]
+//	select-free          remove SELECT, renaming projected-out vars [Def F.1]
+//	wd-to-simple         well-designed AOF → NS over AUF            [Prop 5.6]
+//	unf                  UNION normal form (prints the disjuncts)   [Prop D.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/parser"
+	"repro/internal/sparql"
+	"repro/internal/transform"
+	"repro/internal/wdpt"
+)
+
+func main() {
+	var (
+		queryText = flag.String("query", "", "graph pattern to rewrite")
+		rewrites  = flag.String("rewrites", "", "comma-separated rewrite chain")
+		quiet     = flag.Bool("quiet", false, "print only the final pattern")
+	)
+	flag.Parse()
+	if err := run(*queryText, *rewrites, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "nsrewrite:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queryText, rewrites string, quiet bool) error {
+	if queryText == "" || rewrites == "" {
+		return fmt.Errorf("-query and -rewrites are required")
+	}
+	p, err := parser.ParsePattern(queryText)
+	if err != nil {
+		return fmt.Errorf("parsing query: %w", err)
+	}
+	if !quiet {
+		fmt.Printf("input  (size %3d): %s\n", sparql.Size(p), p)
+	}
+	for _, name := range strings.Split(rewrites, ",") {
+		name = strings.TrimSpace(name)
+		switch name {
+		case "opt-to-ns":
+			p = transform.OptToNS(p)
+		case "eliminate-ns":
+			p = transform.EliminateNS(p)
+		case "eliminate-ns-noprune":
+			p = transform.EliminateNSNoPrune(p)
+		case "select-free":
+			p = transform.SelectFree(p)
+		case "wd-to-simple":
+			p, err = wdpt.WellDesignedToSimple(p)
+			if err != nil {
+				return fmt.Errorf("wd-to-simple: %w", err)
+			}
+		case "unf":
+			ds, err := transform.UnionNormalForm(p)
+			if err != nil {
+				return fmt.Errorf("unf: %w", err)
+			}
+			if !quiet {
+				fmt.Printf("union normal form: %d disjuncts\n", len(ds))
+				for i, d := range ds {
+					fmt.Printf("  [%d] %s\n", i+1, d)
+				}
+			}
+			p = sparql.UnionOf(ds...)
+		default:
+			return fmt.Errorf("unknown rewrite %q", name)
+		}
+		if !quiet {
+			fmt.Printf("%-7s(size %3d): %s\n", name, sparql.Size(p), p)
+		}
+	}
+	if quiet {
+		fmt.Println(p)
+	}
+	return nil
+}

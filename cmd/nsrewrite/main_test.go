@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestRunRewriteChains(t *testing.T) {
+	ok := []struct{ query, rewrites string }{
+		{"(?x a b) OPT (?x c ?y)", "opt-to-ns"},
+		{"(?x a b) OPT (?x c ?y)", "opt-to-ns,eliminate-ns"},
+		{"NS((?x a b))", "eliminate-ns-noprune"},
+		{"SELECT {?x} WHERE (?x a ?y)", "select-free"},
+		{"(?x a b) OPT (?x c ?y)", "wd-to-simple"},
+		{"(?x a b) UNION ((?x c d) AND (?x e ?y))", "unf"},
+	}
+	for _, c := range ok {
+		if err := run(c.query, c.rewrites, true); err != nil {
+			t.Errorf("run(%q, %q) failed: %v", c.query, c.rewrites, err)
+		}
+		if err := run(c.query, c.rewrites, false); err != nil {
+			t.Errorf("verbose run(%q, %q) failed: %v", c.query, c.rewrites, err)
+		}
+	}
+}
+
+func TestRunRewriteErrors(t *testing.T) {
+	bad := []struct{ query, rewrites string }{
+		{"", "opt-to-ns"},
+		{"(?x a b)", ""},
+		{"(?x a", "opt-to-ns"},
+		{"(?x a b)", "no-such-rewrite"},
+		{"(?x a b) UNION (?x c d)", "wd-to-simple"}, // outside AOF
+		{"(?x a b) OPT ((?x c ?y) UNION (?x d ?z))", "unf"},
+	}
+	for _, c := range bad {
+		if err := run(c.query, c.rewrites, true); err == nil {
+			t.Errorf("run(%q, %q) succeeded, want error", c.query, c.rewrites)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Command nsserve exposes an NS-SPARQL endpoint over HTTP, serving
+// query results in the W3C SPARQL 1.1 JSON results format.
+//
+// Usage:
+//
+//	nsserve -graph data.nt -addr :8080
+//
+// Endpoints:
+//
+//	GET  /query?q=<query>[&syntax=paper|sparql]
+//	     SELECT/pattern → application/sparql-results+json
+//	     ASK (sparql syntax) → {"boolean": true|false}
+//	     CONSTRUCT → N-Triples (text/plain)
+//	POST /insert       body: N-Triples lines; inserts into the graph
+//	GET  /stats        {"triples": N, "iris": M}
+//
+// The default query syntax is the W3C-style surface syntax; pass
+// syntax=paper for the paper notation (with parenthesized triples and
+// the NS(...) operator).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/rdf"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "path to the initial graph (default: empty graph)")
+		addr      = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	g := rdf.NewGraph()
+	if *graphPath != "" {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nsserve:", err)
+			os.Exit(1)
+		}
+		g, err = rdf.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nsserve:", err)
+			os.Exit(1)
+		}
+	}
+	log.Printf("nsserve: %d triples loaded, listening on %s", g.Len(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, newServer(g)))
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/parser"
+	"repro/internal/plan"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// server wraps a graph with a lock: queries take the read side,
+// inserts the write side.
+type server struct {
+	mu    sync.RWMutex
+	graph *rdf.Graph
+}
+
+// newServer returns the HTTP handler for a graph.
+func newServer(g *rdf.Graph) http.Handler {
+	s := &server{graph: g}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/insert", s.handleInsert)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// jsonTerm is a term in the SPARQL 1.1 JSON results format.
+type jsonTerm struct {
+	Type  string `json:"type"`
+	Value string `json:"value"`
+}
+
+// jsonResults is the SPARQL 1.1 JSON results document.
+type jsonResults struct {
+	Head struct {
+		Vars []string `json:"vars"`
+	} `json:"head"`
+	Results struct {
+		Bindings []map[string]jsonTerm `json:"bindings"`
+	} `json:"results"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	qText := r.URL.Query().Get("q")
+	if qText == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	syntax := r.URL.Query().Get("syntax")
+
+	var pattern sparql.Pattern
+	var construct *sparql.ConstructQuery
+	var isAsk bool
+	switch syntax {
+	case "", "sparql":
+		sq, err := parser.ParseSPARQL(qText)
+		if err != nil {
+			http.Error(w, "parse error: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		pattern, construct, isAsk = sq.Pattern, sq.Construct, sq.Ask
+	case "paper":
+		q, err := parser.ParseQuery(qText)
+		if err != nil {
+			http.Error(w, "parse error: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		pattern, construct = q.Pattern, q.Construct
+	default:
+		http.Error(w, "unknown syntax "+syntax, http.StatusBadRequest)
+		return
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	switch {
+	case isAsk:
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		json.NewEncoder(w).Encode(map[string]bool{"boolean": exec.Ask(s.graph, pattern)})
+	case construct != nil:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rdf.WriteGraph(w, plan.EvalConstruct(s.graph, *construct))
+	default:
+		res := plan.Eval(s.graph, pattern)
+		doc := jsonResults{}
+		seen := make(map[sparql.Var]bool)
+		for _, mu := range res.Mappings() {
+			for v := range mu {
+				if !seen[v] {
+					seen[v] = true
+					doc.Head.Vars = append(doc.Head.Vars, string(v))
+				}
+			}
+		}
+		doc.Results.Bindings = make([]map[string]jsonTerm, 0, res.Len())
+		for _, mu := range res.Sorted() {
+			b := make(map[string]jsonTerm, len(mu))
+			for v, iri := range mu {
+				b[string(v)] = jsonTerm{Type: "uri", Value: string(iri)}
+			}
+			doc.Results.Bindings = append(doc.Results.Bindings, b)
+		}
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		json.NewEncoder(w).Encode(doc)
+	}
+}
+
+func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	delta, err := rdf.ReadGraph(r.Body)
+	if err != nil {
+		http.Error(w, "parse error: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	before := s.graph.Len()
+	s.graph.AddAll(delta)
+	added := s.graph.Len() - before
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"added": %d}`+"\n", added)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	triples := s.graph.Len()
+	iris := len(s.graph.IRIs())
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"triples": %d, "iris": %d}`+"\n", triples, iris)
+}

@@ -1,0 +1,77 @@
+package nssparql_test
+
+// Godoc examples for the facade; each runs as a test.
+
+import (
+	"fmt"
+
+	nssparql "repro"
+)
+
+// The running example of the paper (Example 3.1): optional information
+// via OPT, and the same query through the NS operator.
+func Example() {
+	g := nssparql.NewGraph()
+	g.Add("Juan", "was_born_in", "Chile")
+	g.Add("Juan", "email", "juan@puc.cl")
+	g.Add("Marcela", "was_born_in", "Chile")
+
+	p, _ := nssparql.ParsePattern(`(?X was_born_in Chile) OPT (?X email ?Y)`)
+	for _, mu := range nssparql.Eval(g, p).Sorted() {
+		fmt.Println(mu)
+	}
+	// Output:
+	// [?X → Juan, ?Y → juan@puc.cl]
+	// [?X → Marcela]
+}
+
+// NS keeps only the subsumption-maximal answers (Section 5.1).
+func ExampleEval_ns() {
+	g := nssparql.NewGraph()
+	g.Add("Juan", "was_born_in", "Chile")
+	g.Add("Juan", "email", "juan@puc.cl")
+
+	p, _ := nssparql.ParsePattern(`NS(
+		(?X was_born_in Chile) UNION
+		((?X was_born_in Chile) AND (?X email ?Y)))`)
+	for _, mu := range nssparql.Eval(g, p).Sorted() {
+		fmt.Println(mu)
+	}
+	// Output:
+	// [?X → Juan, ?Y → juan@puc.cl]
+}
+
+// EliminateNS rewrites NS-SPARQL into plain SPARQL (Theorem 5.1).
+func ExampleEliminateNS() {
+	p, _ := nssparql.ParsePattern(`NS((?x a b) UNION ((?x a b) AND (?x c ?y)))`)
+	q := nssparql.EliminateNS(p)
+	g, _ := nssparql.ParseGraph("1 a b .\n1 c 2 .")
+	fmt.Println(nssparql.Eval(g, p).Equal(nssparql.Eval(g, q)))
+	fmt.Println(nssparql.IsSimple(p))
+	// Output:
+	// true
+	// true
+}
+
+// The weak-monotonicity tester catches the Example 3.3 pattern.
+func ExampleCheckWeaklyMonotone() {
+	p, _ := nssparql.ParsePattern(
+		`(?X was_born_in Chile) AND ((?Y was_born_in Chile) OPT (?Y email ?X))`)
+	ce := nssparql.CheckWeaklyMonotone(p, nssparql.CheckOpts{Exhaustive: true})
+	fmt.Println(ce != nil)
+	// Output:
+	// true
+}
+
+// CONSTRUCT queries build graphs, so results compose (Section 6).
+func ExampleEvalConstruct() {
+	g := nssparql.NewGraph()
+	g.Add("prof_02", "name", "Denis")
+	g.Add("prof_02", "works_at", "PUC_Chile")
+
+	q, _ := nssparql.ParseConstruct(
+		`CONSTRUCT {(?n affiliated_to ?u)} WHERE (?p name ?n) AND (?p works_at ?u)`)
+	fmt.Print(nssparql.EvalConstruct(g, q))
+	// Output:
+	// <Denis> <affiliated_to> <PUC_Chile> .
+}

@@ -1,0 +1,71 @@
+// Coloring makes the complexity results of Section 7 tangible: graph
+// coloring — the engine of the Theorem 7.2 reduction — solved directly
+// by NS-SPARQL query evaluation.  Each proper coloring of the Petersen
+// graph is one answer to an AND/FILTER pattern, so the evaluator is
+// doing the NP-hard work the paper proves it must.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/rdf"
+	"repro/internal/sat"
+	"repro/internal/sparql"
+)
+
+// petersen returns the Petersen graph (10 vertices, 15 edges, χ = 3).
+func petersen() *sat.UGraph {
+	g := &sat.UGraph{N: 10}
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)     // outer cycle
+		g.AddEdge(5+i, 5+(i+2)%5) // inner pentagram
+		g.AddEdge(i, 5+i)         // spokes
+	}
+	return g
+}
+
+// coloringQuery encodes "properly k-color h" as a graph pattern over a
+// palette graph: one variable ?c_v per vertex ranging over the palette,
+// one inequality filter per edge.
+func coloringQuery(h *sat.UGraph, k int) (*rdf.Graph, sparql.Pattern) {
+	g := rdf.NewGraph()
+	for c := 0; c < k; c++ {
+		g.Add("palette", "has", rdf.IRI(fmt.Sprintf("color_%d", c)))
+	}
+	colorVar := func(v int) sparql.Var { return sparql.Var(fmt.Sprintf("c%d", v)) }
+	parts := make([]sparql.Pattern, h.N)
+	for v := 0; v < h.N; v++ {
+		parts[v] = sparql.TP(sparql.I("palette"), sparql.I("has"), sparql.V(colorVar(v)))
+	}
+	var conds []sparql.Condition
+	for _, e := range h.Edges {
+		conds = append(conds, sparql.Not{R: sparql.EqVars{X: colorVar(e[0]), Y: colorVar(e[1])}})
+	}
+	return g, sparql.Filter{P: sparql.AndOf(parts...), Cond: sparql.ConjoinConds(conds...)}
+}
+
+func main() {
+	h := petersen()
+	fmt.Printf("Petersen graph: %d vertices, %d edges, χ = %d.\n\n", h.N, len(h.Edges), sat.ChromaticNumber(h))
+
+	// 2 colors: the query has no answer (χ = 3).
+	g2, q2 := coloringQuery(h, 2)
+	fmt.Printf("2-colorable (via ASK)? %v\n", exec.Ask(g2, q2))
+
+	// 3 colors: find one coloring fast, then count them all.
+	g3, q3 := coloringQuery(h, 3)
+	start := time.Now()
+	first := exec.Limit(g3, q3, 1)
+	fmt.Printf("3-colorable? %v  (first coloring in %s)\n", first.Len() == 1, time.Since(start).Round(time.Microsecond))
+	for _, mu := range first.Mappings() {
+		fmt.Printf("  witness: %s\n", mu)
+	}
+	start = time.Now()
+	all := sparql.Eval(g3, q3)
+	fmt.Printf("number of proper 3-colorings: %d  (full evaluation in %s)\n",
+		all.Len(), time.Since(start).Round(time.Microsecond))
+	fmt.Println("\nEvery answer is one proper coloring — the query evaluator just")
+	fmt.Println("solved an NP-complete problem, which is Theorem 7.4 in action.")
+}

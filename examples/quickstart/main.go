@@ -1,0 +1,58 @@
+// Quickstart: build a graph, run a plain SPARQL pattern, an OPT
+// pattern, and the NS (not-subsumed) equivalent, and print the answer
+// tables.
+package main
+
+import (
+	"fmt"
+
+	nssparql "repro"
+)
+
+func main() {
+	// A tiny knowledge graph about people: everyone has a birthplace,
+	// email addresses are only partially known — the open-world regime
+	// the paper's operators are designed for.
+	g := nssparql.NewGraph()
+	g.Add("juan", "was_born_in", "chile")
+	g.Add("marcela", "was_born_in", "chile")
+	g.Add("marcela", "email", "marcela@example.org")
+	g.Add("pierre", "was_born_in", "france")
+
+	// Plain conjunctive query: people born in Chile *with* an email.
+	p1, err := nssparql.ParsePattern(`(?p was_born_in chile) AND (?p email ?e)`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("People born in Chile with a known email:")
+	fmt.Println(nssparql.Eval(g, p1).Table())
+
+	// OPT keeps people without an email, extending those who have one.
+	p2, err := nssparql.ParsePattern(`(?p was_born_in chile) OPT (?p email ?e)`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("The same with the email optional (OPT):")
+	fmt.Println(nssparql.Eval(g, p2).Table())
+
+	// The NS operator expresses the same query as "all the answers,
+	// keeping only the maximal ones" — the paper's open-world
+	// replacement for OPT (Section 5.1).
+	p3, err := nssparql.ParsePattern(`NS(
+		(?p was_born_in chile) UNION
+		((?p was_born_in chile) AND (?p email ?e)))`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("The same as a simple pattern (NS over a union):")
+	fmt.Println(nssparql.Eval(g, p3).Table())
+
+	// A CONSTRUCT query produces a graph, so results compose.
+	q, err := nssparql.ParseConstruct(`CONSTRUCT {(?p contact ?e)}
+		WHERE (?p was_born_in chile) OPT (?p email ?e)`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("A CONSTRUCT view of the contacts:")
+	fmt.Print(nssparql.EvalConstruct(g, q))
+}

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/parser"
+	"repro/internal/sparql"
+	"repro/internal/transform"
+	"repro/internal/workload"
+)
+
+func pat(t *testing.T, s string) sparql.Pattern {
+	t.Helper()
+	p, err := parser.ParsePattern(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return p
+}
+
+func TestIsWellDesignedExamples(t *testing.T) {
+	// Example 3.1 is well designed.
+	p := pat(t, "(?X was_born_in Chile) OPT (?X email ?Y)")
+	if ok, err := IsWellDesigned(p); err != nil || !ok {
+		t.Fatalf("Example 3.1: ok=%v err=%v", ok, err)
+	}
+	// Example 3.3 is not: ?X of the OPT right side occurs outside.
+	p = pat(t, "(?X was_born_in Chile) AND ((?Y was_born_in Chile) OPT (?Y email ?X))")
+	if ok, err := IsWellDesigned(p); err != nil || ok {
+		t.Fatalf("Example 3.3: ok=%v err=%v", ok, err)
+	}
+	// The Theorem 3.5 witness is not well designed (?X, ?Y occur in the
+	// filter outside their OPT sub-patterns).
+	p = pat(t, "(((a b c) OPT (?X d e)) OPT (?Y f g)) FILTER (bound(?X) || bound(?Y))")
+	if ok, err := IsWellDesigned(p); err != nil || ok {
+		t.Fatalf("Theorem 3.5 witness: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestIsWellDesignedFilterScope(t *testing.T) {
+	// Condition 1: var(R) ⊆ var(P1).
+	p := pat(t, "(?X a b) FILTER (bound(?Y))")
+	if ok, _ := IsWellDesigned(p); ok {
+		t.Fatal("filter over foreign variable accepted")
+	}
+	p = pat(t, "(?X a b) FILTER (?X = c)")
+	if ok, _ := IsWellDesigned(p); !ok {
+		t.Fatal("well-scoped filter rejected")
+	}
+}
+
+func TestIsWellDesignedFragmentErrors(t *testing.T) {
+	if _, err := IsWellDesigned(pat(t, "(?X a b) UNION (?X c d)")); err == nil {
+		t.Fatal("UNION pattern accepted by AOF well-designedness check")
+	}
+	if _, err := IsWellDesigned(pat(t, "NS((?X a b))")); err == nil {
+		t.Fatal("NS pattern accepted")
+	}
+}
+
+func TestIsWellDesignedUnion(t *testing.T) {
+	p := pat(t, "((?X a b) OPT (?X c ?Y)) UNION ((?Z d e) OPT (?Z f ?W))")
+	if ok, err := IsWellDesignedUnion(p); err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	// A non-well-designed disjunct fails.
+	p = pat(t, "((?X a b) AND ((?Y a b) OPT (?Y c ?X))) UNION (?Z d e)")
+	if ok, err := IsWellDesignedUnion(p); err != nil || ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	// UNION below top level fails the shape requirement.
+	p = pat(t, "(?X a b) OPT ((?X c ?Y) UNION (?X d ?Z))")
+	if ok, err := IsWellDesignedUnion(p); err != nil || ok {
+		t.Fatalf("nested UNION: ok=%v err=%v", ok, err)
+	}
+	if _, err := IsWellDesignedUnion(pat(t, "NS((?X a b))")); err == nil {
+		t.Fatal("NS accepted by union check")
+	}
+}
+
+func TestCheckWeaklyMonotoneFindsExample33(t *testing.T) {
+	// The non-weakly-monotone pattern of Example 3.3 must be caught.
+	p := pat(t, "(?X was_born_in Chile) AND ((?Y was_born_in Chile) OPT (?Y email ?X))")
+	ce := CheckWeaklyMonotone(p, CheckOpts{Trials: 500, Seed: 1})
+	if ce == nil {
+		t.Fatal("no counterexample found for Example 3.3")
+	}
+	// The counterexample must be genuine.
+	r1, r2 := sparql.Eval(ce.G1, p), sparql.Eval(ce.G2, p)
+	if !ce.G1.IsSubgraphOf(ce.G2) {
+		t.Fatal("counterexample graphs not nested")
+	}
+	if !r1.Contains(ce.Mapping) {
+		t.Fatal("counterexample mapping not an answer on G1")
+	}
+	for _, nu := range r2.Mappings() {
+		if ce.Mapping.SubsumedBy(nu) {
+			t.Fatal("counterexample mapping is subsumed on G2 after all")
+		}
+	}
+	if ce.String() == "" {
+		t.Fatal("empty counterexample description")
+	}
+}
+
+func TestCheckWeaklyMonotoneExhaustive(t *testing.T) {
+	p := pat(t, "(?X was_born_in Chile) AND ((?Y was_born_in Chile) OPT (?Y email ?X))")
+	ce := CheckWeaklyMonotone(p, CheckOpts{Trials: 1, Exhaustive: true, ExhaustiveTriples: 6})
+	if ce == nil {
+		t.Fatal("exhaustive check missed the Example 3.3 violation")
+	}
+}
+
+func TestCheckWeaklyMonotonePassesWellDesigned(t *testing.T) {
+	// Well-designed patterns are weakly monotone (Section 3.3); the
+	// tester must not report false counterexamples.
+	p := pat(t, "(?X was_born_in Chile) OPT (?X email ?Y)")
+	if ce := CheckWeaklyMonotone(p, CheckOpts{Trials: 300, Exhaustive: true, Seed: 7}); ce != nil {
+		t.Fatalf("false counterexample:\n%s", ce)
+	}
+}
+
+func TestCheckMonotone(t *testing.T) {
+	// OPT patterns are not monotone (Example 3.1)...
+	p := pat(t, "(?X was_born_in Chile) OPT (?X email ?Y)")
+	if ce := CheckMonotone(p, CheckOpts{Trials: 500, Seed: 3}); ce == nil {
+		t.Fatal("no monotonicity counterexample for the OPT pattern")
+	}
+	// ...but AUF patterns are monotone.
+	q := pat(t, "(?X a b) UNION ((?X c ?Y) FILTER (?Y = d))")
+	if ce := CheckMonotone(q, CheckOpts{Trials: 300, Exhaustive: true, Seed: 4}); ce != nil {
+		t.Fatalf("false counterexample for monotone pattern:\n%s", ce)
+	}
+}
+
+func TestCheckSubsumptionFree(t *testing.T) {
+	// AOF patterns are subsumption-free (Section 5.2).
+	p := pat(t, "(?X was_born_in Chile) OPT (?X email ?Y)")
+	if ce := CheckSubsumptionFree(p, CheckOpts{Trials: 200, Exhaustive: true, Seed: 5}); ce != nil {
+		t.Fatalf("false counterexample:\n%s", ce)
+	}
+	// A bare union of a pattern and its extension is not.
+	q := pat(t, "(?X was_born_in Chile) UNION ((?X was_born_in Chile) AND (?X email ?Y))")
+	if ce := CheckSubsumptionFree(q, CheckOpts{Trials: 400, Seed: 6}); ce == nil {
+		t.Fatal("subsumed answers not detected")
+	}
+}
+
+func TestCheckConstructMonotone(t *testing.T) {
+	// CONSTRUCT over a weakly-monotone pattern is monotone (Section 6.2).
+	q := parser.MustParseConstruct("CONSTRUCT {(?X has_email ?Y)} WHERE (?X was_born_in Chile) OPT (?X email ?Y)")
+	if ce := CheckConstructMonotone(q, CheckOpts{Trials: 300, Exhaustive: true, Seed: 8}); ce != nil {
+		t.Fatalf("false counterexample:\n%s", ce)
+	}
+	// CONSTRUCT over the Example 3.3 pattern is not monotone: the
+	// produced triple mentions variables that disappear.
+	q2 := parser.MustParseConstruct("CONSTRUCT {(?X knows ?Y)} WHERE (?X was_born_in Chile) AND ((?Y was_born_in Chile) OPT (?Y email ?X))")
+	if ce := CheckConstructMonotone(q2, CheckOpts{Trials: 600, Exhaustive: true, Seed: 9}); ce == nil {
+		t.Fatal("non-monotone CONSTRUCT not detected")
+	}
+}
+
+// TestMonotoneFragmentQuick: every SPARQL[AUFS] pattern must pass the
+// monotonicity tester (they are monotone, Section 4).
+func TestMonotoneFragmentQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.RandomPattern(rng, workload.PatternOpts{
+			Depth: 2,
+			Ops:   []sparql.Op{sparql.OpAnd, sparql.OpUnion, sparql.OpFilter, sparql.OpSelect},
+		})
+		if ce := CheckMonotone(p, CheckOpts{Trials: 60, Seed: seed}); ce != nil {
+			t.Logf("false counterexample for %s:\n%s", p, ce)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimplePatternsWeaklyMonotoneQuick: every simple pattern
+// NS(AUFS) must pass the weak-monotonicity tester (Section 5.2).
+func TestSimplePatternsWeaklyMonotoneQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := sparql.NS{P: workload.RandomPattern(rng, workload.PatternOpts{
+			Depth: 2,
+			Ops:   []sparql.Op{sparql.OpAnd, sparql.OpUnion, sparql.OpFilter, sparql.OpSelect},
+		})}
+		if ce := CheckWeaklyMonotone(p, CheckOpts{Trials: 60, Seed: seed}); ce != nil {
+			t.Logf("false counterexample for %s:\n%s", p, ce)
+			return false
+		}
+		// Simple patterns are subsumption-free by construction.
+		if ce := CheckSubsumptionFree(p, CheckOpts{Trials: 40, Seed: seed}); ce != nil {
+			t.Logf("simple pattern with subsumed answers %s:\n%s", p, ce)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptToNSPreservesWeakMonotonicity: E19-style sanity — projection
+// on top of a simple pattern stays weakly monotone (Section 8).
+func TestSelectOverSimpleWeaklyMonotone(t *testing.T) {
+	p := sparql.NewSelect([]sparql.Var{"X"},
+		sparql.NS{P: pat(t, "(?X was_born_in Chile) UNION ((?X was_born_in Chile) AND (?X email ?Y))")})
+	if ce := CheckWeaklyMonotone(p, CheckOpts{Trials: 300, Exhaustive: true, Seed: 10}); ce != nil {
+		t.Fatalf("false counterexample:\n%s", ce)
+	}
+}
+
+func TestCandidateTriplesRelevance(t *testing.T) {
+	p := pat(t, "(?X works_at PUC) AND (?X email ?Y)")
+	cands := candidateTriples(p, 1)
+	if len(cands) == 0 {
+		t.Fatal("no candidate triples")
+	}
+	for _, tr := range cands {
+		if tr.P != "works_at" && tr.P != "email" {
+			t.Fatalf("irrelevant candidate %v", tr)
+		}
+	}
+}
+
+func TestTheorem35WitnessWeaklyMonotone(t *testing.T) {
+	// E4: the Theorem 3.5 witness is weakly monotone (per the appendix
+	// proof) even though it is not well designed.
+	p := pat(t, "(((a b c) OPT (?X d e)) OPT (?Y f g)) FILTER (bound(?X) || bound(?Y))")
+	if ce := CheckWeaklyMonotone(p, CheckOpts{Trials: 400, Exhaustive: true, Seed: 11}); ce != nil {
+		t.Fatalf("false counterexample:\n%s", ce)
+	}
+}
+
+func TestEliminateNSPreservesWeakMonotonicityCheck(t *testing.T) {
+	// Cross-package sanity: NS elimination must not change the verdict
+	// of the tester on the running simple pattern.
+	p := sparql.NS{P: pat(t, "(?X was_born_in Chile) UNION ((?X was_born_in Chile) AND (?X email ?Y))")}
+	q := transform.EliminateNS(p)
+	if ce := CheckWeaklyMonotone(q, CheckOpts{Trials: 200, Exhaustive: true, Seed: 12}); ce != nil {
+		t.Fatalf("false counterexample on eliminated form:\n%s", ce)
+	}
+}

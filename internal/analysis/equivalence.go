@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// CheckEquivalent tests P1 ≡ P2 (identical answer sets on every graph)
+// by sampling and exhaustively enumerating small graphs built from the
+// candidate triples of *both* patterns.  A non-nil counterexample
+// disproves equivalence; nil means no distinguishing graph was found.
+func CheckEquivalent(p1, p2 sparql.Pattern, opts CheckOpts) *Counterexample {
+	return checkOnGraphs(p1, p2, opts, func(a, b *sparql.MappingSet) bool {
+		return a.Equal(b)
+	}, "⟦P1⟧_G ≠ ⟦P2⟧_G")
+}
+
+// CheckSubsumptionEquivalent tests P1 ≡ₛ P2 (Section 4): the answer
+// sets are mutually subsumed on every sampled graph.
+func CheckSubsumptionEquivalent(p1, p2 sparql.Pattern, opts CheckOpts) *Counterexample {
+	return checkOnGraphs(p1, p2, opts, func(a, b *sparql.MappingSet) bool {
+		return a.SubsumptionEquivalent(b)
+	}, "⟦P1⟧_G and ⟦P2⟧_G are not mutually subsumed")
+}
+
+func checkOnGraphs(p1, p2 sparql.Pattern, opts CheckOpts,
+	same func(a, b *sparql.MappingSet) bool, detail string) *Counterexample {
+	// Graphs are sampled from the candidate pool of both patterns, so
+	// that each pattern's joins and filters are exercised.
+	combined := sparql.Union{L: p1, R: p2}
+	var ce *Counterexample
+	test := func(g *rdf.Graph) bool {
+		if !same(sparql.Eval(g, p1), sparql.Eval(g, p2)) {
+			ce = &Counterexample{
+				G1:     g.Clone(),
+				Detail: fmt.Sprintf("%s on the graph below", detail),
+			}
+			return false
+		}
+		return true
+	}
+	forEachGraphPair(combined, opts, func(g1, g2 *rdf.Graph) bool {
+		return test(g1) && test(g2)
+	})
+	return ce
+}
+
+// CheckContained tests P1 ⊑ P2 (⟦P1⟧_G ⊆ ⟦P2⟧_G on every graph) on
+// sampled graphs; the containment notion behind the equivalence and
+// optimization literature the paper builds on ([23, 32]).
+func CheckContained(p1, p2 sparql.Pattern, opts CheckOpts) *Counterexample {
+	return checkOnGraphs(p1, p2, opts, func(a, b *sparql.MappingSet) bool {
+		for _, mu := range a.Mappings() {
+			if !b.Contains(mu) {
+				return false
+			}
+		}
+		return true
+	}, "⟦P1⟧_G ⊄ ⟦P2⟧_G")
+}
+
+// CheckSubsumed tests P1 ⊑ₛ P2 (⟦P1⟧_G ⊑ ⟦P2⟧_G, subsumption of answer
+// sets, on every sampled graph) — one half of subsumption equivalence.
+func CheckSubsumed(p1, p2 sparql.Pattern, opts CheckOpts) *Counterexample {
+	return checkOnGraphs(p1, p2, opts, func(a, b *sparql.MappingSet) bool {
+		return a.SubsumedBy(b)
+	}, "⟦P1⟧_G ⋢ ⟦P2⟧_G")
+}

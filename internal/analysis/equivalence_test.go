@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparql"
+	"repro/internal/transform"
+	"repro/internal/workload"
+)
+
+func TestCheckEquivalentPositive(t *testing.T) {
+	// A pattern is equivalent to its NS-eliminated form (Theorem 5.1).
+	p := pat(t, "NS((?X a b) UNION ((?X a b) AND (?X c ?Y)))")
+	q := transform.EliminateNS(p)
+	if ce := CheckEquivalent(p, q, CheckOpts{Trials: 150, Exhaustive: true, Seed: 1}); ce != nil {
+		t.Fatalf("false inequivalence:\n%s", ce)
+	}
+}
+
+func TestCheckEquivalentNegative(t *testing.T) {
+	// OPT vs plain AND differ on graphs without the optional part.
+	p := pat(t, "(?X a b) OPT (?X c ?Y)")
+	q := pat(t, "(?X a b) AND (?X c ?Y)")
+	ce := CheckEquivalent(p, q, CheckOpts{Trials: 300, Exhaustive: true, Seed: 2})
+	if ce == nil {
+		t.Fatal("inequivalent patterns not distinguished")
+	}
+	// The counterexample graph really distinguishes them.
+	if sparql.Eval(ce.G1, p).Equal(sparql.Eval(ce.G1, q)) {
+		t.Fatal("counterexample graph does not distinguish the patterns")
+	}
+}
+
+func TestCheckSubsumptionEquivalent(t *testing.T) {
+	// P1 OPT P2 vs P1 UNION (P1 AND P2): not equal as sets, but
+	// subsumption-equivalent (the union keeps the subsumed bare P1
+	// answers).
+	p := pat(t, "(?X a b) OPT (?X c ?Y)")
+	q := pat(t, "(?X a b) UNION ((?X a b) AND (?X c ?Y))")
+	if ce := CheckEquivalent(p, q, CheckOpts{Trials: 300, Exhaustive: true, Seed: 3}); ce == nil {
+		t.Fatal("set inequality not detected")
+	}
+	if ce := CheckSubsumptionEquivalent(p, q, CheckOpts{Trials: 300, Exhaustive: true, Seed: 4}); ce != nil {
+		t.Fatalf("false subsumption-inequivalence:\n%s", ce)
+	}
+	// And a genuinely different pair fails even under subsumption.
+	r := pat(t, "(?X zzz b)")
+	if ce := CheckSubsumptionEquivalent(p, r, CheckOpts{Trials: 300, Exhaustive: true, Seed: 5}); ce == nil {
+		t.Fatal("different patterns reported subsumption-equivalent")
+	}
+}
+
+// TestCheckEquivalentOnRewritesQuick cross-validates the transform
+// package through the tester: every rewrite chain must be judged
+// equivalent (or subsumption-equivalent for OptToNS).
+func TestCheckEquivalentOnRewritesQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.RandomPattern(rng, workload.PatternOpts{Depth: 2, Vars: []sparql.Var{"X", "Y"}})
+		opts := CheckOpts{Trials: 40, Seed: seed}
+		if ce := CheckEquivalent(p, transform.EliminateNS(p), opts); ce != nil {
+			t.Logf("EliminateNS inequivalent for %s:\n%s", p, ce)
+			return false
+		}
+		if ce := CheckSubsumptionEquivalent(p, transform.OptToNS(p), opts); ce != nil {
+			t.Logf("OptToNS not subsumption-equivalent for %s:\n%s", p, ce)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckContained(t *testing.T) {
+	sub := pat(t, "(?X a b) AND (?X c ?Y)")
+	// AND binds tighter: ((?X a b) AND (?X c ?Y)) UNION (?X a b).
+	sup := pat(t, "(?X a b) AND (?X c ?Y) UNION (?X a b)")
+	if ce := CheckContained(sub, sup, CheckOpts{Trials: 200, Exhaustive: true, Seed: 11}); ce != nil {
+		t.Fatalf("false non-containment:\n%s", ce)
+	}
+	if ce := CheckContained(sup, sub, CheckOpts{Trials: 300, Exhaustive: true, Seed: 12}); ce == nil {
+		t.Fatal("reverse containment not refuted")
+	}
+}
+
+func TestCheckSubsumed(t *testing.T) {
+	// Every pattern's answers are subsumed by those of its OPT extension.
+	p := pat(t, "(?X a b)")
+	q := pat(t, "(?X a b) OPT (?X c ?Y)")
+	if ce := CheckSubsumed(p, q, CheckOpts{Trials: 200, Exhaustive: true, Seed: 13}); ce != nil {
+		t.Fatalf("false non-subsumption:\n%s", ce)
+	}
+	r := pat(t, "(?X zzz ?Z)")
+	if ce := CheckSubsumed(p, r, CheckOpts{Trials: 200, Exhaustive: true, Seed: 14}); ce == nil {
+		t.Fatal("unrelated patterns reported subsumed")
+	}
+}

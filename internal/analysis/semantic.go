@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// Counterexample is a witness that a semantic property fails: a pair of
+// graphs G1 ⊆ G2 (G2 unused for single-graph properties) and, when
+// applicable, the mapping that is lost.
+type Counterexample struct {
+	G1, G2  *rdf.Graph
+	Mapping sparql.Mapping
+	Detail  string
+}
+
+func (c *Counterexample) String() string {
+	if c == nil {
+		return "<none>"
+	}
+	s := c.Detail
+	if c.G1 != nil {
+		s += "\nG1:\n" + c.G1.String()
+	}
+	if c.G2 != nil {
+		s += "G2:\n" + c.G2.String()
+	}
+	return s
+}
+
+// CheckOpts parameterizes the semantic testers.
+type CheckOpts struct {
+	// Trials is the number of random graph pairs to sample (default 200).
+	Trials int
+	// MaxTriples bounds the size of sampled graphs (default 8).
+	MaxTriples int
+	// FreshIRIs is the number of IRIs beyond I(P) in the pool
+	// (default 2); unknown resources are what distinguish the open
+	// world from the closed one.
+	FreshIRIs int
+	// Exhaustive additionally enumerates all pairs G1 ⊆ G2 over the
+	// first ExhaustiveTriples candidate triples (default 6; 3^6 = 729
+	// pairs).
+	Exhaustive        bool
+	ExhaustiveTriples int
+	Seed              int64
+}
+
+func (o *CheckOpts) fill() {
+	if o.Trials == 0 {
+		o.Trials = 200
+	}
+	if o.MaxTriples == 0 {
+		o.MaxTriples = 8
+	}
+	if o.FreshIRIs == 0 {
+		o.FreshIRIs = 2
+	}
+	if o.ExhaustiveTriples == 0 {
+		o.ExhaustiveTriples = 6
+	}
+}
+
+// candidateTriples builds a pool of triples relevant to the pattern:
+// every instantiation of each triple pattern of p over the IRI pool
+// I(p) ∪ {fresh}.  Graphs sampled from this pool exercise exactly the
+// joins, optional matches and filters of p.
+func candidateTriples(p sparql.Pattern, fresh int) []rdf.Triple {
+	pool := sparql.IRIs(p)
+	for i := 0; i < fresh; i++ {
+		pool = append(pool, rdf.IRI(fmt.Sprintf("fresh_%d", i)))
+	}
+	seen := make(map[rdf.Triple]struct{})
+	var out []rdf.Triple
+	var walk func(q sparql.Pattern)
+	add := func(t rdf.Triple) {
+		if _, ok := seen[t]; !ok {
+			seen[t] = struct{}{}
+			out = append(out, t)
+		}
+	}
+	instantiate := func(tp sparql.TriplePattern) {
+		vars := sparql.Vars(tp)
+		assign := make(sparql.Mapping)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == len(vars) {
+				if tr, ok := assign.Apply(tp); ok {
+					add(tr)
+				}
+				return
+			}
+			for _, iri := range pool {
+				assign[vars[i]] = iri
+				rec(i + 1)
+			}
+			delete(assign, vars[i])
+		}
+		rec(0)
+	}
+	walk = func(q sparql.Pattern) {
+		switch r := q.(type) {
+		case sparql.TriplePattern:
+			instantiate(r)
+		case sparql.And:
+			walk(r.L)
+			walk(r.R)
+		case sparql.Union:
+			walk(r.L)
+			walk(r.R)
+		case sparql.Opt:
+			walk(r.L)
+			walk(r.R)
+		case sparql.Filter:
+			walk(r.P)
+		case sparql.Select:
+			walk(r.P)
+		case sparql.NS:
+			walk(r.P)
+		}
+	}
+	walk(p)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// forEachGraphPair invokes fn on sampled (and optionally exhaustively
+// enumerated) pairs G1 ⊆ G2 relevant to p, until fn returns false.
+func forEachGraphPair(p sparql.Pattern, opts CheckOpts, fn func(g1, g2 *rdf.Graph) bool) {
+	opts.fill()
+	cands := candidateTriples(p, opts.FreshIRIs)
+	if opts.Exhaustive {
+		n := len(cands)
+		if n > opts.ExhaustiveTriples {
+			n = opts.ExhaustiveTriples
+		}
+		// Each candidate triple is independently absent / in G2 only /
+		// in both, giving all subset pairs over the first n candidates.
+		var rec func(i int, g1, g2 *rdf.Graph) bool
+		rec = func(i int, g1, g2 *rdf.Graph) bool {
+			if i == n {
+				return fn(g1, g2)
+			}
+			if !rec(i+1, g1, g2) {
+				return false
+			}
+			g2.AddTriple(cands[i])
+			if !rec(i+1, g1, g2) {
+				return false
+			}
+			g1.AddTriple(cands[i])
+			ok := rec(i+1, g1, g2)
+			g1.Remove(cands[i].S, cands[i].P, cands[i].O)
+			g2.Remove(cands[i].S, cands[i].P, cands[i].O)
+			return ok
+		}
+		if !rec(0, rdf.NewGraph(), rdf.NewGraph()) {
+			return
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for trial := 0; trial < opts.Trials; trial++ {
+		g1, g2 := rdf.NewGraph(), rdf.NewGraph()
+		if len(cands) > 0 {
+			n1 := rng.Intn(opts.MaxTriples)
+			for i := 0; i < n1; i++ {
+				t := cands[rng.Intn(len(cands))]
+				g1.AddTriple(t)
+				g2.AddTriple(t)
+			}
+			n2 := rng.Intn(opts.MaxTriples)
+			for i := 0; i < n2; i++ {
+				g2.AddTriple(cands[rng.Intn(len(cands))])
+			}
+		}
+		if !fn(g1, g2) {
+			return
+		}
+	}
+}
+
+// CheckWeaklyMonotone tests Definition 3.2: ⟦P⟧_G1 ⊑ ⟦P⟧_G2 for all
+// sampled G1 ⊆ G2.  A non-nil counterexample disproves weak
+// monotonicity; nil means no violation was found.
+func CheckWeaklyMonotone(p sparql.Pattern, opts CheckOpts) *Counterexample {
+	var ce *Counterexample
+	forEachGraphPair(p, opts, func(g1, g2 *rdf.Graph) bool {
+		r1, r2 := sparql.Eval(g1, p), sparql.Eval(g2, p)
+		for _, mu := range r1.Mappings() {
+			subsumed := false
+			for _, nu := range r2.Mappings() {
+				if mu.SubsumedBy(nu) {
+					subsumed = true
+					break
+				}
+			}
+			if !subsumed {
+				ce = &Counterexample{
+					G1: g1.Clone(), G2: g2.Clone(), Mapping: mu.Clone(),
+					Detail: fmt.Sprintf("mapping %s ∈ ⟦P⟧_G1 is not subsumed in ⟦P⟧_G2", mu),
+				}
+				return false
+			}
+		}
+		return true
+	})
+	return ce
+}
+
+// CheckMonotone tests plain monotonicity: ⟦P⟧_G1 ⊆ ⟦P⟧_G2 for all
+// sampled G1 ⊆ G2.
+func CheckMonotone(p sparql.Pattern, opts CheckOpts) *Counterexample {
+	var ce *Counterexample
+	forEachGraphPair(p, opts, func(g1, g2 *rdf.Graph) bool {
+		r1, r2 := sparql.Eval(g1, p), sparql.Eval(g2, p)
+		for _, mu := range r1.Mappings() {
+			if !r2.Contains(mu) {
+				ce = &Counterexample{
+					G1: g1.Clone(), G2: g2.Clone(), Mapping: mu.Clone(),
+					Detail: fmt.Sprintf("mapping %s ∈ ⟦P⟧_G1 is missing from ⟦P⟧_G2", mu),
+				}
+				return false
+			}
+		}
+		return true
+	})
+	return ce
+}
+
+// CheckSubsumptionFree tests the Section 5.2 property ⟦P⟧_G = ⟦P⟧_G^max
+// on sampled graphs.
+func CheckSubsumptionFree(p sparql.Pattern, opts CheckOpts) *Counterexample {
+	var ce *Counterexample
+	forEachGraphPair(p, opts, func(_, g *rdf.Graph) bool {
+		r := sparql.Eval(g, p)
+		if !r.Equal(r.Maximal()) {
+			for _, mu := range r.Mappings() {
+				if !r.Maximal().Contains(mu) {
+					ce = &Counterexample{
+						G1: g.Clone(), Mapping: mu.Clone(),
+						Detail: fmt.Sprintf("answer %s is properly subsumed in ⟦P⟧_G", mu),
+					}
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return ce
+}
+
+// CheckConstructMonotone tests Definition 6.2: ans(Q, G1) ⊆ ans(Q, G2)
+// for all sampled G1 ⊆ G2.
+func CheckConstructMonotone(q sparql.ConstructQuery, opts CheckOpts) *Counterexample {
+	var ce *Counterexample
+	forEachGraphPair(q.Where, opts, func(g1, g2 *rdf.Graph) bool {
+		a1, a2 := sparql.EvalConstruct(g1, q), sparql.EvalConstruct(g2, q)
+		if !a1.IsSubgraphOf(a2) {
+			var missing rdf.Triple
+			a1.ForEach(func(t rdf.Triple) bool {
+				if !a2.ContainsTriple(t) {
+					missing = t
+					return false
+				}
+				return true
+			})
+			ce = &Counterexample{
+				G1: g1.Clone(), G2: g2.Clone(),
+				Detail: fmt.Sprintf("triple %s ∈ ans(Q,G1) is missing from ans(Q,G2)", missing),
+			}
+			return false
+		}
+		return true
+	})
+	return ce
+}

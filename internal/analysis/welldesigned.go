@@ -1,0 +1,118 @@
+// Package analysis implements the static and semantic query analyses of
+// the paper: well designedness (Definition 3.4 and its union extension
+// of Section 3.3), and testers for the semantic notions — monotonicity,
+// weak monotonicity (Definition 3.2), subsumption-freeness (Section
+// 5.2) and CONSTRUCT monotonicity (Definition 6.2).
+//
+// The semantic notions are undecidable (the paper points this out for
+// weak monotonicity and CONSTRUCT monotonicity), so this package
+// provides *testers*: exhaustive checks over small graph universes and
+// randomized checks over sampled graph pairs.  A returned
+// counterexample is always sound; a pass is evidence, not proof.
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/sparql"
+)
+
+// IsWellDesigned reports whether a SPARQL[AOF] pattern is well designed
+// (Definition 3.4):
+//
+//  1. for every sub-pattern (P1 FILTER R), var(R) ⊆ var(P1); and
+//  2. for every sub-pattern (P1 OPT P2) and variable ?X ∈ var(P2): if
+//     ?X occurs in P outside the sub-pattern, then ?X ∈ var(P1).
+//
+// It returns an error if the pattern is outside SPARQL[AOF] (the notion
+// is defined only there).
+func IsWellDesigned(p sparql.Pattern) (bool, error) {
+	if !sparql.InFragment(p, sparql.FragmentAOF) {
+		return false, fmt.Errorf("analysis: well designedness is defined for SPARQL[AOF]; pattern uses %v", opsOutside(p, sparql.FragmentAOF))
+	}
+	return wdCheck(p, make(varSet)), nil
+}
+
+// IsWellDesignedUnion reports whether a SPARQL[AUOF] pattern is a
+// well-designed union (Section 3.3): P1 UNION ⋯ UNION Pn where every
+// disjunct is a well-designed SPARQL[AOF] pattern.
+func IsWellDesignedUnion(p sparql.Pattern) (bool, error) {
+	if !sparql.InFragment(p, sparql.FragmentAUOF) {
+		return false, fmt.Errorf("analysis: well-designed unions are defined for SPARQL[AUOF]; pattern uses %v", opsOutside(p, sparql.FragmentAUOF))
+	}
+	for _, d := range sparql.UnionDisjuncts(p) {
+		if sparql.Ops(d)[sparql.OpUnion] {
+			return false, nil // UNION below the top level
+		}
+		ok, err := IsWellDesigned(d)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+type varSet map[sparql.Var]struct{}
+
+func toSet(vs []sparql.Var) varSet {
+	s := make(varSet, len(vs))
+	for _, v := range vs {
+		s[v] = struct{}{}
+	}
+	return s
+}
+
+func (s varSet) union(t varSet) varSet {
+	out := make(varSet, len(s)+len(t))
+	for v := range s {
+		out[v] = struct{}{}
+	}
+	for v := range t {
+		out[v] = struct{}{}
+	}
+	return out
+}
+
+// wdCheck walks the pattern carrying the set of variables that occur in
+// the full pattern *outside* the current sub-pattern.
+func wdCheck(p sparql.Pattern, outside varSet) bool {
+	switch q := p.(type) {
+	case sparql.TriplePattern:
+		return true
+	case sparql.And:
+		lv, rv := toSet(sparql.Vars(q.L)), toSet(sparql.Vars(q.R))
+		return wdCheck(q.L, outside.union(rv)) && wdCheck(q.R, outside.union(lv))
+	case sparql.Opt:
+		lv, rv := toSet(sparql.Vars(q.L)), toSet(sparql.Vars(q.R))
+		for v := range rv {
+			if _, out := outside[v]; out {
+				if _, inL := lv[v]; !inL {
+					return false
+				}
+			}
+		}
+		return wdCheck(q.L, outside.union(rv)) && wdCheck(q.R, outside.union(lv))
+	case sparql.Filter:
+		condVars := toSet(q.Cond.Vars(nil))
+		pv := toSet(sparql.Vars(q.P))
+		for v := range condVars {
+			if _, ok := pv[v]; !ok {
+				return false
+			}
+		}
+		return wdCheck(q.P, outside.union(condVars))
+	default:
+		// Unreachable after the fragment check.
+		panic(fmt.Sprintf("analysis: unexpected pattern type %T", p))
+	}
+}
+
+func opsOutside(p sparql.Pattern, frag sparql.OpSet) []sparql.Op {
+	var out []sparql.Op
+	for op := range sparql.Ops(p) {
+		if !frag[op] {
+			out = append(out, op)
+		}
+	}
+	return out
+}

@@ -1,0 +1,346 @@
+package fol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/workload"
+)
+
+func structFor(g *rdf.Graph, p sparql.Pattern) *Structure {
+	return NewStructure(g, sparql.IRIs(p))
+}
+
+func TestTranslateTriplePattern(t *testing.T) {
+	g := rdf.FromTriples(rdf.T("a", "p", "b"), rdf.T("a", "p", "c"))
+	tp := sparql.TP(sparql.V("X"), sparql.I("p"), sparql.V("Y"))
+	st := structFor(g, tp)
+	phi := Translate(tp)
+	// Answers of the pattern satisfy the formula...
+	for _, mu := range []sparql.Mapping{sparql.M("X", "a", "Y", "b"), sparql.M("X", "a", "Y", "c")} {
+		if !phi.Sat(st, TupleOf(tp, mu)) {
+			t.Errorf("φ rejects answer %s", mu)
+		}
+	}
+	// ...and non-answers do not.
+	for _, mu := range []sparql.Mapping{sparql.M("X", "b", "Y", "a"), sparql.M("X", "a"), sparql.M()} {
+		if phi.Sat(st, TupleOf(tp, mu)) {
+			t.Errorf("φ accepts non-answer %s", mu)
+		}
+	}
+}
+
+func TestTranslateDomainLemmaC1(t *testing.T) {
+	// φ^P_X holds of t_µ exactly when µ is an answer with domain X.
+	g := workload.Figure2G2()
+	p := sparql.Opt{
+		L: sparql.TP(sparql.V("X"), sparql.I("was_born_in"), sparql.I("Chile")),
+		R: sparql.TP(sparql.V("X"), sparql.I("email"), sparql.V("Y")),
+	}
+	st := structFor(g, p)
+	mu := sparql.M("X", "Juan", "Y", "juan@puc.cl")
+	phiXY := TranslateDomain(p, []sparql.Var{"X", "Y"})
+	if !phiXY.Sat(st, Assignment{"X": E("Juan"), "Y": E("juan@puc.cl")}) {
+		t.Errorf("φ_{X,Y} rejects %s", mu)
+	}
+	// On G2 the domain-{X} answer [X → Juan] does not exist (the OPT
+	// extends it), so φ_{X} must reject it.
+	phiX := TranslateDomain(p, []sparql.Var{"X"})
+	if phiX.Sat(st, Assignment{"X": E("Juan"), "Y": N}) {
+		t.Error("φ_{X} accepts a mapping that the OPT extends")
+	}
+	// On G1 it does exist.
+	st1 := structFor(workload.Figure2G1(), p)
+	if !phiX.Sat(st1, Assignment{"X": E("Juan"), "Y": N}) {
+		t.Error("φ_{X} rejects the G1 answer")
+	}
+}
+
+// TestTranslateMatchesEvalQuick is experiment E6: the FO translation
+// agrees with the SPARQL evaluator on random patterns and graphs.
+func TestTranslateMatchesEvalQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 120}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.RandomPattern(rng, workload.PatternOpts{
+			Depth: 2,
+			Vars:  []sparql.Var{"X", "Y", "Z"},
+			IRIs:  []rdf.IRI{"a", "b", "p"},
+		})
+		g := workload.RandomGraph(rng, rng.Intn(8), []rdf.IRI{"a", "b", "p"})
+		st := structFor(g, p)
+		want := sparql.Eval(g, p)
+		got := AnswersFromFormula(st, Translate(p), sparql.Vars(p))
+		if !got.Equal(want) {
+			t.Logf("pattern %s\ngraph\n%s\neval %v\nfol  %v", p, g, want, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranslateNSPattern(t *testing.T) {
+	// The NS extension of the translation agrees with the evaluator on
+	// the running simple-pattern example.
+	p1 := sparql.TP(sparql.V("X"), sparql.I("was_born_in"), sparql.I("Chile"))
+	p2 := sparql.TP(sparql.V("X"), sparql.I("email"), sparql.V("Y"))
+	ns := sparql.NS{P: sparql.Union{L: p1, R: sparql.And{L: p1, R: p2}}}
+	for _, g := range []*rdf.Graph{workload.Figure2G1(), workload.Figure2G2()} {
+		st := structFor(g, ns)
+		want := sparql.Eval(g, ns)
+		got := AnswersFromFormula(st, Translate(ns), sparql.Vars(ns))
+		if !got.Equal(want) {
+			t.Fatalf("NS translation mismatch: eval %v, fol %v", want, got)
+		}
+	}
+}
+
+func TestQuantifierSemantics(t *testing.T) {
+	g := rdf.FromTriples(rdf.T("a", "p", "b"))
+	st := NewStructure(g, nil)
+	// ∃x Dom(x) is true; ∀x Dom(x) is false (N is in the universe).
+	ex := ExistsF{Vars: []sparql.Var{"x"}, F: DomAtom{T: TVar("x")}}
+	fa := ForallF{Vars: []sparql.Var{"x"}, F: DomAtom{T: TVar("x")}}
+	if !ex.Sat(st, Assignment{}) {
+		t.Error("∃x Dom(x) should hold")
+	}
+	if fa.Sat(st, Assignment{}) {
+		t.Error("∀x Dom(x) should fail (N ∉ Dom)")
+	}
+	// ∀x (Dom(x) → ∃y,z T(x,y,z) ∨ T(y,x,z) ∨ T(y,z,x)) holds: every
+	// domain element occurs in a triple.
+	adom := OrF{Fs: []Formula{
+		TAtom{S: TVar("x"), P: TVar("y"), O: TVar("z")},
+		TAtom{S: TVar("y"), P: TVar("x"), O: TVar("z")},
+		TAtom{S: TVar("y"), P: TVar("z"), O: TVar("x")},
+	}}
+	all := ForallF{Vars: []sparql.Var{"x"}, F: OrF{Fs: []Formula{
+		NotF{F: DomAtom{T: TVar("x")}},
+		ExistsF{Vars: []sparql.Var{"y", "z"}, F: adom},
+	}}}
+	if !all.Sat(st, Assignment{}) {
+		t.Error("active-domain formula should hold")
+	}
+}
+
+func TestStructureBasics(t *testing.T) {
+	g := rdf.FromTriples(rdf.T("a", "p", "b"))
+	st := NewStructure(g, []rdf.IRI{"extra", "a"})
+	if !st.InDom(E("a")) || st.InDom(E("extra")) || st.InDom(N) {
+		t.Fatal("Dom interpretation wrong")
+	}
+	if !st.HasTriple(E("a"), E("p"), E("b")) || st.HasTriple(E("a"), E("p"), N) {
+		t.Fatal("T interpretation wrong")
+	}
+	// Universe: a, b, p, extra, N — no duplicates.
+	if len(st.Universe()) != 5 {
+		t.Fatalf("universe = %v", st.Universe())
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	f := ExistsF{Vars: []sparql.Var{"x"}, F: AndF{Fs: []Formula{
+		TAtom{S: TVar("x"), P: TConst("p"), O: TNull()},
+		NotF{F: EqAtom{L: TVar("x"), R: TNull()}},
+	}}}
+	s := f.String()
+	for _, want := range []string{"∃?x", "T(?x, p, N)", "¬", "?x = N"} {
+		if !containsStr(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	if True.String() != "⊤" || False.String() != "⊥" {
+		t.Errorf("True/False render as %q/%q", True, False)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// randomUCQ draws a range-restricted UCQ≠ for the Theorem C.8 test.
+func randomUCQ(rng *rand.Rand) UCQ {
+	free := []sparql.Var{"X", "Y"}
+	iris := []rdf.IRI{"a", "b", "p"}
+	nd := 1 + rng.Intn(3)
+	u := UCQ{Free: free}
+	for d := 0; d < nd; d++ {
+		var cq CQ
+		pool := append([]sparql.Var{}, free...)
+		if rng.Intn(2) == 0 {
+			cq.Exists = []sparql.Var{"E"}
+			pool = append(pool, "E")
+		}
+		term := func() Term {
+			if rng.Intn(2) == 0 {
+				return TVar(pool[rng.Intn(len(pool))])
+			}
+			return TConst(iris[rng.Intn(len(iris))])
+		}
+		na := 1 + rng.Intn(2)
+		for i := 0; i < na; i++ {
+			cq.Atoms = append(cq.Atoms, CQAtom{S: term(), P: term(), O: term()})
+		}
+		// Random extra (in)equalities among variables and constants.
+		if rng.Intn(2) == 0 {
+			cq.Eqs = append(cq.Eqs, CQEquality{
+				L:       TVar(pool[rng.Intn(len(pool))]),
+				R:       term(),
+				Negated: rng.Intn(2) == 0,
+			})
+		}
+		// Range-restrict: any variable not in an atom is pinned to n.
+		covered := map[sparql.Var]bool{}
+		for _, a := range cq.Atoms {
+			for _, tm := range []Term{a.S, a.P, a.O} {
+				if tm.IsVar() {
+					covered[tm.Var] = true
+				}
+			}
+		}
+		for _, v := range pool {
+			if !covered[v] {
+				cq.Eqs = append(cq.Eqs, CQEquality{L: TVar(v), R: TNull()})
+			}
+		}
+		u.Disjuncts = append(u.Disjuncts, cq)
+	}
+	return u
+}
+
+// TestUCQToPatternQuick validates the Theorem C.8 translation: the
+// SPARQL[AUFS] pattern agrees with the UCQ on G_FO.
+func TestUCQToPatternQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := randomUCQ(rng)
+		p, err := u.ToPattern()
+		if err != nil {
+			t.Logf("ToPattern failed: %v", err)
+			return false
+		}
+		if !sparql.InFragment(p, sparql.FragmentAUFS) {
+			t.Logf("translation left AUFS: %s", p)
+			return false
+		}
+		g := workload.RandomGraph(rng, rng.Intn(8), []rdf.IRI{"a", "b", "p"})
+		st := NewStructure(g, nil)
+		want := AnswersFromFormula(st, u.Formula(), u.Free)
+		got := sparql.Eval(g, p)
+		if !got.Equal(want) {
+			t.Logf("ucq %s\npattern %s\ngraph\n%s\nfol  %v\neval %v", u.Formula(), p, g, want, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUCQToPatternErrors(t *testing.T) {
+	// Not range-restricted: free variable only in an inequality.
+	u := UCQ{Free: []sparql.Var{"X"}, Disjuncts: []CQ{{
+		Atoms: []CQAtom{{S: TConst("a"), P: TConst("p"), O: TConst("b")}},
+		Eqs:   []CQEquality{{L: TVar("X"), R: TNull(), Negated: true}},
+	}}}
+	if _, err := u.ToPattern(); err == nil {
+		t.Error("non-range-restricted UCQ accepted")
+	}
+	// n in a T-atom.
+	u = UCQ{Free: nil, Disjuncts: []CQ{{
+		Atoms: []CQAtom{{S: TNull(), P: TConst("p"), O: TConst("b")}},
+	}}}
+	if _, err := u.ToPattern(); err == nil {
+		t.Error("n in T-atom accepted")
+	}
+	// Equality between two constants.
+	u = UCQ{Free: nil, Disjuncts: []CQ{{
+		Atoms: []CQAtom{{S: TConst("a"), P: TConst("p"), O: TConst("b")}},
+		Eqs:   []CQEquality{{L: TConst("a"), R: TConst("b")}},
+	}}}
+	if _, err := u.ToPattern(); err == nil {
+		t.Error("variable-free equality accepted")
+	}
+	// Empty UCQ and empty CQ.
+	if _, err := (UCQ{}).ToPattern(); err == nil {
+		t.Error("empty UCQ accepted")
+	}
+	u = UCQ{Free: nil, Disjuncts: []CQ{{}}}
+	if _, err := u.ToPattern(); err == nil {
+		t.Error("atom-free CQ accepted")
+	}
+}
+
+func TestElemAndTermHelpers(t *testing.T) {
+	if N.String() != "N" || E("a").String() != "a" {
+		t.Fatal("Elem String wrong")
+	}
+	if TVar("x").String() != "?x" || TConst("c").String() != "c" || TNull().String() != "N" {
+		t.Fatal("Term String wrong")
+	}
+	if !TVar("x").IsVar() || TConst("c").IsVar() {
+		t.Fatal("IsVar wrong")
+	}
+}
+
+// TestTranslateDomRelativizedQuick: the Lemma C.1/C.2 translation only
+// produces Dom-relativized formulas — the syntactic condition Otto's
+// interpolation theorem needs (Section 4).
+func TestTranslateDomRelativizedQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.RandomPattern(rng, workload.PatternOpts{
+			Depth: 2,
+			Vars:  []sparql.Var{"X", "Y", "Z"},
+		})
+		if !DomRelativized(Translate(p)) {
+			t.Logf("translation of %s is not Dom-relativized", p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomRelativizedNegative(t *testing.T) {
+	// A bare unguarded quantifier fails the check.
+	unguarded := ExistsF{Vars: []sparql.Var{"x"}, F: TAtom{S: TVar("x"), P: TConst("p"), O: TConst("o")}}
+	if DomRelativized(unguarded) {
+		t.Fatal("unguarded ∃ accepted")
+	}
+	guarded := ExistsF{Vars: []sparql.Var{"x"}, F: AndF{Fs: []Formula{
+		DomAtom{T: TVar("x")},
+		TAtom{S: TVar("x"), P: TConst("p"), O: TConst("o")},
+	}}}
+	if !DomRelativized(guarded) {
+		t.Fatal("guarded ∃ rejected")
+	}
+	// Universal guard shape: ∀x (¬Dom(x) ∨ φ).
+	univ := ForallF{Vars: []sparql.Var{"x"}, F: OrF{Fs: []Formula{
+		NotF{F: DomAtom{T: TVar("x")}},
+		TAtom{S: TVar("x"), P: TConst("p"), O: TConst("o")},
+	}}}
+	if !DomRelativized(univ) {
+		t.Fatal("guarded ∀ rejected")
+	}
+	univBad := ForallF{Vars: []sparql.Var{"x"}, F: TAtom{S: TVar("x"), P: TConst("p"), O: TConst("o")}}
+	if DomRelativized(univBad) {
+		t.Fatal("unguarded ∀ accepted")
+	}
+}

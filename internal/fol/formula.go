@@ -1,0 +1,393 @@
+// Package fol implements the first-order machinery of Section 4 of the
+// paper: the vocabulary L_RDF = {T, Dom, n, c_i}, structures that
+// correspond to RDF graphs (Definition C.5), a finite-model evaluator,
+// the translation from graph patterns to FO formulas (Lemmas C.1 and
+// C.2), and the back-translation from unions of conjunctive queries
+// with inequalities to SPARQL[AUFS] patterns (Theorem C.8).
+//
+// The interpolation step itself (the existence of the interpolant θ,
+// via Lyndon's and Otto's theorems) is proof-theoretic and
+// non-constructive; this package reproduces everything constructive
+// around it and is used as a differential-testing oracle for the
+// SPARQL evaluator (experiment E6).
+package fol
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// Elem is an element of an L_RDF structure: an IRI or the distinguished
+// null element N (the interpretation of the constant n).
+type Elem struct {
+	IRI  rdf.IRI
+	Null bool
+}
+
+// N is the null element.
+var N = Elem{Null: true}
+
+// E wraps an IRI as an element.
+func E(iri rdf.IRI) Elem { return Elem{IRI: iri} }
+
+// String renders the element.
+func (e Elem) String() string {
+	if e.Null {
+		return "N"
+	}
+	return string(e.IRI)
+}
+
+// Term is a first-order term: a variable, an IRI constant c_i, or the
+// constant n.
+type Term struct {
+	Var   sparql.Var // set iff kind == termVar
+	Const Elem       // set otherwise (Null for the constant n)
+	isVar bool
+}
+
+// TVar returns a variable term.  FO variables are identified with
+// SPARQL variables, as in the paper's translation.
+func TVar(v sparql.Var) Term { return Term{Var: v, isVar: true} }
+
+// TConst returns an IRI constant term.
+func TConst(iri rdf.IRI) Term { return Term{Const: E(iri)} }
+
+// TNull returns the constant n.
+func TNull() Term { return Term{Const: N} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.isVar }
+
+// String renders the term.
+func (t Term) String() string {
+	if t.isVar {
+		return "?" + string(t.Var)
+	}
+	return t.Const.String()
+}
+
+// Assignment maps variables to elements.
+type Assignment map[sparql.Var]Elem
+
+func (a Assignment) resolve(t Term) (Elem, bool) {
+	if !t.isVar {
+		return t.Const, true
+	}
+	e, ok := a[t.Var]
+	return e, ok
+}
+
+// Formula is a first-order formula over the vocabulary {T, Dom, =}.
+type Formula interface {
+	// Sat reports A, a ⊨ φ.  Free variables must be covered by the
+	// assignment; a missing variable panics (it indicates a translation
+	// bug, not a data condition).
+	Sat(st *Structure, a Assignment) bool
+	String() string
+	isFormula()
+}
+
+// TAtom is T(s, p, o).
+type TAtom struct{ S, P, O Term }
+
+// DomAtom is Dom(t).
+type DomAtom struct{ T Term }
+
+// EqAtom is t1 = t2.
+type EqAtom struct{ L, R Term }
+
+// NotF is ¬φ.
+type NotF struct{ F Formula }
+
+// AndF is the conjunction of its parts; the empty conjunction is true.
+type AndF struct{ Fs []Formula }
+
+// OrF is the disjunction of its parts; the empty disjunction is false.
+type OrF struct{ Fs []Formula }
+
+// ExistsF is ∃x̄ φ, with the variables ranging over the full domain of
+// the structure.  Relativization to Dom is written explicitly in the
+// translated formulas, as in the paper.
+type ExistsF struct {
+	Vars []sparql.Var
+	F    Formula
+}
+
+// ForallF is ∀x̄ φ.
+type ForallF struct {
+	Vars []sparql.Var
+	F    Formula
+}
+
+func (TAtom) isFormula()   {}
+func (DomAtom) isFormula() {}
+func (EqAtom) isFormula()  {}
+func (NotF) isFormula()    {}
+func (AndF) isFormula()    {}
+func (OrF) isFormula()     {}
+func (ExistsF) isFormula() {}
+func (ForallF) isFormula() {}
+
+// Structure is an L_RDF structure corresponding to an RDF graph
+// (Definition C.5): the domain is I(G) ∪ I(P) ∪ {N}, Dom is interpreted
+// as I(G), T as the triples of G, and n as N.  Extra constants from the
+// pattern are included in the universe so that they denote; since every
+// quantifier in a translated formula is Dom-relativized, this does not
+// affect satisfaction.
+type Structure struct {
+	graph    *rdf.Graph
+	universe []Elem
+	dom      map[rdf.IRI]struct{}
+}
+
+// NewStructure builds G_FO for a graph, with extraIRIs (typically I(P))
+// added to the universe.
+func NewStructure(g *rdf.Graph, extraIRIs []rdf.IRI) *Structure {
+	dom := make(map[rdf.IRI]struct{})
+	var universe []Elem
+	for _, i := range g.IRIs() {
+		dom[i] = struct{}{}
+		universe = append(universe, E(i))
+	}
+	for _, i := range extraIRIs {
+		if _, ok := dom[i]; !ok {
+			universe = append(universe, E(i))
+		}
+	}
+	universe = append(universe, N)
+	return &Structure{graph: g, universe: universe, dom: dom}
+}
+
+// Universe returns the domain elements of the structure.
+func (st *Structure) Universe() []Elem { return st.universe }
+
+// InDom reports Dom(e).
+func (st *Structure) InDom(e Elem) bool {
+	if e.Null {
+		return false
+	}
+	_, ok := st.dom[e.IRI]
+	return ok
+}
+
+// HasTriple reports T(s, p, o).
+func (st *Structure) HasTriple(s, p, o Elem) bool {
+	if s.Null || p.Null || o.Null {
+		return false
+	}
+	return st.graph.Contains(s.IRI, p.IRI, o.IRI)
+}
+
+// Sat implements Formula.
+func (f TAtom) Sat(st *Structure, a Assignment) bool {
+	s := mustResolve(a, f.S)
+	p := mustResolve(a, f.P)
+	o := mustResolve(a, f.O)
+	return st.HasTriple(s, p, o)
+}
+
+// Sat implements Formula.
+func (f DomAtom) Sat(st *Structure, a Assignment) bool {
+	return st.InDom(mustResolve(a, f.T))
+}
+
+// Sat implements Formula.
+func (f EqAtom) Sat(st *Structure, a Assignment) bool {
+	return mustResolve(a, f.L) == mustResolve(a, f.R)
+}
+
+// Sat implements Formula.
+func (f NotF) Sat(st *Structure, a Assignment) bool { return !f.F.Sat(st, a) }
+
+// Sat implements Formula.
+func (f AndF) Sat(st *Structure, a Assignment) bool {
+	for _, g := range f.Fs {
+		if !g.Sat(st, a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sat implements Formula.
+func (f OrF) Sat(st *Structure, a Assignment) bool {
+	for _, g := range f.Fs {
+		if g.Sat(st, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Sat implements Formula.
+func (f ExistsF) Sat(st *Structure, a Assignment) bool {
+	return satQuant(st, a, f.Vars, f.F, false)
+}
+
+// Sat implements Formula.
+func (f ForallF) Sat(st *Structure, a Assignment) bool {
+	return satQuant(st, a, f.Vars, f.F, true)
+}
+
+// satQuant enumerates assignments to the quantified variables.  For
+// forall it checks that every extension satisfies the body; for exists
+// that some extension does.
+func satQuant(st *Structure, a Assignment, vars []sparql.Var, body Formula, forall bool) bool {
+	if len(vars) == 0 {
+		return body.Sat(st, a)
+	}
+	v, rest := vars[0], vars[1:]
+	saved, had := a[v]
+	defer func() {
+		if had {
+			a[v] = saved
+		} else {
+			delete(a, v)
+		}
+	}()
+	for _, e := range st.universe {
+		a[v] = e
+		ok := satQuant(st, a, rest, body, forall)
+		if forall && !ok {
+			return false
+		}
+		if !forall && ok {
+			return true
+		}
+	}
+	return forall
+}
+
+func mustResolve(a Assignment, t Term) Elem {
+	e, ok := a.resolve(t)
+	if !ok {
+		panic(fmt.Sprintf("fol: unassigned variable %s", t))
+	}
+	return e
+}
+
+func (f TAtom) String() string   { return fmt.Sprintf("T(%s, %s, %s)", f.S, f.P, f.O) }
+func (f DomAtom) String() string { return fmt.Sprintf("Dom(%s)", f.T) }
+func (f EqAtom) String() string  { return fmt.Sprintf("%s = %s", f.L, f.R) }
+func (f NotF) String() string    { return fmt.Sprintf("¬(%s)", f.F) }
+
+func (f AndF) String() string { return joinFormulas(f.Fs, " ∧ ", "⊤") }
+func (f OrF) String() string  { return joinFormulas(f.Fs, " ∨ ", "⊥") }
+
+func (f ExistsF) String() string { return quantString("∃", f.Vars, f.F) }
+func (f ForallF) String() string { return quantString("∀", f.Vars, f.F) }
+
+func joinFormulas(fs []Formula, sep, empty string) string {
+	if len(fs) == 0 {
+		return empty
+	}
+	parts := make([]string, len(fs))
+	for i, g := range fs {
+		parts[i] = g.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+func quantString(q string, vars []sparql.Var, body Formula) string {
+	names := make([]string, len(vars))
+	for i, v := range vars {
+		names[i] = "?" + string(v)
+	}
+	return q + strings.Join(names, ",") + ".(" + body.String() + ")"
+}
+
+// True and False are the empty conjunction and disjunction.
+var (
+	True  Formula = AndF{}
+	False Formula = OrF{}
+)
+
+// DomRelativized reports whether every quantifier in the formula is
+// relativized to Dom in the syntactic sense of Otto's interpolation
+// theorem (Section 4): each ∃x̄ φ has, for every quantified variable, a
+// positive Dom(x) conjunct at the top level of its body (and dually
+// ∀x̄ φ a ¬Dom(x) disjunct).  The pattern translation of Lemma C.1
+// produces only formulas of this shape.
+func DomRelativized(f Formula) bool {
+	switch g := f.(type) {
+	case TAtom, DomAtom, EqAtom:
+		return true
+	case NotF:
+		return DomRelativized(g.F)
+	case AndF:
+		for _, h := range g.Fs {
+			if !DomRelativized(h) {
+				return false
+			}
+		}
+		return true
+	case OrF:
+		for _, h := range g.Fs {
+			if !DomRelativized(h) {
+				return false
+			}
+		}
+		return true
+	case ExistsF:
+		if !coversDom(g.Vars, conjuncts(g.F), false) {
+			return false
+		}
+		return DomRelativized(g.F)
+	case ForallF:
+		if !coversDom(g.Vars, disjuncts(g.F), true) {
+			return false
+		}
+		return DomRelativized(g.F)
+	default:
+		panic(fmt.Sprintf("fol: unknown formula type %T", f))
+	}
+}
+
+func conjuncts(f Formula) []Formula {
+	if a, ok := f.(AndF); ok {
+		var out []Formula
+		for _, g := range a.Fs {
+			out = append(out, conjuncts(g)...)
+		}
+		return out
+	}
+	return []Formula{f}
+}
+
+func disjuncts(f Formula) []Formula {
+	if o, ok := f.(OrF); ok {
+		var out []Formula
+		for _, g := range o.Fs {
+			out = append(out, disjuncts(g)...)
+		}
+		return out
+	}
+	return []Formula{f}
+}
+
+// coversDom reports whether every variable has a Dom guard among the
+// given parts: Dom(x) for existentials, ¬Dom(x) for universals.
+func coversDom(vars []sparql.Var, parts []Formula, negated bool) bool {
+	guarded := make(map[sparql.Var]bool)
+	for _, p := range parts {
+		if negated {
+			if n, ok := p.(NotF); ok {
+				if d, ok := n.F.(DomAtom); ok && d.T.IsVar() {
+					guarded[d.T.Var] = true
+				}
+			}
+		} else if d, ok := p.(DomAtom); ok && d.T.IsVar() {
+			guarded[d.T.Var] = true
+		}
+	}
+	for _, v := range vars {
+		if !guarded[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,325 @@
+package fol
+
+import (
+	"fmt"
+
+	"repro/internal/sparql"
+)
+
+// Translate builds the formula φ_P of Lemma C.2: a single L_RDF
+// formula with free variables var(P) such that for every mapping µ and
+// structure A corresponding to a graph G,
+//
+//	µ ∈ ⟦P⟧_G  iff  A ⊨ φ_P(t^P_µ),
+//
+// where t^P_µ assigns µ(?X) to bound variables and N to the rest (see
+// TupleOf).  It is the disjunction over X ⊆ var(P) of φ^P_X together
+// with z = n for the variables z outside X.
+//
+// Beyond the paper's Lemma C.1 (which covers plain SPARQL), the
+// translation also supports the NS operator, using the same
+// quantify-over-superdomains device as the OPT case.
+func Translate(p sparql.Pattern) Formula {
+	vars := sparql.Vars(p)
+	var disjuncts []Formula
+	forEachSubset(vars, func(x []sparql.Var) {
+		inX := toSet(x)
+		conj := []Formula{TranslateDomain(p, x)}
+		for _, z := range vars {
+			if _, ok := inX[z]; !ok {
+				conj = append(conj, EqAtom{L: TVar(z), R: TNull()})
+			}
+		}
+		disjuncts = append(disjuncts, AndF{Fs: conj})
+	})
+	return OrF{Fs: disjuncts}
+}
+
+// TranslateDomain builds φ^P_X of Lemma C.1: the formula with free
+// variables X that holds of t_µ exactly when µ ∈ ⟦P⟧_G and dom(µ) = X.
+func TranslateDomain(p sparql.Pattern, x []sparql.Var) Formula {
+	return translateX(p, toSet(x))
+}
+
+type varSet map[sparql.Var]struct{}
+
+func toSet(vs []sparql.Var) varSet {
+	s := make(varSet, len(vs))
+	for _, v := range vs {
+		s[v] = struct{}{}
+	}
+	return s
+}
+
+func (s varSet) sorted() []sparql.Var {
+	out := make([]sparql.Var, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (s varSet) subsetOf(t varSet) bool {
+	for v := range s {
+		if _, ok := t[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (s varSet) equal(t varSet) bool {
+	return len(s) == len(t) && s.subsetOf(t)
+}
+
+// forEachSubset enumerates all subsets of vars (as sorted slices).
+func forEachSubset(vars []sparql.Var, fn func([]sparql.Var)) {
+	n := len(vars)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var x []sparql.Var
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				x = append(x, vars[i])
+			}
+		}
+		fn(x)
+	}
+}
+
+func translateX(p sparql.Pattern, x varSet) Formula {
+	pv := toSet(sparql.Vars(p))
+	if !x.subsetOf(pv) {
+		return False
+	}
+	switch q := p.(type) {
+	case sparql.TriplePattern:
+		if !x.equal(toSet(sparql.Vars(q))) {
+			return False
+		}
+		s, pr, o := valueTerm(q.S), valueTerm(q.P), valueTerm(q.O)
+		return AndF{Fs: []Formula{
+			TAtom{S: s, P: pr, O: o},
+			DomAtom{T: s}, DomAtom{T: pr}, DomAtom{T: o},
+		}}
+	case sparql.Union:
+		return OrF{Fs: []Formula{translateX(q.L, x), translateX(q.R, x)}}
+	case sparql.And:
+		return translateAnd(q.L, q.R, x)
+	case sparql.Opt:
+		// φ^{P1 AND P2}_X ∨ (φ^{P1}_X ∧ ¬ ∃ compatible answer of P2).
+		andPart := translateAnd(q.L, q.R, x)
+		minusPart := AndF{Fs: []Formula{
+			translateX(q.L, x),
+			NotF{F: someCompatibleAnswer(q.R, x, nil)},
+		}}
+		return OrF{Fs: []Formula{andPart, minusPart}}
+	case sparql.Filter:
+		return AndF{Fs: []Formula{translateX(q.P, x), translateCond(q.Cond, x)}}
+	case sparql.Select:
+		if !x.subsetOf(toSet(q.Vars)) {
+			return False
+		}
+		sel := toSet(q.Vars)
+		inner := sparql.Vars(q.P)
+		var disjuncts []Formula
+		forEachSubset(inner, func(y []sparql.Var) {
+			ys := toSet(y)
+			if !x.subsetOf(ys) {
+				return
+			}
+			// The restriction of a domain-Y answer to the SELECT list
+			// has domain Y ∩ V; only Y with Y ∩ V = X contribute.
+			// (The appendix formula of Lemma C.1 leaves this side
+			// condition implicit.)
+			for v := range ys {
+				if _, inSel := sel[v]; inSel {
+					if _, inX := x[v]; !inX {
+						return
+					}
+				}
+			}
+			var conj []Formula
+			for _, v := range y {
+				conj = append(conj, DomAtom{T: TVar(v)})
+			}
+			conj = append(conj, translateX(q.P, ys))
+			var quant []sparql.Var
+			for _, v := range y {
+				if _, ok := x[v]; !ok {
+					quant = append(quant, v)
+				}
+			}
+			disjuncts = append(disjuncts, ExistsF{Vars: quant, F: AndF{Fs: conj}})
+		})
+		return OrF{Fs: disjuncts}
+	case sparql.NS:
+		// µ ∈ ⟦NS(Q)⟧ with dom(µ) = X iff µ ∈ ⟦Q⟧ with domain X and no
+		// answer of Q with a strictly larger domain extends µ.
+		return AndF{Fs: []Formula{
+			translateX(q.P, x),
+			NotF{F: someCompatibleAnswer(q.P, x, func(xp varSet) bool {
+				return len(xp) > len(x) && x.subsetOf(xp)
+			})},
+		}}
+	default:
+		panic(fmt.Sprintf("fol: unknown pattern type %T", p))
+	}
+}
+
+// translateAnd is the AND case of Lemma C.1: the disjunction over
+// X1 ∪ X2 = X of φ^{P1}_X1 ∧ φ^{P2}_X2.
+func translateAnd(l, r sparql.Pattern, x varSet) Formula {
+	xs := x.sorted()
+	lv, rv := toSet(sparql.Vars(l)), toSet(sparql.Vars(r))
+	var disjuncts []Formula
+	forEachSubset(xs, func(x1 []sparql.Var) {
+		x1s := toSet(x1)
+		if !x1s.subsetOf(lv) {
+			return
+		}
+		forEachSubset(xs, func(x2 []sparql.Var) {
+			x2s := toSet(x2)
+			if !x2s.subsetOf(rv) {
+				return
+			}
+			// X1 ∪ X2 must be exactly X.
+			union := make(varSet, len(x1s)+len(x2s))
+			for v := range x1s {
+				union[v] = struct{}{}
+			}
+			for v := range x2s {
+				union[v] = struct{}{}
+			}
+			if !union.equal(x) {
+				return
+			}
+			disjuncts = append(disjuncts, AndF{Fs: []Formula{
+				translateX(l, x1s), translateX(r, x2s),
+			}})
+		})
+	})
+	return OrF{Fs: disjuncts}
+}
+
+// someCompatibleAnswer builds the formula asserting the existence of an
+// answer µ' of p (with some domain X' accepted by the filter, all
+// subsets of var(p) when the filter is nil) that is compatible with the
+// current assignment on X.  Variables in X' ∖ X are existentially
+// quantified and asserted to be in Dom; variables in X' ∩ X stay free,
+// which encodes compatibility.
+func someCompatibleAnswer(p sparql.Pattern, x varSet, accept func(varSet) bool) Formula {
+	var disjuncts []Formula
+	forEachSubset(sparql.Vars(p), func(xp []sparql.Var) {
+		xps := toSet(xp)
+		if accept != nil && !accept(xps) {
+			return
+		}
+		var conj []Formula
+		for _, v := range xp {
+			conj = append(conj, DomAtom{T: TVar(v)})
+		}
+		conj = append(conj, translateX(p, xps))
+		var quant []sparql.Var
+		for _, v := range xp {
+			if _, ok := x[v]; !ok {
+				quant = append(quant, v)
+			}
+		}
+		disjuncts = append(disjuncts, ExistsF{Vars: quant, F: AndF{Fs: conj}})
+	})
+	return OrF{Fs: disjuncts}
+}
+
+// translateCond is the FILTER condition translation of Lemma C.1,
+// relative to the binding domain X.
+func translateCond(c sparql.Condition, x varSet) Formula {
+	switch r := c.(type) {
+	case sparql.Bound:
+		if _, ok := x[r.X]; ok {
+			return True
+		}
+		return False
+	case sparql.EqConst:
+		if _, ok := x[r.X]; !ok {
+			return False
+		}
+		return EqAtom{L: TVar(r.X), R: TConst(r.C)}
+	case sparql.EqVars:
+		if _, okX := x[r.X]; !okX {
+			return False
+		}
+		if _, okY := x[r.Y]; !okY {
+			return False
+		}
+		return EqAtom{L: TVar(r.X), R: TVar(r.Y)}
+	case sparql.Not:
+		return NotF{F: translateCond(r.R, x)}
+	case sparql.AndCond:
+		return AndF{Fs: []Formula{translateCond(r.L, x), translateCond(r.R, x)}}
+	case sparql.OrCond:
+		return OrF{Fs: []Formula{translateCond(r.L, x), translateCond(r.R, x)}}
+	case sparql.TrueCond:
+		return True
+	case sparql.FalseCond:
+		return False
+	default:
+		panic(fmt.Sprintf("fol: unknown condition type %T", c))
+	}
+}
+
+func valueTerm(v sparql.Value) Term {
+	if v.IsVar() {
+		return TVar(v.Var())
+	}
+	return TConst(v.IRI())
+}
+
+// TupleOf returns t^P_µ: the assignment over var(P) that extends µ with
+// N on the unbound variables.
+func TupleOf(p sparql.Pattern, mu sparql.Mapping) Assignment {
+	a := make(Assignment)
+	for _, v := range sparql.Vars(p) {
+		if iri, ok := mu[v]; ok {
+			a[v] = E(iri)
+		} else {
+			a[v] = N
+		}
+	}
+	return a
+}
+
+// AnswersFromFormula enumerates all assignments of the structure's
+// universe to vars, collects those satisfying φ, and converts them back
+// to mappings (N ↦ unbound).  It is the FO-side counterpart of
+// evaluating a pattern, used for differential testing.
+func AnswersFromFormula(st *Structure, phi Formula, vars []sparql.Var) *sparql.MappingSet {
+	out := sparql.NewMappingSet()
+	a := make(Assignment)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(vars) {
+			if phi.Sat(st, a) {
+				mu := make(sparql.Mapping)
+				for v, e := range a {
+					if !e.Null {
+						mu[v] = e.IRI
+					}
+				}
+				out.Add(mu)
+			}
+			return
+		}
+		for _, e := range st.Universe() {
+			a[vars[i]] = e
+			rec(i + 1)
+		}
+		delete(a, vars[i])
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,192 @@
+package fol
+
+import (
+	"fmt"
+
+	"repro/internal/sparql"
+)
+
+// CQAtom is a relational atom T(s, p, o) of a conjunctive query.
+type CQAtom struct{ S, P, O Term }
+
+// CQEquality is an (in)equality between two terms.
+type CQEquality struct {
+	L, R    Term
+	Negated bool // true for ≠
+}
+
+// CQ is a conjunctive query with inequalities: an existentially
+// quantified conjunction of T-atoms and (in)equalities.  Its free
+// variables are those of the enclosing UCQ.
+type CQ struct {
+	Exists []sparql.Var
+	Atoms  []CQAtom
+	Eqs    []CQEquality
+}
+
+// UCQ is a union of conjunctive queries with inequalities (UCQ≠), the
+// intermediate form of Lemma C.7: the predicate Dom does not occur,
+// every equality and inequality mentions at least one variable, and
+// every disjunct has the same free variables.
+type UCQ struct {
+	Free      []sparql.Var
+	Disjuncts []CQ
+}
+
+// Formula converts the UCQ to a plain FO formula for evaluation.
+func (u UCQ) Formula() Formula {
+	var disjuncts []Formula
+	for _, cq := range u.Disjuncts {
+		var conj []Formula
+		for _, a := range cq.Atoms {
+			conj = append(conj, TAtom{S: a.S, P: a.P, O: a.O})
+		}
+		for _, e := range cq.Eqs {
+			var f Formula = EqAtom{L: e.L, R: e.R}
+			if e.Negated {
+				f = NotF{F: f}
+			}
+			conj = append(conj, f)
+		}
+		disjuncts = append(disjuncts, ExistsF{Vars: cq.Exists, F: AndF{Fs: conj}})
+	}
+	return OrF{Fs: disjuncts}
+}
+
+// ToPattern implements the translation of Theorem C.8: from a UCQ≠ to
+// a graph pattern in SPARQL[AUFS] such that for every graph G and
+// mapping µ over the free variables,
+//
+//	µ ∈ ⟦P⟧_G  iff  G_FO ⊨ θ(t^P_µ).
+//
+// Each disjunct becomes (t1 AND ⋯ AND tn) FILTER (R1 ∧ ⋯ ∧ Rm ∧ S1 ∧ ⋯)
+// wrapped in SELECT over the free variables, where an equality with the
+// constant n becomes ¬bound and an inequality with n becomes bound.
+//
+// The UCQ must be range-restricted: every variable must occur in a
+// T-atom or in a positive equality with n (otherwise the FO side can
+// assign it arbitrary values that SPARQL cannot produce), and every
+// T-atom must be n-free (Lemma C.7 removes such disjuncts).
+func (u UCQ) ToPattern() (sparql.Pattern, error) {
+	if len(u.Disjuncts) == 0 {
+		return nil, fmt.Errorf("fol: empty UCQ has no SPARQL counterpart")
+	}
+	var parts []sparql.Pattern
+	for i, cq := range u.Disjuncts {
+		p, err := cq.toPattern(u.Free)
+		if err != nil {
+			return nil, fmt.Errorf("fol: disjunct %d: %w", i, err)
+		}
+		parts = append(parts, p)
+	}
+	return sparql.UnionOf(parts...), nil
+}
+
+func (cq CQ) toPattern(free []sparql.Var) (sparql.Pattern, error) {
+	if len(cq.Atoms) == 0 {
+		return nil, fmt.Errorf("conjunctive query without T-atoms")
+	}
+	// Range restriction check.
+	covered := make(varSet)
+	for _, a := range cq.Atoms {
+		for _, t := range []Term{a.S, a.P, a.O} {
+			if !t.IsVar() && t.Const.Null {
+				return nil, fmt.Errorf("T-atom mentions the constant n")
+			}
+			if t.IsVar() {
+				covered[t.Var] = struct{}{}
+			}
+		}
+	}
+	for _, e := range cq.Eqs {
+		if !e.Negated {
+			if e.L.IsVar() && !e.R.IsVar() && e.R.Const.Null {
+				covered[e.L.Var] = struct{}{}
+			}
+			if e.R.IsVar() && !e.L.IsVar() && e.L.Const.Null {
+				covered[e.R.Var] = struct{}{}
+			}
+		}
+	}
+	for _, v := range append(append([]sparql.Var{}, free...), cq.Exists...) {
+		if _, ok := covered[v]; !ok {
+			return nil, fmt.Errorf("variable ?%s is not range-restricted", v)
+		}
+	}
+
+	var triples []sparql.Pattern
+	for _, a := range cq.Atoms {
+		s, err := termValue(a.S)
+		if err != nil {
+			return nil, err
+		}
+		p, err := termValue(a.P)
+		if err != nil {
+			return nil, err
+		}
+		o, err := termValue(a.O)
+		if err != nil {
+			return nil, err
+		}
+		triples = append(triples, sparql.TP(s, p, o))
+	}
+	var conds []sparql.Condition
+	for _, e := range cq.Eqs {
+		c, err := equalityCondition(e)
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, c)
+	}
+	body := sparql.AndOf(triples...)
+	if len(conds) > 0 {
+		body = sparql.Filter{P: body, Cond: sparql.ConjoinConds(conds...)}
+	}
+	return sparql.NewSelect(free, body), nil
+}
+
+// equalityCondition translates an (in)equality to a filter condition:
+// {?X, n} becomes ¬bound(?X) (or bound(?X) when negated), and ordinary
+// (in)equalities become the corresponding SPARQL atoms.
+func equalityCondition(e CQEquality) (sparql.Condition, error) {
+	l, r := e.L, e.R
+	// Normalize so that a variable comes first when present.
+	if !l.IsVar() && r.IsVar() {
+		l, r = r, l
+	}
+	var cond sparql.Condition
+	switch {
+	case l.IsVar() && r.IsVar():
+		// Extended-value equality: in the FO setting both variables may
+		// take the value N (unbound), and N = N holds.  SPARQL's
+		// ?X = ?Y additionally requires both variables to be bound, so
+		// the faithful translation is (?X = ?Y) ∨ (¬bound(?X) ∧ ¬bound(?Y)).
+		cond = sparql.OrCond{
+			L: sparql.EqVars{X: l.Var, Y: r.Var},
+			R: sparql.AndCond{
+				L: sparql.Not{R: sparql.Bound{X: l.Var}},
+				R: sparql.Not{R: sparql.Bound{X: r.Var}},
+			},
+		}
+	case l.IsVar() && r.Const.Null:
+		cond = sparql.Not{R: sparql.Bound{X: l.Var}}
+	case l.IsVar():
+		cond = sparql.EqConst{X: l.Var, C: r.Const.IRI}
+	default:
+		return nil, fmt.Errorf("(in)equality %s/%s mentions no variable", e.L, e.R)
+	}
+	if e.Negated {
+		cond = sparql.Not{R: cond}
+	}
+	return cond, nil
+}
+
+func termValue(t Term) (sparql.Value, error) {
+	if t.IsVar() {
+		return sparql.V(t.Var), nil
+	}
+	if t.Const.Null {
+		return sparql.Value{}, fmt.Errorf("the constant n cannot occur in a triple pattern")
+	}
+	return sparql.I(t.Const.IRI), nil
+}

@@ -1,0 +1,89 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/sparql"
+)
+
+// FuzzParseQuery checks that the parser never panics on arbitrary
+// input, and that whenever it accepts a pattern, the printed form
+// re-parses to a structurally equal pattern.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"(?x a ?y)",
+		"(?o stands_for sharing_rights) AND ((?p founder ?o) UNION (?p supporter ?o))",
+		"SELECT {?p} WHERE (?p founder ?o)",
+		"NS((?x a b) UNION ((?x a b) AND (?x c ?y)))",
+		"(?x a ?y) FILTER (bound(?x) && !(?x = c) || ?x != ?y)",
+		"(?x a ?y) MINUS (?x b ?z)",
+		"CONSTRUCT {(?n aff ?u), (?n email ?e)} WHERE (?p name ?n) OPT (?p email ?e)",
+		"(<iri with space> <AND> ?y)",
+		"((((",
+		"SELECT WHERE",
+		"?x = ?y",
+		"# only a comment",
+		"NS(NS(NS((?x a b))))",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := ParseQuery(input)
+		if err != nil {
+			return
+		}
+		switch {
+		case q.Pattern != nil:
+			printed := q.Pattern.String()
+			p2, err := ParsePattern(printed)
+			if err != nil {
+				t.Fatalf("printed pattern does not re-parse: %q: %v", printed, err)
+			}
+			if !sparql.Equal(q.Pattern, p2) {
+				t.Fatalf("round trip changed pattern: %q vs %q", printed, p2)
+			}
+		case q.Construct != nil:
+			printed := q.Construct.String()
+			if _, err := ParseConstruct(printed); err != nil {
+				t.Fatalf("printed CONSTRUCT does not re-parse: %q: %v", printed, err)
+			}
+		}
+	})
+}
+
+// FuzzLexer checks the tokenizer in isolation on arbitrary bytes.
+func FuzzLexer(f *testing.F) {
+	f.Add("(?x a ?y) && || ! != = <unterminated")
+	f.Add("? # &")
+	f.Fuzz(func(t *testing.T, input string) {
+		toks, err := lex(input)
+		if err == nil && (len(toks) == 0 || toks[len(toks)-1].kind != tokEOF) {
+			t.Fatal("token stream does not end with EOF")
+		}
+	})
+}
+
+// FuzzParseSPARQL checks the W3C-style parser never panics.
+func FuzzParseSPARQL(f *testing.F) {
+	seeds := []string{
+		"SELECT ?x WHERE { ?x a ?y }",
+		"PREFIX foaf: <http://xmlns.com/foaf/0.1/> SELECT * WHERE { ?p foaf:name ?n ; foaf:mbox ?m , ?m2 . }",
+		"ASK { { ?x a ?y } UNION { ?x b ?y } FILTER bound(?x) }",
+		"CONSTRUCT { ?x out ?y } WHERE { ?x in ?y . OPTIONAL { ?x opt ?z } }",
+		"SELECT * WHERE { NS { ?x a ?y } MINUS { ?x bad ?z } }",
+		"SELECT ?x WHERE {{{",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := ParseSPARQL(input)
+		if err != nil {
+			return
+		}
+		if q.Pattern == nil && q.Construct == nil {
+			t.Fatal("accepted query with no content")
+		}
+	})
+}

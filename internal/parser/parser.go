@@ -1,0 +1,509 @@
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/transform"
+)
+
+// Query is the result of ParseQuery: either a graph pattern or a
+// CONSTRUCT query (exactly one field is set).
+type Query struct {
+	Pattern   sparql.Pattern
+	Construct *sparql.ConstructQuery
+}
+
+// ParsePattern parses a graph pattern.
+func ParsePattern(input string) (sparql.Pattern, error) {
+	p, err := newParser(input)
+	if err != nil {
+		return nil, err
+	}
+	pat, err := p.parsePattern()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokEOF); err != nil {
+		return nil, err
+	}
+	return pat, nil
+}
+
+// MustParsePattern is ParsePattern but panics on error; intended for
+// tests and examples with literal query text.
+func MustParsePattern(input string) sparql.Pattern {
+	pat, err := ParsePattern(input)
+	if err != nil {
+		panic(err)
+	}
+	return pat
+}
+
+// ParseConstruct parses a CONSTRUCT query.
+func ParseConstruct(input string) (sparql.ConstructQuery, error) {
+	p, err := newParser(input)
+	if err != nil {
+		return sparql.ConstructQuery{}, err
+	}
+	q, err := p.parseConstruct()
+	if err != nil {
+		return sparql.ConstructQuery{}, err
+	}
+	if err := p.expect(tokEOF); err != nil {
+		return sparql.ConstructQuery{}, err
+	}
+	return q, nil
+}
+
+// MustParseConstruct is ParseConstruct but panics on error.
+func MustParseConstruct(input string) sparql.ConstructQuery {
+	q, err := ParseConstruct(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseQuery parses either a graph pattern or a CONSTRUCT query,
+// depending on the leading keyword.
+func ParseQuery(input string) (Query, error) {
+	p, err := newParser(input)
+	if err != nil {
+		return Query{}, err
+	}
+	if p.peek().kind == tokKeyword && p.peek().val == "CONSTRUCT" {
+		q, err := ParseConstruct(input)
+		if err != nil {
+			return Query{}, err
+		}
+		return Query{Construct: &q}, nil
+	}
+	pat, err := ParsePattern(input)
+	if err != nil {
+		return Query{}, err
+	}
+	return Query{Pattern: pat}, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func newParser(input string) (*parser, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) backup()     { p.pos-- }
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokenKind) error {
+	if p.peek().kind != kind {
+		want := map[tokenKind]string{
+			tokEOF: "end of input", tokLParen: "'('", tokRParen: "')'",
+			tokLBrace: "'{'", tokRBrace: "'}'",
+		}[kind]
+		return p.errorf("expected %s, found %s", want, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.peek()
+	if t.kind != tokKeyword || t.val != kw {
+		return p.errorf("expected %s, found %s", kw, t)
+	}
+	p.next()
+	return nil
+}
+
+// parsePattern := parseUnion
+func (p *parser) parsePattern() (sparql.Pattern, error) { return p.parseUnion() }
+
+func (p *parser) parseUnion() (sparql.Pattern, error) {
+	left, err := p.parseOpt()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKeyword && p.peek().val == "UNION" {
+		p.next()
+		right, err := p.parseOpt()
+		if err != nil {
+			return nil, err
+		}
+		left = sparql.Union{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseOpt() (sparql.Pattern, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKeyword && (p.peek().val == "OPT" || p.peek().val == "OPTIONAL" || p.peek().val == "MINUS") {
+		op := p.next().val
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		if op == "MINUS" {
+			left = transform.Minus(left, right)
+		} else {
+			left = sparql.Opt{L: left, R: right}
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (sparql.Pattern, error) {
+	left, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKeyword && p.peek().val == "AND" {
+		p.next()
+		right, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		left = sparql.And{L: left, R: right}
+	}
+	return left, nil
+}
+
+// parsePostfix := parsePrimary ("FILTER" "(" cond ")")*
+func (p *parser) parsePostfix() (sparql.Pattern, error) {
+	pat, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKeyword && p.peek().val == "FILTER" {
+		p.next()
+		if err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		pat = sparql.Filter{P: pat, Cond: cond}
+	}
+	return pat, nil
+}
+
+func (p *parser) parsePrimary() (sparql.Pattern, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokLParen:
+		p.next()
+		// A '(' followed by a term token is a triple pattern; anything
+		// else is a parenthesized pattern.
+		if k := p.peek().kind; k == tokVar || k == tokIRI {
+			p.backup()
+			return p.parseTriple()
+		}
+		pat, err := p.parsePattern()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return pat, nil
+	case t.kind == tokKeyword && t.val == "NS":
+		p.next()
+		if err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		pat, err := p.parsePattern()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return sparql.NS{P: pat}, nil
+	case t.kind == tokKeyword && t.val == "SELECT":
+		p.next()
+		vars, err := p.parseVarList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("WHERE"); err != nil {
+			return nil, err
+		}
+		body, err := p.parsePattern()
+		if err != nil {
+			return nil, err
+		}
+		return sparql.NewSelect(vars, body), nil
+	default:
+		return nil, p.errorf("expected a graph pattern, found %s", t)
+	}
+}
+
+// parseVarList := "{" [?v ("," ?v)*] "}" | ?v+
+func (p *parser) parseVarList() ([]sparql.Var, error) {
+	var vars []sparql.Var
+	if p.peek().kind == tokLBrace {
+		p.next()
+		for p.peek().kind != tokRBrace {
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			if p.peek().kind != tokVar {
+				return nil, p.errorf("expected a variable in SELECT list, found %s", p.peek())
+			}
+			vars = append(vars, sparql.Var(p.next().val))
+		}
+		p.next() // '}'
+		return vars, nil
+	}
+	for p.peek().kind == tokVar {
+		vars = append(vars, sparql.Var(p.next().val))
+	}
+	if len(vars) == 0 {
+		return nil, p.errorf("expected a variable list after SELECT, found %s", p.peek())
+	}
+	return vars, nil
+}
+
+// parseTriple := "(" term term term ")"
+func (p *parser) parseTriple() (sparql.Pattern, error) {
+	if err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	vals := make([]sparql.Value, 0, 3)
+	for i := 0; i < 3; i++ {
+		v, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	if err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return sparql.TP(vals[0], vals[1], vals[2]), nil
+}
+
+func (p *parser) parseTerm() (sparql.Value, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokVar:
+		p.next()
+		return sparql.V(sparql.Var(t.val)), nil
+	case tokIRI:
+		p.next()
+		return sparql.I(iriOf(t)), nil
+	default:
+		return sparql.Value{}, p.errorf("expected a variable or IRI, found %s", t)
+	}
+}
+
+// parseConstruct := "CONSTRUCT" "{" [triple (","? triple)*] "}" "WHERE" pattern
+func (p *parser) parseConstruct() (sparql.ConstructQuery, error) {
+	if err := p.expectKeyword("CONSTRUCT"); err != nil {
+		return sparql.ConstructQuery{}, err
+	}
+	if err := p.expect(tokLBrace); err != nil {
+		return sparql.ConstructQuery{}, err
+	}
+	var tmpl []sparql.TriplePattern
+	for p.peek().kind != tokRBrace {
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		tp, err := p.parseTriple()
+		if err != nil {
+			return sparql.ConstructQuery{}, err
+		}
+		tmpl = append(tmpl, tp.(sparql.TriplePattern))
+	}
+	p.next() // '}'
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return sparql.ConstructQuery{}, err
+	}
+	where, err := p.parsePattern()
+	if err != nil {
+		return sparql.ConstructQuery{}, err
+	}
+	return sparql.ConstructQuery{Template: tmpl, Where: where}, nil
+}
+
+// parseCond := parseCondAnd ("||" parseCondAnd)*
+func (p *parser) parseCond() (sparql.Condition, error) {
+	left, err := p.parseCondAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOrOr {
+		p.next()
+		right, err := p.parseCondAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = sparql.OrCond{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseCondAnd() (sparql.Condition, error) {
+	left, err := p.parseCondNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokAndAnd {
+		p.next()
+		right, err := p.parseCondNot()
+		if err != nil {
+			return nil, err
+		}
+		left = sparql.AndCond{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseCondNot() (sparql.Condition, error) {
+	if p.peek().kind == tokBang {
+		p.next()
+		inner, err := p.parseCondNot()
+		if err != nil {
+			return nil, err
+		}
+		return sparql.Not{R: inner}, nil
+	}
+	return p.parseCondAtom()
+}
+
+func (p *parser) parseCondAtom() (sparql.Condition, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokLParen:
+		p.next()
+		cond, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return cond, nil
+	case t.kind == tokKeyword && t.val == "BOUND":
+		p.next()
+		if err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokVar {
+			return nil, p.errorf("expected a variable in bound(), found %s", p.peek())
+		}
+		v := sparql.Var(p.next().val)
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return sparql.Bound{X: v}, nil
+	case t.kind == tokKeyword && t.val == "TRUE":
+		p.next()
+		return sparql.TrueCond{}, nil
+	case t.kind == tokKeyword && t.val == "FALSE":
+		p.next()
+		return sparql.FalseCond{}, nil
+	case t.kind == tokVar || t.kind == tokIRI:
+		return p.parseEquality()
+	default:
+		return nil, p.errorf("expected a filter condition, found %s", t)
+	}
+}
+
+// parseEquality := term ("=" | "!=") term, normalized so that equalities
+// between two constants fold to true/false.
+func (p *parser) parseEquality() (sparql.Condition, error) {
+	lhs, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	negate := false
+	switch p.peek().kind {
+	case tokEq:
+		p.next()
+	case tokNeq:
+		p.next()
+		negate = true
+	default:
+		return nil, p.errorf("expected '=' or '!=' in filter condition, found %s", p.peek())
+	}
+	rhs, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	cond := makeEquality(lhs, rhs)
+	if negate {
+		cond = sparql.Not{R: cond}
+	}
+	return cond, nil
+}
+
+func makeEquality(lhs, rhs sparql.Value) sparql.Condition {
+	switch {
+	case lhs.IsVar() && rhs.IsVar():
+		return sparql.EqVars{X: lhs.Var(), Y: rhs.Var()}
+	case lhs.IsVar():
+		return sparql.EqConst{X: lhs.Var(), C: rhs.IRI()}
+	case rhs.IsVar():
+		return sparql.EqConst{X: rhs.Var(), C: lhs.IRI()}
+	default:
+		if lhs.IRI() == rhs.IRI() {
+			return sparql.TrueCond{}
+		}
+		return sparql.FalseCond{}
+	}
+}
+
+// ParseTemplateTriple parses a single "(s p o)" template triple; used by
+// command-line tools that accept a triple argument.
+func ParseTemplateTriple(input string) (sparql.TriplePattern, error) {
+	p, err := newParser(input)
+	if err != nil {
+		return sparql.TriplePattern{}, err
+	}
+	tp, err := p.parseTriple()
+	if err != nil {
+		return sparql.TriplePattern{}, err
+	}
+	if err := p.expect(tokEOF); err != nil {
+		return sparql.TriplePattern{}, err
+	}
+	return tp.(sparql.TriplePattern), nil
+}
+
+// ParseGroundTriple parses "(s p o)" where all positions are IRIs.
+func ParseGroundTriple(input string) (rdf.Triple, error) {
+	tp, err := ParseTemplateTriple(input)
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	mu := sparql.Mapping{}
+	tr, ok := mu.Apply(tp)
+	if !ok {
+		return rdf.Triple{}, fmt.Errorf("triple %q contains variables", input)
+	}
+	return tr, nil
+}

@@ -1,0 +1,480 @@
+package parser
+
+// W3C-style surface syntax.  Besides the paper-style notation of
+// ParsePattern, the package accepts queries in the shape users write
+// for real SPARQL engines:
+//
+//	PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+//	SELECT ?n ?m WHERE {
+//	  ?p foaf:name ?n ; foaf:workplaceHomepage ?w .
+//	  OPTIONAL { ?p foaf:mbox ?m }
+//	  FILTER (?w != foaf:nowhere && bound(?n))
+//	}
+//
+// Supported: PREFIX declarations, SELECT (with variable list or *),
+// ASK, CONSTRUCT { ... } WHERE { ... }, group graph patterns with
+// triple blocks ('.' separators, ';' predicate lists, ',' object
+// lists, 'a' for rdf:type), OPTIONAL, UNION between groups, FILTER,
+// nested groups — and, as the paper's extension, NS { ... } for the
+// not-subsumed operator and MINUS { ... } (the Appendix D difference:
+// removal on compatibility).
+//
+// Deliberate deviations, matching the data model of the paper: plain
+// literals are admitted and stored as IRIs (the model is IRI-only),
+// SELECT is always DISTINCT (set semantics), and blank nodes are not
+// supported.
+
+import (
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/transform"
+)
+
+// SPARQLQuery is a parsed W3C-style query.
+type SPARQLQuery struct {
+	// Ask is set for ASK queries; Pattern holds the group pattern.
+	Ask bool
+	// Pattern is set for SELECT and ASK queries.
+	Pattern sparql.Pattern
+	// Construct is set for CONSTRUCT queries.
+	Construct *sparql.ConstructQuery
+}
+
+// ParseSPARQL parses a query in the W3C-style surface syntax.
+func ParseSPARQL(input string) (SPARQLQuery, error) {
+	p, err := newParser(input)
+	if err != nil {
+		return SPARQLQuery{}, err
+	}
+	w := &w3cParser{parser: p, prefixes: make(map[string]string)}
+	q, err := w.parseQuery()
+	if err != nil {
+		return SPARQLQuery{}, err
+	}
+	if err := p.expect(tokEOF); err != nil {
+		return SPARQLQuery{}, err
+	}
+	return q, nil
+}
+
+// MustParseSPARQL is ParseSPARQL but panics on error.
+func MustParseSPARQL(input string) SPARQLQuery {
+	q, err := ParseSPARQL(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type w3cParser struct {
+	*parser
+	prefixes map[string]string
+}
+
+// word reports whether the current token is the given bare word or
+// keyword, case-insensitively.
+func (w *w3cParser) word(s string) bool {
+	t := w.peek()
+	return (t.kind == tokKeyword || t.kind == tokIRI) && strings.EqualFold(t.val, s)
+}
+
+func (w *w3cParser) expectWord(s string) error {
+	if !w.word(s) {
+		return w.errorf("expected %s, found %s", s, w.peek())
+	}
+	w.next()
+	return nil
+}
+
+func (w *w3cParser) parseQuery() (SPARQLQuery, error) {
+	for w.word("PREFIX") {
+		w.next()
+		name := w.peek()
+		if name.kind != tokIRI || !strings.HasSuffix(name.val, ":") {
+			return SPARQLQuery{}, w.errorf("expected a prefix name ending in ':', found %s", name)
+		}
+		w.next()
+		iri := w.peek()
+		if iri.kind != tokIRI {
+			return SPARQLQuery{}, w.errorf("expected the prefix IRI, found %s", iri)
+		}
+		w.next()
+		w.prefixes[strings.TrimSuffix(name.val, ":")] = iri.val
+	}
+	switch {
+	case w.word("SELECT"):
+		w.next()
+		if w.word("DISTINCT") {
+			w.next() // set semantics anyway
+		}
+		var vars []sparql.Var
+		star := false
+		if t := w.peek(); t.kind == tokIRI && t.val == "*" {
+			star = true
+			w.next()
+		} else {
+			for w.peek().kind == tokVar {
+				vars = append(vars, sparql.Var(w.next().val))
+			}
+			if len(vars) == 0 {
+				return SPARQLQuery{}, w.errorf("expected variables or * after SELECT, found %s", w.peek())
+			}
+		}
+		if w.word("WHERE") {
+			w.next()
+		}
+		body, err := w.parseGroup()
+		if err != nil {
+			return SPARQLQuery{}, err
+		}
+		if star {
+			return SPARQLQuery{Pattern: body}, nil
+		}
+		return SPARQLQuery{Pattern: sparql.NewSelect(vars, body)}, nil
+	case w.word("ASK"):
+		w.next()
+		body, err := w.parseGroup()
+		if err != nil {
+			return SPARQLQuery{}, err
+		}
+		return SPARQLQuery{Ask: true, Pattern: body}, nil
+	case w.word("CONSTRUCT"):
+		w.next()
+		if err := w.expect(tokLBrace); err != nil {
+			return SPARQLQuery{}, err
+		}
+		tmpl, err := w.parseTriplesBlock()
+		if err != nil {
+			return SPARQLQuery{}, err
+		}
+		if err := w.expect(tokRBrace); err != nil {
+			return SPARQLQuery{}, err
+		}
+		if err := w.expectWord("WHERE"); err != nil {
+			return SPARQLQuery{}, err
+		}
+		body, err := w.parseGroup()
+		if err != nil {
+			return SPARQLQuery{}, err
+		}
+		return SPARQLQuery{Construct: &sparql.ConstructQuery{Template: tmpl, Where: body}}, nil
+	default:
+		return SPARQLQuery{}, w.errorf("expected SELECT, ASK or CONSTRUCT, found %s", w.peek())
+	}
+}
+
+// parseGroup parses { element* } and combines the elements with the
+// standard semantics: triple blocks and groups join, OPTIONAL
+// left-joins against the group so far, and FILTERs apply to the whole
+// group.
+func (w *w3cParser) parseGroup() (sparql.Pattern, error) {
+	if err := w.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var cur sparql.Pattern
+	var filters []sparql.Condition
+	combine := func(p sparql.Pattern) {
+		if cur == nil {
+			cur = p
+		} else {
+			cur = sparql.And{L: cur, R: p}
+		}
+	}
+	for w.peek().kind != tokRBrace {
+		switch {
+		case w.peek().kind == tokEOF:
+			return nil, w.errorf("unterminated group (missing '}')")
+		case w.word("OPTIONAL") || w.word("OPT"):
+			w.next()
+			inner, err := w.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			if cur == nil {
+				return nil, w.errorf("OPTIONAL cannot be the first element of a group")
+			}
+			cur = sparql.Opt{L: cur, R: inner}
+		case w.word("MINUS"):
+			w.next()
+			inner, err := w.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			if cur == nil {
+				return nil, w.errorf("MINUS cannot be the first element of a group")
+			}
+			cur = transform.Minus(cur, inner)
+		case w.word("NS"):
+			w.next()
+			inner, err := w.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			combine(sparql.NS{P: inner})
+		case w.word("FILTER"):
+			w.next()
+			withParens := w.peek().kind == tokLParen
+			if withParens {
+				w.next()
+			}
+			cond, err := w.parseW3CCond()
+			if err != nil {
+				return nil, err
+			}
+			if withParens {
+				if err := w.expect(tokRParen); err != nil {
+					return nil, err
+				}
+			}
+			filters = append(filters, cond)
+		case w.peek().kind == tokLBrace:
+			// Group, possibly a UNION chain.
+			p, err := w.parseGroupUnionChain()
+			if err != nil {
+				return nil, err
+			}
+			combine(p)
+		default:
+			block, err := w.parseTriplesBlock()
+			if err != nil {
+				return nil, err
+			}
+			if len(block) == 0 {
+				return nil, w.errorf("expected a graph-pattern element, found %s", w.peek())
+			}
+			ps := make([]sparql.Pattern, len(block))
+			for i, t := range block {
+				ps[i] = t
+			}
+			combine(sparql.AndOf(ps...))
+		}
+	}
+	w.next() // '}'
+	if cur == nil {
+		return nil, w.errorf("empty group graph pattern is not supported (the algebra has no unit pattern)")
+	}
+	if len(filters) > 0 {
+		cur = sparql.Filter{P: cur, Cond: sparql.ConjoinConds(filters...)}
+	}
+	return cur, nil
+}
+
+// parseGroupUnionChain parses group (UNION group)*.
+func (w *w3cParser) parseGroupUnionChain() (sparql.Pattern, error) {
+	left, err := w.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	for w.word("UNION") {
+		w.next()
+		right, err := w.parseGroup()
+		if err != nil {
+			return nil, err
+		}
+		left = sparql.Union{L: left, R: right}
+	}
+	return left, nil
+}
+
+// parseTriplesBlock parses triples with the '.', ';' and ','
+// abbreviations, until a token that cannot continue the block.
+func (w *w3cParser) parseTriplesBlock() ([]sparql.TriplePattern, error) {
+	var out []sparql.TriplePattern
+	for {
+		if !w.startsTerm() {
+			return out, nil
+		}
+		s, err := w.parseW3CTerm()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			p, err := w.parseW3CTerm()
+			if err != nil {
+				return nil, err
+			}
+			for {
+				o, err := w.parseW3CTerm()
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, sparql.TP(s, p, o))
+				if w.isPunct(",") {
+					w.next()
+					continue
+				}
+				break
+			}
+			if w.isPunct(";") {
+				w.next()
+				// A dangling ';' before '.' or '}' is tolerated.
+				if !w.startsTerm() {
+					break
+				}
+				continue
+			}
+			break
+		}
+		if w.isPunct(".") {
+			w.next()
+		}
+	}
+}
+
+// startsTerm reports whether the current token can begin a term.
+func (w *w3cParser) startsTerm() bool {
+	t := w.peek()
+	switch t.kind {
+	case tokVar:
+		return true
+	case tokIRI:
+		return t.val != "." && t.val != ";" && t.val != "*"
+	case tokKeyword:
+		// Only 'a' (rdf:type) — every other keyword ends the block.
+		return false
+	}
+	return false
+}
+
+func (w *w3cParser) isPunct(s string) bool {
+	t := w.peek()
+	if s == "," {
+		return t.kind == tokComma
+	}
+	// '.' and ';' lex as bare words (they are legal IRI characters).
+	return t.kind == tokIRI && t.val == s
+}
+
+func (w *w3cParser) parseW3CTerm() (sparql.Value, error) {
+	t := w.peek()
+	switch t.kind {
+	case tokVar:
+		w.next()
+		return sparql.V(sparql.Var(t.val)), nil
+	case tokIRI:
+		w.next()
+		if t.val == "a" {
+			return sparql.I(rdf.IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")), nil
+		}
+		return sparql.I(w.expand(t.val)), nil
+	default:
+		return sparql.Value{}, w.errorf("expected a term, found %s", t)
+	}
+}
+
+// expand resolves a prefixed name against the prologue; names without
+// a declared prefix pass through unchanged (any string is an IRI in
+// this data model).
+func (w *w3cParser) expand(name string) rdf.IRI {
+	if i := strings.Index(name, ":"); i >= 0 {
+		if base, ok := w.prefixes[name[:i]]; ok {
+			return rdf.IRI(base + name[i+1:])
+		}
+	}
+	return rdf.IRI(name)
+}
+
+// parseW3CCond parses filter expressions with ||, &&, !, comparisons
+// and BOUND, resolving prefixed names in constants.
+func (w *w3cParser) parseW3CCond() (sparql.Condition, error) {
+	left, err := w.parseW3CCondAnd()
+	if err != nil {
+		return nil, err
+	}
+	for w.peek().kind == tokOrOr {
+		w.next()
+		right, err := w.parseW3CCondAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = sparql.OrCond{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (w *w3cParser) parseW3CCondAnd() (sparql.Condition, error) {
+	left, err := w.parseW3CCondNot()
+	if err != nil {
+		return nil, err
+	}
+	for w.peek().kind == tokAndAnd {
+		w.next()
+		right, err := w.parseW3CCondNot()
+		if err != nil {
+			return nil, err
+		}
+		left = sparql.AndCond{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (w *w3cParser) parseW3CCondNot() (sparql.Condition, error) {
+	if w.peek().kind == tokBang {
+		w.next()
+		inner, err := w.parseW3CCondNot()
+		if err != nil {
+			return nil, err
+		}
+		return sparql.Not{R: inner}, nil
+	}
+	t := w.peek()
+	switch {
+	case t.kind == tokLParen:
+		w.next()
+		cond, err := w.parseW3CCond()
+		if err != nil {
+			return nil, err
+		}
+		if err := w.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return cond, nil
+	case t.kind == tokKeyword && t.val == "BOUND":
+		w.next()
+		if err := w.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		if w.peek().kind != tokVar {
+			return nil, w.errorf("expected a variable in bound(), found %s", w.peek())
+		}
+		v := sparql.Var(w.next().val)
+		if err := w.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return sparql.Bound{X: v}, nil
+	case t.kind == tokKeyword && t.val == "TRUE":
+		w.next()
+		return sparql.TrueCond{}, nil
+	case t.kind == tokKeyword && t.val == "FALSE":
+		w.next()
+		return sparql.FalseCond{}, nil
+	case t.kind == tokVar || t.kind == tokIRI:
+		lhs, err := w.parseW3CTerm()
+		if err != nil {
+			return nil, err
+		}
+		negate := false
+		switch w.peek().kind {
+		case tokEq:
+			w.next()
+		case tokNeq:
+			w.next()
+			negate = true
+		default:
+			return nil, w.errorf("expected '=' or '!=', found %s", w.peek())
+		}
+		rhs, err := w.parseW3CTerm()
+		if err != nil {
+			return nil, err
+		}
+		cond := makeEquality(lhs, rhs)
+		if negate {
+			cond = sparql.Not{R: cond}
+		}
+		return cond, nil
+	default:
+		return nil, w.errorf("expected a filter expression, found %s", t)
+	}
+}

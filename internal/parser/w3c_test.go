@@ -1,0 +1,201 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/workload"
+)
+
+func TestParseSPARQLSelect(t *testing.T) {
+	q := MustParseSPARQL(`
+		PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+		SELECT ?n ?m WHERE {
+		  ?p foaf:name ?n ; foaf:workplace ?w .
+		  OPTIONAL { ?p foaf:mbox ?m }
+		  FILTER (?w != foaf:nowhere && bound(?n))
+		}`)
+	if q.Ask || q.Construct != nil {
+		t.Fatal("wrong query kind")
+	}
+	sel, ok := q.Pattern.(sparql.Select)
+	if !ok || len(sel.Vars) != 2 {
+		t.Fatalf("got %s", q.Pattern)
+	}
+	// The prefix expanded.
+	if !strings.Contains(q.Pattern.String(), "http://xmlns.com/foaf/0.1/name") {
+		t.Fatalf("prefix not expanded: %s", q.Pattern)
+	}
+	// The filter applies to the whole group (outside the OPT).
+	f, ok := sel.P.(sparql.Filter)
+	if !ok {
+		t.Fatalf("filter not at group level: %s", sel.P)
+	}
+	if _, ok := f.P.(sparql.Opt); !ok {
+		t.Fatalf("OPTIONAL structure wrong: %s", f.P)
+	}
+}
+
+func TestParseSPARQLSemantics(t *testing.T) {
+	// The surface query and the paper-notation query mean the same.
+	g := workload.Figure2G2()
+	w3c := MustParseSPARQL(`SELECT * WHERE {
+		?X was_born_in Chile .
+		OPTIONAL { ?X email ?Y }
+	}`)
+	paper := MustParsePattern(`(?X was_born_in Chile) OPT (?X email ?Y)`)
+	if !sparql.Eval(g, w3c.Pattern).Equal(sparql.Eval(g, paper)) {
+		t.Fatalf("surface and paper syntax disagree:\n%s\nvs\n%s", w3c.Pattern, paper)
+	}
+}
+
+func TestParseSPARQLAbbreviations(t *testing.T) {
+	q := MustParseSPARQL(`ASK { ?p name ?n ; email ?e , ?e2 . ?p a Person }`)
+	if !q.Ask {
+		t.Fatal("not an ASK query")
+	}
+	// ; and , expand to 3 triples about ?p plus the rdf:type one.
+	g := rdf.FromTriples(
+		rdf.T("x", "name", "n1"),
+		rdf.T("x", "email", "e1"), rdf.T("x", "email", "e2"),
+		rdf.T("x", "http://www.w3.org/1999/02/22-rdf-syntax-ns#type", "Person"),
+	)
+	res := sparql.Eval(g, q.Pattern)
+	// ?e and ?e2 independently range over the two email triples.
+	if res.Len() != 4 {
+		t.Fatalf("answers = %v", res)
+	}
+}
+
+func TestParseSPARQLUnionAndNested(t *testing.T) {
+	q := MustParseSPARQL(`SELECT ?p WHERE {
+		?o stands_for sharing_rights .
+		{ ?p founder ?o } UNION { ?p supporter ?o }
+	}`)
+	got := sparql.Eval(workload.Figure1(), q.Pattern)
+	if got.Len() != 4 {
+		t.Fatalf("Example 2.2 via W3C syntax: %v", got)
+	}
+}
+
+func TestParseSPARQLNSExtension(t *testing.T) {
+	q := MustParseSPARQL(`SELECT * WHERE {
+		NS { { ?x was_born_in Chile } UNION { ?x was_born_in Chile . ?x email ?y } }
+	}`)
+	if !sparql.Ops(q.Pattern)[sparql.OpNS] {
+		t.Fatalf("NS extension lost: %s", q.Pattern)
+	}
+	g := workload.Figure2G2()
+	want := sparql.NewMappingSet(sparql.M("x", "Juan", "y", "juan@puc.cl"))
+	if !sparql.Eval(g, q.Pattern).Equal(want) {
+		t.Fatalf("NS group eval = %v", sparql.Eval(g, q.Pattern))
+	}
+}
+
+func TestParseSPARQLMinus(t *testing.T) {
+	q := MustParseSPARQL(`SELECT * WHERE { ?x a Person . MINUS { ?x banned ?r } }`)
+	g := rdf.FromTriples(
+		rdf.T("ok", "http://www.w3.org/1999/02/22-rdf-syntax-ns#type", "Person"),
+		rdf.T("bad", "http://www.w3.org/1999/02/22-rdf-syntax-ns#type", "Person"),
+		rdf.T("bad", "banned", "spam"),
+	)
+	res := sparql.Eval(g, q.Pattern)
+	if res.Len() != 1 || !res.Contains(sparql.M("x", "ok")) {
+		t.Fatalf("MINUS eval = %v", res)
+	}
+}
+
+func TestParseSPARQLConstruct(t *testing.T) {
+	q := MustParseSPARQL(`CONSTRUCT { ?n affiliated_to ?u . ?n email ?e }
+		WHERE { ?p name ?n ; works_at ?u . OPTIONAL { ?p email ?e } }`)
+	if q.Construct == nil || len(q.Construct.Template) != 2 {
+		t.Fatalf("construct = %+v", q)
+	}
+	out := sparql.EvalConstruct(workload.Figure3(), *q.Construct)
+	want := rdf.FromTriples(
+		rdf.T("Denis", "affiliated_to", "PUC_Chile"),
+		rdf.T("Cristian", "affiliated_to", "U_Oxford"),
+		rdf.T("Cristian", "affiliated_to", "PUC_Chile"),
+		rdf.T("Cristian", "email", "cris@puc.cl"),
+	)
+	if !out.Equal(want) {
+		t.Fatalf("Example 6.1 via W3C syntax:\n%s", out)
+	}
+}
+
+func TestParseSPARQLErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT WHERE { ?x a ?y }",
+		"SELECT ?x WHERE { }", // empty group
+		"SELECT ?x WHERE { OPTIONAL { ?x a ?y } }",    // OPTIONAL first
+		"SELECT ?x WHERE { ?x a ?y",                   // unterminated
+		"ASK { FILTER bound(?x) }",                    // filter-only group
+		"PREFIX foaf <x> SELECT ?x WHERE { ?x a ?y }", // prefix without colon
+		"DESCRIBE ?x",
+		"SELECT ?x WHERE { ?x a }",
+	}
+	for _, s := range bad {
+		if _, err := ParseSPARQL(s); err == nil {
+			t.Errorf("ParseSPARQL(%q) succeeded, want error", s)
+		}
+	}
+	// Missing WHERE is accepted (it is optional in SPARQL).
+	if _, err := ParseSPARQL("SELECT ?x { ?x a ?y }"); err != nil {
+		t.Errorf("optional WHERE rejected: %v", err)
+	}
+}
+
+func TestParseSPARQLFilterWithoutParens(t *testing.T) {
+	q := MustParseSPARQL(`ASK { ?x a ?y . FILTER bound(?x) }`)
+	if _, ok := q.Pattern.(sparql.Filter); !ok {
+		t.Fatalf("got %s", q.Pattern)
+	}
+}
+
+func TestParseSPARQLCondForms(t *testing.T) {
+	q := MustParseSPARQL(`PREFIX ex: <http://example.org/>
+		ASK { ?x p ?y . FILTER (true || (!(?x = ex:c) && ?y != ?x) || false) }`)
+	f, ok := q.Pattern.(sparql.Filter)
+	if !ok {
+		t.Fatalf("got %s", q.Pattern)
+	}
+	// The prefixed constant expanded inside the condition.
+	if !strings.Contains(f.Cond.String(), "http://example.org/c") {
+		t.Fatalf("cond = %s", f.Cond)
+	}
+	// Evaluation smoke check.
+	g := rdf.FromTriples(rdf.T("s", "p", "o"))
+	if sparql.Eval(g, q.Pattern).Len() != 1 {
+		t.Fatal("condition rejected everything")
+	}
+}
+
+func TestParseSPARQLCondErrors(t *testing.T) {
+	bad := []string{
+		"ASK { ?x p ?y . FILTER (?x <) }",
+		"ASK { ?x p ?y . FILTER (bound(x)) }",
+		"ASK { ?x p ?y . FILTER (bound(?x) }",
+		"ASK { ?x p ?y . FILTER (?x ?y) }",
+		"ASK { ?x p ?y . FILTER (&& ?x = ?y) }",
+	}
+	for _, s := range bad {
+		if _, err := ParseSPARQL(s); err == nil {
+			t.Errorf("ParseSPARQL(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseTemplateTripleErrors(t *testing.T) {
+	for _, s := range []string{"(?x a)", "(?x a b) trailing", "not-a-triple"} {
+		if _, err := ParseTemplateTriple(s); err == nil {
+			t.Errorf("ParseTemplateTriple(%q) succeeded, want error", s)
+		}
+	}
+	tp, err := ParseTemplateTriple("(?x a b)")
+	if err != nil || !tp.S.IsVar() {
+		t.Fatalf("tp = %v, err = %v", tp, err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package plan is a query planner and optimized evaluator for
+// NS-SPARQL.  It is semantics-preserving engineering on top of the
+// reference evaluator of internal/sparql (which stays the oracle in
+// differential tests):
+//
+//   - AND chains are flattened and greedily reordered by estimated
+//     cardinality, preferring operands connected by already-bound
+//     variables (index-nested-loop flavoured join ordering);
+//   - conjunctive FILTER conditions are split and pushed down to the
+//     earliest operand that certainly binds their variables;
+//   - joins, differences and left-outer joins run hash-bucketed on the
+//     shared always-bound variables (sparql.JoinHash and friends).
+//
+// All three choices are ablated in the E20 experiment.
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/transform"
+)
+
+// Eval optimizes the pattern for the given graph and evaluates it with
+// the hash-based algebra.  It always returns exactly ⟦P⟧_G.
+func Eval(g *rdf.Graph, p sparql.Pattern) *sparql.MappingSet {
+	return evalOpt(g, Optimize(g, p))
+}
+
+// EvalConstruct is the planner-backed counterpart of
+// sparql.EvalConstruct.
+func EvalConstruct(g *rdf.Graph, q sparql.ConstructQuery) *rdf.Graph {
+	out := rdf.NewGraph()
+	for _, mu := range Eval(g, q.Where).Mappings() {
+		for _, t := range q.Template {
+			if tr, ok := mu.Apply(t); ok {
+				out.AddTriple(tr)
+			}
+		}
+	}
+	return out
+}
+
+// Optimize rewrites the pattern into a semantically equal pattern with
+// pushed-down filters and reordered AND chains.  The rewriting uses
+// only equivalences that hold for arbitrary patterns:
+//
+//	AND is associative and commutative;
+//	(P1 AND P2) FILTER R ≡ (P1 FILTER R) AND P2
+//	    when var(R) ⊆ cb(P1) (the certainly-bound variables);
+//	R1 ∧ R2 splits into two FILTER applications.
+func Optimize(g *rdf.Graph, p sparql.Pattern) sparql.Pattern {
+	return optimize(g, sparql.SimplifyPattern(p))
+}
+
+func optimize(g *rdf.Graph, p sparql.Pattern) sparql.Pattern {
+	switch q := p.(type) {
+	case sparql.TriplePattern:
+		return q
+	case sparql.And:
+		return optimizeAndChain(g, q)
+	case sparql.Union:
+		return sparql.Union{L: optimize(g, q.L), R: optimize(g, q.R)}
+	case sparql.Opt:
+		return sparql.Opt{L: optimize(g, q.L), R: optimize(g, q.R)}
+	case sparql.Filter:
+		return optimizeFilter(g, q)
+	case sparql.Select:
+		return sparql.Select{Vars: q.Vars, P: optimize(g, q.P)}
+	case sparql.NS:
+		return sparql.NS{P: optimize(g, q.P)}
+	default:
+		panic(fmt.Sprintf("plan: unknown pattern type %T", p))
+	}
+}
+
+// andOperands flattens an AND chain.
+func andOperands(p sparql.Pattern) []sparql.Pattern {
+	if a, ok := p.(sparql.And); ok {
+		return append(andOperands(a.L), andOperands(a.R)...)
+	}
+	return []sparql.Pattern{p}
+}
+
+func optimizeAndChain(g *rdf.Graph, a sparql.And) sparql.Pattern {
+	ops := andOperands(a)
+	for i, op := range ops {
+		ops[i] = optimize(g, op)
+	}
+	// Greedy join ordering: start from the smallest estimate; then
+	// repeatedly take the connected operand (sharing a certainly-bound
+	// variable with what is already joined) with the smallest estimate,
+	// falling back to the globally smallest when nothing connects.
+	type cand struct {
+		p    sparql.Pattern
+		est  float64
+		vars map[sparql.Var]struct{}
+	}
+	cands := make([]cand, len(ops))
+	for i, op := range ops {
+		cands[i] = cand{p: op, est: Estimate(g, op), vars: transform.CertainlyBound(op)}
+	}
+	// Stable start: smallest estimate, ties by original position.
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].est < cands[j].est })
+
+	used := make([]bool, len(cands))
+	bound := make(map[sparql.Var]struct{})
+	ordered := make([]sparql.Pattern, 0, len(cands))
+	take := func(i int) {
+		used[i] = true
+		ordered = append(ordered, cands[i].p)
+		for v := range cands[i].vars {
+			bound[v] = struct{}{}
+		}
+	}
+	take(0)
+	for len(ordered) < len(cands) {
+		best, bestConnected := -1, false
+		for i, c := range cands {
+			if used[i] {
+				continue
+			}
+			connected := false
+			for v := range c.vars {
+				if _, ok := bound[v]; ok {
+					connected = true
+					break
+				}
+			}
+			if best == -1 || (connected && !bestConnected) ||
+				(connected == bestConnected && c.est < cands[best].est) {
+				best, bestConnected = i, connected
+			}
+		}
+		take(best)
+	}
+	return sparql.AndOf(ordered...)
+}
+
+func optimizeFilter(g *rdf.Graph, f sparql.Filter) sparql.Pattern {
+	body := optimize(g, f.P)
+	conjuncts := splitConjuncts(f.Cond)
+	var remaining []sparql.Condition
+	for _, c := range conjuncts {
+		if pushed, ok := pushFilter(body, c); ok {
+			body = pushed
+		} else {
+			remaining = append(remaining, c)
+		}
+	}
+	if len(remaining) == 0 {
+		return body
+	}
+	return sparql.Filter{P: body, Cond: sparql.ConjoinConds(remaining...)}
+}
+
+func splitConjuncts(c sparql.Condition) []sparql.Condition {
+	if a, ok := c.(sparql.AndCond); ok {
+		return append(splitConjuncts(a.L), splitConjuncts(a.R)...)
+	}
+	return []sparql.Condition{c}
+}
+
+// pushFilter tries to push a single conjunct into an operand of an AND
+// chain whose certainly-bound variables cover it.  It reports whether
+// the push happened.
+func pushFilter(p sparql.Pattern, cond sparql.Condition) (sparql.Pattern, bool) {
+	a, ok := p.(sparql.And)
+	if !ok {
+		return p, false
+	}
+	vars := cond.Vars(nil)
+	covered := func(q sparql.Pattern) bool {
+		cb := transform.CertainlyBound(q)
+		for _, v := range vars {
+			if _, ok := cb[v]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	ops := andOperands(a)
+	for i, op := range ops {
+		if covered(op) {
+			// Try to push deeper first.
+			if deeper, ok := pushFilter(op, cond); ok {
+				ops[i] = deeper
+			} else {
+				ops[i] = sparql.Filter{P: op, Cond: cond}
+			}
+			return sparql.AndOf(ops...), true
+		}
+	}
+	return p, false
+}
+
+// Estimate returns a rough upper estimate of |⟦P⟧_G| used for join
+// ordering.  Triple patterns use exact index counts; operators combine
+// estimates structurally.
+func Estimate(g *rdf.Graph, p sparql.Pattern) float64 {
+	switch q := p.(type) {
+	case sparql.TriplePattern:
+		var s, pr, o *rdf.IRI
+		if !q.S.IsVar() {
+			i := q.S.IRI()
+			s = &i
+		}
+		if !q.P.IsVar() {
+			i := q.P.IRI()
+			pr = &i
+		}
+		if !q.O.IsVar() {
+			i := q.O.IRI()
+			o = &i
+		}
+		return float64(g.CountMatch(s, pr, o))
+	case sparql.And:
+		l, r := Estimate(g, q.L), Estimate(g, q.R)
+		// Crude: assume the join keeps the smaller side's cardinality
+		// scaled by a fan-out of the larger's density.
+		if l < r {
+			return l * (1 + r/float64(g.Len()+1))
+		}
+		return r * (1 + l/float64(g.Len()+1))
+	case sparql.Union:
+		return Estimate(g, q.L) + Estimate(g, q.R)
+	case sparql.Opt:
+		return Estimate(g, q.L) * 1.5
+	case sparql.Filter:
+		return Estimate(g, q.P) / 2
+	case sparql.Select:
+		return Estimate(g, q.P)
+	case sparql.NS:
+		return Estimate(g, q.P)
+	default:
+		panic(fmt.Sprintf("plan: unknown pattern type %T", p))
+	}
+}
+
+// evalOpt mirrors sparql.Eval with the hash-based algebra primitives.
+func evalOpt(g *rdf.Graph, p sparql.Pattern) *sparql.MappingSet {
+	switch q := p.(type) {
+	case sparql.TriplePattern:
+		return sparql.Eval(g, q)
+	case sparql.And:
+		return evalOpt(g, q.L).JoinHash(evalOpt(g, q.R))
+	case sparql.Union:
+		return evalOpt(g, q.L).Union(evalOpt(g, q.R))
+	case sparql.Opt:
+		return evalOpt(g, q.L).LeftJoinHash(evalOpt(g, q.R))
+	case sparql.Filter:
+		return evalOpt(g, q.P).Filter(q.Cond)
+	case sparql.Select:
+		return evalOpt(g, q.P).Project(q.Vars)
+	case sparql.NS:
+		return evalOpt(g, q.P).Maximal()
+	default:
+		panic(fmt.Sprintf("plan: unknown pattern type %T", p))
+	}
+}

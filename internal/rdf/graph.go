@@ -1,0 +1,407 @@
+package rdf
+
+import (
+	"sort"
+	"strings"
+)
+
+// Graph is a finite set of RDF triples with hash indexes on all three
+// access paths (SPO, POS, OSP), supporting constant-time membership and
+// efficient matching with any combination of bound positions.
+//
+// A Graph is not safe for concurrent mutation.
+type Graph struct {
+	dict *Dict
+	n    int
+	spo  index
+	pos  index
+	osp  index
+}
+
+// index is a three-level hash index over interned IDs.
+type index map[ID]map[ID]map[ID]struct{}
+
+func (ix index) add(a, b, c ID) bool {
+	m2, ok := ix[a]
+	if !ok {
+		m2 = make(map[ID]map[ID]struct{})
+		ix[a] = m2
+	}
+	m3, ok := m2[b]
+	if !ok {
+		m3 = make(map[ID]struct{})
+		m2[b] = m3
+	}
+	if _, ok := m3[c]; ok {
+		return false
+	}
+	m3[c] = struct{}{}
+	return true
+}
+
+func (ix index) remove(a, b, c ID) bool {
+	m2, ok := ix[a]
+	if !ok {
+		return false
+	}
+	m3, ok := m2[b]
+	if !ok {
+		return false
+	}
+	if _, ok := m3[c]; !ok {
+		return false
+	}
+	delete(m3, c)
+	if len(m3) == 0 {
+		delete(m2, b)
+		if len(m2) == 0 {
+			delete(ix, a)
+		}
+	}
+	return true
+}
+
+// NewGraph returns an empty RDF graph.
+func NewGraph() *Graph {
+	return &Graph{
+		dict: NewDict(),
+		spo:  make(index),
+		pos:  make(index),
+		osp:  make(index),
+	}
+}
+
+// FromTriples builds a graph from the given triples.
+func FromTriples(ts ...Triple) *Graph {
+	g := NewGraph()
+	for _, t := range ts {
+		g.AddTriple(t)
+	}
+	return g
+}
+
+// Add inserts the triple (s, p, o); it reports whether the triple was new.
+func (g *Graph) Add(s, p, o IRI) bool {
+	si, pi, oi := g.dict.Intern(s), g.dict.Intern(p), g.dict.Intern(o)
+	if !g.spo.add(si, pi, oi) {
+		return false
+	}
+	g.pos.add(pi, oi, si)
+	g.osp.add(oi, si, pi)
+	g.n++
+	return true
+}
+
+// AddTriple inserts t; it reports whether the triple was new.
+func (g *Graph) AddTriple(t Triple) bool { return g.Add(t.S, t.P, t.O) }
+
+// AddAll inserts every triple of h into g.
+func (g *Graph) AddAll(h *Graph) {
+	h.ForEach(func(t Triple) bool {
+		g.AddTriple(t)
+		return true
+	})
+}
+
+// Remove deletes the triple (s, p, o); it reports whether it was present.
+func (g *Graph) Remove(s, p, o IRI) bool {
+	si, ok := g.dict.Lookup(s)
+	if !ok {
+		return false
+	}
+	pi, ok := g.dict.Lookup(p)
+	if !ok {
+		return false
+	}
+	oi, ok := g.dict.Lookup(o)
+	if !ok {
+		return false
+	}
+	if !g.spo.remove(si, pi, oi) {
+		return false
+	}
+	g.pos.remove(pi, oi, si)
+	g.osp.remove(oi, si, pi)
+	g.n--
+	return true
+}
+
+// Contains reports whether the triple (s, p, o) is in the graph.
+func (g *Graph) Contains(s, p, o IRI) bool {
+	si, ok := g.dict.Lookup(s)
+	if !ok {
+		return false
+	}
+	pi, ok := g.dict.Lookup(p)
+	if !ok {
+		return false
+	}
+	oi, ok := g.dict.Lookup(o)
+	if !ok {
+		return false
+	}
+	m2, ok := g.spo[si]
+	if !ok {
+		return false
+	}
+	m3, ok := m2[pi]
+	if !ok {
+		return false
+	}
+	_, ok = m3[oi]
+	return ok
+}
+
+// ContainsTriple reports whether t is in the graph.
+func (g *Graph) ContainsTriple(t Triple) bool { return g.Contains(t.S, t.P, t.O) }
+
+// Len reports the number of triples in the graph.
+func (g *Graph) Len() int { return g.n }
+
+// ForEach calls fn for every triple in the graph (in unspecified order)
+// until fn returns false.
+func (g *Graph) ForEach(fn func(Triple) bool) {
+	for si, m2 := range g.spo {
+		s := g.dict.IRI(si)
+		for pi, m3 := range m2 {
+			p := g.dict.IRI(pi)
+			for oi := range m3 {
+				if !fn(Triple{S: s, P: p, O: g.dict.IRI(oi)}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Triples returns all triples, sorted, for deterministic output.
+func (g *Graph) Triples() []Triple {
+	ts := make([]Triple, 0, g.n)
+	g.ForEach(func(t Triple) bool { ts = append(ts, t); return true })
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+	return ts
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	h := NewGraph()
+	h.AddAll(g)
+	return h
+}
+
+// Union returns a new graph containing the triples of both g and h.
+func (g *Graph) Union(h *Graph) *Graph {
+	u := g.Clone()
+	u.AddAll(h)
+	return u
+}
+
+// IsSubgraphOf reports whether every triple of g is in h (g ⊆ h).
+func (g *Graph) IsSubgraphOf(h *Graph) bool {
+	ok := true
+	g.ForEach(func(t Triple) bool {
+		if !h.ContainsTriple(t) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// Equal reports whether g and h contain exactly the same triples.
+func (g *Graph) Equal(h *Graph) bool {
+	return g.n == h.n && g.IsSubgraphOf(h)
+}
+
+// IRIs returns the sorted set of IRIs mentioned in the graph, I(G).
+func (g *Graph) IRIs() []IRI {
+	seen := make(map[IRI]struct{})
+	g.ForEach(func(t Triple) bool {
+		seen[t.S] = struct{}{}
+		seen[t.P] = struct{}{}
+		seen[t.O] = struct{}{}
+		return true
+	})
+	out := make([]IRI, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MentionsIRI reports whether iri occurs in some triple of the graph.
+func (g *Graph) MentionsIRI(iri IRI) bool {
+	id, ok := g.dict.Lookup(iri)
+	if !ok {
+		return false
+	}
+	if _, ok := g.spo[id]; ok {
+		return true
+	}
+	if _, ok := g.pos[id]; ok {
+		return true
+	}
+	_, ok = g.osp[id]
+	return ok
+}
+
+// Match calls fn for every triple matching the given positions, where a
+// nil position is a wildcard, until fn returns false.  The best index
+// for the bound positions is chosen automatically.
+func (g *Graph) Match(s, p, o *IRI, fn func(Triple) bool) {
+	var si, pi, oi ID
+	var ok bool
+	if s != nil {
+		if si, ok = g.dict.Lookup(*s); !ok {
+			return
+		}
+	}
+	if p != nil {
+		if pi, ok = g.dict.Lookup(*p); !ok {
+			return
+		}
+	}
+	if o != nil {
+		if oi, ok = g.dict.Lookup(*o); !ok {
+			return
+		}
+	}
+	emit := func(a, b, c ID) bool {
+		return fn(Triple{S: g.dict.IRI(a), P: g.dict.IRI(b), O: g.dict.IRI(c)})
+	}
+	switch {
+	case s != nil && p != nil && o != nil:
+		if g.Contains(*s, *p, *o) {
+			emit(si, pi, oi)
+		}
+	case s != nil && p != nil:
+		for c := range g.spo[si][pi] {
+			if !emit(si, pi, c) {
+				return
+			}
+		}
+	case s != nil && o != nil:
+		for b := range g.osp[oi][si] {
+			if !emit(si, b, oi) {
+				return
+			}
+		}
+	case p != nil && o != nil:
+		for a := range g.pos[pi][oi] {
+			if !emit(a, pi, oi) {
+				return
+			}
+		}
+	case s != nil:
+		for b, m3 := range g.spo[si] {
+			for c := range m3 {
+				if !emit(si, b, c) {
+					return
+				}
+			}
+		}
+	case p != nil:
+		for c, m3 := range g.pos[pi] {
+			for a := range m3 {
+				if !emit(a, pi, c) {
+					return
+				}
+			}
+		}
+	case o != nil:
+		for a, m3 := range g.osp[oi] {
+			for b := range m3 {
+				if !emit(a, b, oi) {
+					return
+				}
+			}
+		}
+	default:
+		g.ForEach(fn)
+	}
+}
+
+// CountMatch returns the number of triples matching the given
+// positions (nil = wildcard) without enumerating them where the
+// indexes allow; used for cardinality estimation by the query planner.
+func (g *Graph) CountMatch(s, p, o *IRI) int {
+	var si, pi, oi ID
+	var ok bool
+	if s != nil {
+		if si, ok = g.dict.Lookup(*s); !ok {
+			return 0
+		}
+	}
+	if p != nil {
+		if pi, ok = g.dict.Lookup(*p); !ok {
+			return 0
+		}
+	}
+	if o != nil {
+		if oi, ok = g.dict.Lookup(*o); !ok {
+			return 0
+		}
+	}
+	switch {
+	case s != nil && p != nil && o != nil:
+		if g.Contains(*s, *p, *o) {
+			return 1
+		}
+		return 0
+	case s != nil && p != nil:
+		return len(g.spo[si][pi])
+	case s != nil && o != nil:
+		return len(g.osp[oi][si])
+	case p != nil && o != nil:
+		return len(g.pos[pi][oi])
+	case s != nil:
+		n := 0
+		for _, m3 := range g.spo[si] {
+			n += len(m3)
+		}
+		return n
+	case p != nil:
+		n := 0
+		for _, m3 := range g.pos[pi] {
+			n += len(m3)
+		}
+		return n
+	case o != nil:
+		n := 0
+		for _, m3 := range g.osp[oi] {
+			n += len(m3)
+		}
+		return n
+	default:
+		return g.n
+	}
+}
+
+// MatchScan is the unindexed counterpart of Match: it scans every triple
+// of the graph and filters.  It exists for the index-ablation benchmark.
+func (g *Graph) MatchScan(s, p, o *IRI, fn func(Triple) bool) {
+	g.ForEach(func(t Triple) bool {
+		if s != nil && t.S != *s {
+			return true
+		}
+		if p != nil && t.P != *p {
+			return true
+		}
+		if o != nil && t.O != *o {
+			return true
+		}
+		return fn(t)
+	})
+}
+
+// String renders the graph as sorted N-Triples statements.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, t := range g.Triples() {
+		b.WriteString(t.NTriples())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,322 @@
+package rdf
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddContainsLen(t *testing.T) {
+	g := NewGraph()
+	if g.Len() != 0 {
+		t.Fatalf("empty graph has Len %d", g.Len())
+	}
+	if !g.Add("a", "b", "c") {
+		t.Fatal("first Add returned false")
+	}
+	if g.Add("a", "b", "c") {
+		t.Fatal("duplicate Add returned true")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+	if !g.Contains("a", "b", "c") {
+		t.Fatal("Contains missed inserted triple")
+	}
+	if g.Contains("a", "b", "d") || g.Contains("x", "b", "c") {
+		t.Fatal("Contains reported absent triple")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	g := FromTriples(T("a", "b", "c"), T("a", "b", "d"), T("x", "y", "z"))
+	if !g.Remove("a", "b", "c") {
+		t.Fatal("Remove of present triple returned false")
+	}
+	if g.Remove("a", "b", "c") {
+		t.Fatal("Remove of absent triple returned true")
+	}
+	if g.Remove("never", "seen", "term") {
+		t.Fatal("Remove with unknown IRIs returned true")
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	if g.Contains("a", "b", "c") {
+		t.Fatal("removed triple still present")
+	}
+	if !g.Contains("a", "b", "d") || !g.Contains("x", "y", "z") {
+		t.Fatal("Remove deleted the wrong triple")
+	}
+	// Indexes must stay consistent after removal.
+	var got []Triple
+	s := IRI("a")
+	g.Match(&s, nil, nil, func(tr Triple) bool { got = append(got, tr); return true })
+	if len(got) != 1 || got[0] != T("a", "b", "d") {
+		t.Fatalf("Match after Remove = %v", got)
+	}
+}
+
+func TestTriplesSorted(t *testing.T) {
+	g := FromTriples(T("b", "x", "y"), T("a", "z", "z"), T("a", "x", "y"), T("a", "x", "b"))
+	ts := g.Triples()
+	for i := 1; i < len(ts); i++ {
+		if !ts[i-1].Less(ts[i]) {
+			t.Fatalf("Triples not sorted at %d: %v then %v", i, ts[i-1], ts[i])
+		}
+	}
+}
+
+func TestSubgraphUnionEqual(t *testing.T) {
+	g1 := FromTriples(T("a", "b", "c"))
+	g2 := FromTriples(T("a", "b", "c"), T("d", "e", "f"))
+	if !g1.IsSubgraphOf(g2) {
+		t.Fatal("g1 should be a subgraph of g2")
+	}
+	if g2.IsSubgraphOf(g1) {
+		t.Fatal("g2 should not be a subgraph of g1")
+	}
+	u := g1.Union(FromTriples(T("d", "e", "f")))
+	if !u.Equal(g2) {
+		t.Fatalf("union mismatch:\n%s\nvs\n%s", u, g2)
+	}
+	if u.Equal(g1) {
+		t.Fatal("Equal on different graphs returned true")
+	}
+}
+
+func TestIRIs(t *testing.T) {
+	g := FromTriples(T("b", "p", "a"), T("a", "q", "b"))
+	got := g.IRIs()
+	want := []IRI{"a", "b", "p", "q"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("IRIs = %v, want %v", got, want)
+	}
+	if !g.MentionsIRI("p") || g.MentionsIRI("zzz") {
+		t.Fatal("MentionsIRI wrong")
+	}
+}
+
+func collectMatch(g *Graph, s, p, o *IRI, scan bool) []Triple {
+	var out []Triple
+	f := g.Match
+	if scan {
+		f = g.MatchScan
+	}
+	f(s, p, o, func(t Triple) bool { out = append(out, t); return true })
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+func TestMatchAllAccessPaths(t *testing.T) {
+	g := FromTriples(
+		T("a", "p", "x"), T("a", "p", "y"), T("a", "q", "x"),
+		T("b", "p", "x"), T("c", "r", "c"),
+	)
+	iri := func(s string) *IRI { i := IRI(s); return &i }
+	cases := []struct {
+		name    string
+		s, p, o *IRI
+		want    int
+	}{
+		{"spo", iri("a"), iri("p"), iri("x"), 1},
+		{"sp-", iri("a"), iri("p"), nil, 2},
+		{"s-o", iri("a"), nil, iri("x"), 2},
+		{"-po", nil, iri("p"), iri("x"), 2},
+		{"s--", iri("a"), nil, nil, 3},
+		{"-p-", nil, iri("p"), nil, 3},
+		{"--o", nil, nil, iri("x"), 3},
+		{"---", nil, nil, nil, 5},
+		{"missing subject", iri("zzz"), nil, nil, 0},
+		{"missing object", nil, nil, iri("zzz"), 0},
+	}
+	for _, c := range cases {
+		got := collectMatch(g, c.s, c.p, c.o, false)
+		if len(got) != c.want {
+			t.Errorf("%s: got %d matches (%v), want %d", c.name, len(got), got, c.want)
+		}
+		scan := collectMatch(g, c.s, c.p, c.o, true)
+		if !reflect.DeepEqual(got, scan) {
+			t.Errorf("%s: Match and MatchScan disagree: %v vs %v", c.name, got, scan)
+		}
+	}
+}
+
+func TestMatchEarlyStop(t *testing.T) {
+	g := FromTriples(T("a", "p", "x"), T("a", "p", "y"), T("a", "p", "z"))
+	n := 0
+	g.Match(nil, nil, nil, func(Triple) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop visited %d triples, want 2", n)
+	}
+}
+
+// Property: for random graphs and random match masks, indexed Match and
+// linear MatchScan return exactly the same triples.
+func TestMatchEquivalentToScanQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	iris := []IRI{"a", "b", "c", "p", "q"}
+	f := func(seed int64, mask uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		for i := 0; i < rng.Intn(30); i++ {
+			g.Add(iris[rng.Intn(len(iris))], iris[rng.Intn(len(iris))], iris[rng.Intn(len(iris))])
+		}
+		var s, p, o *IRI
+		pick := func() *IRI { i := iris[rng.Intn(len(iris))]; return &i }
+		if mask&1 != 0 {
+			s = pick()
+		}
+		if mask&2 != 0 {
+			p = pick()
+		}
+		if mask&4 != 0 {
+			o = pick()
+		}
+		return reflect.DeepEqual(collectMatch(g, s, p, o, false), collectMatch(g, s, p, o, true))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	g := FromTriples(
+		T("The_Pirate_Bay", "stands_for", "sharing_rights"),
+		T("Gottfrid_Svartholm", "founder", "The_Pirate_Bay"),
+		T("weird iri with spaces", "p", "x>y"),
+	)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", g, h)
+	}
+}
+
+func TestParseGraphStringBareAndComments(t *testing.T) {
+	g, err := ParseGraphString(`
+# a comment
+a b c .
+<d> <e> <f>
+x y z
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 || !g.Contains("a", "b", "c") || !g.Contains("d", "e", "f") || !g.Contains("x", "y", "z") {
+		t.Fatalf("parsed graph wrong:\n%s", g)
+	}
+}
+
+func TestParseGraphErrors(t *testing.T) {
+	for _, bad := range []string{"a b", "a b c d .", "<unterminated p o .", "a b#c d ."} {
+		if _, err := ParseGraphString(bad); err == nil {
+			t.Errorf("ParseGraphString(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestTripleString(t *testing.T) {
+	tr := T("s", "p", "o")
+	if tr.String() != "(s, p, o)" {
+		t.Fatalf("String = %q", tr.String())
+	}
+	if !strings.Contains(tr.NTriples(), "<s> <p> <o> .") {
+		t.Fatalf("NTriples = %q", tr.NTriples())
+	}
+}
+
+func TestDict(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("a")
+	b := d.Intern("b")
+	if a == b {
+		t.Fatal("distinct IRIs interned to same ID")
+	}
+	if d.Intern("a") != a {
+		t.Fatal("re-interning changed ID")
+	}
+	if d.IRI(a) != "a" || d.IRI(b) != "b" {
+		t.Fatal("IRI lookup wrong")
+	}
+	if _, ok := d.Lookup("c"); ok {
+		t.Fatal("Lookup of absent IRI succeeded")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := FromTriples(T("a", "b", "c"))
+	h := g.Clone()
+	h.Add("d", "e", "f")
+	if g.Contains("d", "e", "f") {
+		t.Fatal("mutation of clone leaked into original")
+	}
+	if !h.Contains("a", "b", "c") {
+		t.Fatal("clone lost triple")
+	}
+}
+
+func TestCountMatch(t *testing.T) {
+	g := FromTriples(
+		T("a", "p", "x"), T("a", "p", "y"), T("a", "q", "x"),
+		T("b", "p", "x"),
+	)
+	iri := func(s string) *IRI { i := IRI(s); return &i }
+	cases := []struct {
+		s, p, o *IRI
+		want    int
+	}{
+		{iri("a"), iri("p"), iri("x"), 1},
+		{iri("a"), iri("p"), iri("zzz"), 0},
+		{iri("a"), iri("p"), nil, 2},
+		{iri("a"), nil, iri("x"), 2},
+		{nil, iri("p"), iri("x"), 2},
+		{iri("a"), nil, nil, 3},
+		{nil, iri("p"), nil, 3},
+		{nil, nil, iri("x"), 3},
+		{nil, nil, nil, 4},
+		{iri("zzz"), nil, nil, 0},
+		{nil, iri("zzz"), nil, 0},
+		{nil, nil, iri("zzz"), 0},
+	}
+	for _, c := range cases {
+		if got := g.CountMatch(c.s, c.p, c.o); got != c.want {
+			t.Errorf("CountMatch(%v,%v,%v) = %d, want %d", c.s, c.p, c.o, got, c.want)
+		}
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := FromTriples(T("b", "p", "c"), T("a", "p", "c"))
+	s := g.String()
+	want := "<a> <p> <c> .\n<b> <p> <c> .\n"
+	if s != want {
+		t.Fatalf("String = %q, want %q", s, want)
+	}
+}
+
+func TestMustParseGraph(t *testing.T) {
+	g := MustParseGraph("a b c .")
+	if g.Len() != 1 {
+		t.Fatal("MustParseGraph wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseGraph did not panic on bad input")
+		}
+	}()
+	MustParseGraph("not a triple line with <")
+}

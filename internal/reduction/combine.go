@@ -1,0 +1,150 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+	"repro/internal/sat"
+	"repro/internal/sparql"
+)
+
+// Instance is a membership instance (G, P, µ) for the evaluation
+// problem: the question "µ ∈ ⟦P⟧_G?".
+type Instance struct {
+	Graph   *rdf.Graph
+	Pattern sparql.Pattern
+	Mapping sparql.Mapping
+}
+
+// Holds evaluates the instance.
+func (in Instance) Holds() bool {
+	return sparql.Eval(in.Graph, in.Pattern).Contains(in.Mapping)
+}
+
+// Combine implements Lemma H.1: given instances (µ_i, P_i, G_i) with
+// pairwise disjoint variables and IRIs, where each P_i = NS(Q_i) is a
+// simple pattern, it builds a single instance (µ, P, G) with P an
+// ns-pattern of n disjuncts such that
+//
+//	µ ∈ ⟦P⟧_G  iff  µ_i ∈ ⟦P_i⟧_{G_i} for some i.
+//
+// The graph gains a marker triple (µ(?X), c_?X, d_?X) per variable, and
+// each disjunct joins Q_i with the marker patterns of the variables it
+// does not bind, so that every disjunct binds exactly dom(µ).
+func Combine(items []Instance) Instance {
+	if len(items) == 0 {
+		panic("reduction: Combine of no instances")
+	}
+	g := rdf.NewGraph()
+	mu := make(sparql.Mapping)
+	for _, it := range items {
+		g.AddAll(it.Graph)
+		for v, iri := range it.Mapping {
+			if _, dup := mu[v]; dup {
+				panic(fmt.Sprintf("reduction: instances share variable ?%s", v))
+			}
+			mu[v] = iri
+		}
+	}
+	cIRI := func(v sparql.Var) rdf.IRI { return rdf.IRI("c_" + string(v)) }
+	dIRI := func(v sparql.Var) rdf.IRI { return rdf.IRI("d_" + string(v)) }
+	for v, iri := range mu {
+		g.Add(iri, cIRI(v), dIRI(v))
+	}
+	var disjuncts []sparql.Pattern
+	for _, it := range items {
+		ns, ok := it.Pattern.(sparql.NS)
+		if !ok {
+			panic(fmt.Sprintf("reduction: Combine requires simple patterns, got %s", it.Pattern))
+		}
+		parts := []sparql.Pattern{ns.P}
+		for _, v := range mu.Domain() {
+			if _, bound := it.Mapping[v]; !bound {
+				parts = append(parts, sparql.TP(sparql.V(v), sparql.I(cIRI(v)), sparql.I(dIRI(v))))
+			}
+		}
+		disjuncts = append(disjuncts, sparql.NS{P: sparql.AndOf(parts...)})
+	}
+	return Instance{Graph: g, Pattern: sparql.UnionOf(disjuncts...), Mapping: mu}
+}
+
+// ChromaticGadget is the DP building block of Theorem 7.2: an instance
+// deciding "χ(H) = m" (m-colorable and not (m-1)-colorable), built from
+// the SAT-UNSAT gadget over coloring encodings.  The namespace keeps
+// several chromatic gadgets disjoint.
+func ChromaticGadget(h *sat.UGraph, m int, namespace string) Instance {
+	colM := sat.ColoringCNF(h, m)
+	colM1 := sat.ColoringCNF(h, m-1)
+	gPhi := NewSATGadget(colM, namespace+"_sat")
+	gPsi := NewSATGadget(colM1, namespace+"_unsat")
+	pattern := sparql.NS{P: sparql.Union{
+		L: gPhi.Pattern,
+		R: sparql.And{L: gPhi.Pattern, R: gPsi.Pattern},
+	}}
+	return Instance{
+		Graph:   gPhi.Graph.Union(gPsi.Graph),
+		Pattern: pattern,
+		Mapping: gPhi.Mapping,
+	}
+}
+
+// ExactSetChromaticInstance is the Theorem 7.2 pipeline for an
+// arbitrary finite set M of candidate chromatic numbers: it returns a
+// USP instance (with |M| disjuncts) deciding χ(H) ∈ M.  The paper's
+// Exact-M_k-Colorability uses M_k = {6k+1, 6k+3, …, 8k−1}; see MkSet.
+func ExactSetChromaticInstance(h *sat.UGraph, ms []int) Instance {
+	items := make([]Instance, len(ms))
+	for i, m := range ms {
+		items[i] = ChromaticGadget(h, m, fmt.Sprintf("chi%d", m))
+	}
+	return Combine(items)
+}
+
+// MkSet returns M_k = {6k+1, 6k+3, …, 8k−1} of Theorem 7.2.
+func MkSet(k int) []int {
+	var ms []int
+	for m := 6*k + 1; m <= 8*k-1; m += 2 {
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+// MaxOddSatInstance is the Theorem 7.3 pipeline: given a CNF φ over an
+// even number m of variables, it returns a USP instance with m/2
+// disjuncts such that the instance holds iff φ ∈ MAX-ODD-SAT — the
+// satisfying assignment with the most true variables assigns true to
+// an odd number of them.  Each odd k contributes the SAT-UNSAT pair
+// (φ_k, φ_{k+1}) with φ_k = φ ∧ "at least k variables true"
+// (cardinality-encoded, Appendix I).
+func MaxOddSatInstance(f *sat.CNF) Instance {
+	m := f.NumVars
+	if m%2 != 0 {
+		// As in the paper: add a fresh variable forced to false.
+		f = f.Clone()
+		r := f.NewVar()
+		f.AddClause(sat.Lit(-r))
+		m = f.NumVars
+	}
+	var items []Instance
+	for k := 1; k <= m-1; k += 2 {
+		phiK := sat.WithAtLeastKTrue(f, k)
+		phiK1 := sat.WithAtLeastKTrue(f, k+1)
+		ns := fmt.Sprintf("odd%d", k)
+		gPhi := NewSATGadget(phiK, ns+"_sat")
+		gPsi := NewSATGadget(phiK1, ns+"_unsat")
+		items = append(items, Instance{
+			Graph: gPhi.Graph.Union(gPsi.Graph),
+			Pattern: sparql.NS{P: sparql.Union{
+				L: gPhi.Pattern,
+				R: sparql.And{L: gPhi.Pattern, R: gPsi.Pattern},
+			}},
+			Mapping: gPhi.Mapping,
+		})
+	}
+	return Combine(items)
+}
+
+// HoldsFast is Holds using the constrained membership procedure.
+func (in Instance) HoldsFast() bool {
+	return sparql.Member(in.Graph, in.Pattern, in.Mapping)
+}

@@ -1,0 +1,337 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sat"
+	"repro/internal/sparql"
+)
+
+func TestSATGadgetProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := sat.Random3CNF(rng, 4, 6)
+	g := NewSATGadget(f, "t")
+	// Lemma G.1 conditions: (1) dom(µ) = in-scope vars, I(P) = I(G).
+	scope := sparql.InScopeVars(g.Pattern)
+	if len(scope) != 1 || len(g.Mapping) != 1 {
+		t.Fatalf("scope = %v, mapping = %v", scope, g.Mapping)
+	}
+	if _, ok := g.Mapping[scope[0]]; !ok {
+		t.Fatal("mapping domain differs from pattern scope")
+	}
+	for _, iri := range sparql.IRIs(g.Pattern) {
+		if !g.Graph.MentionsIRI(iri) {
+			t.Fatalf("I(P) ⊄ I(G): %s", iri)
+		}
+	}
+	// (2) every triple pattern mentions an IRI — check the fragment and
+	// absence of variable-only triples syntactically.
+	if !sparql.InFragment(g.Pattern, sparql.FragmentAUFS) {
+		t.Fatal("gadget pattern outside AUFS")
+	}
+}
+
+// TestSATGadgetMatchesDPLLQuick: µ_φ ∈ ⟦P_φ⟧_{G_φ} iff φ is satisfiable,
+// and the answer set is exactly {µ_φ} or ∅ (Lemma G.1 (3)/(4)).
+func TestSATGadgetMatchesDPLLQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		formula := sat.Random3CNF(rng, n, rng.Intn(4*n))
+		gadget := NewSATGadget(formula, "t")
+		answers := sparql.Eval(gadget.Graph, gadget.Pattern)
+		if sat.Satisfiable(formula) {
+			if answers.Len() != 1 || !answers.Contains(gadget.Mapping) {
+				t.Logf("sat formula, answers = %v", answers)
+				return false
+			}
+		} else if answers.Len() != 0 {
+			t.Logf("unsat formula, answers = %v", answers)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSATGadgetEmptyClause(t *testing.T) {
+	f := sat.NewCNF(3)
+	f.Clauses = append(f.Clauses, sat.Clause{})
+	g := NewSATGadget(f, "t")
+	if g.Holds() {
+		t.Fatal("gadget for formula with empty clause holds")
+	}
+	for _, iri := range sparql.IRIs(g.Pattern) {
+		if !g.Graph.MentionsIRI(iri) {
+			t.Fatalf("I(P) ⊄ I(G) in empty-clause case: %s", iri)
+		}
+	}
+}
+
+// TestDPGadgetTruthTable: the Theorem 7.1 instance holds exactly on
+// SAT-UNSAT pairs, across all four satisfiability combinations.
+func TestDPGadgetTruthTable(t *testing.T) {
+	satF := sat.NewCNF(2)
+	satF.AddClause(1, 2)
+	unsatF := sat.NewCNF(1)
+	unsatF.AddClause(sat.Lit(1))
+	unsatF.AddClause(sat.Lit(-1))
+
+	cases := []struct {
+		name     string
+		phi, psi *sat.CNF
+		want     bool
+	}{
+		{"sat/unsat", satF, unsatF, true},
+		{"sat/sat", satF, satF, false},
+		{"unsat/unsat", unsatF, unsatF, false},
+		{"unsat/sat", unsatF, satF, false},
+	}
+	for _, c := range cases {
+		d := NewDPGadget(c.phi, c.psi)
+		if !sparql.IsNSPattern(d.Pattern) {
+			t.Errorf("%s: DP gadget is not an ns-pattern", c.name)
+		}
+		if got := d.Holds(); got != c.want {
+			t.Errorf("%s: Holds = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDPGadgetMatchesDPLLQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phi := sat.Random3CNF(rng, 3+rng.Intn(3), rng.Intn(10))
+		psi := sat.Random3CNF(rng, 3+rng.Intn(3), rng.Intn(10))
+		want := sat.Satisfiable(phi) && !sat.Satisfiable(psi)
+		return NewDPGadget(phi, psi).Holds() == want
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstructGadget(t *testing.T) {
+	satF := sat.NewCNF(3)
+	satF.AddClause(1, -2)
+	satF.AddClause(2, 3)
+	c := NewConstructGadget(satF)
+	if !sparql.InFragment(c.Query.Where, sparql.FragmentAUF) {
+		t.Fatalf("CONSTRUCT gadget pattern outside AUF: %s", c.Query.Where)
+	}
+	if !c.Holds() {
+		t.Fatal("gadget for satisfiable formula does not hold")
+	}
+	unsatF := sat.NewCNF(1)
+	unsatF.AddClause(sat.Lit(1))
+	unsatF.AddClause(sat.Lit(-1))
+	if NewConstructGadget(unsatF).Holds() {
+		t.Fatal("gadget for unsatisfiable formula holds")
+	}
+}
+
+func TestConstructGadgetMatchesDPLLQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		formula := sat.Random3CNF(rng, 3+rng.Intn(3), rng.Intn(10))
+		return NewConstructGadget(formula).Holds() == sat.Satisfiable(formula)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCombineLemmaH1: the combined instance holds iff some component
+// instance holds, over all 2^n component outcomes (n = 2).
+func TestCombineLemmaH1(t *testing.T) {
+	satF := sat.NewCNF(2)
+	satF.AddClause(1, 2)
+	unsatF := sat.NewCNF(1)
+	unsatF.AddClause(sat.Lit(1))
+	unsatF.AddClause(sat.Lit(-1))
+	mk := func(phi, psi *sat.CNF, ns string) Instance {
+		gPhi := NewSATGadget(phi, ns+"_sat")
+		gPsi := NewSATGadget(psi, ns+"_unsat")
+		return Instance{
+			Graph: gPhi.Graph.Union(gPsi.Graph),
+			Pattern: sparql.NS{P: sparql.Union{
+				L: gPhi.Pattern,
+				R: sparql.And{L: gPhi.Pattern, R: gPsi.Pattern},
+			}},
+			Mapping: gPhi.Mapping,
+		}
+	}
+	type combo struct{ a, b bool }
+	for _, c := range []combo{{true, true}, {true, false}, {false, true}, {false, false}} {
+		pick := func(holds bool, ns string) Instance {
+			if holds {
+				return mk(satF, unsatF, ns) // holds
+			}
+			return mk(satF, satF, ns) // does not hold
+		}
+		i1, i2 := pick(c.a, "p"), pick(c.b, "q")
+		if i1.Holds() != c.a || i2.Holds() != c.b {
+			t.Fatalf("component instances wrong for %v", c)
+		}
+		combined := Combine([]Instance{i1, i2})
+		if !sparql.IsNSPattern(combined.Pattern) {
+			t.Fatal("combined pattern is not an ns-pattern")
+		}
+		if got := combined.Holds(); got != (c.a || c.b) {
+			t.Errorf("combo %v: combined.Holds = %v", c, got)
+		}
+	}
+}
+
+func TestCombinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Combine of no instances did not panic")
+		}
+	}()
+	Combine(nil)
+}
+
+func TestChromaticGadget(t *testing.T) {
+	// χ(C5) = 3.
+	c5 := sat.Cycle(5)
+	if !ChromaticGadget(c5, 3, "a").Holds() {
+		t.Error("χ(C5)=3 instance does not hold")
+	}
+	if ChromaticGadget(c5, 2, "b").Holds() {
+		t.Error("χ(C5)=2 instance holds")
+	}
+	if ChromaticGadget(c5, 4, "c").Holds() {
+		t.Error("χ(C5)=4 instance holds")
+	}
+}
+
+func TestExactSetChromaticInstance(t *testing.T) {
+	// χ(K4) = 4: membership in {3, 4} holds, in {2, 3} does not.
+	k4 := sat.Complete(4)
+	if !ExactSetChromaticInstance(k4, []int{3, 4}).Holds() {
+		t.Error("χ(K4) ∈ {3,4} instance does not hold")
+	}
+	if ExactSetChromaticInstance(k4, []int{2, 3}).Holds() {
+		t.Error("χ(K4) ∈ {2,3} instance holds")
+	}
+}
+
+func TestMkSet(t *testing.T) {
+	got := MkSet(1)
+	want := []int{7}
+	if len(got) != len(want) || got[0] != want[0] {
+		t.Fatalf("MkSet(1) = %v, want %v", got, want)
+	}
+	got = MkSet(2)
+	want = []int{13, 15}
+	if len(got) != 2 || got[0] != 13 || got[1] != 15 {
+		t.Fatalf("MkSet(2) = %v, want %v", got, want)
+	}
+}
+
+func TestMaxOddSatInstance(t *testing.T) {
+	// f over 4 vars: x1 ∧ ¬x2 — the maximizing assignment is
+	// {x1, x3, x4} with 3 true variables: odd, so the instance holds.
+	f := sat.NewCNF(4)
+	f.AddClause(sat.Lit(1))
+	f.AddClause(sat.Lit(-2))
+	if m, ok := sat.MaxTrueVars(f); !ok || m != 3 {
+		t.Fatalf("MaxTrueVars = %d, %v", m, ok)
+	}
+	inst := MaxOddSatInstance(f)
+	if !sparql.IsNSPattern(inst.Pattern) {
+		t.Fatal("MAX-ODD-SAT instance is not an ns-pattern")
+	}
+	if !inst.Holds() {
+		t.Fatal("odd-maximum instance does not hold")
+	}
+
+	// g over 4 vars: ¬x1 ∧ ¬x2 — maximum is {x3, x4}: even.
+	g := sat.NewCNF(4)
+	g.AddClause(sat.Lit(-1))
+	g.AddClause(sat.Lit(-2))
+	if MaxOddSatInstance(g).Holds() {
+		t.Fatal("even-maximum instance holds")
+	}
+
+	// Unsatisfiable formula: not in MAX-ODD-SAT.
+	u := sat.NewCNF(2)
+	u.AddClause(sat.Lit(1))
+	u.AddClause(sat.Lit(-1))
+	if MaxOddSatInstance(u).Holds() {
+		t.Fatal("unsat instance holds")
+	}
+}
+
+func TestMaxOddSatOddVarCount(t *testing.T) {
+	// An odd variable count gets padded with a forced-false variable.
+	f := sat.NewCNF(3)
+	f.AddClause(sat.Lit(1))
+	// Max true = 3 (x1, x2, x3): odd.
+	inst := MaxOddSatInstance(f)
+	if !inst.Holds() {
+		t.Fatal("padded odd-maximum instance does not hold")
+	}
+}
+
+func TestMaxOddSatMatchesOracleQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 15}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		formula := sat.Random3CNF(rng, 4, rng.Intn(8))
+		m, ok := sat.MaxTrueVars(formula)
+		want := ok && m%2 == 1
+		got := MaxOddSatInstance(formula).Holds()
+		if got != want {
+			t.Logf("formula\n%smax=%d ok=%v", formula, m, ok)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHoldsFastAgreesQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phi := sat.Random3CNF(rng, 3+rng.Intn(3), rng.Intn(8))
+		psi := sat.Random3CNF(rng, 3+rng.Intn(3), rng.Intn(8))
+		g := NewSATGadget(phi, "t")
+		if g.Holds() != g.HoldsFast() {
+			t.Logf("SATGadget disagreement on\n%s", phi)
+			return false
+		}
+		d := NewDPGadget(phi, psi)
+		if d.Holds() != d.HoldsFast() {
+			t.Logf("DPGadget disagreement")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstructGadgetHoldsFastQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		formula := sat.Random3CNF(rng, 3+rng.Intn(4), rng.Intn(12))
+		c := NewConstructGadget(formula)
+		return c.HoldsFast() == sat.Satisfiable(formula)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+package sat
+
+// AtMostK adds clauses to f enforcing that at most k of the given
+// literals are true, using the Sinz sequential-counter encoding
+// (auxiliary registers s_{i,j} = "at least j of the first i literals").
+// k must be ≥ 0; k ≥ len(lits) adds nothing.
+func AtMostK(f *CNF, lits []Lit, k int) {
+	n := len(lits)
+	if k >= n {
+		return
+	}
+	if k == 0 {
+		for _, l := range lits {
+			f.AddClause(l.Neg())
+		}
+		return
+	}
+	// s[i][j], 1 ≤ i ≤ n, 1 ≤ j ≤ k: at least j of lits[0..i-1] true.
+	s := make([][]int, n+1)
+	for i := 1; i <= n; i++ {
+		s[i] = make([]int, k+1)
+		for j := 1; j <= k; j++ {
+			s[i][j] = f.NewVar()
+		}
+	}
+	f.AddClause(lits[0].Neg(), Lit(s[1][1]))
+	for j := 2; j <= k; j++ {
+		f.AddClause(Lit(-s[1][j]))
+	}
+	for i := 2; i <= n; i++ {
+		f.AddClause(lits[i-1].Neg(), Lit(s[i][1]))
+		f.AddClause(Lit(-s[i-1][1]), Lit(s[i][1]))
+		for j := 2; j <= k; j++ {
+			f.AddClause(lits[i-1].Neg(), Lit(-s[i-1][j-1]), Lit(s[i][j]))
+			f.AddClause(Lit(-s[i-1][j]), Lit(s[i][j]))
+		}
+		f.AddClause(lits[i-1].Neg(), Lit(-s[i-1][k]))
+	}
+}
+
+// AtLeastK adds clauses enforcing that at least k of the given literals
+// are true, via the duality "at most n-k of the negations are true".
+func AtLeastK(f *CNF, lits []Lit, k int) {
+	n := len(lits)
+	if k <= 0 {
+		return
+	}
+	if k > n {
+		// Unsatisfiable; add the empty-clause equivalent.
+		v := f.NewVar()
+		f.AddClause(Lit(v))
+		f.AddClause(Lit(-v))
+		return
+	}
+	neg := make([]Lit, n)
+	for i, l := range lits {
+		neg[i] = l.Neg()
+	}
+	AtMostK(f, neg, n-k)
+}
+
+// AtLeastKFunc adds clauses enforcing that at least k of the literals
+// are true, using a sequential counter whose registers are
+// *functionally defined* (s_{i,j} ↔ "at least j of the first i literals
+// are true", with equivalences in both directions).  Unlike the
+// implication-only Sinz encoding, every model of the base variables
+// extends to exactly one model of the auxiliaries; this keeps the
+// model count — and hence the answer sets of the Lemma G.1 SPARQL
+// gadget, which materializes all models — equal to the number of
+// satisfying base assignments.
+func AtLeastKFunc(f *CNF, lits []Lit, k int) {
+	n := len(lits)
+	if k <= 0 {
+		return
+	}
+	if k > n {
+		v := f.NewVar()
+		f.AddClause(Lit(v))
+		f.AddClause(Lit(-v))
+		return
+	}
+	// s[i][j] for 1 ≤ j ≤ min(i, k).
+	s := make([][]int, n+1)
+	for i := 1; i <= n; i++ {
+		top := i
+		if top > k {
+			top = k
+		}
+		s[i] = make([]int, top+1)
+		for j := 1; j <= top; j++ {
+			s[i][j] = f.NewVar()
+		}
+	}
+	// s_{1,1} ↔ l_1.
+	f.AddClause(Lit(-s[1][1]), lits[0])
+	f.AddClause(lits[0].Neg(), Lit(s[1][1]))
+	for i := 2; i <= n; i++ {
+		top := len(s[i]) - 1
+		for j := 1; j <= top; j++ {
+			x := Lit(s[i][j])
+			// a = s_{i-1,j} (false when j > i-1), b = l_i,
+			// c = s_{i-1,j-1} (true when j = 1).
+			var a Lit
+			if j < len(s[i-1]) {
+				a = Lit(s[i-1][j])
+			}
+			b := lits[i-1]
+			var c Lit
+			if j == 1 {
+				c = 0 // true
+			} else {
+				c = Lit(s[i-1][j-1])
+			}
+			// x ↔ a ∨ (b ∧ c), with 0 meaning the constant noted above.
+			switch {
+			case a == 0 && c == 0: // x ↔ b
+				f.AddClause(x.Neg(), b)
+				f.AddClause(b.Neg(), x)
+			case a == 0: // x ↔ b ∧ c
+				f.AddClause(x.Neg(), b)
+				f.AddClause(x.Neg(), c)
+				f.AddClause(b.Neg(), c.Neg(), x)
+			case c == 0: // x ↔ a ∨ b
+				f.AddClause(x.Neg(), a, b)
+				f.AddClause(a.Neg(), x)
+				f.AddClause(b.Neg(), x)
+			default:
+				f.AddClause(x.Neg(), a, b)
+				f.AddClause(x.Neg(), a, c)
+				f.AddClause(a.Neg(), x)
+				f.AddClause(b.Neg(), c.Neg(), x)
+			}
+		}
+	}
+	f.AddClause(Lit(s[n][k]))
+}
+
+// WithAtLeastKTrue returns φ_k of the Theorem 7.3 reduction: a copy of
+// f augmented with clauses asserting that at least k of the variables
+// 1..f.NumVars are true.  φ_k is satisfiable iff some assignment
+// satisfies f with ≥ k variables true.  The functional counter encoding
+// is used so that the SPARQL gadget built from φ_k stays enumerable.
+func WithAtLeastKTrue(f *CNF, k int) *CNF {
+	out := f.Clone()
+	lits := make([]Lit, f.NumVars)
+	for v := 1; v <= f.NumVars; v++ {
+		lits[v-1] = Lit(v)
+	}
+	AtLeastKFunc(out, lits, k)
+	return out
+}
+
+// MaxTrueVars returns the maximum, over satisfying assignments of f, of
+// the number of true variables, and ok=false when f is unsatisfiable.
+// Used as the ground-truth oracle for MAX-ODD-SAT.
+func MaxTrueVars(f *CNF) (int, bool) {
+	best, ok := -1, false
+	for k := f.NumVars; k >= 0; k-- {
+		if Satisfiable(WithAtLeastKTrue(f, k)) {
+			best, ok = k, true
+			break
+		}
+	}
+	return best, ok
+}

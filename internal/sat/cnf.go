@@ -1,0 +1,141 @@
+// Package sat is the propositional-logic substrate for the complexity
+// reductions of Section 7 of the paper: CNF formulas, a complete DPLL
+// solver (used to label ground truth on small instances), cardinality
+// encodings (for the MAX-ODD-SAT reduction of Theorem 7.3) and graph
+// k-coloring encodings (for the Exact-M_k-Colorability reduction of
+// Theorem 7.2).
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Lit is a literal: +v for the variable v, -v for its negation.
+// Variables are numbered from 1.
+type Lit int
+
+// Var returns the variable of the literal.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Positive reports whether the literal is unnegated.
+func (l Lit) Positive() bool { return l > 0 }
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// CNF is a conjunction of clauses over variables 1..NumVars.
+type CNF struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// NewCNF returns an empty formula over n variables.
+func NewCNF(n int) *CNF { return &CNF{NumVars: n} }
+
+// AddClause appends a clause, growing NumVars if the clause mentions a
+// larger variable.  A zero literal panics.
+func (f *CNF) AddClause(lits ...Lit) {
+	c := make(Clause, len(lits))
+	for i, l := range lits {
+		if l == 0 {
+			panic("sat: zero literal")
+		}
+		if l.Var() > f.NumVars {
+			f.NumVars = l.Var()
+		}
+		c[i] = l
+	}
+	f.Clauses = append(f.Clauses, c)
+}
+
+// NewVar allocates a fresh variable and returns its index.
+func (f *CNF) NewVar() int {
+	f.NumVars++
+	return f.NumVars
+}
+
+// Clone returns a deep copy.
+func (f *CNF) Clone() *CNF {
+	out := &CNF{NumVars: f.NumVars, Clauses: make([]Clause, len(f.Clauses))}
+	for i, c := range f.Clauses {
+		out.Clauses[i] = append(Clause(nil), c...)
+	}
+	return out
+}
+
+// Eval reports whether the assignment (1-indexed; index 0 unused)
+// satisfies every clause.
+func (f *CNF) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if assign[l.Var()] == l.Positive() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the formula in a DIMACS-like notation.
+func (f *CNF) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p cnf %d %d\n", f.NumVars, len(f.Clauses))
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			fmt.Fprintf(&b, "%d ", l)
+		}
+		b.WriteString("0\n")
+	}
+	return b.String()
+}
+
+// CountTrue returns the number of true values among variables 1..n of
+// the assignment.
+func CountTrue(assign []bool, n int) int {
+	c := 0
+	for v := 1; v <= n; v++ {
+		if assign[v] {
+			c++
+		}
+	}
+	return c
+}
+
+// Random3CNF draws a random 3-CNF with the given number of variables
+// and clauses; each clause has three distinct variables.
+func Random3CNF(rng *rand.Rand, nVars, nClauses int) *CNF {
+	if nVars < 3 {
+		panic("sat: Random3CNF needs at least 3 variables")
+	}
+	f := NewCNF(nVars)
+	for i := 0; i < nClauses; i++ {
+		vars := rng.Perm(nVars)[:3]
+		sort.Ints(vars)
+		c := make(Clause, 3)
+		for j, v := range vars {
+			l := Lit(v + 1)
+			if rng.Intn(2) == 0 {
+				l = l.Neg()
+			}
+			c[j] = l
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}

@@ -1,0 +1,88 @@
+package sat
+
+// UGraph is a simple undirected graph on vertices 0..N-1, used by the
+// Exact-M_k-Colorability reduction of Theorem 7.2.
+type UGraph struct {
+	N     int
+	Edges [][2]int
+}
+
+// AddEdge inserts an undirected edge.
+func (g *UGraph) AddEdge(u, v int) {
+	if u >= g.N || v >= g.N || u < 0 || v < 0 {
+		panic("sat: edge endpoint out of range")
+	}
+	g.Edges = append(g.Edges, [2]int{u, v})
+}
+
+// Complete returns K_n.
+func Complete(n int) *UGraph {
+	g := &UGraph{N: n}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Cycle returns C_n.
+func Cycle(n int) *UGraph {
+	g := &UGraph{N: n}
+	for u := 0; u < n; u++ {
+		g.AddEdge(u, (u+1)%n)
+	}
+	return g
+}
+
+// ColoringCNF encodes "g is k-colorable": variable x_{v,c} (v·k + c + 1)
+// says vertex v gets color c; every vertex gets *exactly one* color
+// (at-least-one plus pairwise at-most-one), and adjacent vertices do
+// not share one.  The exactly-one constraint keeps the models of the
+// formula in bijection with the proper colorings, which matters when
+// the formula feeds the Lemma G.1 SPARQL gadget (whose evaluation
+// materializes all models).
+func ColoringCNF(g *UGraph, k int) *CNF {
+	f := NewCNF(g.N * k)
+	x := func(v, c int) Lit { return Lit(v*k + c + 1) }
+	for v := 0; v < g.N; v++ {
+		clause := make(Clause, k)
+		for c := 0; c < k; c++ {
+			clause[c] = x(v, c)
+		}
+		f.Clauses = append(f.Clauses, clause)
+		for c := 0; c < k; c++ {
+			for c2 := c + 1; c2 < k; c2++ {
+				f.AddClause(x(v, c).Neg(), x(v, c2).Neg())
+			}
+		}
+	}
+	for _, e := range g.Edges {
+		for c := 0; c < k; c++ {
+			f.AddClause(x(e[0], c).Neg(), x(e[1], c).Neg())
+		}
+	}
+	return f
+}
+
+// Colorable reports whether g is k-colorable (k ≥ 1; 0 colors only
+// color the empty graph).
+func Colorable(g *UGraph, k int) bool {
+	if k <= 0 {
+		return g.N == 0
+	}
+	return Satisfiable(ColoringCNF(g, k))
+}
+
+// ChromaticNumber computes χ(g) by probing increasing k; exponential in
+// the worst case, intended for small ground-truth instances.
+func ChromaticNumber(g *UGraph) int {
+	if g.N == 0 {
+		return 0
+	}
+	for k := 1; ; k++ {
+		if Colorable(g, k) {
+			return k
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package sat
+
+// value is the three-valued assignment state used by the solver.
+type value int8
+
+const (
+	unassigned value = iota
+	vTrue
+	vFalse
+)
+
+// Solve decides satisfiability of f with DPLL (unit propagation, pure
+// literal elimination, first-unassigned branching).  On success it
+// returns a satisfying assignment indexed 1..NumVars.
+func Solve(f *CNF) ([]bool, bool) {
+	assign := make([]value, f.NumVars+1)
+	if !dpll(f, assign) {
+		return nil, false
+	}
+	out := make([]bool, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		out[v] = assign[v] == vTrue
+	}
+	return out, true
+}
+
+// Satisfiable is Solve without the model.
+func Satisfiable(f *CNF) bool {
+	_, ok := Solve(f)
+	return ok
+}
+
+func litValue(assign []value, l Lit) value {
+	v := assign[l.Var()]
+	if v == unassigned {
+		return unassigned
+	}
+	if l.Positive() == (v == vTrue) {
+		return vTrue
+	}
+	return vFalse
+}
+
+func dpll(f *CNF, assign []value) bool {
+	// Unit propagation to fixpoint; detect conflicts.
+	var trail []int
+	undo := func() {
+		for _, v := range trail {
+			assign[v] = unassigned
+		}
+	}
+	for {
+		propagated := false
+		for _, c := range f.Clauses {
+			unassignedCount := 0
+			var unit Lit
+			sat := false
+			for _, l := range c {
+				switch litValue(assign, l) {
+				case vTrue:
+					sat = true
+				case unassigned:
+					unassignedCount++
+					unit = l
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			switch unassignedCount {
+			case 0:
+				undo()
+				return false
+			case 1:
+				if unit.Positive() {
+					assign[unit.Var()] = vTrue
+				} else {
+					assign[unit.Var()] = vFalse
+				}
+				trail = append(trail, unit.Var())
+				propagated = true
+			}
+		}
+		if !propagated {
+			break
+		}
+	}
+
+	// Pure literal elimination.
+	polarity := make(map[int]int8) // 1 pos only, -1 neg only, 2 mixed
+	for _, c := range f.Clauses {
+		clauseSat := false
+		for _, l := range c {
+			if litValue(assign, l) == vTrue {
+				clauseSat = true
+				break
+			}
+		}
+		if clauseSat {
+			continue
+		}
+		for _, l := range c {
+			if litValue(assign, l) != unassigned {
+				continue
+			}
+			p := int8(1)
+			if !l.Positive() {
+				p = -1
+			}
+			if cur, ok := polarity[l.Var()]; !ok {
+				polarity[l.Var()] = p
+			} else if cur != p {
+				polarity[l.Var()] = 2
+			}
+		}
+	}
+	for v, p := range polarity {
+		if p == 1 {
+			assign[v] = vTrue
+			trail = append(trail, v)
+		} else if p == -1 {
+			assign[v] = vFalse
+			trail = append(trail, v)
+		}
+	}
+
+	// Branch on the first unassigned variable of an unsatisfied clause.
+	branch := 0
+	for _, c := range f.Clauses {
+		sat := false
+		cand := 0
+		for _, l := range c {
+			switch litValue(assign, l) {
+			case vTrue:
+				sat = true
+			case unassigned:
+				if cand == 0 {
+					cand = l.Var()
+				}
+			}
+			if sat {
+				break
+			}
+		}
+		if !sat && cand != 0 {
+			branch = cand
+			break
+		}
+	}
+	if branch == 0 {
+		// Every clause satisfied.
+		return true
+	}
+	for _, try := range []value{vTrue, vFalse} {
+		assign[branch] = try
+		if dpll(f, assign) {
+			return true
+		}
+	}
+	assign[branch] = unassigned
+	undo()
+	return false
+}
+
+// SolveBrute decides satisfiability by enumerating all assignments; the
+// reference oracle for testing the DPLL solver (use only for tiny n).
+func SolveBrute(f *CNF) ([]bool, bool) {
+	n := f.NumVars
+	assign := make([]bool, n+1)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for v := 1; v <= n; v++ {
+			assign[v] = mask&(1<<uint(v-1)) != 0
+		}
+		if f.Eval(assign) {
+			return assign, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,210 @@
+package sat
+
+import "fmt"
+
+// Prop is a propositional formula over variables 1..n.  The Section 7
+// reductions of the paper start from "a propositional formula"; Prop
+// plus the Tseitin transform lets arbitrary formulas feed the CNF-based
+// gadgets of internal/reduction.
+type Prop interface {
+	// Eval evaluates under a 1-indexed assignment.
+	Eval(assign []bool) bool
+	// maxVar returns the largest variable index mentioned.
+	maxVar() int
+	String() string
+	isProp()
+}
+
+// PVar is a propositional variable (index ≥ 1).
+type PVar int
+
+// PNot is ¬F.
+type PNot struct{ F Prop }
+
+// PAnd is the conjunction of its parts (empty = true).
+type PAnd struct{ Fs []Prop }
+
+// POr is the disjunction of its parts (empty = false).
+type POr struct{ Fs []Prop }
+
+// PImplies is F → G.
+type PImplies struct{ F, G Prop }
+
+// PIff is F ↔ G.
+type PIff struct{ F, G Prop }
+
+func (PVar) isProp()     {}
+func (PNot) isProp()     {}
+func (PAnd) isProp()     {}
+func (POr) isProp()      {}
+func (PImplies) isProp() {}
+func (PIff) isProp()     {}
+
+// Eval implements Prop.
+func (v PVar) Eval(assign []bool) bool { return assign[int(v)] }
+
+// Eval implements Prop.
+func (f PNot) Eval(assign []bool) bool { return !f.F.Eval(assign) }
+
+// Eval implements Prop.
+func (f PAnd) Eval(assign []bool) bool {
+	for _, g := range f.Fs {
+		if !g.Eval(assign) {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval implements Prop.
+func (f POr) Eval(assign []bool) bool {
+	for _, g := range f.Fs {
+		if g.Eval(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+// Eval implements Prop.
+func (f PImplies) Eval(assign []bool) bool { return !f.F.Eval(assign) || f.G.Eval(assign) }
+
+// Eval implements Prop.
+func (f PIff) Eval(assign []bool) bool { return f.F.Eval(assign) == f.G.Eval(assign) }
+
+func (v PVar) maxVar() int { return int(v) }
+func (f PNot) maxVar() int { return f.F.maxVar() }
+
+func (f PAnd) maxVar() int { return maxOver(f.Fs) }
+func (f POr) maxVar() int  { return maxOver(f.Fs) }
+
+func (f PImplies) maxVar() int { return max2(f.F.maxVar(), f.G.maxVar()) }
+func (f PIff) maxVar() int     { return max2(f.F.maxVar(), f.G.maxVar()) }
+
+func maxOver(fs []Prop) int {
+	m := 0
+	for _, g := range fs {
+		m = max2(m, g.maxVar())
+	}
+	return m
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (v PVar) String() string { return fmt.Sprintf("x%d", int(v)) }
+func (f PNot) String() string { return "¬" + f.F.String() }
+
+func (f PAnd) String() string { return joinProps(f.Fs, " ∧ ", "⊤") }
+func (f POr) String() string  { return joinProps(f.Fs, " ∨ ", "⊥") }
+
+func (f PImplies) String() string { return "(" + f.F.String() + " → " + f.G.String() + ")" }
+func (f PIff) String() string     { return "(" + f.F.String() + " ↔ " + f.G.String() + ")" }
+
+func joinProps(fs []Prop, sep, empty string) string {
+	if len(fs) == 0 {
+		return empty
+	}
+	s := "("
+	for i, g := range fs {
+		if i > 0 {
+			s += sep
+		}
+		s += g.String()
+	}
+	return s + ")"
+}
+
+// Tseitin converts a propositional formula into an equisatisfiable CNF
+// whose models restricted to the base variables are exactly the models
+// of the formula.  Every internal node gets a definition variable with
+// equivalence clauses in *both* directions, so each base model extends
+// to exactly one CNF model — the functional-encoding property the
+// Lemma G.1 SPARQL gadget needs (its evaluation materializes models).
+func Tseitin(p Prop) *CNF {
+	f := NewCNF(p.maxVar())
+	root := tseitinLit(p, f)
+	f.AddClause(root)
+	return f
+}
+
+// tseitinLit returns a literal equivalent to p, adding definition
+// clauses to f.
+func tseitinLit(p Prop, f *CNF) Lit {
+	switch q := p.(type) {
+	case PVar:
+		return Lit(int(q))
+	case PNot:
+		return tseitinLit(q.F, f).Neg()
+	case PAnd:
+		lits := make([]Lit, len(q.Fs))
+		for i, g := range q.Fs {
+			lits[i] = tseitinLit(g, f)
+		}
+		return defineAnd(f, lits)
+	case POr:
+		lits := make([]Lit, len(q.Fs))
+		for i, g := range q.Fs {
+			lits[i] = tseitinLit(g, f)
+		}
+		return defineOr(f, lits)
+	case PImplies:
+		a, b := tseitinLit(q.F, f), tseitinLit(q.G, f)
+		return defineOr(f, []Lit{a.Neg(), b})
+	case PIff:
+		a, b := tseitinLit(q.F, f), tseitinLit(q.G, f)
+		// x ↔ (a ↔ b).
+		x := Lit(f.NewVar())
+		f.AddClause(x.Neg(), a.Neg(), b)
+		f.AddClause(x.Neg(), a, b.Neg())
+		f.AddClause(x, a, b)
+		f.AddClause(x, a.Neg(), b.Neg())
+		return x
+	default:
+		panic(fmt.Sprintf("sat: unknown Prop type %T", p))
+	}
+}
+
+// defineAnd introduces x with x ↔ ⋀ lits.
+func defineAnd(f *CNF, lits []Lit) Lit {
+	switch len(lits) {
+	case 0:
+		x := Lit(f.NewVar())
+		f.AddClause(x)
+		return x
+	case 1:
+		return lits[0]
+	}
+	x := Lit(f.NewVar())
+	long := make(Clause, 0, len(lits)+1)
+	for _, l := range lits {
+		f.AddClause(x.Neg(), l)
+		long = append(long, l.Neg())
+	}
+	f.Clauses = append(f.Clauses, append(long, x))
+	return x
+}
+
+// defineOr introduces x with x ↔ ⋁ lits.
+func defineOr(f *CNF, lits []Lit) Lit {
+	switch len(lits) {
+	case 0:
+		x := Lit(f.NewVar())
+		f.AddClause(x.Neg())
+		return x
+	case 1:
+		return lits[0]
+	}
+	x := Lit(f.NewVar())
+	long := make(Clause, 0, len(lits)+1)
+	for _, l := range lits {
+		f.AddClause(x, l.Neg())
+		long = append(long, l)
+	}
+	f.Clauses = append(f.Clauses, append(long, x.Neg()))
+	return x
+}

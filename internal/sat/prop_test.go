@@ -1,0 +1,142 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randomProp(rng *rand.Rand, depth, nVars int) Prop {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return PVar(1 + rng.Intn(nVars))
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return PNot{F: randomProp(rng, depth-1, nVars)}
+	case 1:
+		n := rng.Intn(3)
+		fs := make([]Prop, n)
+		for i := range fs {
+			fs[i] = randomProp(rng, depth-1, nVars)
+		}
+		return PAnd{Fs: fs}
+	case 2:
+		n := rng.Intn(3)
+		fs := make([]Prop, n)
+		for i := range fs {
+			fs[i] = randomProp(rng, depth-1, nVars)
+		}
+		return POr{Fs: fs}
+	case 3:
+		return PImplies{F: randomProp(rng, depth-1, nVars), G: randomProp(rng, depth-1, nVars)}
+	default:
+		return PIff{F: randomProp(rng, depth-1, nVars), G: randomProp(rng, depth-1, nVars)}
+	}
+}
+
+func TestPropEval(t *testing.T) {
+	// (x1 ∧ ¬x2) ∨ (x2 ↔ x3) with x1=T, x2=F, x3=F.
+	p := POr{Fs: []Prop{
+		PAnd{Fs: []Prop{PVar(1), PNot{F: PVar(2)}}},
+		PIff{F: PVar(2), G: PVar(3)},
+	}}
+	assign := []bool{false, true, false, false}
+	if !p.Eval(assign) {
+		t.Fatal("eval wrong")
+	}
+	if !(PImplies{F: PVar(2), G: PVar(3)}).Eval(assign) {
+		t.Fatal("false antecedent should satisfy implication")
+	}
+	if (PAnd{}).Eval(assign) != true || (POr{}).Eval(assign) != false {
+		t.Fatal("empty connectives wrong")
+	}
+	s := p.String()
+	for _, want := range []string{"x1", "¬x2", "↔", "∨", "∧"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}
+
+// TestTseitinEquisatisfiableQuick: for every assignment of the base
+// variables, the formula holds iff the assignment extends to a model of
+// the Tseitin CNF — and then to exactly one (functional encoding).
+func TestTseitinEquisatisfiableQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProp(rng, 3, 3)
+		cnf := Tseitin(p)
+		if cnf.NumVars > 18 {
+			return true // keep the model count enumerable
+		}
+		// Pin only the formula's own variables: Tseitin auxiliaries
+		// start right after p.maxVar().
+		nVars := p.maxVar()
+		for mask := 0; mask < 1<<uint(nVars); mask++ {
+			base := make([]bool, nVars+1)
+			for v := 1; v <= nVars; v++ {
+				base[v] = mask&(1<<uint(v-1)) != 0
+			}
+			fixed := cnf.Clone()
+			for v := 1; v <= nVars; v++ {
+				if base[v] {
+					fixed.AddClause(Lit(v))
+				} else {
+					fixed.AddClause(Lit(-v))
+				}
+			}
+			want := p.Eval(base)
+			if Satisfiable(fixed) != want {
+				t.Logf("prop %s mask %b: CNF sat disagrees (want %v)", p, mask, want)
+				return false
+			}
+			if want && countModels(fixed) != 1 {
+				t.Logf("prop %s mask %b: %d extensions, want exactly 1", p, mask, countModels(fixed))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTseitinModelCount(t *testing.T) {
+	// Models of the CNF must equal models of the formula.
+	p := POr{Fs: []Prop{PVar(1), PAnd{Fs: []Prop{PVar(2), PVar(3)}}}}
+	cnf := Tseitin(p)
+	// Formula models over 3 vars: x1 ∨ (x2∧x3) → 5 models.
+	if got := countModels(cnf); got != 5 {
+		t.Fatalf("model count = %d, want 5", got)
+	}
+}
+
+func TestTseitinEdgeCases(t *testing.T) {
+	// Constant-true and constant-false formulas.
+	if !Satisfiable(Tseitin(PAnd{})) {
+		t.Fatal("⊤ unsatisfiable")
+	}
+	if Satisfiable(Tseitin(POr{})) {
+		t.Fatal("⊥ satisfiable")
+	}
+	// Single literal and its negation.
+	if !Satisfiable(Tseitin(PVar(1))) || !Satisfiable(Tseitin(PNot{F: PVar(1)})) {
+		t.Fatal("literal formulas unsatisfiable")
+	}
+	if Satisfiable(Tseitin(PAnd{Fs: []Prop{PVar(1), PNot{F: PVar(1)}}})) {
+		t.Fatal("x ∧ ¬x satisfiable")
+	}
+}
+
+func TestTseitinFeedsGadgets(t *testing.T) {
+	// End-to-end: an arbitrary propositional formula through Tseitin is
+	// usable wherever the reductions expect CNF.
+	p := PIff{F: PVar(1), G: PImplies{F: PVar(2), G: PVar(3)}}
+	cnf := Tseitin(p)
+	if !Satisfiable(cnf) {
+		t.Fatal("satisfiable formula became unsatisfiable")
+	}
+}

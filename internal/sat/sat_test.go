@@ -1,0 +1,320 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLit(t *testing.T) {
+	l := Lit(3)
+	if l.Var() != 3 || !l.Positive() || l.Neg() != Lit(-3) || l.Neg().Var() != 3 || l.Neg().Positive() {
+		t.Fatal("literal accessors wrong")
+	}
+}
+
+func TestCNFBasics(t *testing.T) {
+	f := NewCNF(2)
+	f.AddClause(1, -2)
+	f.AddClause(Lit(5))
+	if f.NumVars != 5 {
+		t.Fatalf("NumVars = %d", f.NumVars)
+	}
+	if v := f.NewVar(); v != 6 {
+		t.Fatalf("NewVar = %d", v)
+	}
+	if !strings.Contains(f.String(), "p cnf 6 2") {
+		t.Fatalf("String = %q", f.String())
+	}
+	g := f.Clone()
+	g.AddClause(Lit(-1))
+	if len(f.Clauses) != 2 {
+		t.Fatal("Clone shares clause slice")
+	}
+	mustPanic(t, func() { f.AddClause(0) })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestSolveSimple(t *testing.T) {
+	f := NewCNF(2)
+	f.AddClause(1, 2)
+	f.AddClause(-1)
+	m, ok := Solve(f)
+	if !ok || !m[2] || m[1] {
+		t.Fatalf("model = %v, ok = %v", m, ok)
+	}
+	// x ∧ ¬x is unsatisfiable.
+	g := NewCNF(1)
+	g.AddClause(Lit(1))
+	g.AddClause(Lit(-1))
+	if Satisfiable(g) {
+		t.Fatal("contradiction reported satisfiable")
+	}
+	// Empty formula is satisfiable.
+	if !Satisfiable(NewCNF(3)) {
+		t.Fatal("empty formula reported unsatisfiable")
+	}
+	// Empty clause is unsatisfiable.
+	h := NewCNF(1)
+	h.Clauses = append(h.Clauses, Clause{})
+	if Satisfiable(h) {
+		t.Fatal("empty clause reported satisfiable")
+	}
+}
+
+func TestSolveMatchesBruteQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		formula := Random3CNF(rng, n, rng.Intn(4*n))
+		model, ok := Solve(formula)
+		_, bruteOK := SolveBrute(formula)
+		if ok != bruteOK {
+			t.Logf("DPLL=%v brute=%v on\n%s", ok, bruteOK, formula)
+			return false
+		}
+		if ok && !formula.Eval(model) {
+			t.Logf("DPLL returned a non-model on\n%s", formula)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtMostKExhaustive(t *testing.T) {
+	// For all n ≤ 5, k ≤ n: assignments to the base variables extend to
+	// the auxiliaries iff they have ≤ k true literals.
+	for n := 1; n <= 5; n++ {
+		for k := 0; k <= n; k++ {
+			base := NewCNF(n)
+			lits := make([]Lit, n)
+			for i := range lits {
+				lits[i] = Lit(i + 1)
+			}
+			AtMostK(base, lits, k)
+			for mask := 0; mask < 1<<uint(n); mask++ {
+				fixed := base.Clone()
+				count := 0
+				for v := 1; v <= n; v++ {
+					if mask&(1<<uint(v-1)) != 0 {
+						fixed.AddClause(Lit(v))
+						count++
+					} else {
+						fixed.AddClause(Lit(-v))
+					}
+				}
+				want := count <= k
+				if got := Satisfiable(fixed); got != want {
+					t.Fatalf("n=%d k=%d mask=%b: sat=%v want %v", n, k, mask, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAtLeastKExhaustive(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		for k := 0; k <= n+1; k++ {
+			base := NewCNF(n)
+			lits := make([]Lit, n)
+			for i := range lits {
+				lits[i] = Lit(i + 1)
+			}
+			AtLeastK(base, lits, k)
+			for mask := 0; mask < 1<<uint(n); mask++ {
+				fixed := base.Clone()
+				count := 0
+				for v := 1; v <= n; v++ {
+					if mask&(1<<uint(v-1)) != 0 {
+						fixed.AddClause(Lit(v))
+						count++
+					} else {
+						fixed.AddClause(Lit(-v))
+					}
+				}
+				want := count >= k
+				if got := Satisfiable(fixed); got != want {
+					t.Fatalf("n=%d k=%d mask=%b: sat=%v want %v", n, k, mask, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestWithAtLeastKTrueAndMaxTrueVars(t *testing.T) {
+	// f = (x1 ∨ x2) ∧ ¬x3: max true vars = 2.
+	f := NewCNF(3)
+	f.AddClause(1, 2)
+	f.AddClause(Lit(-3))
+	if !Satisfiable(WithAtLeastKTrue(f, 2)) {
+		t.Fatal("φ_2 should be satisfiable")
+	}
+	if Satisfiable(WithAtLeastKTrue(f, 3)) {
+		t.Fatal("φ_3 should be unsatisfiable")
+	}
+	if m, ok := MaxTrueVars(f); !ok || m != 2 {
+		t.Fatalf("MaxTrueVars = %d, %v", m, ok)
+	}
+	g := NewCNF(1)
+	g.AddClause(Lit(1))
+	g.AddClause(Lit(-1))
+	if _, ok := MaxTrueVars(g); ok {
+		t.Fatal("MaxTrueVars on unsat formula reported ok")
+	}
+}
+
+func TestMaxTrueVarsMatchesBruteQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		formula := Random3CNF(rng, n, rng.Intn(3*n))
+		got, gotOK := MaxTrueVars(formula)
+		// Brute-force reference.
+		best, ok := -1, false
+		assign := make([]bool, n+1)
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			for v := 1; v <= n; v++ {
+				assign[v] = mask&(1<<uint(v-1)) != 0
+			}
+			if formula.Eval(assign) {
+				ok = true
+				if c := CountTrue(assign, n); c > best {
+					best = c
+				}
+			}
+		}
+		return gotOK == ok && (!ok || got == best)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColoring(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *UGraph
+		chi  int
+	}{
+		{"K1", Complete(1), 1},
+		{"K4", Complete(4), 4},
+		{"C4 (even cycle)", Cycle(4), 2},
+		{"C5 (odd cycle)", Cycle(5), 3},
+	}
+	for _, c := range cases {
+		if got := ChromaticNumber(c.g); got != c.chi {
+			t.Errorf("%s: χ = %d, want %d", c.name, got, c.chi)
+		}
+		if !Colorable(c.g, c.chi) || Colorable(c.g, c.chi-1) {
+			t.Errorf("%s: Colorable inconsistent around χ", c.name)
+		}
+	}
+	if ChromaticNumber(&UGraph{}) != 0 {
+		t.Error("empty graph should have χ = 0")
+	}
+	if !Colorable(&UGraph{}, 0) || Colorable(Complete(2), 0) {
+		t.Error("0-colorability wrong")
+	}
+	mustPanic(t, func() { (&UGraph{N: 2}).AddEdge(0, 5) })
+}
+
+func TestRandom3CNFShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := Random3CNF(rng, 6, 10)
+	if f.NumVars != 6 || len(f.Clauses) != 10 {
+		t.Fatalf("shape = %d vars, %d clauses", f.NumVars, len(f.Clauses))
+	}
+	for _, c := range f.Clauses {
+		if len(c) != 3 {
+			t.Fatalf("clause %v not ternary", c)
+		}
+		if c[0].Var() == c[1].Var() || c[1].Var() == c[2].Var() || c[0].Var() == c[2].Var() {
+			t.Fatalf("clause %v repeats a variable", c)
+		}
+	}
+	mustPanic(t, func() { Random3CNF(rng, 2, 1) })
+}
+
+func TestAtLeastKFuncExhaustive(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		for k := 0; k <= n+1; k++ {
+			base := NewCNF(n)
+			lits := make([]Lit, n)
+			for i := range lits {
+				lits[i] = Lit(i + 1)
+			}
+			AtLeastKFunc(base, lits, k)
+			for mask := 0; mask < 1<<uint(n); mask++ {
+				fixed := base.Clone()
+				count := 0
+				for v := 1; v <= n; v++ {
+					if mask&(1<<uint(v-1)) != 0 {
+						fixed.AddClause(Lit(v))
+						count++
+					} else {
+						fixed.AddClause(Lit(-v))
+					}
+				}
+				want := count >= k
+				if got := Satisfiable(fixed); got != want {
+					t.Fatalf("n=%d k=%d mask=%b: sat=%v want %v", n, k, mask, got, want)
+				}
+			}
+		}
+	}
+}
+
+func countModels(f *CNF) int {
+	n := f.NumVars
+	if n > 20 {
+		panic("countModels: too many variables")
+	}
+	assign := make([]bool, n+1)
+	count := 0
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for v := 1; v <= n; v++ {
+			assign[v] = mask&(1<<uint(v-1)) != 0
+		}
+		if f.Eval(assign) {
+			count++
+		}
+	}
+	return count
+}
+
+func TestAtLeastKFuncModelCount(t *testing.T) {
+	// The functional encoding must have exactly one model per base
+	// assignment with ≥ k true variables: C(4,2)+C(4,3)+C(4,4) = 11 for
+	// n = 4, k = 2.
+	f := NewCNF(4)
+	lits := []Lit{1, 2, 3, 4}
+	AtLeastKFunc(f, lits, 2)
+	if got := countModels(f); got != 11 {
+		t.Fatalf("model count = %d, want 11", got)
+	}
+}
+
+func TestColoringModelCountExactlyOne(t *testing.T) {
+	// With the exactly-one constraint, models of the coloring CNF are in
+	// bijection with proper colorings: the triangle has 3! = 6 proper
+	// 3-colorings.
+	f := ColoringCNF(Complete(3), 3)
+	if got := countModels(f); got != 6 {
+		t.Fatalf("model count = %d, want 6", got)
+	}
+}

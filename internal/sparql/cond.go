@@ -1,0 +1,188 @@
+package sparql
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// Condition is a SPARQL built-in condition R (Section 2.1): atoms are
+// bound(?X), ?X = c and ?X = ?Y, closed under ¬, ∧ and ∨.  The
+// constants True and False are admitted as well; they are needed by the
+// constructive transformations of the paper (e.g. the tautological
+// Adom(t) of Lemma 6.5) and are definable in the fragment anyway
+// (e.g. ¬bound(?X) ∨ bound(?X)).
+type Condition interface {
+	// Eval reports µ ⊨ R.
+	Eval(mu Mapping) bool
+	// Vars appends the variables of R, var(R), to dst.
+	Vars(dst []Var) []Var
+	// String renders R in SPARQL notation.
+	String() string
+	isCondition()
+}
+
+// Bound is the atom bound(?X): µ ⊨ bound(?X) iff ?X ∈ dom(µ).
+type Bound struct{ X Var }
+
+// EqConst is the atom ?X = c: satisfied iff ?X ∈ dom(µ) and µ(?X) = c.
+type EqConst struct {
+	X Var
+	C rdf.IRI
+}
+
+// EqVars is the atom ?X = ?Y: satisfied iff both variables are bound
+// and have the same image.
+type EqVars struct{ X, Y Var }
+
+// Not is ¬R.
+type Not struct{ R Condition }
+
+// AndCond is R1 ∧ R2.
+type AndCond struct{ L, R Condition }
+
+// OrCond is R1 ∨ R2.
+type OrCond struct{ L, R Condition }
+
+// TrueCond is the constant true condition.
+type TrueCond struct{}
+
+// FalseCond is the constant false condition.
+type FalseCond struct{}
+
+func (Bound) isCondition()     {}
+func (EqConst) isCondition()   {}
+func (EqVars) isCondition()    {}
+func (Not) isCondition()       {}
+func (AndCond) isCondition()   {}
+func (OrCond) isCondition()    {}
+func (TrueCond) isCondition()  {}
+func (FalseCond) isCondition() {}
+
+// Eval implements Condition.
+func (c Bound) Eval(mu Mapping) bool { _, ok := mu[c.X]; return ok }
+
+// Eval implements Condition.
+func (c EqConst) Eval(mu Mapping) bool { i, ok := mu[c.X]; return ok && i == c.C }
+
+// Eval implements Condition.
+func (c EqVars) Eval(mu Mapping) bool {
+	i, ok := mu[c.X]
+	if !ok {
+		return false
+	}
+	j, ok := mu[c.Y]
+	return ok && i == j
+}
+
+// Eval implements Condition.
+func (c Not) Eval(mu Mapping) bool { return !c.R.Eval(mu) }
+
+// Eval implements Condition.
+func (c AndCond) Eval(mu Mapping) bool { return c.L.Eval(mu) && c.R.Eval(mu) }
+
+// Eval implements Condition.
+func (c OrCond) Eval(mu Mapping) bool { return c.L.Eval(mu) || c.R.Eval(mu) }
+
+// Eval implements Condition.
+func (TrueCond) Eval(Mapping) bool { return true }
+
+// Eval implements Condition.
+func (FalseCond) Eval(Mapping) bool { return false }
+
+// Vars implements Condition.
+func (c Bound) Vars(dst []Var) []Var { return append(dst, c.X) }
+
+// Vars implements Condition.
+func (c EqConst) Vars(dst []Var) []Var { return append(dst, c.X) }
+
+// Vars implements Condition.
+func (c EqVars) Vars(dst []Var) []Var { return append(dst, c.X, c.Y) }
+
+// Vars implements Condition.
+func (c Not) Vars(dst []Var) []Var { return c.R.Vars(dst) }
+
+// Vars implements Condition.
+func (c AndCond) Vars(dst []Var) []Var { return c.R.Vars(c.L.Vars(dst)) }
+
+// Vars implements Condition.
+func (c OrCond) Vars(dst []Var) []Var { return c.R.Vars(c.L.Vars(dst)) }
+
+// Vars implements Condition.
+func (TrueCond) Vars(dst []Var) []Var { return dst }
+
+// Vars implements Condition.
+func (FalseCond) Vars(dst []Var) []Var { return dst }
+
+func (c Bound) String() string   { return fmt.Sprintf("bound(%s)", c.X) }
+func (c EqConst) String() string { return fmt.Sprintf("%s = %s", c.X, I(c.C)) }
+func (c EqVars) String() string  { return fmt.Sprintf("%s = %s", c.X, c.Y) }
+func (c Not) String() string     { return fmt.Sprintf("!(%s)", c.R) }
+func (c AndCond) String() string { return fmt.Sprintf("(%s && %s)", c.L, c.R) }
+func (c OrCond) String() string  { return fmt.Sprintf("(%s || %s)", c.L, c.R) }
+func (TrueCond) String() string  { return "true" }
+func (FalseCond) String() string { return "false" }
+
+// CondEqual reports structural equality of two conditions.
+func CondEqual(a, b Condition) bool {
+	switch x := a.(type) {
+	case Bound:
+		y, ok := b.(Bound)
+		return ok && x == y
+	case EqConst:
+		y, ok := b.(EqConst)
+		return ok && x == y
+	case EqVars:
+		y, ok := b.(EqVars)
+		return ok && x == y
+	case Not:
+		y, ok := b.(Not)
+		return ok && CondEqual(x.R, y.R)
+	case AndCond:
+		y, ok := b.(AndCond)
+		return ok && CondEqual(x.L, y.L) && CondEqual(x.R, y.R)
+	case OrCond:
+		y, ok := b.(OrCond)
+		return ok && CondEqual(x.L, y.L) && CondEqual(x.R, y.R)
+	case TrueCond:
+		_, ok := b.(TrueCond)
+		return ok
+	case FalseCond:
+		_, ok := b.(FalseCond)
+		return ok
+	default:
+		panic(fmt.Sprintf("sparql: unknown condition type %T", a))
+	}
+}
+
+// ConjoinConds folds conditions with ∧; the empty conjunction is true.
+func ConjoinConds(cs ...Condition) Condition {
+	var out Condition
+	for _, c := range cs {
+		if out == nil {
+			out = c
+		} else {
+			out = AndCond{L: out, R: c}
+		}
+	}
+	if out == nil {
+		return TrueCond{}
+	}
+	return out
+}
+
+// DisjoinConds folds conditions with ∨; the empty disjunction is false.
+func DisjoinConds(cs ...Condition) Condition {
+	var out Condition
+	for _, c := range cs {
+		if out == nil {
+			out = c
+		} else {
+			out = OrCond{L: out, R: c}
+		}
+	}
+	if out == nil {
+		return FalseCond{}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package sparql
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestConditionEval(t *testing.T) {
+	mu := M("X", "a", "Y", "a", "Z", "b")
+	cases := []struct {
+		cond Condition
+		want bool
+	}{
+		{Bound{X: "X"}, true},
+		{Bound{X: "W"}, false},
+		{EqConst{X: "X", C: "a"}, true},
+		{EqConst{X: "X", C: "b"}, false},
+		{EqConst{X: "W", C: "a"}, false}, // unbound var: not satisfied
+		{EqVars{X: "X", Y: "Y"}, true},
+		{EqVars{X: "X", Y: "Z"}, false},
+		{EqVars{X: "X", Y: "W"}, false},
+		{EqVars{X: "W", Y: "X"}, false},
+		{Not{R: Bound{X: "W"}}, true},
+		{AndCond{L: Bound{X: "X"}, R: Bound{X: "Y"}}, true},
+		{AndCond{L: Bound{X: "X"}, R: Bound{X: "W"}}, false},
+		{OrCond{L: Bound{X: "W"}, R: Bound{X: "X"}}, true},
+		{OrCond{L: Bound{X: "W"}, R: Bound{X: "V"}}, false},
+		{TrueCond{}, true},
+		{FalseCond{}, false},
+	}
+	for _, c := range cases {
+		if got := c.cond.Eval(mu); got != c.want {
+			t.Errorf("%s on %s = %v, want %v", c.cond, mu, got, c.want)
+		}
+	}
+}
+
+func TestConditionVars(t *testing.T) {
+	c := AndCond{
+		L: OrCond{L: Bound{X: "A"}, R: EqConst{X: "B", C: "c"}},
+		R: Not{R: EqVars{X: "C", Y: "D"}},
+	}
+	got := c.Vars(nil)
+	want := []Var{"A", "B", "C", "D"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+}
+
+func TestCondEqual(t *testing.T) {
+	a := AndCond{L: Bound{X: "X"}, R: Not{R: EqConst{X: "Y", C: "c"}}}
+	b := AndCond{L: Bound{X: "X"}, R: Not{R: EqConst{X: "Y", C: "c"}}}
+	if !CondEqual(a, b) {
+		t.Fatal("identical conditions not equal")
+	}
+	if CondEqual(a, Bound{X: "X"}) {
+		t.Fatal("different conditions equal")
+	}
+	if CondEqual(OrCond{L: Bound{X: "X"}, R: Bound{X: "Y"}}, OrCond{L: Bound{X: "Y"}, R: Bound{X: "X"}}) {
+		t.Fatal("CondEqual is structural; operand order matters")
+	}
+	if !CondEqual(TrueCond{}, TrueCond{}) || CondEqual(TrueCond{}, FalseCond{}) {
+		t.Fatal("constant condition equality wrong")
+	}
+}
+
+func TestConjoinDisjoin(t *testing.T) {
+	if _, ok := ConjoinConds().(TrueCond); !ok {
+		t.Fatal("empty conjunction should be true")
+	}
+	if _, ok := DisjoinConds().(FalseCond); !ok {
+		t.Fatal("empty disjunction should be false")
+	}
+	c := ConjoinConds(Bound{X: "X"}, Bound{X: "Y"}, Bound{X: "Z"})
+	mu := M("X", "a", "Y", "b", "Z", "c")
+	if !c.Eval(mu) || c.Eval(M("X", "a")) {
+		t.Fatalf("conjunction eval wrong: %s", c)
+	}
+	d := DisjoinConds(Bound{X: "X"}, Bound{X: "Y"})
+	if !d.Eval(M("Y", "b")) || d.Eval(M("W", "w")) {
+		t.Fatalf("disjunction eval wrong: %s", d)
+	}
+	if single := ConjoinConds(Bound{X: "X"}); !CondEqual(single, Bound{X: "X"}) {
+		t.Fatal("singleton conjunction should be the condition itself")
+	}
+}
+
+func TestConditionStrings(t *testing.T) {
+	c := AndCond{L: OrCond{L: Bound{X: "X"}, R: EqVars{X: "X", Y: "Y"}}, R: Not{R: EqConst{X: "Z", C: "iri"}}}
+	s := c.String()
+	for _, want := range []string{"bound(?X)", "?X = ?Y", "!(?Z = iri)", "&&", "||"} {
+		if !contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}

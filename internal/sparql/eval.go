@@ -1,0 +1,142 @@
+package sparql
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// Eval computes ⟦P⟧_G bottom-up, following the semantics of Section 2.1
+// and the NS semantics of Section 5.1.
+func Eval(g *rdf.Graph, p Pattern) *MappingSet {
+	switch q := p.(type) {
+	case TriplePattern:
+		return evalTriple(g, q)
+	case And:
+		return Eval(g, q.L).Join(Eval(g, q.R))
+	case Union:
+		return Eval(g, q.L).Union(Eval(g, q.R))
+	case Opt:
+		return Eval(g, q.L).LeftJoin(Eval(g, q.R))
+	case Filter:
+		return Eval(g, q.P).Filter(q.Cond)
+	case Select:
+		return Eval(g, q.P).Project(q.Vars)
+	case NS:
+		return Eval(g, q.P).Maximal()
+	default:
+		panic(fmt.Sprintf("sparql: unknown pattern type %T", p))
+	}
+}
+
+// evalTriple computes ⟦t⟧_G = {µ | dom(µ) = var(t), µ(t) ∈ G}, handling
+// repeated variables within the triple pattern (e.g. (?X, p, ?X)).
+func evalTriple(g *rdf.Graph, t TriplePattern) *MappingSet {
+	out := NewMappingSet()
+	var s, p, o *rdf.IRI
+	if !t.S.IsVar() {
+		i := t.S.IRI()
+		s = &i
+	}
+	if !t.P.IsVar() {
+		i := t.P.IRI()
+		p = &i
+	}
+	if !t.O.IsVar() {
+		i := t.O.IRI()
+		o = &i
+	}
+	g.Match(s, p, o, func(tr rdf.Triple) bool {
+		mu := make(Mapping, 3)
+		if bindPos(mu, t.S, tr.S) && bindPos(mu, t.P, tr.P) && bindPos(mu, t.O, tr.O) {
+			out.Add(mu)
+		}
+		return true
+	})
+	return out
+}
+
+// bindPos binds a variable position of a triple pattern to the matched
+// IRI; it reports false when a repeated variable would need two
+// different images.
+func bindPos(mu Mapping, v Value, iri rdf.IRI) bool {
+	if !v.IsVar() {
+		return true
+	}
+	if prev, ok := mu[v.Var()]; ok {
+		return prev == iri
+	}
+	mu[v.Var()] = iri
+	return true
+}
+
+// ConstructQuery is (CONSTRUCT H WHERE P) (Section 6.1): Template is
+// the finite set of triple patterns H, Where the graph pattern P.
+type ConstructQuery struct {
+	Template []TriplePattern
+	Where    Pattern
+}
+
+// String renders the query in the concrete syntax of the parser.
+func (q ConstructQuery) String() string {
+	s := "CONSTRUCT {"
+	for i, t := range q.Template {
+		if i > 0 {
+			s += ", "
+		}
+		s += t.String()
+	}
+	return s + "} WHERE " + q.Where.String()
+}
+
+// Vars returns all variables mentioned in the query (template and
+// pattern).
+func (q ConstructQuery) Vars() []Var {
+	set := make(map[Var]struct{})
+	for _, t := range q.Template {
+		varsInto(t, set)
+	}
+	varsInto(q.Where, set)
+	out := make([]Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sortVars(out)
+	return out
+}
+
+func sortVars(vs []Var) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+// EvalConstruct computes ans(Q, G) = {µ(t) | µ ∈ ⟦P⟧_G, t ∈ H,
+// var(t) ⊆ dom(µ)} as an RDF graph (Section 6.1).
+func EvalConstruct(g *rdf.Graph, q ConstructQuery) *rdf.Graph {
+	out := rdf.NewGraph()
+	for _, mu := range Eval(g, q.Where).Mappings() {
+		for _, t := range q.Template {
+			if tr, ok := mu.Apply(t); ok {
+				out.AddTriple(tr)
+			}
+		}
+	}
+	return out
+}
+
+// ConstructContains reports t ∈ ans(Q, G) without materializing the
+// whole output graph; this is the decision problem Eval(G) of
+// Section 7.3.
+func ConstructContains(g *rdf.Graph, q ConstructQuery, t rdf.Triple) bool {
+	for _, mu := range Eval(g, q.Where).Mappings() {
+		for _, tp := range q.Template {
+			if tr, ok := mu.Apply(tp); ok && tr == t {
+				return true
+			}
+		}
+	}
+	return false
+}

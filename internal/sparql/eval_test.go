@@ -1,0 +1,223 @@
+package sparql
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// figure1Graph is the RDF graph of Figure 1 / Example 2.1.
+func figure1Graph() *rdf.Graph {
+	return rdf.FromTriples(
+		rdf.T("Gottfrid_Svartholm", "founder", "The_Pirate_Bay"),
+		rdf.T("Fredrik_Neij", "founder", "The_Pirate_Bay"),
+		rdf.T("Peter_Sunde", "founder", "The_Pirate_Bay"),
+		rdf.T("founder", "sub_property", "supporter"),
+		rdf.T("The_Pirate_Bay", "stands_for", "sharing_rights"),
+		rdf.T("Carl_Lundström", "supporter", "The_Pirate_Bay"),
+	)
+}
+
+// figure2G1 and figure2G2 are the graphs G1 ⊆ G2 of Figure 2.
+func figure2G1() *rdf.Graph {
+	return rdf.FromTriples(
+		rdf.T("prof_01", "name", "Cristian"),
+		rdf.T("prof_01", "email", "cris@puc.cl"),
+		rdf.T("prof_01", "works_at", "PUC Chile"),
+		rdf.T("prof_02", "name", "Denis"),
+		rdf.T("prof_02", "works_at", "U Oxford"),
+		rdf.T("Juan", "was_born_in", "Chile"),
+	)
+}
+
+func figure2G2() *rdf.Graph {
+	g := figure2G1()
+	g.Add("Juan", "email", "juan@puc.cl")
+	return g
+}
+
+func TestExample22(t *testing.T) {
+	// Example 2.2: founders and supporters of organizations standing for
+	// sharing rights.
+	g := figure1Graph()
+	p1 := And{
+		L: TP(V("o"), I("stands_for"), I("sharing_rights")),
+		R: Union{
+			L: TP(V("p"), I("founder"), V("o")),
+			R: TP(V("p"), I("supporter"), V("o")),
+		},
+	}
+	p := NewSelect([]Var{"p"}, p1)
+	got := Eval(g, p)
+	want := setOf(
+		M("p", "Gottfrid_Svartholm"),
+		M("p", "Fredrik_Neij"),
+		M("p", "Peter_Sunde"),
+		M("p", "Carl_Lundström"),
+	)
+	if !got.Equal(want) {
+		t.Fatalf("⟦P⟧G =\n%s\nwant\n%s", got.Table(), want.Table())
+	}
+
+	// Intermediate step from the paper: ⟦P1⟧G binds both ?p and ?o.
+	inner := Eval(g, p1)
+	if inner.Len() != 4 || !inner.Contains(M("p", "Carl_Lundström", "o", "The_Pirate_Bay")) {
+		t.Fatalf("⟦P1⟧G =\n%s", inner.Table())
+	}
+}
+
+func TestExample31OptSemantics(t *testing.T) {
+	// Example 3.1: P = (?X, was_born_in, Chile) OPT (?X, email, ?Y).
+	p := Opt{
+		L: TP(V("X"), I("was_born_in"), I("Chile")),
+		R: TP(V("X"), I("email"), V("Y")),
+	}
+	g1, g2 := figure2G1(), figure2G2()
+	r1 := Eval(g1, p)
+	if r1.Len() != 1 || !r1.Contains(M("X", "Juan")) {
+		t.Fatalf("⟦P⟧G1 = %v", r1)
+	}
+	r2 := Eval(g2, p)
+	if r2.Len() != 1 || !r2.Contains(M("X", "Juan", "Y", "juan@puc.cl")) {
+		t.Fatalf("⟦P⟧G2 = %v", r2)
+	}
+	// Not monotone: µ1 disappears...
+	if r2.Contains(M("X", "Juan")) {
+		t.Fatal("µ1 should not survive in G2")
+	}
+	// ...but weakly monotone on this pair: ⟦P⟧G1 ⊑ ⟦P⟧G2.
+	if !r1.SubsumedBy(r2) {
+		t.Fatal("⟦P⟧G1 ⊑ ⟦P⟧G2 must hold")
+	}
+}
+
+func TestExample33NotWeaklyMonotone(t *testing.T) {
+	// Example 3.3: the unnatural pattern that breaks weak monotonicity.
+	p := And{
+		L: TP(V("X"), I("was_born_in"), I("Chile")),
+		R: Opt{
+			L: TP(V("Y"), I("was_born_in"), I("Chile")),
+			R: TP(V("Y"), I("email"), V("X")),
+		},
+	}
+	g1, g2 := figure2G1(), figure2G2()
+	r1 := Eval(g1, p)
+	if r1.Len() != 1 || !r1.Contains(M("X", "Juan", "Y", "Juan")) {
+		t.Fatalf("⟦P⟧G1 = %v", r1)
+	}
+	r2 := Eval(g2, p)
+	if r2.Len() != 0 {
+		t.Fatalf("⟦P⟧G2 = %v, want ∅", r2)
+	}
+	if r1.SubsumedBy(r2) {
+		t.Fatal("pattern must violate weak monotonicity on this pair")
+	}
+}
+
+func TestEvalTripleGroundAndRepeatedVars(t *testing.T) {
+	g := rdf.FromTriples(rdf.T("a", "p", "a"), rdf.T("a", "p", "b"), rdf.T("c", "q", "c"))
+	// Ground pattern: answer is {µ∅} iff the triple is present.
+	r := Eval(g, TP(I("a"), I("p"), I("b")))
+	if r.Len() != 1 || !r.Contains(M()) {
+		t.Fatalf("ground pattern eval = %v", r)
+	}
+	if r := Eval(g, TP(I("a"), I("p"), I("zzz"))); r.Len() != 0 {
+		t.Fatalf("absent ground pattern eval = %v", r)
+	}
+	// Repeated variable: (?X, p, ?X) only matches (a, p, a).
+	r = Eval(g, TP(V("X"), I("p"), V("X")))
+	if r.Len() != 1 || !r.Contains(M("X", "a")) {
+		t.Fatalf("repeated-var eval = %v", r)
+	}
+	// All-variable pattern with repeated subject/object.
+	r = Eval(g, TP(V("X"), V("P"), V("X")))
+	want := setOf(M("X", "a", "P", "p"), M("X", "c", "P", "q"))
+	if !r.Equal(want) {
+		t.Fatalf("eval = %v, want %v", r, want)
+	}
+}
+
+func TestEvalFilter(t *testing.T) {
+	g := figure2G1()
+	p := Filter{
+		P:    TP(V("X"), I("works_at"), V("W")),
+		Cond: EqConst{X: "W", C: "PUC Chile"},
+	}
+	r := Eval(g, p)
+	if r.Len() != 1 || !r.Contains(M("X", "prof_01", "W", "PUC Chile")) {
+		t.Fatalf("filter eval = %v", r)
+	}
+}
+
+func TestEvalNS(t *testing.T) {
+	// NS removes properly subsumed answers (Section 5.1).
+	g := figure2G2()
+	p := NS{P: Union{
+		L: TP(V("X"), I("was_born_in"), I("Chile")),
+		R: And{
+			L: TP(V("X"), I("was_born_in"), I("Chile")),
+			R: TP(V("X"), I("email"), V("Y")),
+		},
+	}}
+	r := Eval(g, p)
+	if r.Len() != 1 || !r.Contains(M("X", "Juan", "Y", "juan@puc.cl")) {
+		t.Fatalf("NS eval = %v", r)
+	}
+	// On G1 (no email) the maximal answer is the bare binding.
+	r = Eval(figure2G1(), p)
+	if r.Len() != 1 || !r.Contains(M("X", "Juan")) {
+		t.Fatalf("NS eval on G1 = %v", r)
+	}
+}
+
+func TestExample61Construct(t *testing.T) {
+	// Example 6.1 over the Figure 3 graph.
+	g := rdf.FromTriples(
+		rdf.T("prof_01", "name", "Cristian"),
+		rdf.T("prof_01", "email", "cris@puc.cl"),
+		rdf.T("prof_01", "works_at", "U_Oxford"),
+		rdf.T("prof_01", "works_at", "PUC_Chile"),
+		rdf.T("prof_02", "name", "Denis"),
+		rdf.T("prof_02", "works_at", "PUC_Chile"),
+		rdf.T("Juan", "was_born_in", "Chile"),
+		rdf.T("Juan", "email", "juan@puc.cl"),
+	)
+	q := ConstructQuery{
+		Template: []TriplePattern{
+			TP(V("n"), I("affiliated_to"), V("u")),
+			TP(V("n"), I("email"), V("e")),
+		},
+		Where: Opt{
+			L: And{
+				L: TP(V("p"), I("name"), V("n")),
+				R: TP(V("p"), I("works_at"), V("u")),
+			},
+			R: TP(V("p"), I("email"), V("e")),
+		},
+	}
+	out := EvalConstruct(g, q)
+	want := rdf.FromTriples(
+		rdf.T("Denis", "affiliated_to", "PUC_Chile"),
+		rdf.T("Cristian", "affiliated_to", "U_Oxford"),
+		rdf.T("Cristian", "affiliated_to", "PUC_Chile"),
+		rdf.T("Cristian", "email", "cris@puc.cl"),
+	)
+	if !out.Equal(want) {
+		t.Fatalf("ans(Q,G) =\n%s\nwant\n%s", out, want)
+	}
+	if !ConstructContains(g, q, rdf.T("Cristian", "email", "cris@puc.cl")) {
+		t.Fatal("ConstructContains missed a produced triple")
+	}
+	if ConstructContains(g, q, rdf.T("Denis", "email", "x")) {
+		t.Fatal("ConstructContains reported an absent triple")
+	}
+}
+
+func TestEvalSelectProjectsSubset(t *testing.T) {
+	g := figure1Graph()
+	p := NewSelect([]Var{"p", "nonexistent"}, TP(V("p"), I("founder"), V("o")))
+	r := Eval(g, p)
+	if r.Len() != 3 || !r.Contains(M("p", "Peter_Sunde")) {
+		t.Fatalf("select eval = %v", r)
+	}
+}

@@ -1,0 +1,179 @@
+package sparql
+
+// Pattern-level algebraic laws, checked semantically on random graphs.
+// These are the classic SPARQL equivalences (Schmidt, Meier and Lausen;
+// Pérez, Arenas and Gutierrez) plus the NS laws of the paper, and they
+// underwrite the rewrites the planner is allowed to perform.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func equivalentOn(t *testing.T, rng *rand.Rand, p, q Pattern) bool {
+	t.Helper()
+	for i := 0; i < 15; i++ {
+		g := randomGraphLocal(rng, rng.Intn(15))
+		if !Eval(g, p).Equal(Eval(g, q)) {
+			t.Logf("patterns differ:\n  %s\n  %s\non graph\n%s", p, q, g)
+			return false
+		}
+	}
+	return true
+}
+
+func TestUnionLawsQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomPatternLocal(rng, 2)
+		b := randomPatternLocal(rng, 2)
+		c := randomPatternLocal(rng, 2)
+		// Commutativity, associativity, idempotence.
+		return equivalentOn(t, rng, Union{L: a, R: b}, Union{L: b, R: a}) &&
+			equivalentOn(t, rng, Union{L: a, R: Union{L: b, R: c}}, Union{L: Union{L: a, R: b}, R: c}) &&
+			equivalentOn(t, rng, Union{L: a, R: a}, a)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndLawsQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomPatternLocal(rng, 2)
+		b := randomPatternLocal(rng, 2)
+		c := randomPatternLocal(rng, 2)
+		// Commutativity, associativity, distribution over UNION.
+		return equivalentOn(t, rng, And{L: a, R: b}, And{L: b, R: a}) &&
+			equivalentOn(t, rng, And{L: a, R: And{L: b, R: c}}, And{L: And{L: a, R: b}, R: c}) &&
+			equivalentOn(t, rng,
+				And{L: a, R: Union{L: b, R: c}},
+				Union{L: And{L: a, R: b}, R: And{L: a, R: c}})
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterLawsQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomPatternLocal(rng, 2)
+		r1 := randomCondLocal(rng, 2)
+		r2 := randomCondLocal(rng, 2)
+		// Conjunction decomposition and filter commutation.
+		if !equivalentOn(t, rng,
+			Filter{P: a, Cond: AndCond{L: r1, R: r2}},
+			Filter{P: Filter{P: a, Cond: r1}, Cond: r2}) {
+			return false
+		}
+		if !equivalentOn(t, rng,
+			Filter{P: Filter{P: a, Cond: r1}, Cond: r2},
+			Filter{P: Filter{P: a, Cond: r2}, Cond: r1}) {
+			return false
+		}
+		// Disjunction splits through UNION.
+		return equivalentOn(t, rng,
+			Filter{P: a, Cond: OrCond{L: r1, R: r2}},
+			Union{L: Filter{P: a, Cond: r1}, R: Filter{P: a, Cond: r2}})
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptLawsQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomPatternLocal(rng, 2)
+		b := randomPatternLocal(rng, 2)
+		c := randomPatternLocal(rng, 2)
+		// OPT distributes over UNION on the *left* only.
+		return equivalentOn(t, rng,
+			Opt{L: Union{L: a, R: b}, R: c},
+			Union{L: Opt{L: a, R: c}, R: Opt{L: b, R: c}})
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptRightUnionNotDistributive(t *testing.T) {
+	// The classic counterexample (errata to Pérez et al.): P OPT (Q1
+	// UNION Q2) is NOT equivalent to (P OPT Q1) UNION (P OPT Q2).  This
+	// is the Theorem 3.6 witness shape; certify the inequivalence.
+	p := TP(V("X"), I("a"), I("b"))
+	q1 := TP(V("X"), I("c"), V("Y"))
+	q2 := TP(V("X"), I("d"), V("Z"))
+	lhs := Opt{L: p, R: Union{L: q1, R: q2}}
+	rhs := Union{L: Opt{L: p, R: q1}, R: Opt{L: p, R: q2}}
+	g := randomGraphLocal(rand.New(rand.NewSource(1)), 0)
+	g.Add("1", "a", "b")
+	g.Add("1", "c", "2")
+	if Eval(g, lhs).Equal(Eval(g, rhs)) {
+		t.Fatalf("expected inequivalence on\n%s", g)
+	}
+}
+
+func TestNSLawsQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomPatternLocal(rng, 2)
+		b := randomPatternLocal(rng, 2)
+		// NS is idempotent.
+		if !equivalentOn(t, rng, NS{P: NS{P: a}}, NS{P: a}) {
+			return false
+		}
+		// NS commutes with FILTER?  No — but NS over UNION of a pattern
+		// with itself collapses.
+		if !equivalentOn(t, rng, NS{P: Union{L: a, R: a}}, NS{P: a}) {
+			return false
+		}
+		// NS(a UNION b) ⊑-equals NS(NS(a) UNION NS(b)).
+		for i := 0; i < 10; i++ {
+			g := randomGraphLocal(rng, rng.Intn(15))
+			l := Eval(g, NS{P: Union{L: a, R: b}})
+			r := Eval(g, NS{P: Union{L: NS{P: a}, R: NS{P: b}}})
+			if !l.Equal(r) {
+				t.Logf("NS-union law failed on\n%s", g)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectLawsQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomPatternLocal(rng, 2)
+		vars := Vars(a)
+		if len(vars) == 0 {
+			return true
+		}
+		v := vars[rng.Intn(len(vars))]
+		// Nested SELECT collapses to the intersection of the lists.
+		inner := NewSelect(vars, a)
+		outer := NewSelect([]Var{v}, inner)
+		collapsed := NewSelect([]Var{v}, a)
+		if !equivalentOn(t, rng, outer, collapsed) {
+			return false
+		}
+		// SELECT over all variables is the identity.
+		return equivalentOn(t, rng, NewSelect(vars, a), a)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package sparql
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func TestMappingBasics(t *testing.T) {
+	mu := M("X", "juan", "Y", "juan@puc.cl")
+	if got := mu.Domain(); !reflect.DeepEqual(got, []Var{"X", "Y"}) {
+		t.Fatalf("Domain = %v", got)
+	}
+	if mu.String() != "[?X → juan, ?Y → juan@puc.cl]" {
+		t.Fatalf("String = %q", mu.String())
+	}
+	cl := mu.Clone()
+	cl["Z"] = "z"
+	if _, ok := mu["Z"]; ok {
+		t.Fatal("Clone is not independent")
+	}
+}
+
+func TestCompatibility(t *testing.T) {
+	mu1 := M("X", "a", "Y", "b")
+	mu2 := M("Y", "b", "Z", "c")
+	mu3 := M("Y", "OTHER")
+	if !mu1.CompatibleWith(mu2) || !mu2.CompatibleWith(mu1) {
+		t.Fatal("agreeing mappings reported incompatible")
+	}
+	if mu1.CompatibleWith(mu3) || mu3.CompatibleWith(mu1) {
+		t.Fatal("disagreeing mappings reported compatible")
+	}
+	empty := M()
+	if !empty.CompatibleWith(mu1) || !mu1.CompatibleWith(empty) {
+		t.Fatal("empty mapping must be compatible with everything")
+	}
+	got := mu1.Merge(mu2)
+	want := M("X", "a", "Y", "b", "Z", "c")
+	if !got.Equal(want) {
+		t.Fatalf("Merge = %v, want %v", got, want)
+	}
+}
+
+func TestSubsumption(t *testing.T) {
+	small := M("X", "a")
+	big := M("X", "a", "Y", "b")
+	other := M("X", "DIFFERENT")
+	if !small.SubsumedBy(big) {
+		t.Fatal("⪯ failed on extension")
+	}
+	if !small.SubsumedBy(small) {
+		t.Fatal("⪯ must be reflexive")
+	}
+	if small.ProperlySubsumedBy(small) {
+		t.Fatal("≺ must be irreflexive")
+	}
+	if !small.ProperlySubsumedBy(big) {
+		t.Fatal("≺ failed on strict extension")
+	}
+	if big.SubsumedBy(small) {
+		t.Fatal("⪯ held in the wrong direction")
+	}
+	if small.SubsumedBy(other) || other.SubsumedBy(small) {
+		t.Fatal("⪯ held between incompatible mappings")
+	}
+	if !M().SubsumedBy(small) {
+		t.Fatal("empty mapping must be subsumed by everything")
+	}
+}
+
+func TestRestrictAndBind(t *testing.T) {
+	mu := M("X", "a", "Y", "b", "Z", "c")
+	got := mu.Restrict([]Var{"X", "Z", "W"})
+	if !got.Equal(M("X", "a", "Z", "c")) {
+		t.Fatalf("Restrict = %v", got)
+	}
+	b := mu.Bind("W", "w")
+	if !b.Equal(M("X", "a", "Y", "b", "Z", "c", "W", "w")) {
+		t.Fatalf("Bind = %v", b)
+	}
+	if _, ok := mu["W"]; ok {
+		t.Fatal("Bind mutated receiver")
+	}
+}
+
+func TestApply(t *testing.T) {
+	mu := M("X", "juan", "Y", "chile")
+	tp := TP(V("X"), I("was_born_in"), V("Y"))
+	tr, ok := mu.Apply(tp)
+	if !ok || tr != rdf.T("juan", "was_born_in", "chile") {
+		t.Fatalf("Apply = %v, %v", tr, ok)
+	}
+	if _, ok := M("X", "juan").Apply(tp); ok {
+		t.Fatal("Apply succeeded with unbound variable")
+	}
+	tr, ok = mu.Apply(TP(I("a"), I("b"), I("c")))
+	if !ok || tr != rdf.T("a", "b", "c") {
+		t.Fatal("Apply failed on ground triple pattern")
+	}
+}
+
+// randomMapping draws a mapping over vars X0..X{nv-1} with values from a
+// small IRI pool, so that compatible/subsumed pairs are common.
+func randomMapping(rng *rand.Rand, nv, nIRIs int) Mapping {
+	mu := make(Mapping)
+	for i := 0; i < nv; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			mu[Var(rune('A'+i))] = rdf.IRI(rune('a' + rng.Intn(nIRIs)))
+		}
+	}
+	return mu
+}
+
+func TestSubsumptionIsPartialOrderQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMapping(rng, 4, 3)
+		b := randomMapping(rng, 4, 3)
+		c := randomMapping(rng, 4, 3)
+		// Antisymmetry.
+		if a.SubsumedBy(b) && b.SubsumedBy(a) && !a.Equal(b) {
+			return false
+		}
+		// Transitivity.
+		if a.SubsumedBy(b) && b.SubsumedBy(c) && !a.SubsumedBy(c) {
+			return false
+		}
+		// Reflexivity.
+		return a.SubsumedBy(a)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeSubsumesBothQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMapping(rng, 4, 3)
+		b := randomMapping(rng, 4, 3)
+		if !a.CompatibleWith(b) {
+			return true
+		}
+		m := a.Merge(b)
+		return a.SubsumedBy(m) && b.SubsumedBy(m)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

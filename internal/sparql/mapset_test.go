@@ -1,0 +1,276 @@
+package sparql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func setOf(mus ...Mapping) *MappingSet { return NewMappingSet(mus...) }
+
+func TestMappingSetAddDedup(t *testing.T) {
+	s := NewMappingSet()
+	if !s.Add(M("X", "a")) {
+		t.Fatal("first Add returned false")
+	}
+	if s.Add(M("X", "a")) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if s.Len() != 1 || !s.Contains(M("X", "a")) {
+		t.Fatal("set state wrong after dedup")
+	}
+}
+
+func TestJoinPaperDefinition(t *testing.T) {
+	// Example 2.2 of the paper: joining the stands_for mapping with the
+	// founder/supporter union keeps all four people.
+	standsFor := setOf(M("o", "The_Pirate_Bay"))
+	people := setOf(
+		M("p", "Gottfrid_Svartholm", "o", "The_Pirate_Bay"),
+		M("p", "Fredrik_Neij", "o", "The_Pirate_Bay"),
+		M("p", "Peter_Sunde", "o", "The_Pirate_Bay"),
+		M("p", "Carl_Lundström", "o", "The_Pirate_Bay"),
+	)
+	j := standsFor.Join(people)
+	if !j.Equal(people) {
+		t.Fatalf("join = %v", j)
+	}
+}
+
+func TestJoinIncompatible(t *testing.T) {
+	a := setOf(M("X", "1"))
+	b := setOf(M("X", "2"))
+	if j := a.Join(b); j.Len() != 0 {
+		t.Fatalf("join of incompatible sets = %v", j)
+	}
+}
+
+func TestDiffAndLeftJoin(t *testing.T) {
+	born := setOf(M("X", "juan"))
+	email := setOf(M("X", "juan", "Y", "juan@puc.cl"))
+	// With the email present, the left-outer join extends the mapping.
+	lj := born.LeftJoin(email)
+	if lj.Len() != 1 || !lj.Contains(M("X", "juan", "Y", "juan@puc.cl")) {
+		t.Fatalf("left join = %v", lj)
+	}
+	// With no compatible right side, the left side survives via Diff.
+	other := setOf(M("X", "pedro", "Y", "p@x"))
+	lj = born.LeftJoin(other)
+	if lj.Len() != 1 || !lj.Contains(M("X", "juan")) {
+		t.Fatalf("left join (no match) = %v", lj)
+	}
+	d := born.Diff(email)
+	if d.Len() != 0 {
+		t.Fatalf("diff with compatible right side = %v", d)
+	}
+}
+
+func TestDiffEmptyMappingAbsorbs(t *testing.T) {
+	// The empty mapping is compatible with everything, so a right side
+	// containing it empties the difference.
+	l := setOf(M("X", "a"), M("Y", "b"))
+	r := setOf(M())
+	if d := l.Diff(r); d.Len() != 0 {
+		t.Fatalf("diff = %v", d)
+	}
+}
+
+func TestProjectAndFilter(t *testing.T) {
+	s := setOf(M("X", "a", "Y", "b"), M("X", "c"))
+	p := s.Project([]Var{"Y"})
+	if p.Len() != 2 || !p.Contains(M("Y", "b")) || !p.Contains(M()) {
+		t.Fatalf("project = %v", p)
+	}
+	f := s.Filter(Bound{X: "Y"})
+	if f.Len() != 1 || !f.Contains(M("X", "a", "Y", "b")) {
+		t.Fatalf("filter = %v", f)
+	}
+}
+
+func TestSubsumedBySets(t *testing.T) {
+	small := setOf(M("X", "a"))
+	big := setOf(M("X", "a", "Y", "b"), M("Z", "z"))
+	if !small.SubsumedBy(big) {
+		t.Fatal("⊑ failed")
+	}
+	if big.SubsumedBy(small) {
+		t.Fatal("⊑ held in the wrong direction")
+	}
+	if !NewMappingSet().SubsumedBy(small) {
+		t.Fatal("∅ ⊑ Ω must hold")
+	}
+	if small.SubsumedBy(NewMappingSet()) {
+		t.Fatal("nonempty ⊑ ∅ must fail")
+	}
+}
+
+func TestMaximalSimple(t *testing.T) {
+	s := setOf(
+		M("X", "a"),
+		M("X", "a", "Y", "b"),
+		M("X", "c"),
+		M("Y", "b"),
+	)
+	m := s.Maximal()
+	want := setOf(M("X", "a", "Y", "b"), M("X", "c"))
+	if !m.Equal(want) {
+		t.Fatalf("Maximal = %v, want %v", m, want)
+	}
+}
+
+func TestMaximalEmptyMapping(t *testing.T) {
+	// The empty mapping survives only when it is the sole member.
+	if m := setOf(M()).Maximal(); m.Len() != 1 || !m.Contains(M()) {
+		t.Fatalf("Maximal({µ∅}) = %v", m)
+	}
+	if m := setOf(M(), M("X", "a")).Maximal(); m.Len() != 1 || !m.Contains(M("X", "a")) {
+		t.Fatalf("Maximal = %v", m)
+	}
+}
+
+func randomMappingSet(rng *rand.Rand, n int) *MappingSet {
+	s := NewMappingSet()
+	for i := 0; i < n; i++ {
+		s.Add(randomMapping(rng, 4, 3))
+	}
+	return s
+}
+
+func TestMaximalBucketedMatchesNaiveQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomMappingSet(rng, rng.Intn(40))
+		return s.MaximalBucketed().Equal(s.MaximalNaive())
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaximalIdempotentQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomMappingSet(rng, rng.Intn(40))
+		m := s.Maximal()
+		return m.Maximal().Equal(m) && m.SubsumptionEquivalent(s)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgebraLawsQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMappingSet(rng, rng.Intn(15))
+		b := randomMappingSet(rng, rng.Intn(15))
+		c := randomMappingSet(rng, rng.Intn(15))
+		// Join and Union are commutative and associative.
+		if !a.Join(b).Equal(b.Join(a)) {
+			return false
+		}
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		if !a.Join(b.Join(c)).Equal(a.Join(b).Join(c)) {
+			return false
+		}
+		if !a.Union(b.Union(c)).Equal(a.Union(b).Union(c)) {
+			return false
+		}
+		// Join distributes over Union (Prop. in [30] §2).
+		if !a.Join(b.Union(c)).Equal(a.Join(b).Union(a.Join(c))) {
+			return false
+		}
+		// LeftJoin definition.
+		return a.LeftJoin(b).Equal(a.Join(b).Union(a.Diff(b)))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	s := setOf(M("p", "Peter_Sunde"), M("p", "Fredrik_Neij"))
+	tab := s.Table()
+	if !strings.Contains(tab, "?p") || !strings.Contains(tab, "Peter_Sunde") {
+		t.Fatalf("table = %q", tab)
+	}
+	empty := NewMappingSet().Table()
+	if !strings.Contains(empty, "no solutions") {
+		t.Fatalf("empty table = %q", empty)
+	}
+}
+
+func TestSortedDeterministic(t *testing.T) {
+	s := setOf(M("X", "b"), M("X", "a"))
+	got := s.Sorted()
+	if !got[0].Equal(M("X", "a")) || !got[1].Equal(M("X", "b")) {
+		t.Fatalf("Sorted = %v", got)
+	}
+}
+
+func TestHashJoinMatchesNestedQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMappingSet(rng, rng.Intn(25))
+		b := randomMappingSet(rng, rng.Intn(25))
+		if !a.JoinHash(b).Equal(a.Join(b)) {
+			t.Logf("JoinHash differs on\n%v\n%v", a, b)
+			return false
+		}
+		if !a.DiffHash(b).Equal(a.Diff(b)) {
+			t.Logf("DiffHash differs on\n%v\n%v", a, b)
+			return false
+		}
+		return a.LeftJoinHash(b).Equal(a.LeftJoin(b))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashJoinHomogeneous(t *testing.T) {
+	// Homogeneous sides exercise the bucketed fast path.
+	a := setOf(M("X", "1", "Y", "a"), M("X", "2", "Y", "b"), M("X", "3", "Y", "c"))
+	b := setOf(M("X", "1", "Z", "p"), M("X", "2", "Z", "q"), M("X", "9", "Z", "r"))
+	j := a.JoinHash(b)
+	want := setOf(M("X", "1", "Y", "a", "Z", "p"), M("X", "2", "Y", "b", "Z", "q"))
+	if !j.Equal(want) {
+		t.Fatalf("JoinHash = %v", j)
+	}
+	d := a.DiffHash(b)
+	if !d.Equal(setOf(M("X", "3", "Y", "c"))) {
+		t.Fatalf("DiffHash = %v", d)
+	}
+}
+
+func TestHashJoinEmptySides(t *testing.T) {
+	a := setOf(M("X", "1"))
+	empty := NewMappingSet()
+	if a.JoinHash(empty).Len() != 0 || empty.JoinHash(a).Len() != 0 {
+		t.Fatal("join with empty side not empty")
+	}
+	if !a.DiffHash(empty).Equal(a) {
+		t.Fatal("diff with empty right side should keep everything")
+	}
+	if empty.DiffHash(a).Len() != 0 {
+		t.Fatal("diff of empty left side should be empty")
+	}
+}
+
+func TestAlwaysBoundVars(t *testing.T) {
+	s := setOf(M("X", "1", "Y", "a"), M("X", "2"))
+	got := s.alwaysBoundVars()
+	if len(got) != 1 || got[0] != "X" {
+		t.Fatalf("alwaysBoundVars = %v", got)
+	}
+	if NewMappingSet().alwaysBoundVars() != nil {
+		t.Fatal("empty set should have nil always-bound vars")
+	}
+}

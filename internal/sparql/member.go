@@ -1,0 +1,104 @@
+package sparql
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// Member decides the evaluation problem of Section 7 — µ ∈ ⟦P⟧_G? —
+// without materializing the full answer set.  It runs the constrained
+// evaluation EvalCompatible with µ as the constraint, which substitutes
+// µ's bindings into triple patterns as constants, pruning the search
+// space to mappings compatible with µ.
+func Member(g *rdf.Graph, p Pattern, mu Mapping) bool {
+	return EvalCompatible(g, p, mu).Contains(mu)
+}
+
+// EvalCompatible returns {ν ∈ ⟦P⟧_G | ν ∼ c}: exactly the answers
+// compatible with the constraint mapping c.  With c = µ∅ it coincides
+// with Eval.
+//
+// The pruning pushes c through the algebra:
+//
+//   - triple patterns treat variables bound by c as constants;
+//   - AND/UNION/FILTER constrain both sides with c directly (a join
+//     result is compatible with c iff both factors are);
+//   - SELECT restricts the constraint to the projected variables;
+//   - the difference part of OPT and the maximality check of NS re-run
+//     the sub-pattern constrained by the *candidate* mapping, since a
+//     blocking extension need not be compatible with c.
+func EvalCompatible(g *rdf.Graph, p Pattern, c Mapping) *MappingSet {
+	switch q := p.(type) {
+	case TriplePattern:
+		return evalTripleConstrained(g, q, c)
+	case And:
+		return EvalCompatible(g, q.L, c).JoinHash(EvalCompatible(g, q.R, c))
+	case Union:
+		return EvalCompatible(g, q.L, c).Union(EvalCompatible(g, q.R, c))
+	case Opt:
+		left := EvalCompatible(g, q.L, c)
+		out := left.JoinHash(EvalCompatible(g, q.R, c))
+		for _, mu1 := range left.Mappings() {
+			// µ1 survives iff no mapping of ⟦P2⟧ is compatible with it —
+			// a check on the *unrestricted* right side, pruned by µ1.
+			if EvalCompatible(g, q.R, mu1).Len() == 0 {
+				out.Add(mu1)
+			}
+		}
+		return out
+	case Filter:
+		return EvalCompatible(g, q.P, c).Filter(q.Cond)
+	case Select:
+		inner := EvalCompatible(g, q.P, c.Restrict(q.Vars))
+		return inner.Project(q.Vars)
+	case NS:
+		cands := EvalCompatible(g, q.P, c)
+		out := NewMappingSet()
+		for _, mu := range cands.Mappings() {
+			// A proper subsumer of µ is compatible with µ but not
+			// necessarily with c, so re-evaluate constrained by µ.
+			maximal := true
+			for _, nu := range EvalCompatible(g, q.P, mu).Mappings() {
+				if mu.ProperlySubsumedBy(nu) {
+					maximal = false
+					break
+				}
+			}
+			if maximal {
+				out.Add(mu)
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("sparql: unknown pattern type %T", p))
+	}
+}
+
+// evalTripleConstrained matches a triple pattern with the constraint's
+// bindings substituted as constants.
+func evalTripleConstrained(g *rdf.Graph, t TriplePattern, c Mapping) *MappingSet {
+	bind := func(v Value) Value {
+		if v.IsVar() {
+			if iri, ok := c[v.Var()]; ok {
+				return I(iri)
+			}
+		}
+		return v
+	}
+	ground := TP(bind(t.S), bind(t.P), bind(t.O))
+	out := NewMappingSet()
+	for _, mu := range Eval(g, ground).Mappings() {
+		// Re-attach the substituted bindings, so that dom(ν) = var(t)
+		// as the semantics requires.  (A substituted variable cannot
+		// also be matched: it occurs only as a constant in ground.)
+		full := mu.Clone()
+		for _, v := range Vars(t) {
+			if iri, ok := c[v]; ok {
+				full[v] = iri
+			}
+		}
+		out.Add(full)
+	}
+	return out
+}

@@ -1,0 +1,442 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Pattern is an NS-SPARQL graph pattern: a triple pattern, or one of
+// the operators AND, UNION, OPT, FILTER, SELECT (Section 2.1) and NS
+// (Section 5.1) applied to sub-patterns.
+type Pattern interface {
+	// String renders the pattern in the concrete syntax accepted by the
+	// parser package.
+	String() string
+	isPattern()
+}
+
+// TriplePattern is a triple in (I ∪ V) × (I ∪ V) × (I ∪ V).
+type TriplePattern struct{ S, P, O Value }
+
+// And is (P1 AND P2).
+type And struct{ L, R Pattern }
+
+// Union is (P1 UNION P2).
+type Union struct{ L, R Pattern }
+
+// Opt is (P1 OPT P2).
+type Opt struct{ L, R Pattern }
+
+// Filter is (P FILTER R).
+type Filter struct {
+	P    Pattern
+	Cond Condition
+}
+
+// Select is (SELECT V WHERE P).  Vars must be sorted and duplicate-free;
+// use NewSelect to normalize.
+type Select struct {
+	Vars []Var
+	P    Pattern
+}
+
+// NS is NS(P), the not-subsumed operator of Section 5.1:
+// ⟦NS(P)⟧_G = ⟦P⟧_G^max, the subsumption-maximal answers.
+type NS struct{ P Pattern }
+
+func (TriplePattern) isPattern() {}
+func (And) isPattern()           {}
+func (Union) isPattern()         {}
+func (Opt) isPattern()           {}
+func (Filter) isPattern()        {}
+func (Select) isPattern()        {}
+func (NS) isPattern()            {}
+
+// TP builds a triple pattern.
+func TP(s, p, o Value) TriplePattern { return TriplePattern{S: s, P: p, O: o} }
+
+// NewSelect builds a Select with the variable list sorted and
+// de-duplicated.
+func NewSelect(vars []Var, p Pattern) Select {
+	seen := make(map[Var]struct{}, len(vars))
+	out := make([]Var, 0, len(vars))
+	for _, v := range vars {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return Select{Vars: out, P: p}
+}
+
+func (t TriplePattern) String() string {
+	return fmt.Sprintf("(%s %s %s)", t.S, t.P, t.O)
+}
+
+func (p And) String() string   { return fmt.Sprintf("(%s AND %s)", p.L, p.R) }
+func (p Union) String() string { return fmt.Sprintf("(%s UNION %s)", p.L, p.R) }
+func (p Opt) String() string   { return fmt.Sprintf("(%s OPT %s)", p.L, p.R) }
+func (p Filter) String() string {
+	return fmt.Sprintf("(%s FILTER (%s))", p.P, p.Cond)
+}
+
+func (p Select) String() string {
+	names := make([]string, len(p.Vars))
+	for i, v := range p.Vars {
+		names[i] = v.String()
+	}
+	return fmt.Sprintf("(SELECT {%s} WHERE %s)", strings.Join(names, ", "), p.P)
+}
+
+func (p NS) String() string { return fmt.Sprintf("NS(%s)", p.P) }
+
+// Vars returns var(P): all variables mentioned in P (including inside
+// FILTER conditions and SELECT lists), sorted.
+func Vars(p Pattern) []Var {
+	set := make(map[Var]struct{})
+	varsInto(p, set)
+	out := make([]Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func varsInto(p Pattern, set map[Var]struct{}) {
+	switch q := p.(type) {
+	case TriplePattern:
+		for _, v := range []Value{q.S, q.P, q.O} {
+			if v.IsVar() {
+				set[v.Var()] = struct{}{}
+			}
+		}
+	case And:
+		varsInto(q.L, set)
+		varsInto(q.R, set)
+	case Union:
+		varsInto(q.L, set)
+		varsInto(q.R, set)
+	case Opt:
+		varsInto(q.L, set)
+		varsInto(q.R, set)
+	case Filter:
+		varsInto(q.P, set)
+		for _, v := range q.Cond.Vars(nil) {
+			set[v] = struct{}{}
+		}
+	case Select:
+		varsInto(q.P, set)
+		for _, v := range q.Vars {
+			set[v] = struct{}{}
+		}
+	case NS:
+		varsInto(q.P, set)
+	default:
+		panic(fmt.Sprintf("sparql: unknown pattern type %T", p))
+	}
+}
+
+// InScopeVars returns the variables that can occur in the domain of an
+// answer to P: all variables for the operators of the paper, except
+// that SELECT restricts scope to its variable list.
+func InScopeVars(p Pattern) []Var {
+	set := make(map[Var]struct{})
+	inScopeInto(p, set)
+	out := make([]Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func inScopeInto(p Pattern, set map[Var]struct{}) {
+	switch q := p.(type) {
+	case TriplePattern:
+		varsInto(q, set)
+	case And:
+		inScopeInto(q.L, set)
+		inScopeInto(q.R, set)
+	case Union:
+		inScopeInto(q.L, set)
+		inScopeInto(q.R, set)
+	case Opt:
+		inScopeInto(q.L, set)
+		inScopeInto(q.R, set)
+	case Filter:
+		inScopeInto(q.P, set)
+	case Select:
+		inner := make(map[Var]struct{})
+		inScopeInto(q.P, inner)
+		for _, v := range q.Vars {
+			if _, ok := inner[v]; ok {
+				set[v] = struct{}{}
+			}
+		}
+	case NS:
+		inScopeInto(q.P, set)
+	default:
+		panic(fmt.Sprintf("sparql: unknown pattern type %T", p))
+	}
+}
+
+// IRIs returns I(P): all IRIs mentioned in P (including FILTER
+// constants), sorted.
+func IRIs(p Pattern) []rdf.IRI {
+	set := make(map[rdf.IRI]struct{})
+	irisInto(p, set)
+	out := make([]rdf.IRI, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func irisInto(p Pattern, set map[rdf.IRI]struct{}) {
+	switch q := p.(type) {
+	case TriplePattern:
+		for _, v := range []Value{q.S, q.P, q.O} {
+			if !v.IsVar() {
+				set[v.IRI()] = struct{}{}
+			}
+		}
+	case And:
+		irisInto(q.L, set)
+		irisInto(q.R, set)
+	case Union:
+		irisInto(q.L, set)
+		irisInto(q.R, set)
+	case Opt:
+		irisInto(q.L, set)
+		irisInto(q.R, set)
+	case Filter:
+		irisInto(q.P, set)
+		condIRIsInto(q.Cond, set)
+	case Select:
+		irisInto(q.P, set)
+	case NS:
+		irisInto(q.P, set)
+	default:
+		panic(fmt.Sprintf("sparql: unknown pattern type %T", p))
+	}
+}
+
+func condIRIsInto(c Condition, set map[rdf.IRI]struct{}) {
+	switch r := c.(type) {
+	case EqConst:
+		set[r.C] = struct{}{}
+	case Not:
+		condIRIsInto(r.R, set)
+	case AndCond:
+		condIRIsInto(r.L, set)
+		condIRIsInto(r.R, set)
+	case OrCond:
+		condIRIsInto(r.L, set)
+		condIRIsInto(r.R, set)
+	}
+}
+
+// Equal reports structural equality of two patterns.
+func Equal(a, b Pattern) bool {
+	switch x := a.(type) {
+	case TriplePattern:
+		y, ok := b.(TriplePattern)
+		return ok && x == y
+	case And:
+		y, ok := b.(And)
+		return ok && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case Union:
+		y, ok := b.(Union)
+		return ok && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case Opt:
+		y, ok := b.(Opt)
+		return ok && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case Filter:
+		y, ok := b.(Filter)
+		return ok && Equal(x.P, y.P) && CondEqual(x.Cond, y.Cond)
+	case Select:
+		y, ok := b.(Select)
+		if !ok || len(x.Vars) != len(y.Vars) {
+			return false
+		}
+		for i := range x.Vars {
+			if x.Vars[i] != y.Vars[i] {
+				return false
+			}
+		}
+		return Equal(x.P, y.P)
+	case NS:
+		y, ok := b.(NS)
+		return ok && Equal(x.P, y.P)
+	default:
+		panic(fmt.Sprintf("sparql: unknown pattern type %T", a))
+	}
+}
+
+// Size returns the number of AST nodes of P (triple patterns and
+// operators; FILTER conditions count as one node).  Used to measure the
+// growth of rewrites such as NS elimination (Theorem 5.1).
+func Size(p Pattern) int {
+	switch q := p.(type) {
+	case TriplePattern:
+		return 1
+	case And:
+		return 1 + Size(q.L) + Size(q.R)
+	case Union:
+		return 1 + Size(q.L) + Size(q.R)
+	case Opt:
+		return 1 + Size(q.L) + Size(q.R)
+	case Filter:
+		return 2 + Size(q.P)
+	case Select:
+		return 1 + Size(q.P)
+	case NS:
+		return 1 + Size(q.P)
+	default:
+		panic(fmt.Sprintf("sparql: unknown pattern type %T", p))
+	}
+}
+
+// Op identifies a pattern operator for fragment classification.
+type Op int
+
+// Operator identifiers; OpTriple is counted for completeness but every
+// fragment admits triple patterns.
+const (
+	OpTriple Op = iota
+	OpAnd
+	OpUnion
+	OpOpt
+	OpFilter
+	OpSelect
+	OpNS
+)
+
+var opNames = map[Op]string{
+	OpTriple: "triple", OpAnd: "AND", OpUnion: "UNION",
+	OpOpt: "OPT", OpFilter: "FILTER", OpSelect: "SELECT", OpNS: "NS",
+}
+
+// String returns the operator keyword.
+func (o Op) String() string { return opNames[o] }
+
+// OpSet is a set of operators, used to denote fragments such as
+// SPARQL[AUFS] = {AND, UNION, FILTER, SELECT}.
+type OpSet map[Op]bool
+
+// Fragment shorthands from the paper.
+var (
+	FragmentAF    = OpSet{OpAnd: true, OpFilter: true}
+	FragmentAOF   = OpSet{OpAnd: true, OpOpt: true, OpFilter: true}
+	FragmentAUOF  = OpSet{OpAnd: true, OpUnion: true, OpOpt: true, OpFilter: true}
+	FragmentAFS   = OpSet{OpAnd: true, OpFilter: true, OpSelect: true}
+	FragmentAUF   = OpSet{OpAnd: true, OpUnion: true, OpFilter: true}
+	FragmentAUFS  = OpSet{OpAnd: true, OpUnion: true, OpFilter: true, OpSelect: true}
+	FragmentFull  = OpSet{OpAnd: true, OpUnion: true, OpOpt: true, OpFilter: true, OpSelect: true}
+	FragmentNSAll = OpSet{OpAnd: true, OpUnion: true, OpOpt: true, OpFilter: true, OpSelect: true, OpNS: true}
+)
+
+// Ops returns the set of operators occurring in P.
+func Ops(p Pattern) OpSet {
+	out := make(OpSet)
+	opsInto(p, out)
+	return out
+}
+
+func opsInto(p Pattern, out OpSet) {
+	switch q := p.(type) {
+	case TriplePattern:
+	case And:
+		out[OpAnd] = true
+		opsInto(q.L, out)
+		opsInto(q.R, out)
+	case Union:
+		out[OpUnion] = true
+		opsInto(q.L, out)
+		opsInto(q.R, out)
+	case Opt:
+		out[OpOpt] = true
+		opsInto(q.L, out)
+		opsInto(q.R, out)
+	case Filter:
+		out[OpFilter] = true
+		opsInto(q.P, out)
+	case Select:
+		out[OpSelect] = true
+		opsInto(q.P, out)
+	case NS:
+		out[OpNS] = true
+		opsInto(q.P, out)
+	default:
+		panic(fmt.Sprintf("sparql: unknown pattern type %T", p))
+	}
+}
+
+// InFragment reports whether P uses only operators from the given set.
+func InFragment(p Pattern, frag OpSet) bool {
+	for op := range Ops(p) {
+		if !frag[op] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSimple reports whether P is a simple pattern (Definition 5.3):
+// NS(Q) with Q in SPARQL[AUFS].
+func IsSimple(p Pattern) bool {
+	ns, ok := p.(NS)
+	return ok && InFragment(ns.P, FragmentAUFS)
+}
+
+// IsNSPattern reports whether P is an ns-pattern (Definition 5.7): a
+// union P1 UNION ⋯ UNION Pn of simple patterns.
+func IsNSPattern(p Pattern) bool {
+	for _, d := range UnionDisjuncts(p) {
+		if !IsSimple(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionDisjuncts flattens top-level UNIONs and returns the disjuncts in
+// left-to-right order.
+func UnionDisjuncts(p Pattern) []Pattern {
+	if u, ok := p.(Union); ok {
+		return append(UnionDisjuncts(u.L), UnionDisjuncts(u.R)...)
+	}
+	return []Pattern{p}
+}
+
+// UnionOf folds patterns into a left-associated UNION chain.  It panics
+// on an empty list (SPARQL has no empty pattern).
+func UnionOf(ps ...Pattern) Pattern {
+	if len(ps) == 0 {
+		panic("sparql: UnionOf of no patterns")
+	}
+	out := ps[0]
+	for _, p := range ps[1:] {
+		out = Union{L: out, R: p}
+	}
+	return out
+}
+
+// AndOf folds patterns into a left-associated AND chain.  It panics on
+// an empty list.
+func AndOf(ps ...Pattern) Pattern {
+	if len(ps) == 0 {
+		panic("sparql: AndOf of no patterns")
+	}
+	out := ps[0]
+	for _, p := range ps[1:] {
+		out = And{L: out, R: p}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package sparql
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func examplePattern() Pattern {
+	return Filter{
+		P: Opt{
+			L: TP(V("X"), I("was_born_in"), I("Chile")),
+			R: Union{
+				L: TP(V("X"), I("email"), V("Y")),
+				R: NewSelect([]Var{"X"}, TP(V("X"), I("phone"), V("Z"))),
+			},
+		},
+		Cond: OrCond{L: Bound{X: "Y"}, R: EqConst{X: "X", C: "Juan"}},
+	}
+}
+
+func TestVarsAndIRIs(t *testing.T) {
+	p := examplePattern()
+	if got := Vars(p); !reflect.DeepEqual(got, []Var{"X", "Y", "Z"}) {
+		t.Fatalf("Vars = %v", got)
+	}
+	wantIRIs := []rdf.IRI{"Chile", "Juan", "email", "phone", "was_born_in"}
+	if got := IRIs(p); !reflect.DeepEqual(got, wantIRIs) {
+		t.Fatalf("IRIs = %v", got)
+	}
+}
+
+func TestInScopeVars(t *testing.T) {
+	p := examplePattern()
+	// ?Z is projected away by the inner SELECT, so it can never appear
+	// in an answer's domain.
+	if got := InScopeVars(p); !reflect.DeepEqual(got, []Var{"X", "Y"}) {
+		t.Fatalf("InScopeVars = %v", got)
+	}
+	// A SELECT variable not produced by its body is not in scope.
+	q := NewSelect([]Var{"X", "Ghost"}, TP(V("X"), I("p"), V("Y")))
+	if got := InScopeVars(q); !reflect.DeepEqual(got, []Var{"X"}) {
+		t.Fatalf("InScopeVars = %v", got)
+	}
+}
+
+func TestEqualAndSize(t *testing.T) {
+	p := examplePattern()
+	q := examplePattern()
+	if !Equal(p, q) {
+		t.Fatal("identical patterns not Equal")
+	}
+	if Equal(p, TP(V("X"), I("a"), I("b"))) {
+		t.Fatal("different patterns Equal")
+	}
+	if Size(p) != Size(q) || Size(p) < 6 {
+		t.Fatalf("Size = %d", Size(p))
+	}
+}
+
+func TestOpsAndFragments(t *testing.T) {
+	p := examplePattern()
+	ops := Ops(p)
+	for _, op := range []Op{OpOpt, OpUnion, OpFilter, OpSelect} {
+		if !ops[op] {
+			t.Errorf("Ops missing %v", op)
+		}
+	}
+	if ops[OpAnd] || ops[OpNS] {
+		t.Error("Ops reported operators that do not occur")
+	}
+	if InFragment(p, FragmentAUFS) {
+		t.Error("pattern with OPT claimed to be in AUFS")
+	}
+	if !InFragment(p, FragmentFull) {
+		t.Error("pattern not in full SPARQL fragment")
+	}
+	auf := Union{L: TP(V("X"), I("a"), I("b")), R: Filter{P: TP(V("X"), I("c"), V("Y")), Cond: Bound{X: "Y"}}}
+	if !InFragment(auf, FragmentAUF) || !InFragment(auf, FragmentAUFS) {
+		t.Error("AUF pattern misclassified")
+	}
+}
+
+func TestIsSimpleAndNSPattern(t *testing.T) {
+	aufs := Union{L: TP(V("X"), I("a"), I("b")), R: NewSelect([]Var{"X"}, TP(V("X"), I("c"), V("Y")))}
+	simple := NS{P: aufs}
+	if !IsSimple(simple) {
+		t.Error("NS over AUFS not recognized as simple")
+	}
+	if IsSimple(NS{P: Opt{L: TP(V("X"), I("a"), I("b")), R: TP(V("X"), I("c"), V("Y"))}}) {
+		t.Error("NS over OPT claimed simple")
+	}
+	if IsSimple(aufs) {
+		t.Error("pattern without NS claimed simple")
+	}
+	usp := Union{L: simple, R: NS{P: TP(V("Z"), I("d"), I("e"))}}
+	if !IsNSPattern(usp) {
+		t.Error("union of simple patterns not recognized as ns-pattern")
+	}
+	if IsNSPattern(Union{L: simple, R: aufs}) {
+		t.Error("union with non-simple disjunct claimed ns-pattern")
+	}
+}
+
+func TestUnionDisjunctsAndFolds(t *testing.T) {
+	a := Pattern(TP(V("X"), I("a"), I("b")))
+	b := Pattern(TP(V("X"), I("c"), I("d")))
+	c := Pattern(TP(V("X"), I("e"), I("f")))
+	u := UnionOf(a, b, c)
+	ds := UnionDisjuncts(u)
+	if len(ds) != 3 || !Equal(ds[0], a) || !Equal(ds[1], b) || !Equal(ds[2], c) {
+		t.Fatalf("disjuncts = %v", ds)
+	}
+	if len(UnionDisjuncts(a)) != 1 {
+		t.Fatal("single pattern should have one disjunct")
+	}
+	and := AndOf(a, b, c)
+	if Size(and) != 5 {
+		t.Fatalf("AndOf size = %d", Size(and))
+	}
+}
+
+func TestNewSelectNormalizes(t *testing.T) {
+	s := NewSelect([]Var{"Y", "X", "Y"}, TP(V("X"), I("a"), V("Y")))
+	if !reflect.DeepEqual(s.Vars, []Var{"X", "Y"}) {
+		t.Fatalf("Vars = %v", s.Vars)
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	p := examplePattern()
+	s := p.String()
+	for _, want := range []string{"OPT", "UNION", "SELECT", "FILTER", "?X", "was_born_in"} {
+		if !contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	ns := NS{P: TP(V("X"), I("a"), I("b"))}
+	if ns.String() != "NS((?X a b))" {
+		t.Errorf("NS String = %q", ns.String())
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestValueAccessors(t *testing.T) {
+	v := V("X")
+	if !v.IsVar() || v.Var() != "X" || v.String() != "?X" {
+		t.Fatal("variable Value accessors wrong")
+	}
+	i := I("iri")
+	if i.IsVar() || i.IRI() != "iri" || i.String() != "iri" {
+		t.Fatal("IRI Value accessors wrong")
+	}
+	mustPanic(t, func() { _ = v.IRI() })
+	mustPanic(t, func() { _ = i.Var() })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,143 @@
+package sparql
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func TestSimplifyCondCases(t *testing.T) {
+	cases := []struct {
+		in, want Condition
+	}{
+		{Not{R: Not{R: Bound{X: "X"}}}, Bound{X: "X"}},
+		{Not{R: TrueCond{}}, FalseCond{}},
+		{Not{R: FalseCond{}}, TrueCond{}},
+		{EqVars{X: "X", Y: "X"}, Bound{X: "X"}},
+		{AndCond{L: TrueCond{}, R: Bound{X: "X"}}, Bound{X: "X"}},
+		{AndCond{L: Bound{X: "X"}, R: FalseCond{}}, FalseCond{}},
+		{OrCond{L: FalseCond{}, R: Bound{X: "X"}}, Bound{X: "X"}},
+		{OrCond{L: TrueCond{}, R: Bound{X: "X"}}, TrueCond{}},
+		{AndCond{L: Bound{X: "X"}, R: Bound{X: "X"}}, Bound{X: "X"}},
+		{OrCond{L: Bound{X: "X"}, R: Bound{X: "X"}}, Bound{X: "X"}},
+		{
+			// Nested: ¬¬(true ∧ (?X = ?X)) → bound(?X).
+			Not{R: Not{R: AndCond{L: TrueCond{}, R: EqVars{X: "X", Y: "X"}}}},
+			Bound{X: "X"},
+		},
+	}
+	for _, c := range cases {
+		if got := SimplifyCond(c.in); !CondEqual(got, c.want) {
+			t.Errorf("SimplifyCond(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// randomCondLocal draws conditions rich in constants and repetition so
+// that the simplifier has work to do.
+func randomCondLocal(rng *rand.Rand, depth int) Condition {
+	if depth == 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return Bound{X: Var(rune('A' + rng.Intn(3)))}
+		case 1:
+			return EqConst{X: Var(rune('A' + rng.Intn(3))), C: rdf.IRI(rune('a' + rng.Intn(3)))}
+		case 2:
+			return EqVars{X: Var(rune('A' + rng.Intn(3))), Y: Var(rune('A' + rng.Intn(3)))}
+		case 3:
+			return TrueCond{}
+		default:
+			return FalseCond{}
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return Not{R: randomCondLocal(rng, depth-1)}
+	case 1:
+		return AndCond{L: randomCondLocal(rng, depth-1), R: randomCondLocal(rng, depth-1)}
+	default:
+		return OrCond{L: randomCondLocal(rng, depth-1), R: randomCondLocal(rng, depth-1)}
+	}
+}
+
+func TestSimplifyCondSoundQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCondLocal(rng, 4)
+		s := SimplifyCond(c)
+		// Idempotent.
+		if !CondEqual(SimplifyCond(s), s) {
+			t.Logf("not idempotent: %s → %s → %s", c, s, SimplifyCond(s))
+			return false
+		}
+		// Same truth value on random mappings (including partial ones).
+		for i := 0; i < 20; i++ {
+			mu := randomMapping(rng, 3, 3)
+			if c.Eval(mu) != s.Eval(mu) {
+				t.Logf("simplification changed semantics: %s vs %s on %s", c, s, mu)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplifyPattern(t *testing.T) {
+	p := Filter{
+		P:    TP(V("X"), I("a"), V("Y")),
+		Cond: AndCond{L: TrueCond{}, R: TrueCond{}},
+	}
+	s := SimplifyPattern(p)
+	if _, isFilter := s.(Filter); isFilter {
+		t.Fatalf("trivially-true filter not removed: %s", s)
+	}
+	// False filters stay (there is no empty pattern to rewrite to).
+	p2 := Filter{P: TP(V("X"), I("a"), V("Y")), Cond: Not{R: TrueCond{}}}
+	s2 := SimplifyPattern(p2)
+	f2, isFilter := s2.(Filter)
+	if !isFilter {
+		t.Fatalf("false filter dropped: %s", s2)
+	}
+	if _, ok := f2.Cond.(FalseCond); !ok {
+		t.Fatalf("false filter condition = %s", f2.Cond)
+	}
+	// Structure below other operators is traversed.
+	p3 := NS{P: Union{L: p, R: NewSelect([]Var{"X"}, p)}}
+	s3 := SimplifyPattern(p3)
+	if Size(s3) >= Size(p3) {
+		t.Fatalf("no shrink: %d vs %d", Size(s3), Size(p3))
+	}
+}
+
+func TestSimplifyPatternSoundQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Build patterns with constant-heavy filters.
+		base := Pattern(TP(V("X"), I("a"), V("Y")))
+		p := base
+		for i := 0; i < 3; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				p = Filter{P: p, Cond: randomCondLocal(rng, 3)}
+			case 1:
+				p = Union{L: p, R: Filter{P: base, Cond: randomCondLocal(rng, 2)}}
+			default:
+				p = NS{P: p}
+			}
+		}
+		g := rdf.FromTriples(
+			rdf.T("a", "a", "a"), rdf.T("b", "a", "c"), rdf.T("c", "a", "b"),
+		)
+		return Eval(g, p).Equal(Eval(g, SimplifyPattern(p)))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+package transform
+
+import (
+	"sort"
+
+	"repro/internal/sparql"
+)
+
+// EliminateNS rewrites a pattern of NS-SPARQL into an equivalent
+// pattern of plain SPARQL (Theorem 5.1).  The construction follows
+// Appendix D, using the bound-partition of Lemma D.2: for an occurrence
+// NS(Q) with in-scope variables X, every answer of Q binds some subset
+// V ⊆ X, and
+//
+//	NS(Q) ≡ ⋃_{V ⊆ X}  Q_V MINUS (⋃_{W ⊋ V} Q_W)
+//
+// where Q_V = Q FILTER (⋀_{v∈V} bound(v) ∧ ⋀_{v∈X∖V} ¬bound(v)) fixes
+// the binding domain to exactly V.  A mapping with domain V is properly
+// subsumed in ⟦Q⟧_G exactly when it is compatible with a mapping whose
+// domain is a strict superset of V, which is what the MINUS removes.
+//
+// The output size is exponential in |X| per NS occurrence (and the
+// paper proves a double-exponential bound for nested NS; see
+// BenchmarkE7_NSElimination).  EliminateNS prunes subsets V that miss a
+// certainly-bound variable of Q, whose Q_V is syntactically empty; use
+// EliminateNSNoPrune for the unpruned construction.
+func EliminateNS(p sparql.Pattern) sparql.Pattern { return eliminateNS(p, true) }
+
+// EliminateNSNoPrune is EliminateNS without the certainly-bound subset
+// pruning; kept as the ablation baseline for experiment E7.
+func EliminateNSNoPrune(p sparql.Pattern) sparql.Pattern { return eliminateNS(p, false) }
+
+func eliminateNS(p sparql.Pattern, prune bool) sparql.Pattern {
+	switch q := p.(type) {
+	case sparql.TriplePattern:
+		return q
+	case sparql.And:
+		return sparql.And{L: eliminateNS(q.L, prune), R: eliminateNS(q.R, prune)}
+	case sparql.Union:
+		return sparql.Union{L: eliminateNS(q.L, prune), R: eliminateNS(q.R, prune)}
+	case sparql.Opt:
+		return sparql.Opt{L: eliminateNS(q.L, prune), R: eliminateNS(q.R, prune)}
+	case sparql.Filter:
+		return sparql.Filter{P: eliminateNS(q.P, prune), Cond: q.Cond}
+	case sparql.Select:
+		return sparql.Select{Vars: q.Vars, P: eliminateNS(q.P, prune)}
+	case sparql.NS:
+		return eliminateOneNS(eliminateNS(q.P, prune), prune)
+	default:
+		panic("transform: unknown pattern type")
+	}
+}
+
+// eliminateOneNS rewrites NS(q) where q is already NS-free.
+func eliminateOneNS(q sparql.Pattern, prune bool) sparql.Pattern {
+	scope := sparql.InScopeVars(q)
+	var certain map[sparql.Var]struct{}
+	if prune {
+		certain = CertainlyBound(q)
+	}
+
+	// Enumerate the admissible subsets V ⊆ scope as bitmasks.
+	type disjunct struct {
+		mask uint
+		pat  sparql.Pattern
+	}
+	var subsets []disjunct
+	n := len(scope)
+	for mask := uint(0); mask < 1<<uint(n); mask++ {
+		if prune && !maskCovers(mask, scope, certain) {
+			continue
+		}
+		subsets = append(subsets, disjunct{mask: mask, pat: boundPartition(q, mask, scope)})
+	}
+	// Deterministic order: by popcount then mask, so larger domains come
+	// last and the output is stable.
+	sort.Slice(subsets, func(i, j int) bool {
+		pi, pj := popcount(subsets[i].mask), popcount(subsets[j].mask)
+		if pi != pj {
+			return pi < pj
+		}
+		return subsets[i].mask < subsets[j].mask
+	})
+
+	out := make([]sparql.Pattern, 0, len(subsets))
+	for _, d := range subsets {
+		var supers []sparql.Pattern
+		for _, e := range subsets {
+			if e.mask != d.mask && e.mask&d.mask == d.mask {
+				supers = append(supers, e.pat)
+			}
+		}
+		if len(supers) == 0 {
+			out = append(out, d.pat)
+		} else {
+			out = append(out, Minus(d.pat, sparql.UnionOf(supers...)))
+		}
+	}
+	return sparql.UnionOf(out...)
+}
+
+// boundPartition builds Q_V: q filtered so that exactly the variables
+// of the mask (over scope) are bound.
+func boundPartition(q sparql.Pattern, mask uint, scope []sparql.Var) sparql.Pattern {
+	conds := make([]sparql.Condition, 0, len(scope))
+	for i, v := range scope {
+		if mask&(1<<uint(i)) != 0 {
+			conds = append(conds, sparql.Bound{X: v})
+		} else {
+			conds = append(conds, sparql.Not{R: sparql.Bound{X: v}})
+		}
+	}
+	if len(conds) == 0 {
+		return q
+	}
+	return sparql.Filter{P: q, Cond: sparql.ConjoinConds(conds...)}
+}
+
+func maskCovers(mask uint, scope []sparql.Var, certain map[sparql.Var]struct{}) bool {
+	for i, v := range scope {
+		if _, ok := certain[v]; ok && mask&(1<<uint(i)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func popcount(x uint) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// CertainlyBound returns the set of variables bound in every answer of
+// the pattern, computed syntactically:
+//
+//	cb(t)            = var(t)
+//	cb(P1 AND P2)    = cb(P1) ∪ cb(P2)
+//	cb(P1 UNION P2)  = cb(P1) ∩ cb(P2)
+//	cb(P1 OPT P2)    = cb(P1)
+//	cb(P FILTER R)   = cb(P)
+//	cb(SELECT V, P)  = cb(P) ∩ V
+//	cb(NS(P))        = cb(P)
+//
+// This is the standard under-approximation used to prune impossible
+// binding domains.
+func CertainlyBound(p sparql.Pattern) map[sparql.Var]struct{} {
+	switch q := p.(type) {
+	case sparql.TriplePattern:
+		out := make(map[sparql.Var]struct{}, 3)
+		for _, v := range sparql.Vars(q) {
+			out[v] = struct{}{}
+		}
+		return out
+	case sparql.And:
+		out := CertainlyBound(q.L)
+		for v := range CertainlyBound(q.R) {
+			out[v] = struct{}{}
+		}
+		return out
+	case sparql.Union:
+		l, r := CertainlyBound(q.L), CertainlyBound(q.R)
+		out := make(map[sparql.Var]struct{})
+		for v := range l {
+			if _, ok := r[v]; ok {
+				out[v] = struct{}{}
+			}
+		}
+		return out
+	case sparql.Opt:
+		return CertainlyBound(q.L)
+	case sparql.Filter:
+		return CertainlyBound(q.P)
+	case sparql.Select:
+		inner := CertainlyBound(q.P)
+		out := make(map[sparql.Var]struct{})
+		for _, v := range q.Vars {
+			if _, ok := inner[v]; ok {
+				out[v] = struct{}{}
+			}
+		}
+		return out
+	case sparql.NS:
+		return CertainlyBound(q.P)
+	default:
+		panic("transform: unknown pattern type")
+	}
+}

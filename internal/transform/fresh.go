@@ -1,0 +1,55 @@
+// Package transform implements the constructive rewrites of the paper:
+//
+//   - the OPT → NS encoding of Section 5.1;
+//   - the MINUS encoding of Appendix D;
+//   - the bound-partition of Lemma D.2 and NS elimination (Theorem 5.1);
+//   - UNION normal form for the monotone fragments (Proposition D.1);
+//   - the SELECT-free version of Definition F.1 (Proposition 6.7);
+//   - CONSTRUCT normalization via NS (Lemma 6.3).
+//
+// Every rewrite returns a new pattern; inputs are never mutated.
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/sparql"
+)
+
+// FreshVars hands out variables guaranteed to be distinct from a given
+// set of used variables and from each other.
+type FreshVars struct {
+	used map[sparql.Var]struct{}
+	next int
+}
+
+// NewFreshVars returns a generator that avoids every variable occurring
+// in the given patterns.
+func NewFreshVars(ps ...sparql.Pattern) *FreshVars {
+	f := &FreshVars{used: make(map[sparql.Var]struct{})}
+	for _, p := range ps {
+		for _, v := range sparql.Vars(p) {
+			f.used[v] = struct{}{}
+		}
+	}
+	return f
+}
+
+// Avoid marks additional variables as used.
+func (f *FreshVars) Avoid(vs ...sparql.Var) {
+	for _, v := range vs {
+		f.used[v] = struct{}{}
+	}
+}
+
+// Fresh returns a new variable with the given name hint.
+func (f *FreshVars) Fresh(hint string) sparql.Var {
+	for {
+		v := sparql.Var(fmt.Sprintf("%s_%d", hint, f.next))
+		f.next++
+		if _, ok := f.used[v]; !ok {
+			f.used[v] = struct{}{}
+			return v
+		}
+	}
+}

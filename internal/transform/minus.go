@@ -1,0 +1,62 @@
+package transform
+
+import "repro/internal/sparql"
+
+// Minus builds the MINUS encoding of Appendix D:
+//
+//	P1 MINUS P2 = (P1 OPT (P2 AND (?x1, ?x2, ?x3))) FILTER ¬bound(?x1)
+//
+// with ?x1, ?x2, ?x3 fresh.  Over any graph G it retrieves the mappings
+// of ⟦P1⟧_G that are not compatible with any mapping of ⟦P2⟧_G.
+//
+// The encoding relies on (?x1, ?x2, ?x3) matching every triple of a
+// non-empty graph: if some µ2 ∈ ⟦P2⟧_G is compatible with µ1, the OPT
+// extends µ1 and binds ?x1, and the filter rejects it.  If G is empty,
+// ⟦P2⟧_G is empty too and the filter passes everything — also correct.
+func Minus(p1, p2 sparql.Pattern) sparql.Pattern {
+	f := NewFreshVars(p1, p2)
+	x1, x2, x3 := f.Fresh("m"), f.Fresh("m"), f.Fresh("m")
+	return sparql.Filter{
+		P: sparql.Opt{
+			L: p1,
+			R: sparql.And{
+				L: p2,
+				R: sparql.TP(sparql.V(x1), sparql.V(x2), sparql.V(x3)),
+			},
+		},
+		Cond: sparql.Not{R: sparql.Bound{X: x1}},
+	}
+}
+
+// OptToNS rewrites every OPT in the pattern using the NS operator,
+// following the equivalence of Section 5.1:
+//
+//	(P1 OPT P2) ≡ NS(P1 UNION (P1 AND P2))
+//
+// Note that the equivalence holds literally only when ⟦P1⟧_G has no
+// internally subsumed mappings (which is the common case, and always
+// the case for the subsumption-free patterns of Section 5.2); the NS on
+// the right-hand side additionally removes mappings of ⟦P1⟧_G that were
+// already subsumed within ⟦P1⟧_G.  The two sides are always
+// subsumption-equivalent.  See the E15 experiment.
+func OptToNS(p sparql.Pattern) sparql.Pattern {
+	switch q := p.(type) {
+	case sparql.TriplePattern:
+		return q
+	case sparql.And:
+		return sparql.And{L: OptToNS(q.L), R: OptToNS(q.R)}
+	case sparql.Union:
+		return sparql.Union{L: OptToNS(q.L), R: OptToNS(q.R)}
+	case sparql.Opt:
+		l, r := OptToNS(q.L), OptToNS(q.R)
+		return sparql.NS{P: sparql.Union{L: l, R: sparql.And{L: l, R: r}}}
+	case sparql.Filter:
+		return sparql.Filter{P: OptToNS(q.P), Cond: q.Cond}
+	case sparql.Select:
+		return sparql.Select{Vars: q.Vars, P: OptToNS(q.P)}
+	case sparql.NS:
+		return sparql.NS{P: OptToNS(q.P)}
+	default:
+		panic("transform: unknown pattern type")
+	}
+}

@@ -1,0 +1,80 @@
+package transform
+
+import "repro/internal/sparql"
+
+// RenameVars applies a variable substitution to a pattern, renaming
+// occurrences in triple patterns, FILTER conditions and SELECT lists.
+// Variables not in the substitution are left unchanged.
+func RenameVars(p sparql.Pattern, subst map[sparql.Var]sparql.Var) sparql.Pattern {
+	if len(subst) == 0 {
+		return p
+	}
+	switch q := p.(type) {
+	case sparql.TriplePattern:
+		return sparql.TP(renameValue(q.S, subst), renameValue(q.P, subst), renameValue(q.O, subst))
+	case sparql.And:
+		return sparql.And{L: RenameVars(q.L, subst), R: RenameVars(q.R, subst)}
+	case sparql.Union:
+		return sparql.Union{L: RenameVars(q.L, subst), R: RenameVars(q.R, subst)}
+	case sparql.Opt:
+		return sparql.Opt{L: RenameVars(q.L, subst), R: RenameVars(q.R, subst)}
+	case sparql.Filter:
+		return sparql.Filter{P: RenameVars(q.P, subst), Cond: RenameCondVars(q.Cond, subst)}
+	case sparql.Select:
+		vars := make([]sparql.Var, len(q.Vars))
+		for i, v := range q.Vars {
+			vars[i] = renameVar(v, subst)
+		}
+		return sparql.NewSelect(vars, RenameVars(q.P, subst))
+	case sparql.NS:
+		return sparql.NS{P: RenameVars(q.P, subst)}
+	default:
+		panic("transform: unknown pattern type")
+	}
+}
+
+// RenameCondVars applies a variable substitution to a condition.
+func RenameCondVars(c sparql.Condition, subst map[sparql.Var]sparql.Var) sparql.Condition {
+	switch r := c.(type) {
+	case sparql.Bound:
+		return sparql.Bound{X: renameVar(r.X, subst)}
+	case sparql.EqConst:
+		return sparql.EqConst{X: renameVar(r.X, subst), C: r.C}
+	case sparql.EqVars:
+		return sparql.EqVars{X: renameVar(r.X, subst), Y: renameVar(r.Y, subst)}
+	case sparql.Not:
+		return sparql.Not{R: RenameCondVars(r.R, subst)}
+	case sparql.AndCond:
+		return sparql.AndCond{L: RenameCondVars(r.L, subst), R: RenameCondVars(r.R, subst)}
+	case sparql.OrCond:
+		return sparql.OrCond{L: RenameCondVars(r.L, subst), R: RenameCondVars(r.R, subst)}
+	case sparql.TrueCond, sparql.FalseCond:
+		return r
+	default:
+		panic("transform: unknown condition type")
+	}
+}
+
+// RenameTemplateVars applies a variable substitution to CONSTRUCT
+// template triples.
+func RenameTemplateVars(ts []sparql.TriplePattern, subst map[sparql.Var]sparql.Var) []sparql.TriplePattern {
+	out := make([]sparql.TriplePattern, len(ts))
+	for i, t := range ts {
+		out[i] = sparql.TP(renameValue(t.S, subst), renameValue(t.P, subst), renameValue(t.O, subst))
+	}
+	return out
+}
+
+func renameValue(v sparql.Value, subst map[sparql.Var]sparql.Var) sparql.Value {
+	if v.IsVar() {
+		return sparql.V(renameVar(v.Var(), subst))
+	}
+	return v
+}
+
+func renameVar(v sparql.Var, subst map[sparql.Var]sparql.Var) sparql.Var {
+	if w, ok := subst[v]; ok {
+		return w
+	}
+	return v
+}

@@ -1,0 +1,61 @@
+package transform
+
+import "repro/internal/sparql"
+
+// SelectFree computes the SELECT-free version P_sf of Definition F.1:
+// every (SELECT V WHERE P') node is removed and the variables that it
+// projected away are renamed to globally fresh variables.  By Lemma F.2,
+// for every graph G a mapping µ is in ⟦P⟧_G iff some µ' ∈ ⟦P_sf⟧_G has
+// µ ⪯ µ' and dom(µ) = dom(µ') ∩ var(P); in particular the two patterns
+// produce the same triples when used under a CONSTRUCT template whose
+// variables occur in P (Proposition 6.7).
+func SelectFree(p sparql.Pattern) sparql.Pattern {
+	f := NewFreshVars(p)
+	return selectFree(p, f)
+}
+
+func selectFree(p sparql.Pattern, f *FreshVars) sparql.Pattern {
+	switch q := p.(type) {
+	case sparql.TriplePattern:
+		return q
+	case sparql.And:
+		return sparql.And{L: selectFree(q.L, f), R: selectFree(q.R, f)}
+	case sparql.Union:
+		return sparql.Union{L: selectFree(q.L, f), R: selectFree(q.R, f)}
+	case sparql.Opt:
+		return sparql.Opt{L: selectFree(q.L, f), R: selectFree(q.R, f)}
+	case sparql.Filter:
+		return sparql.Filter{P: selectFree(q.P, f), Cond: q.Cond}
+	case sparql.NS:
+		return sparql.NS{P: selectFree(q.P, f)}
+	case sparql.Select:
+		body := selectFree(q.P, f)
+		keep := make(map[sparql.Var]struct{}, len(q.Vars))
+		for _, v := range q.Vars {
+			keep[v] = struct{}{}
+		}
+		subst := make(map[sparql.Var]sparql.Var)
+		for _, v := range sparql.Vars(q.P) {
+			if _, ok := keep[v]; !ok {
+				subst[v] = f.Fresh("sf")
+			}
+		}
+		return RenameVars(body, subst)
+	default:
+		panic("transform: unknown pattern type")
+	}
+}
+
+// ConstructSelectFree applies Proposition 6.7: it replaces the pattern
+// of a CONSTRUCT query by its SELECT-free version, turning a
+// CONSTRUCT[AUFS] query into an equivalent CONSTRUCT[AUF] query.
+func ConstructSelectFree(q sparql.ConstructQuery) sparql.ConstructQuery {
+	return sparql.ConstructQuery{Template: q.Template, Where: SelectFree(q.Where)}
+}
+
+// ConstructNS applies Lemma 6.3: (CONSTRUCT H WHERE P) is equivalent to
+// (CONSTRUCT H WHERE NS(P)), since a properly subsumed mapping can only
+// instantiate template triples that its subsumer also instantiates.
+func ConstructNS(q sparql.ConstructQuery) sparql.ConstructQuery {
+	return sparql.ConstructQuery{Template: q.Template, Where: sparql.NS{P: q.Where}}
+}

@@ -1,0 +1,406 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/workload"
+)
+
+func randPatternAndGraph(rng *rand.Rand, ops []sparql.Op, depth int) (sparql.Pattern, *rdf.Graph) {
+	p := workload.RandomPattern(rng, workload.PatternOpts{Depth: depth, Ops: ops})
+	g := workload.RandomGraph(rng, rng.Intn(20), nil)
+	return p, g
+}
+
+func TestFreshVars(t *testing.T) {
+	p := sparql.TP(sparql.V("m_0"), sparql.I("a"), sparql.V("X"))
+	f := NewFreshVars(p)
+	v1 := f.Fresh("m")
+	if v1 == "m_0" {
+		t.Fatal("Fresh returned a used variable")
+	}
+	v2 := f.Fresh("m")
+	if v1 == v2 {
+		t.Fatal("Fresh returned the same variable twice")
+	}
+	f.Avoid("zz_0")
+	if f.Fresh("zz") == "zz_0" {
+		t.Fatal("Avoid was ignored")
+	}
+}
+
+func TestMinusSemantics(t *testing.T) {
+	// MINUS must keep exactly the mappings not compatible with any
+	// mapping of the right side (direct Diff on evaluated sets).
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p1, g := randPatternAndGraph(rng, []sparql.Op{sparql.OpAnd, sparql.OpUnion, sparql.OpFilter}, 2)
+		p2 := workload.RandomPattern(rng, workload.PatternOpts{Depth: 2, Ops: []sparql.Op{sparql.OpAnd, sparql.OpUnion}})
+		want := sparql.Eval(g, p1).Diff(sparql.Eval(g, p2))
+		got := sparql.Eval(g, Minus(p1, p2))
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinusOnEmptyGraph(t *testing.T) {
+	g := rdf.NewGraph()
+	p := Minus(sparql.TP(sparql.V("x"), sparql.I("a"), sparql.I("b")), sparql.TP(sparql.V("x"), sparql.I("c"), sparql.V("y")))
+	if r := sparql.Eval(g, p); r.Len() != 0 {
+		t.Fatalf("eval on empty graph = %v", r)
+	}
+}
+
+func TestOptToNSSubsumptionEquivalentQuick(t *testing.T) {
+	// E15: (P1 OPT P2) and NS(P1 UNION (P1 AND P2)) are
+	// subsumption-equivalent on every graph.
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, g := randPatternAndGraph(rng, nil, 3)
+		return sparql.Eval(g, p).SubsumptionEquivalent(sparql.Eval(g, OptToNS(p)))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptToNSExactOnExample31(t *testing.T) {
+	p := sparql.Opt{
+		L: sparql.TP(sparql.V("X"), sparql.I("was_born_in"), sparql.I("Chile")),
+		R: sparql.TP(sparql.V("X"), sparql.I("email"), sparql.V("Y")),
+	}
+	q := OptToNS(p)
+	if sparql.Ops(q)[sparql.OpOpt] {
+		t.Fatal("OptToNS left an OPT behind")
+	}
+	for _, g := range []*rdf.Graph{workload.Figure2G1(), workload.Figure2G2()} {
+		if !sparql.Eval(g, p).Equal(sparql.Eval(g, q)) {
+			t.Fatalf("mismatch on %v", g)
+		}
+	}
+}
+
+func TestEliminateNSEquivalentQuick(t *testing.T) {
+	// Theorem 5.1: EliminateNS produces an NS-free pattern with exactly
+	// the same answers on every graph.
+	cfg := &quick.Config{MaxCount: 150}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Keep patterns small: the construction is exponential in the
+		// number of in-scope variables.
+		p := workload.RandomPattern(rng, workload.PatternOpts{
+			Depth: 3,
+			Vars:  []sparql.Var{"X", "Y", "Z"},
+		})
+		g := workload.RandomGraph(rng, rng.Intn(15), nil)
+		q := EliminateNS(p)
+		if sparql.Ops(q)[sparql.OpNS] {
+			t.Logf("EliminateNS left an NS behind in %s", q)
+			return false
+		}
+		if !sparql.Eval(g, p).Equal(sparql.Eval(g, q)) {
+			t.Logf("pattern %s\nrewritten %s\ngraph\n%s", p, q, g)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEliminateNSNoPruneEquivalentQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.RandomPattern(rng, workload.PatternOpts{
+			Depth: 2,
+			Vars:  []sparql.Var{"X", "Y"},
+		})
+		g := workload.RandomGraph(rng, rng.Intn(12), nil)
+		return sparql.Eval(g, p).Equal(sparql.Eval(g, EliminateNSNoPrune(p)))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEliminateNSPruneSmaller(t *testing.T) {
+	// On a pattern whose variables are all certainly bound, pruning
+	// collapses the subset enumeration to a single disjunct.
+	p := sparql.NS{P: sparql.And{
+		L: sparql.TP(sparql.V("X"), sparql.I("a"), sparql.V("Y")),
+		R: sparql.TP(sparql.V("Y"), sparql.I("b"), sparql.V("Z")),
+	}}
+	pruned, full := EliminateNS(p), EliminateNSNoPrune(p)
+	if sparql.Size(pruned) >= sparql.Size(full) {
+		t.Fatalf("pruned size %d, full size %d", sparql.Size(pruned), sparql.Size(full))
+	}
+}
+
+func TestCertainlyBound(t *testing.T) {
+	p := sparql.And{
+		L: sparql.Opt{
+			L: sparql.TP(sparql.V("X"), sparql.I("a"), sparql.I("b")),
+			R: sparql.TP(sparql.V("X"), sparql.I("c"), sparql.V("Y")),
+		},
+		R: sparql.Union{
+			L: sparql.TP(sparql.V("Z"), sparql.I("d"), sparql.V("W")),
+			R: sparql.TP(sparql.V("Z"), sparql.I("e"), sparql.I("f")),
+		},
+	}
+	cb := CertainlyBound(p)
+	for _, v := range []sparql.Var{"X", "Z"} {
+		if _, ok := cb[v]; !ok {
+			t.Errorf("certainly bound missing %s", v)
+		}
+	}
+	for _, v := range []sparql.Var{"Y", "W"} {
+		if _, ok := cb[v]; ok {
+			t.Errorf("%s wrongly reported certainly bound", v)
+		}
+	}
+}
+
+func TestCertainlyBoundSoundQuick(t *testing.T) {
+	// Every answer must bind every certainly-bound variable.
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, g := randPatternAndGraph(rng, nil, 3)
+		cb := CertainlyBound(p)
+		for _, mu := range sparql.Eval(g, p).Mappings() {
+			for v := range cb {
+				if _, ok := mu[v]; !ok {
+					t.Logf("pattern %s produced %s missing certainly-bound %s", p, mu, v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionNormalFormAUFSQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, g := randPatternAndGraph(rng, []sparql.Op{sparql.OpAnd, sparql.OpUnion, sparql.OpFilter, sparql.OpSelect}, 3)
+		ds, err := UnionNormalForm(p)
+		if err != nil {
+			t.Logf("UNF failed on AUFS pattern %s: %v", p, err)
+			return false
+		}
+		for _, d := range ds {
+			if sparql.Ops(d)[sparql.OpUnion] {
+				t.Logf("disjunct %s still contains UNION", d)
+				return false
+			}
+		}
+		return sparql.Eval(g, p).Equal(sparql.Eval(g, sparql.UnionOf(ds...)))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionNormalFormOptLeftDistribution(t *testing.T) {
+	p := sparql.Opt{
+		L: sparql.Union{
+			L: sparql.TP(sparql.V("X"), sparql.I("a"), sparql.I("b")),
+			R: sparql.TP(sparql.V("X"), sparql.I("c"), sparql.I("d")),
+		},
+		R: sparql.TP(sparql.V("X"), sparql.I("e"), sparql.V("Y")),
+	}
+	ds, err := UnionNormalForm(p)
+	if err != nil || len(ds) != 2 {
+		t.Fatalf("ds = %v, err = %v", ds, err)
+	}
+	g := rdf.FromTriples(rdf.T("1", "a", "b"), rdf.T("2", "c", "d"), rdf.T("1", "e", "x"))
+	if !sparql.Eval(g, p).Equal(sparql.Eval(g, sparql.UnionOf(ds...))) {
+		t.Fatal("UNF changed semantics")
+	}
+}
+
+func TestUnionNormalFormRejectsUnionUnderOptRight(t *testing.T) {
+	p := sparql.Opt{
+		L: sparql.TP(sparql.V("X"), sparql.I("a"), sparql.I("b")),
+		R: sparql.Union{
+			L: sparql.TP(sparql.V("X"), sparql.I("c"), sparql.V("Y")),
+			R: sparql.TP(sparql.V("X"), sparql.I("d"), sparql.V("Z")),
+		},
+	}
+	if _, err := UnionNormalForm(p); err == nil {
+		t.Fatal("UNF accepted UNION under the right side of OPT")
+	}
+	if _, err := UnionNormalForm(sparql.NS{P: p.R}); err == nil {
+		t.Fatal("UNF accepted UNION under NS")
+	}
+}
+
+func TestSelectFreeLemmaF2Quick(t *testing.T) {
+	// Lemma F.2: µ ∈ ⟦P⟧_G iff there is µ' ∈ ⟦P_sf⟧_G with µ ⪯ µ' and
+	// dom(µ) = dom(µ') ∩ var(P).
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, g := randPatternAndGraph(rng, []sparql.Op{sparql.OpAnd, sparql.OpUnion, sparql.OpFilter, sparql.OpSelect, sparql.OpOpt}, 3)
+		sf := SelectFree(p)
+		if sparql.Ops(sf)[sparql.OpSelect] {
+			t.Logf("SelectFree left a SELECT behind in %s", sf)
+			return false
+		}
+		pv := make(map[sparql.Var]struct{})
+		for _, v := range sparql.Vars(p) {
+			pv[v] = struct{}{}
+		}
+		restrictToP := func(mu sparql.Mapping) sparql.Mapping {
+			out := make(sparql.Mapping)
+			for v, i := range mu {
+				if _, ok := pv[v]; ok {
+					out[v] = i
+				}
+			}
+			return out
+		}
+		left := sparql.Eval(g, p)
+		right := sparql.Eval(g, sf)
+		// Direction 1: every µ ∈ ⟦P⟧ is witnessed.
+		for _, mu := range left.Mappings() {
+			found := false
+			for _, nu := range right.Mappings() {
+				if mu.SubsumedBy(nu) && restrictToP(nu).Equal(mu) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Logf("pattern %s: %s has no witness in ⟦P_sf⟧", p, mu)
+				return false
+			}
+		}
+		// Direction 2: every µ' ∈ ⟦P_sf⟧ restricts to an answer of P.
+		for _, nu := range right.Mappings() {
+			if !left.Contains(restrictToP(nu)) {
+				t.Logf("pattern %s: %s restricts to a non-answer", p, nu)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstructSelectFreeEquivalentQuick(t *testing.T) {
+	// Proposition 6.7 at the CONSTRUCT level: the SELECT-free version
+	// produces the same output graph.
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, g := randPatternAndGraph(rng, []sparql.Op{sparql.OpAnd, sparql.OpUnion, sparql.OpFilter, sparql.OpSelect}, 3)
+		// Template over variables of P only (w.l.o.g. in the paper).
+		vars := sparql.Vars(p)
+		if len(vars) == 0 {
+			return true
+		}
+		tmpl := []sparql.TriplePattern{
+			sparql.TP(sparql.V(vars[rng.Intn(len(vars))]), sparql.I("out"), sparql.V(vars[rng.Intn(len(vars))])),
+			sparql.TP(sparql.I("const"), sparql.I("p"), sparql.V(vars[rng.Intn(len(vars))])),
+		}
+		q := sparql.ConstructQuery{Template: tmpl, Where: p}
+		qsf := ConstructSelectFree(q)
+		if sparql.Ops(qsf.Where)[sparql.OpSelect] {
+			return false
+		}
+		return sparql.EvalConstruct(g, q).Equal(sparql.EvalConstruct(g, qsf))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstructNSEquivalentQuick(t *testing.T) {
+	// Lemma 6.3: CONSTRUCT H WHERE P ≡ CONSTRUCT H WHERE NS(P).
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, g := randPatternAndGraph(rng, nil, 3)
+		vars := sparql.Vars(p)
+		tmpl := []sparql.TriplePattern{sparql.TP(sparql.I("s"), sparql.I("p"), sparql.I("o"))}
+		if len(vars) > 0 {
+			tmpl = append(tmpl,
+				sparql.TP(sparql.V(vars[rng.Intn(len(vars))]), sparql.I("rel"), sparql.V(vars[rng.Intn(len(vars))])))
+		}
+		q := sparql.ConstructQuery{Template: tmpl, Where: p}
+		return sparql.EvalConstruct(g, q).Equal(sparql.EvalConstruct(g, ConstructNS(q)))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameVars(t *testing.T) {
+	p := sparql.Filter{
+		P: sparql.NewSelect([]sparql.Var{"X", "Y"}, sparql.TP(sparql.V("X"), sparql.I("a"), sparql.V("Y"))),
+		Cond: sparql.AndCond{
+			L: sparql.Bound{X: "X"},
+			R: sparql.EqVars{X: "X", Y: "Y"},
+		},
+	}
+	q := RenameVars(p, map[sparql.Var]sparql.Var{"X": "Q"})
+	vs := sparql.Vars(q)
+	for _, v := range vs {
+		if v == "X" {
+			t.Fatalf("X survived renaming: %s", q)
+		}
+	}
+	if len(vs) != 2 {
+		t.Fatalf("vars after rename = %v", vs)
+	}
+	// Identity substitution returns structurally equal pattern.
+	if !sparql.Equal(RenameVars(p, nil), p) {
+		t.Fatal("empty substitution changed pattern")
+	}
+}
+
+func TestEliminateNSOnWitnessPattern(t *testing.T) {
+	// The running NS example: NS(P1 UNION (P1 AND P2)) should evaluate
+	// like P1 OPT P2 after elimination.
+	p1 := sparql.TP(sparql.V("X"), sparql.I("was_born_in"), sparql.I("Chile"))
+	p2 := sparql.TP(sparql.V("X"), sparql.I("email"), sparql.V("Y"))
+	ns := sparql.NS{P: sparql.Union{L: p1, R: sparql.And{L: p1, R: p2}}}
+	q := EliminateNS(ns)
+	opt := sparql.Opt{L: p1, R: p2}
+	for _, g := range []*rdf.Graph{workload.Figure2G1(), workload.Figure2G2(), rdf.NewGraph()} {
+		if !sparql.Eval(g, q).Equal(sparql.Eval(g, opt)) {
+			t.Fatalf("mismatch on graph\n%s\neliminated %s", g, q)
+		}
+	}
+}
+
+func TestRenameTemplateVars(t *testing.T) {
+	tmpl := []sparql.TriplePattern{
+		sparql.TP(sparql.V("X"), sparql.I("p"), sparql.V("Y")),
+		sparql.TP(sparql.I("s"), sparql.V("X"), sparql.I("o")),
+	}
+	out := RenameTemplateVars(tmpl, map[sparql.Var]sparql.Var{"X": "Z"})
+	if out[0].S.Var() != "Z" || out[1].P.Var() != "Z" {
+		t.Fatalf("rename missed: %v", out)
+	}
+	if out[0].O.Var() != "Y" || !sparql.Equal(tmpl[0], sparql.TP(sparql.V("X"), sparql.I("p"), sparql.V("Y"))) {
+		t.Fatal("rename touched the wrong things or mutated input")
+	}
+}

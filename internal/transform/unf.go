@@ -1,0 +1,94 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/sparql"
+)
+
+// UnionNormalForm rewrites a pattern into a list of UNION-free
+// disjuncts whose union is equivalent to the input (Proposition D.1).
+// It supports the monotone operators AND, FILTER and SELECT fully, and
+// OPT through its left argument (left-outer join distributes over union
+// on the left).  A UNION occurring under the *right* argument of an OPT
+// or under NS cannot be distributed out (the classic counterexample is
+// the errata to [29]); in that case an error is returned.
+//
+// For patterns in SPARQL[AUFS] — the fragment where the paper needs the
+// normal form — UnionNormalForm always succeeds.
+func UnionNormalForm(p sparql.Pattern) ([]sparql.Pattern, error) {
+	switch q := p.(type) {
+	case sparql.TriplePattern:
+		return []sparql.Pattern{q}, nil
+	case sparql.Union:
+		l, err := UnionNormalForm(q.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := UnionNormalForm(q.R)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+	case sparql.And:
+		l, err := UnionNormalForm(q.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := UnionNormalForm(q.R)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]sparql.Pattern, 0, len(l)*len(r))
+		for _, a := range l {
+			for _, b := range r {
+				out = append(out, sparql.And{L: a, R: b})
+			}
+		}
+		return out, nil
+	case sparql.Opt:
+		l, err := UnionNormalForm(q.L)
+		if err != nil {
+			return nil, err
+		}
+		if hasUnion(q.R) {
+			return nil, fmt.Errorf("transform: UNION under the right argument of OPT cannot be normalized: %s", q.R)
+		}
+		out := make([]sparql.Pattern, len(l))
+		for i, a := range l {
+			out[i] = sparql.Opt{L: a, R: q.R}
+		}
+		return out, nil
+	case sparql.Filter:
+		inner, err := UnionNormalForm(q.P)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]sparql.Pattern, len(inner))
+		for i, a := range inner {
+			out[i] = sparql.Filter{P: a, Cond: q.Cond}
+		}
+		return out, nil
+	case sparql.Select:
+		inner, err := UnionNormalForm(q.P)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]sparql.Pattern, len(inner))
+		for i, a := range inner {
+			out[i] = sparql.Select{Vars: q.Vars, P: a}
+		}
+		return out, nil
+	case sparql.NS:
+		if hasUnion(q.P) {
+			return nil, fmt.Errorf("transform: UNION under NS cannot be normalized: %s", q)
+		}
+		return []sparql.Pattern{q}, nil
+	default:
+		panic("transform: unknown pattern type")
+	}
+}
+
+func hasUnion(p sparql.Pattern) bool {
+	return sparql.Ops(p)[sparql.OpUnion]
+}

@@ -1,0 +1,122 @@
+// Package views implements materialized CONSTRUCT views with
+// incremental maintenance under triple insertions.
+//
+// This is the practical payoff of Section 6 of the paper: a CONSTRUCT
+// query in the monotone fragment CONSTRUCT[AUF] (Corollary 6.8) never
+// retracts output triples when the base graph grows, so a materialized
+// view can be maintained by *adding* the triples derived from the
+// delta — no recomputation, no deletions.  Non-monotone queries (OPT,
+// NS or SELECT in the WHERE clause) are rejected at construction time;
+// for them, monotone maintenance would be unsound.
+//
+// The delta evaluation is the semi-naive rule set over the mapping
+// algebra (with G the already-updated base graph):
+//
+//	Δ⟦t⟧            = matches of t in Δ
+//	Δ⟦P1 AND P2⟧    = Δ⟦P1⟧ ⋈ ⟦P2⟧_G  ∪  ⟦P1⟧_G ⋈ Δ⟦P2⟧
+//	Δ⟦P1 UNION P2⟧  = Δ⟦P1⟧ ∪ Δ⟦P2⟧
+//	Δ⟦P FILTER R⟧   = {µ ∈ Δ⟦P⟧ | µ ⊨ R}
+//
+// which computes a superset of the genuinely new answers and a subset
+// of ⟦P⟧_G — exactly what is needed to extend the view.  The AND rule's
+// ⟦·⟧_G probes run as constrained evaluations seeded by the (small)
+// delta side, so an insert costs ~|Δ| index probes, independent of |G|.
+package views
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// View is a materialized monotone CONSTRUCT view over a base graph.
+type View struct {
+	query sparql.ConstructQuery
+	base  *rdf.Graph
+	out   *rdf.Graph
+}
+
+// New materializes a CONSTRUCT[AUF] view over a snapshot of the base
+// graph.  The base graph is cloned: the view is updated exclusively
+// through Insert, so that its state stays consistent.
+func New(q sparql.ConstructQuery, base *rdf.Graph) (*View, error) {
+	if !sparql.InFragment(q.Where, sparql.FragmentAUF) {
+		return nil, fmt.Errorf("views: WHERE clause outside CONSTRUCT[AUF] (the monotone fragment, Corollary 6.8): %s", q.Where)
+	}
+	v := &View{query: q, base: base.Clone()}
+	v.out = sparql.EvalConstruct(v.base, q)
+	return v, nil
+}
+
+// Graph returns the materialized output graph.  Callers must not
+// modify it.
+func (v *View) Graph() *rdf.Graph { return v.out }
+
+// Base returns the view's snapshot of the base graph.  Callers must
+// not modify it; use Insert.
+func (v *View) Base() *rdf.Graph { return v.base }
+
+// Insert adds triples to the base graph and incrementally extends the
+// output.  It returns the number of new output triples.
+func (v *View) Insert(triples ...rdf.Triple) int {
+	delta := rdf.NewGraph()
+	for _, t := range triples {
+		if v.base.AddTriple(t) {
+			delta.AddTriple(t)
+		}
+	}
+	if delta.Len() == 0 {
+		return 0
+	}
+	added := 0
+	for _, mu := range deltaEval(v.base, delta, v.query.Where).Mappings() {
+		for _, tp := range v.query.Template {
+			if tr, ok := mu.Apply(tp); ok {
+				if v.out.AddTriple(tr) {
+					added++
+				}
+			}
+		}
+	}
+	return added
+}
+
+// deltaEval returns a set Ω with ⟦P⟧_{G} ∖ ⟦P⟧_{G∖Δ} ⊆ Ω ⊆ ⟦P⟧_G,
+// where g is the already-updated base graph: every genuinely new
+// answer, and only valid answers.  Since the output is a set, the AND
+// rule may count an all-new join twice; deduplication makes that
+// harmless, and probing the updated graph on both sides avoids keeping
+// (or cloning) the pre-insert graph.
+func deltaEval(g, delta *rdf.Graph, p sparql.Pattern) *sparql.MappingSet {
+	switch q := p.(type) {
+	case sparql.TriplePattern:
+		return sparql.Eval(delta, q)
+	case sparql.And:
+		// Index-nested-loop delta join: the delta side is small, so the
+		// other side is probed with each delta mapping as a constraint
+		// (sparql.EvalCompatible turns bound variables into index
+		// lookups) instead of being evaluated in full.
+		l := joinConstrained(g, deltaEval(g, delta, q.L), q.R)
+		r := joinConstrained(g, deltaEval(g, delta, q.R), q.L)
+		return l.Union(r)
+	case sparql.Union:
+		return deltaEval(g, delta, q.L).Union(deltaEval(g, delta, q.R))
+	case sparql.Filter:
+		return deltaEval(g, delta, q.P).Filter(q.Cond)
+	default:
+		panic(fmt.Sprintf("views: operator outside AUF: %T", p))
+	}
+}
+
+// joinConstrained computes small ⋈ ⟦p⟧_g by probing p with each
+// mapping of small as a compatibility constraint.
+func joinConstrained(g *rdf.Graph, small *sparql.MappingSet, p sparql.Pattern) *sparql.MappingSet {
+	out := sparql.NewMappingSet()
+	for _, mu := range small.Mappings() {
+		for _, nu := range sparql.EvalCompatible(g, p, mu).Mappings() {
+			out.Add(mu.Merge(nu))
+		}
+	}
+	return out
+}

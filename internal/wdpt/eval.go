@@ -1,0 +1,59 @@
+package wdpt
+
+import (
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// EvalTree evaluates a well-designed pattern tree directly, without
+// materializing the nested left-outer joins of the rendered pattern.
+// It implements the classic top-down procedure for well-designed
+// patterns: an answer is a mapping that matches the core of some
+// root-subtree R maximally — no child node outside R can extend it.
+//
+// The recursion computes, for each node, the set of *maximal*
+// extensions of each core match; well designedness guarantees that the
+// variables shared between a child and the rest of the tree occur in
+// the parent's core, so child extensions are independent of each other
+// and can be combined per child.
+func EvalTree(g *rdf.Graph, t *Tree) *sparql.MappingSet {
+	return evalNode(g, t.Root, sparql.NewMappingSet(sparql.Mapping{}))
+}
+
+// evalNode returns the maximal answers of the subtree rooted at n,
+// relative to the set of partial mappings produced by the ancestors.
+func evalNode(g *rdf.Graph, n *Node, parent *sparql.MappingSet) *sparql.MappingSet {
+	core := sparql.Eval(g, n.corePattern())
+	matched := parent.JoinHash(core)
+	if matched.Len() == 0 {
+		return matched
+	}
+	// Extend every matched mapping through each child independently: a
+	// mapping keeps its current value if the child has no compatible
+	// match, and is replaced by all its child extensions otherwise.
+	current := matched
+	for _, c := range n.Children {
+		extended := evalNode(g, c, current)
+		// current ⟕ child-results, but computed from the already
+		// evaluated extensions: keep unextended mappings only when no
+		// extension exists.
+		next := sparql.NewMappingSet()
+		for _, mu := range current.Mappings() {
+			found := false
+			for _, nu := range extended.Mappings() {
+				if mu.SubsumedBy(nu) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				next.Add(mu)
+			}
+		}
+		for _, nu := range extended.Mappings() {
+			next.Add(nu)
+		}
+		current = next
+	}
+	return current
+}

@@ -1,0 +1,103 @@
+package wdpt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparql"
+	"repro/internal/workload"
+)
+
+// TestEvalTreeMatchesReferenceQuick: the dedicated top-down evaluation
+// of well-designed pattern trees agrees with the bottom-up reference
+// evaluator on random well-designed patterns and graphs.
+func TestEvalTreeMatchesReferenceQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := GenerateWellDesigned(rng, GenerateOpts{MaxNodes: 6})
+		tree, err := FromPattern(p)
+		if err != nil {
+			t.Logf("generator produced rejected pattern: %v", err)
+			return false
+		}
+		g := workload.RandomGraph(rng, rng.Intn(30), nil)
+		want := sparql.Eval(g, p)
+		got := EvalTree(g, tree)
+		if !got.Equal(want) {
+			t.Logf("pattern %s\ntree:\n%s\ngraph\n%s\nwant %v\ngot  %v", p, tree, g, want, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalTreeFigure2(t *testing.T) {
+	tree, err := FromPattern(sparql.Opt{
+		L: sparql.TP(sparql.V("X"), sparql.I("was_born_in"), sparql.I("Chile")),
+		R: sparql.TP(sparql.V("X"), sparql.I("email"), sparql.V("Y")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := EvalTree(workload.Figure2G1(), tree)
+	if r1.Len() != 1 || !r1.Contains(sparql.M("X", "Juan")) {
+		t.Fatalf("G1 = %v", r1)
+	}
+	r2 := EvalTree(workload.Figure2G2(), tree)
+	if r2.Len() != 1 || !r2.Contains(sparql.M("X", "Juan", "Y", "juan@puc.cl")) {
+		t.Fatalf("G2 = %v", r2)
+	}
+}
+
+func TestWellDesignedUnionToUSP(t *testing.T) {
+	p := pat(t, "((?X a b) OPT (?X c ?Y)) UNION ((?Z d e) OPT (?Z f ?W))")
+	usp, err := WellDesignedUnionToUSP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparql.IsNSPattern(usp) {
+		t.Fatalf("translation is not an ns-pattern: %s", usp)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		g := workload.RandomGraph(rng, rng.Intn(20), nil)
+		if !sparql.Eval(g, p).Equal(sparql.Eval(g, usp)) {
+			t.Fatalf("translation changed answers on\n%s", g)
+		}
+	}
+	// Rejections.
+	if _, err := WellDesignedUnionToUSP(pat(t, "NS((?X a b))")); err == nil {
+		t.Fatal("NS pattern accepted")
+	}
+	if _, err := WellDesignedUnionToUSP(pat(t, "(?X a b) AND ((?Y a b) OPT (?Y c ?X))")); err == nil {
+		t.Fatal("non-well-designed pattern accepted")
+	}
+}
+
+func TestWellDesignedUnionToUSPQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nd := 1 + rng.Intn(3)
+		ds := make([]sparql.Pattern, nd)
+		for i := range ds {
+			ds[i] = GenerateWellDesigned(rng, GenerateOpts{MaxNodes: 3})
+		}
+		p := sparql.UnionOf(ds...)
+		usp, err := WellDesignedUnionToUSP(p)
+		if err != nil {
+			t.Logf("translation failed: %v", err)
+			return false
+		}
+		g := workload.RandomGraph(rng, rng.Intn(20), nil)
+		return sparql.IsNSPattern(usp) && sparql.Eval(g, p).Equal(sparql.Eval(g, usp))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package wdpt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// GenerateOpts controls GenerateWellDesigned.
+type GenerateOpts struct {
+	// MaxNodes bounds the tree size (default 5).
+	MaxNodes int
+	// IRIs is the IRI pool (default workload-compatible a..r).
+	IRIs []rdf.IRI
+}
+
+// GenerateWellDesigned draws a random well-designed SPARQL[AOF]
+// pattern by generating a random pattern tree and rendering it.  Each
+// child node reuses variables of its parent node (never of farther
+// ancestors), which guarantees the connectedness condition of well
+// designedness by construction.
+func GenerateWellDesigned(rng *rand.Rand, opts GenerateOpts) sparql.Pattern {
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 5
+	}
+	if opts.IRIs == nil {
+		opts.IRIs = []rdf.IRI{"a", "b", "c", "p", "q", "r"}
+	}
+	counter := 0
+	budget := 1 + rng.Intn(opts.MaxNodes)
+	root := generateNode(rng, &opts, nil, &budget, &counter)
+	t := &Tree{Root: root}
+	return t.Pattern()
+}
+
+func generateNode(rng *rand.Rand, opts *GenerateOpts, parentVars []sparql.Var, budget, counter *int) *Node {
+	*budget--
+	n := &Node{}
+	// Node variables: some inherited from the parent, some fresh.
+	var vars []sparql.Var
+	for _, v := range parentVars {
+		if rng.Intn(2) == 0 {
+			vars = append(vars, v)
+		}
+	}
+	nFresh := 1 + rng.Intn(2)
+	for i := 0; i < nFresh; i++ {
+		vars = append(vars, sparql.Var(fmt.Sprintf("v%d", *counter)))
+		*counter++
+	}
+	pos := func() sparql.Value {
+		if rng.Intn(2) == 0 {
+			return sparql.V(vars[rng.Intn(len(vars))])
+		}
+		return sparql.I(opts.IRIs[rng.Intn(len(opts.IRIs))])
+	}
+	nt := 1 + rng.Intn(2)
+	for i := 0; i < nt; i++ {
+		n.Triples = append(n.Triples, sparql.TP(pos(), sparql.I(opts.IRIs[rng.Intn(len(opts.IRIs))]), pos()))
+	}
+	// Make sure every declared variable occurs in some triple (so that
+	// filters and children stay well designed).
+	used := make(map[sparql.Var]struct{})
+	for _, t := range n.Triples {
+		for _, v := range sparql.Vars(t) {
+			used[v] = struct{}{}
+		}
+	}
+	var nodeVars []sparql.Var
+	for _, v := range vars {
+		if _, ok := used[v]; ok {
+			nodeVars = append(nodeVars, v)
+		}
+	}
+	if len(nodeVars) == 0 {
+		// Degenerate all-constant node; give it one variable triple.
+		v := sparql.Var(fmt.Sprintf("v%d", *counter))
+		*counter++
+		n.Triples = append(n.Triples, sparql.TP(sparql.V(v), sparql.I(opts.IRIs[rng.Intn(len(opts.IRIs))]), sparql.I(opts.IRIs[rng.Intn(len(opts.IRIs))])))
+		nodeVars = []sparql.Var{v}
+	}
+	// Optional filter over node variables.
+	if rng.Intn(3) == 0 {
+		v := nodeVars[rng.Intn(len(nodeVars))]
+		var cond sparql.Condition
+		switch rng.Intn(3) {
+		case 0:
+			cond = sparql.Bound{X: v}
+		case 1:
+			cond = sparql.EqConst{X: v, C: opts.IRIs[rng.Intn(len(opts.IRIs))]}
+		default:
+			cond = sparql.Not{R: sparql.EqConst{X: v, C: opts.IRIs[rng.Intn(len(opts.IRIs))]}}
+		}
+		n.Conds = append(n.Conds, cond)
+	}
+	// Children while the budget allows.
+	for *budget > 0 && rng.Intn(2) == 0 {
+		n.Children = append(n.Children, generateNode(rng, opts, nodeVars, budget, counter))
+	}
+	return n
+}

@@ -1,0 +1,230 @@
+// Package wdpt implements well-designed pattern trees: the normal form
+// of well-designed SPARQL[AOF] graph patterns (Proposition A.1, after
+// Letelier, Pérez, Pichler and Skritek), and the translation of
+// Proposition 5.6 from well-designed patterns to SP–SPARQL — a single
+// NS operator over a SPARQL[AUF] union.
+package wdpt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/sparql"
+)
+
+// Node is a node of a well-designed pattern tree: a conjunction of
+// triple patterns and filter conditions, with the children providing
+// nested optional extensions.
+type Node struct {
+	Triples  []sparql.TriplePattern
+	Conds    []sparql.Condition
+	Children []*Node
+}
+
+// Tree is a well-designed pattern tree.
+type Tree struct{ Root *Node }
+
+// FromPattern converts a well-designed SPARQL[AOF] pattern into a
+// pattern tree, applying the OPT-normal-form rewriting
+//
+//	(P1 OPT P2) AND P3 ≡ (P1 AND P3) OPT P2
+//	P1 AND (P2 OPT P3) ≡ (P1 AND P2) OPT P3
+//
+// which is equivalence-preserving for well-designed patterns.  FILTER
+// conditions are attached to the node whose triples bind their
+// variables; a filter whose variables are bound only optionally is
+// rejected (such patterns are outside the pattern-tree normal form).
+func FromPattern(p sparql.Pattern) (*Tree, error) {
+	wd, err := analysis.IsWellDesigned(p)
+	if err != nil {
+		return nil, err
+	}
+	if !wd {
+		return nil, fmt.Errorf("wdpt: pattern is not well designed: %s", p)
+	}
+	root, err := build(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{Root: root}, nil
+}
+
+func build(p sparql.Pattern) (*Node, error) {
+	switch q := p.(type) {
+	case sparql.TriplePattern:
+		return &Node{Triples: []sparql.TriplePattern{q}}, nil
+	case sparql.And:
+		l, err := build(q.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := build(q.R)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{
+			Triples:  append(append([]sparql.TriplePattern{}, l.Triples...), r.Triples...),
+			Conds:    append(append([]sparql.Condition{}, l.Conds...), r.Conds...),
+			Children: append(append([]*Node{}, l.Children...), r.Children...),
+		}, nil
+	case sparql.Opt:
+		l, err := build(q.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := build(q.R)
+		if err != nil {
+			return nil, err
+		}
+		l.Children = append(l.Children, r)
+		return l, nil
+	case sparql.Filter:
+		n, err := build(q.P)
+		if err != nil {
+			return nil, err
+		}
+		core := make(map[sparql.Var]struct{})
+		for _, t := range n.Triples {
+			for _, v := range sparql.Vars(t) {
+				core[v] = struct{}{}
+			}
+		}
+		for _, v := range q.Cond.Vars(nil) {
+			if _, ok := core[v]; !ok {
+				return nil, fmt.Errorf("wdpt: filter %s constrains optionally-bound variable ?%s; not in pattern-tree normal form", q.Cond, v)
+			}
+		}
+		n.Conds = append(n.Conds, q.Cond)
+		return n, nil
+	default:
+		return nil, fmt.Errorf("wdpt: operator outside SPARQL[AOF] in %s", p)
+	}
+}
+
+// pattern renders a node (with its subtree) back to a SPARQL[AOF]
+// pattern in OPT normal form.
+func (n *Node) pattern() sparql.Pattern {
+	p := n.corePattern()
+	for _, c := range n.Children {
+		p = sparql.Opt{L: p, R: c.pattern()}
+	}
+	return p
+}
+
+// corePattern is the AND-of-triples (plus filters) of the node alone.
+func (n *Node) corePattern() sparql.Pattern {
+	ps := make([]sparql.Pattern, len(n.Triples))
+	for i, t := range n.Triples {
+		ps[i] = t
+	}
+	p := sparql.AndOf(ps...)
+	if len(n.Conds) > 0 {
+		p = sparql.Filter{P: p, Cond: sparql.ConjoinConds(n.Conds...)}
+	}
+	return p
+}
+
+// Pattern renders the tree as a SPARQL[AOF] pattern in OPT normal form
+// (Proposition A.1).
+func (t *Tree) Pattern() sparql.Pattern { return t.Root.pattern() }
+
+// Vars returns the variables of the tree.
+func (t *Tree) Vars() []sparql.Var { return sparql.Vars(t.Pattern()) }
+
+// NodeCount returns the number of nodes.
+func (t *Tree) NodeCount() int {
+	n := 0
+	var walk func(*Node)
+	walk = func(nd *Node) {
+		n++
+		for _, c := range nd.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return n
+}
+
+// String renders the tree with indentation, for diagnostics.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.corePattern().String())
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	return b.String()
+}
+
+// RootSubtrees enumerates every subtree of the tree that contains the
+// root and is closed under parents, as slices of nodes.  These are the
+// candidate "extension degrees" of an answer: a well-designed pattern
+// maps each answer to the maximal root-subtree it satisfies.
+func (t *Tree) RootSubtrees() [][]*Node {
+	var enum func(n *Node) [][]*Node
+	enum = func(n *Node) [][]*Node {
+		// Combinations: for each child, either omit its subtree or
+		// include one of its root-subtree choices.
+		acc := [][]*Node{{n}}
+		for _, c := range n.Children {
+			choices := enum(c)
+			var next [][]*Node
+			for _, cur := range acc {
+				next = append(next, cur) // child omitted
+				for _, ch := range choices {
+					ext := make([]*Node, 0, len(cur)+len(ch))
+					ext = append(ext, cur...)
+					ext = append(ext, ch...)
+					next = append(next, ext)
+				}
+			}
+			acc = next
+		}
+		return acc
+	}
+	return enum(t.Root)
+}
+
+// ToSimple implements the constructive direction of Proposition 5.6:
+// it translates a well-designed pattern tree into an equivalent simple
+// pattern — a single NS over a SPARQL[AUF] union.  Each root-subtree R
+// contributes the conjunctive disjunct AND of the triples (and filters)
+// of its nodes; the NS keeps, for every mapping, only its maximal
+// extension, which is exactly the semantics of nested OPT in a
+// well-designed pattern.
+func (t *Tree) ToSimple() sparql.Pattern {
+	var disjuncts []sparql.Pattern
+	for _, sub := range t.RootSubtrees() {
+		var triples []sparql.Pattern
+		var conds []sparql.Condition
+		for _, n := range sub {
+			for _, tp := range n.Triples {
+				triples = append(triples, tp)
+			}
+			conds = append(conds, n.Conds...)
+		}
+		d := sparql.AndOf(triples...)
+		if len(conds) > 0 {
+			d = sparql.Filter{P: d, Cond: sparql.ConjoinConds(conds...)}
+		}
+		disjuncts = append(disjuncts, d)
+	}
+	return sparql.NS{P: sparql.UnionOf(disjuncts...)}
+}
+
+// WellDesignedToSimple is the one-call form of Proposition 5.6: it
+// converts a well-designed SPARQL[AOF] pattern to an equivalent simple
+// pattern NS(Q) with Q in SPARQL[AUF].
+func WellDesignedToSimple(p sparql.Pattern) (sparql.Pattern, error) {
+	t, err := FromPattern(p)
+	if err != nil {
+		return nil, err
+	}
+	return t.ToSimple(), nil
+}

@@ -1,0 +1,178 @@
+package wdpt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analysis"
+	"repro/internal/parser"
+	"repro/internal/sparql"
+	"repro/internal/workload"
+)
+
+func pat(t *testing.T, s string) sparql.Pattern {
+	t.Helper()
+	p, err := parser.ParsePattern(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return p
+}
+
+func TestFromPatternShapes(t *testing.T) {
+	p := pat(t, "((?X name ?N) AND (?X works_at ?U)) OPT (?X email ?E) OPT (?X phone ?P)")
+	tree, err := FromPattern(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NodeCount() != 3 {
+		t.Fatalf("NodeCount = %d, tree:\n%s", tree.NodeCount(), tree)
+	}
+	if len(tree.Root.Triples) != 2 || len(tree.Root.Children) != 2 {
+		t.Fatalf("root shape wrong:\n%s", tree)
+	}
+	if !strings.Contains(tree.String(), "email") {
+		t.Fatalf("String missing content:\n%s", tree)
+	}
+}
+
+func TestFromPatternNormalizesAndOverOpt(t *testing.T) {
+	// ((A OPT B) AND C) must normalize to (A AND C) with child B.
+	p := pat(t, "((?X a b) OPT (?X c ?Y)) AND (?X d ?Z)")
+	tree, err := FromPattern(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Root.Triples) != 2 || len(tree.Root.Children) != 1 {
+		t.Fatalf("normalization wrong:\n%s", tree)
+	}
+	// The rendered pattern is in OPT normal form and equivalent.
+	rendered := tree.Pattern()
+	opt, ok := rendered.(sparql.Opt)
+	if !ok {
+		t.Fatalf("rendered = %s", rendered)
+	}
+	if sparql.Ops(opt.L)[sparql.OpOpt] {
+		t.Fatalf("left of top OPT still contains OPT: %s", rendered)
+	}
+}
+
+func TestFromPatternRejections(t *testing.T) {
+	// Not well designed.
+	if _, err := FromPattern(pat(t, "(?X a b) AND ((?Y a b) OPT (?Y c ?X))")); err == nil {
+		t.Fatal("non-well-designed pattern accepted")
+	}
+	// Out of fragment.
+	if _, err := FromPattern(pat(t, "(?X a b) UNION (?X c d)")); err == nil {
+		t.Fatal("UNION pattern accepted")
+	}
+	// Filter over an optionally bound variable.
+	if _, err := FromPattern(pat(t, "((?X a b) OPT (?X c ?Y)) FILTER (bound(?Y))")); err == nil {
+		t.Fatal("filter over optional variable accepted")
+	}
+}
+
+// TestPatternTreeRenderEquivalentQuick validates the OPT-normal-form
+// rewriting (Proposition A.1): the rendered tree evaluates like the
+// original pattern on random graphs.
+func TestPatternTreeRenderEquivalentQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := GenerateWellDesigned(rng, GenerateOpts{})
+		tree, err := FromPattern(p)
+		if err != nil {
+			t.Logf("generator produced a rejected pattern %s: %v", p, err)
+			return false
+		}
+		g := workload.RandomGraph(rng, rng.Intn(25), nil)
+		if !sparql.Eval(g, p).Equal(sparql.Eval(g, tree.Pattern())) {
+			t.Logf("pattern %s\nrendered %s\ngraph\n%s", p, tree.Pattern(), g)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWellDesignedToSimpleQuick is experiment E8 (Proposition 5.6): a
+// well-designed pattern is equivalent to a single NS over a
+// SPARQL[AUF] union.
+func TestWellDesignedToSimpleQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := GenerateWellDesigned(rng, GenerateOpts{})
+		simple, err := WellDesignedToSimple(p)
+		if err != nil {
+			t.Logf("translation failed on %s: %v", p, err)
+			return false
+		}
+		ns, ok := simple.(sparql.NS)
+		if !ok || !sparql.InFragment(ns.P, sparql.FragmentAUF) {
+			t.Logf("translation of %s is not NS over AUF: %s", p, simple)
+			return false
+		}
+		g := workload.RandomGraph(rng, rng.Intn(25), nil)
+		if !sparql.Eval(g, p).Equal(sparql.Eval(g, simple)) {
+			t.Logf("pattern %s\nsimple %s\ngraph\n%s\nwd  %v\nsp  %v",
+				p, simple, g, sparql.Eval(g, p), sparql.Eval(g, simple))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToSimpleExample31(t *testing.T) {
+	p := pat(t, "(?X was_born_in Chile) OPT (?X email ?Y)")
+	simple, err := WellDesignedToSimple(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparql.IsSimple(simple) {
+		t.Fatalf("not a simple pattern: %s", simple)
+	}
+	g1, g2 := workload.Figure2G1(), workload.Figure2G2()
+	if !sparql.Eval(g1, p).Equal(sparql.Eval(g1, simple)) || !sparql.Eval(g2, p).Equal(sparql.Eval(g2, simple)) {
+		t.Fatalf("translation changed semantics: %s", simple)
+	}
+}
+
+func TestRootSubtreesCount(t *testing.T) {
+	// A root with two independent optional children has 4 root-subtrees;
+	// a chain of two has 3.
+	p := pat(t, "(?X a b) OPT (?X c ?Y) OPT (?X d ?Z)")
+	tree, err := FromPattern(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(tree.RootSubtrees()); n != 4 {
+		t.Fatalf("independent children: %d root-subtrees, want 4", n)
+	}
+	p = pat(t, "(?X a b) OPT ((?X c ?Y) OPT (?Y d ?Z))")
+	tree, err = FromPattern(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(tree.RootSubtrees()); n != 3 {
+		t.Fatalf("chain: %d root-subtrees, want 3", n)
+	}
+}
+
+func TestGeneratorProducesWellDesigned(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		p := GenerateWellDesigned(rng, GenerateOpts{MaxNodes: 6})
+		ok, err := analysis.IsWellDesigned(p)
+		if err != nil || !ok {
+			t.Fatalf("generator produced non-well-designed pattern: %s (err %v)", p, err)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package wdpt
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/sparql"
+)
+
+// WellDesignedUnionToUSP implements the Section 5.3 counterpart of
+// Proposition 5.6: a well-designed union P1 UNION ⋯ UNION Pn (every
+// disjunct a well-designed SPARQL[AOF] pattern) is translated to an
+// equivalent ns-pattern of USP–SPARQL by translating each disjunct to
+// a simple pattern.
+func WellDesignedUnionToUSP(p sparql.Pattern) (sparql.Pattern, error) {
+	ok, err := analysis.IsWellDesignedUnion(p)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("wdpt: pattern is not a well-designed union: %s", p)
+	}
+	disjuncts := sparql.UnionDisjuncts(p)
+	out := make([]sparql.Pattern, len(disjuncts))
+	for i, d := range disjuncts {
+		simple, err := WellDesignedToSimple(d)
+		if err != nil {
+			return nil, fmt.Errorf("wdpt: disjunct %d: %w", i, err)
+		}
+		out[i] = simple
+	}
+	return sparql.UnionOf(out...), nil
+}

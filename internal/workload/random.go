@@ -1,0 +1,148 @@
+// Package workload provides synthetic RDF data and query generators:
+// random graphs and patterns for property-based testing, the fixed
+// graphs of the paper's figures, and scalable scenario generators used
+// by the benchmark harness.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// PatternOpts controls RandomPattern.
+type PatternOpts struct {
+	// Depth is the maximum operator nesting depth.
+	Depth int
+	// Vars is the variable pool; triple positions draw from it.
+	Vars []sparql.Var
+	// IRIs is the IRI pool shared with RandomGraph, so that patterns
+	// have a realistic chance of matching.
+	IRIs []rdf.IRI
+	// Ops is the set of operators to draw from; nil means full
+	// NS-SPARQL.
+	Ops []sparql.Op
+	// VarProb is the probability (out of 100) that a triple position is
+	// a variable; 0 defaults to 50.
+	VarProb int
+}
+
+// DefaultVars is a small variable pool.
+var DefaultVars = []sparql.Var{"X", "Y", "Z", "W"}
+
+// DefaultIRIs is a small IRI pool.
+var DefaultIRIs = []rdf.IRI{"a", "b", "c", "p", "q", "r"}
+
+func (o *PatternOpts) fill() {
+	if o.Depth == 0 {
+		o.Depth = 3
+	}
+	if o.Vars == nil {
+		o.Vars = DefaultVars
+	}
+	if o.IRIs == nil {
+		o.IRIs = DefaultIRIs
+	}
+	if o.Ops == nil {
+		o.Ops = []sparql.Op{sparql.OpAnd, sparql.OpUnion, sparql.OpOpt, sparql.OpFilter, sparql.OpSelect, sparql.OpNS}
+	}
+	if o.VarProb == 0 {
+		o.VarProb = 50
+	}
+}
+
+// RandomPattern draws a random graph pattern.
+func RandomPattern(rng *rand.Rand, opts PatternOpts) sparql.Pattern {
+	opts.fill()
+	return randomPattern(rng, opts.Depth, &opts)
+}
+
+func randomPattern(rng *rand.Rand, depth int, o *PatternOpts) sparql.Pattern {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return RandomTriplePattern(rng, o)
+	}
+	switch o.Ops[rng.Intn(len(o.Ops))] {
+	case sparql.OpAnd:
+		return sparql.And{L: randomPattern(rng, depth-1, o), R: randomPattern(rng, depth-1, o)}
+	case sparql.OpUnion:
+		return sparql.Union{L: randomPattern(rng, depth-1, o), R: randomPattern(rng, depth-1, o)}
+	case sparql.OpOpt:
+		return sparql.Opt{L: randomPattern(rng, depth-1, o), R: randomPattern(rng, depth-1, o)}
+	case sparql.OpFilter:
+		return sparql.Filter{P: randomPattern(rng, depth-1, o), Cond: RandomCondition(rng, 2, o)}
+	case sparql.OpSelect:
+		nv := 1 + rng.Intn(len(o.Vars))
+		vars := make([]sparql.Var, nv)
+		for i := range vars {
+			vars[i] = o.Vars[rng.Intn(len(o.Vars))]
+		}
+		return sparql.NewSelect(vars, randomPattern(rng, depth-1, o))
+	default:
+		return sparql.NS{P: randomPattern(rng, depth-1, o)}
+	}
+}
+
+// RandomTriplePattern draws a triple pattern from the pools of opts.
+func RandomTriplePattern(rng *rand.Rand, o *PatternOpts) sparql.TriplePattern {
+	o.fill()
+	vals := make([]sparql.Value, 3)
+	for i := range vals {
+		if rng.Intn(100) < o.VarProb {
+			vals[i] = sparql.V(o.Vars[rng.Intn(len(o.Vars))])
+		} else {
+			vals[i] = sparql.I(o.IRIs[rng.Intn(len(o.IRIs))])
+		}
+	}
+	return sparql.TP(vals[0], vals[1], vals[2])
+}
+
+// RandomCondition draws a built-in condition over the pools of opts.
+func RandomCondition(rng *rand.Rand, depth int, o *PatternOpts) sparql.Condition {
+	o.fill()
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return sparql.Bound{X: o.Vars[rng.Intn(len(o.Vars))]}
+		case 1:
+			return sparql.EqConst{X: o.Vars[rng.Intn(len(o.Vars))], C: o.IRIs[rng.Intn(len(o.IRIs))]}
+		default:
+			return sparql.EqVars{X: o.Vars[rng.Intn(len(o.Vars))], Y: o.Vars[rng.Intn(len(o.Vars))]}
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return sparql.Not{R: RandomCondition(rng, depth-1, o)}
+	case 1:
+		return sparql.AndCond{L: RandomCondition(rng, depth-1, o), R: RandomCondition(rng, depth-1, o)}
+	default:
+		return sparql.OrCond{L: RandomCondition(rng, depth-1, o), R: RandomCondition(rng, depth-1, o)}
+	}
+}
+
+// RandomGraph draws a graph with up to n triples over the given IRI
+// pool (DefaultIRIs if nil).
+func RandomGraph(rng *rand.Rand, n int, iris []rdf.IRI) *rdf.Graph {
+	if iris == nil {
+		iris = DefaultIRIs
+	}
+	g := rdf.NewGraph()
+	for i := 0; i < n; i++ {
+		g.Add(iris[rng.Intn(len(iris))], iris[rng.Intn(len(iris))], iris[rng.Intn(len(iris))])
+	}
+	return g
+}
+
+// RandomExtension returns a random strict-or-equal supergraph of g,
+// adding up to extra triples over the same IRI pool plus fresh ones.
+// Useful for weak-monotonicity testing (G1 ⊆ G2 pairs).
+func RandomExtension(rng *rand.Rand, g *rdf.Graph, extra int, iris []rdf.IRI) *rdf.Graph {
+	if iris == nil {
+		iris = DefaultIRIs
+	}
+	h := g.Clone()
+	for i := 0; i < extra; i++ {
+		h.Add(iris[rng.Intn(len(iris))], iris[rng.Intn(len(iris))], iris[rng.Intn(len(iris))])
+	}
+	return h
+}

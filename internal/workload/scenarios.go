@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// Figure1 returns the organizations graph of Figure 1 / Example 2.1.
+func Figure1() *rdf.Graph {
+	return rdf.FromTriples(
+		rdf.T("Gottfrid_Svartholm", "founder", "The_Pirate_Bay"),
+		rdf.T("Fredrik_Neij", "founder", "The_Pirate_Bay"),
+		rdf.T("Peter_Sunde", "founder", "The_Pirate_Bay"),
+		rdf.T("founder", "sub_property", "supporter"),
+		rdf.T("The_Pirate_Bay", "stands_for", "sharing_rights"),
+		rdf.T("Carl_Lundström", "supporter", "The_Pirate_Bay"),
+	)
+}
+
+// Figure2G1 returns the smaller professors graph G1 of Figure 2.
+func Figure2G1() *rdf.Graph {
+	return rdf.FromTriples(
+		rdf.T("prof_01", "name", "Cristian"),
+		rdf.T("prof_01", "email", "cris@puc.cl"),
+		rdf.T("prof_01", "works_at", "PUC_Chile"),
+		rdf.T("prof_02", "name", "Denis"),
+		rdf.T("prof_02", "works_at", "U_Oxford"),
+		rdf.T("Juan", "was_born_in", "Chile"),
+	)
+}
+
+// Figure2G2 returns the extension G2 ⊇ G1 of Figure 2 (Juan's email is
+// now known).
+func Figure2G2() *rdf.Graph {
+	g := Figure2G1()
+	g.Add("Juan", "email", "juan@puc.cl")
+	return g
+}
+
+// Figure3 returns the professors/universities graph of Figure 3
+// (Example 6.1).
+func Figure3() *rdf.Graph {
+	return rdf.FromTriples(
+		rdf.T("prof_01", "name", "Cristian"),
+		rdf.T("prof_01", "email", "cris@puc.cl"),
+		rdf.T("prof_01", "works_at", "U_Oxford"),
+		rdf.T("prof_01", "works_at", "PUC_Chile"),
+		rdf.T("prof_02", "name", "Denis"),
+		rdf.T("prof_02", "works_at", "PUC_Chile"),
+		rdf.T("Juan", "was_born_in", "Chile"),
+		rdf.T("Juan", "email", "juan@puc.cl"),
+	)
+}
+
+// UniversityOpts parameterizes the scalable university workload, a
+// LUBM-flavoured social scenario in the spirit of the paper's examples:
+// people with names and workplaces, where optional attributes (email,
+// phone, homepage) are present only with some probability — the
+// incomplete-information regime that motivates OPT and NS.
+type UniversityOpts struct {
+	People       int
+	Universities int
+	// OptionalPct is the probability (0–100) that each optional
+	// attribute of a person is present.
+	OptionalPct int
+	// FoundersPct is the probability (0–100) that a person founded some
+	// organization.
+	FoundersPct int
+	Seed        int64
+}
+
+// University generates the workload graph.
+func University(o UniversityOpts) *rdf.Graph {
+	if o.Universities == 0 {
+		o.Universities = 1 + o.People/50
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	g := rdf.NewGraph()
+	unis := make([]rdf.IRI, o.Universities)
+	for i := range unis {
+		unis[i] = rdf.IRI(fmt.Sprintf("university_%d", i))
+		g.Add(unis[i], "type", "University")
+		g.Add(unis[i], "stands_for", rdf.IRI(fmt.Sprintf("mission_%d", i%5)))
+	}
+	for i := 0; i < o.People; i++ {
+		p := rdf.IRI(fmt.Sprintf("person_%d", i))
+		g.Add(p, "name", rdf.IRI(fmt.Sprintf("Name_%d", i)))
+		g.Add(p, "works_at", unis[rng.Intn(len(unis))])
+		if rng.Intn(100) < o.OptionalPct {
+			g.Add(p, "email", rdf.IRI(fmt.Sprintf("mail_%d@example.org", i)))
+		}
+		if rng.Intn(100) < o.OptionalPct {
+			g.Add(p, "phone", rdf.IRI(fmt.Sprintf("phone_%d", i)))
+		}
+		if rng.Intn(100) < o.OptionalPct {
+			g.Add(p, "homepage", rdf.IRI(fmt.Sprintf("http://example.org/~p%d", i)))
+		}
+		if rng.Intn(100) < o.FoundersPct {
+			g.Add(p, "founder", unis[rng.Intn(len(unis))])
+		} else if rng.Intn(100) < o.FoundersPct {
+			g.Add(p, "supporter", unis[rng.Intn(len(unis))])
+		}
+		g.Add(p, "was_born_in", rdf.IRI(fmt.Sprintf("country_%d", rng.Intn(20))))
+	}
+	return g
+}

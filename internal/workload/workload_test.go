@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+func TestFigureGraphs(t *testing.T) {
+	if Figure1().Len() != 6 {
+		t.Errorf("Figure1 has %d triples, want 6", Figure1().Len())
+	}
+	g1, g2 := Figure2G1(), Figure2G2()
+	if !g1.IsSubgraphOf(g2) || g2.Len() != g1.Len()+1 {
+		t.Error("Figure2 graphs not nested with one extra triple")
+	}
+	if !Figure3().Contains("prof_01", "works_at", "U_Oxford") {
+		t.Error("Figure3 missing a triple")
+	}
+}
+
+func TestUniversityShape(t *testing.T) {
+	g := University(UniversityOpts{People: 100, OptionalPct: 100, FoundersPct: 0, Seed: 1})
+	// Everyone has name, works_at, was_born_in, and all three optionals.
+	if got := g.CountMatch(nil, ptr("name"), nil); got != 100 {
+		t.Errorf("names = %d", got)
+	}
+	if got := g.CountMatch(nil, ptr("email"), nil); got != 100 {
+		t.Errorf("emails = %d (OptionalPct=100)", got)
+	}
+	g0 := University(UniversityOpts{People: 100, OptionalPct: 0, FoundersPct: 0, Seed: 1})
+	if got := g0.CountMatch(nil, ptr("email"), nil); got != 0 {
+		t.Errorf("emails = %d (OptionalPct=0)", got)
+	}
+	// Determinism: same seed, same graph.
+	if !University(UniversityOpts{People: 50, OptionalPct: 50, Seed: 7}).Equal(
+		University(UniversityOpts{People: 50, OptionalPct: 50, Seed: 7})) {
+		t.Error("University is not deterministic per seed")
+	}
+}
+
+func TestRandomGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := RandomGraph(rng, 30, nil)
+	if g.Len() == 0 || g.Len() > 30 {
+		t.Errorf("RandomGraph size = %d", g.Len())
+	}
+	h := RandomExtension(rng, g, 10, nil)
+	if !g.IsSubgraphOf(h) {
+		t.Error("RandomExtension is not a supergraph")
+	}
+	p := RandomPattern(rng, PatternOpts{Depth: 3})
+	if p == nil {
+		t.Fatal("RandomPattern returned nil")
+	}
+	// Fragment restriction is honored.
+	for i := 0; i < 50; i++ {
+		q := RandomPattern(rng, PatternOpts{Depth: 3, Ops: []sparql.Op{sparql.OpAnd, sparql.OpFilter}})
+		ops := sparql.Ops(q)
+		if ops[sparql.OpUnion] || ops[sparql.OpOpt] || ops[sparql.OpNS] || ops[sparql.OpSelect] {
+			t.Fatalf("pattern escaped the AF fragment: %s", q)
+		}
+	}
+	tp := RandomTriplePattern(rng, &PatternOpts{VarProb: 100})
+	if len(sparql.Vars(tp)) == 0 {
+		t.Error("VarProb=100 produced a ground triple")
+	}
+	c := RandomCondition(rng, 2, &PatternOpts{})
+	if c == nil {
+		t.Fatal("RandomCondition returned nil")
+	}
+}
+
+func ptr(s rdf.IRI) *rdf.IRI { return &s }
