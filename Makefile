@@ -1,8 +1,20 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test bench experiments fuzz cover clean
+.PHONY: all build vet test bench experiments fuzz cover clean ci fmt-check race
 
 all: build vet test
+
+# Exactly what .github/workflows/ci.yml runs.
+ci: fmt-check vet build test race
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+race:
+	go test -race ./internal/rdf/ ./internal/sparql/ ./internal/plan/ ./internal/exec/ ./internal/views/
 
 build:
 	go build ./...

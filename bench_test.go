@@ -234,6 +234,22 @@ func BenchmarkE17_NSAlgorithms(b *testing.B) {
 				set.MaximalBucketed()
 			}
 		})
+		// Row variant: encode once outside the loop (a query engine works
+		// on rows throughout; the boundary conversion is not part of NS).
+		sc, ok := sparql.NewVarSchema([]sparql.Var{"A", "B", "C", "D"})
+		if !ok {
+			b.Fatal("schema rejected")
+		}
+		rs, ok := sparql.EncodeMappingSet(set, sparql.Codec{Schema: sc, Dict: rdf.NewDict()})
+		if !ok {
+			b.Fatal("encode failed")
+		}
+		b.Run(fmt.Sprintf("rows/n=%d", set.Len()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rs.Maximal()
+			}
+		})
 	}
 }
 
@@ -270,7 +286,13 @@ func BenchmarkE20_PlannerAblation(b *testing.B) {
 				sparql.Eval(g, p)
 			}
 		})
-		b.Run("planner/"+q.name, func(b *testing.B) {
+		b.Run("planner-string/"+q.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan.EvalString(g, p)
+			}
+		})
+		b.Run("planner-rows/"+q.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				plan.Eval(g, p)

@@ -9,6 +9,8 @@
 //	nsbench            # run every experiment
 //	nsbench -run E7    # run one experiment
 //	nsbench -list      # list experiment ids and titles
+//	nsbench -json      # measure the perf ablations, one JSON row per line
+//	nsbench -json -run E17   # restrict the JSON rows to one experiment
 package main
 
 import (
@@ -33,10 +35,19 @@ func register(id, title string, run func()) {
 
 func main() {
 	var (
-		runID = flag.String("run", "", "run only the experiment with this id (e.g. E7)")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		runID    = flag.String("run", "", "run only the experiment with this id (e.g. E7)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonMode = flag.Bool("json", false, "measure the registered micro-benchmarks and emit one JSON row per line")
 	)
 	flag.Parse()
+
+	if *jsonMode {
+		if err := runJSON(strings.ToUpper(*runID)); err != nil {
+			fmt.Fprintf(os.Stderr, "nsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sort.Slice(experiments, func(i, j int) bool {
 		return numOf(experiments[i].id) < numOf(experiments[j].id)

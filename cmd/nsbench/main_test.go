@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"testing"
 )
@@ -39,6 +40,39 @@ func TestFastExperimentsRun(t *testing.T) {
 	for _, e := range experiments {
 		if fast[e.id] {
 			e.run() // must not panic
+		}
+	}
+}
+
+// TestJSONBenchRegistry checks the -json benchmark registry covers the
+// row-engine ablations and that rows marshal to the documented shape.
+func TestJSONBenchRegistry(t *testing.T) {
+	byExp := make(map[string]int)
+	for _, jb := range jsonBenches {
+		if jb.name == "" || jb.fn == nil {
+			t.Errorf("benchmark %q/%q incomplete", jb.experiment, jb.name)
+		}
+		byExp[jb.experiment]++
+	}
+	if byExp["E17"] < 9 { // naive, bucketed, rows × three sizes
+		t.Errorf("E17 has %d JSON benchmarks, want >= 9", byExp["E17"])
+	}
+	if byExp["E20"] < 9 { // reference, planner-string, planner-rows × three queries
+		t.Errorf("E20 has %d JSON benchmarks, want >= 9", byExp["E20"])
+	}
+	row := benchRow{Experiment: "E17", Name: "maximal-rows",
+		Params: map[string]interface{}{"n": 200}, NsPerOp: 1.5, AllocsPerOp: 2, BytesPerOp: 3}
+	buf, err := json.Marshal(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]interface{}
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"experiment", "name", "params", "ns_per_op", "allocs_per_op", "bytes_per_op"} {
+		if _, ok := back[k]; !ok {
+			t.Errorf("JSON row missing key %q: %s", k, buf)
 		}
 	}
 }

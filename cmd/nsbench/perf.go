@@ -1,0 +1,153 @@
+package main
+
+// Machine-readable performance rows for the ablation experiments:
+// `nsbench -json` measures each registered micro-benchmark with
+// testing.Benchmark and prints one JSON object per line, suitable for
+// tracking the EXPERIMENTS.md numbers across commits.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/workload"
+)
+
+// benchRow is one emitted measurement.
+type benchRow struct {
+	Experiment  string                 `json:"experiment"`
+	Name        string                 `json:"name"`
+	Params      map[string]interface{} `json:"params,omitempty"`
+	NsPerOp     float64                `json:"ns_per_op"`
+	AllocsPerOp int64                  `json:"allocs_per_op"`
+	BytesPerOp  int64                  `json:"bytes_per_op"`
+}
+
+type jsonBench struct {
+	experiment string
+	name       string
+	params     map[string]interface{}
+	fn         func(b *testing.B)
+}
+
+var jsonBenches []jsonBench
+
+func registerBench(experiment, name string, params map[string]interface{}, fn func(*testing.B)) {
+	jsonBenches = append(jsonBenches, jsonBench{experiment: experiment, name: name, params: params, fn: fn})
+}
+
+// runJSON measures every registered benchmark (restricted to one
+// experiment id when runID is non-empty) and prints JSON lines.
+func runJSON(runID string) error {
+	ran := false
+	enc := json.NewEncoder(os.Stdout)
+	for _, jb := range jsonBenches {
+		if runID != "" && jb.experiment != runID {
+			continue
+		}
+		ran = true
+		res := testing.Benchmark(jb.fn)
+		if err := enc.Encode(benchRow{
+			Experiment:  jb.experiment,
+			Name:        jb.name,
+			Params:      jb.params,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("no JSON benchmarks registered for %q", runID)
+	}
+	return nil
+}
+
+// e17MappingSet regenerates the E17 workload: n mappings over four
+// variables with half the slots bound.
+func e17MappingSet(rng *rand.Rand, n int) *sparql.MappingSet {
+	set := sparql.NewMappingSet()
+	for i := 0; i < n; i++ {
+		mu := make(sparql.Mapping)
+		for v := 0; v < 4; v++ {
+			if rng.Intn(2) == 0 {
+				mu[sparql.Var(rune('A'+v))] = rdf.IRI(fmt.Sprintf("i%d", rng.Intn(20)))
+			}
+		}
+		set.Add(mu)
+	}
+	return set
+}
+
+func init() {
+	// E17: the NS (subsumption-maximal) algorithm ablation — naive
+	// pairwise vs domain-bucketed strings vs mask-bucketed rows.
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{200, 1000, 4000} {
+		set := e17MappingSet(rng, n)
+		params := map[string]interface{}{"n": set.Len(), "vars": 4, "iri_pool": 20}
+		registerBench("E17", "maximal-naive", params, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				set.MaximalNaive()
+			}
+		})
+		registerBench("E17", "maximal-bucketed", params, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				set.MaximalBucketed()
+			}
+		})
+		sc, _ := sparql.NewVarSchema([]sparql.Var{"A", "B", "C", "D"})
+		rs, ok := sparql.EncodeMappingSet(set, sparql.Codec{Schema: sc, Dict: rdf.NewDict()})
+		if !ok {
+			panic("nsbench: E17 encode failed")
+		}
+		registerBench("E17", "maximal-rows", params, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rs.Maximal()
+			}
+		})
+	}
+
+	// E20: the planner ablation — reference evaluator vs the optimized
+	// plan on string mappings vs the optimized plan on ID-native rows.
+	queries := []struct {
+		name string
+		text string
+	}{
+		{"join3", `(?p name ?n) AND (?p works_at ?u) AND (?u stands_for ?m)`},
+		{"filtered", `((?p name ?n) AND (?p works_at ?u)) FILTER (?u = university_0)`},
+		{"opt", `((?p name ?n) AND (?p works_at ?u)) OPT (?p email ?e)`},
+	}
+	g := workload.University(workload.UniversityOpts{People: 1000, OptionalPct: 50, FoundersPct: 10, Seed: 1})
+	for _, q := range queries {
+		p := mustPattern(q.text)
+		params := map[string]interface{}{"query": q.name, "people": 1000}
+		registerBench("E20", "reference", params, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sparql.Eval(g, p)
+			}
+		})
+		registerBench("E20", "planner-string", params, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan.EvalString(g, p)
+			}
+		})
+		registerBench("E20", "planner-rows", params, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan.Eval(g, p)
+			}
+		})
+	}
+}

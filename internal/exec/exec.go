@@ -3,19 +3,25 @@
 // Limit returns the first k solutions, both without materializing the
 // full answer set when they can avoid it.
 //
-// For the monotone operators (AND, UNION, FILTER, SELECT) the executor
-// searches depth-first, binding one triple pattern at a time through
-// the graph indexes — the classic certificate search that witnesses
-// the NP membership of Eval(SPARQL[AUFS]) (Section 7).  The
-// non-monotone operators OPT and NS need the complete sub-answer sets
-// to decide what survives, so sub-patterns under them fall back to the
-// reference evaluator; Ask and Limit still terminate early at the
-// outer level.
+// The search runs on the ID-native row runtime (sparql.Searcher): the
+// pattern is optimized once up front, then evaluated depth-first over
+// dictionary-encoded rows, binding triple patterns through the
+// ID-level graph indexes.  Slots are bound in place in a single row
+// buffer and presence masks travel by value, so extending or
+// abandoning a partial solution allocates nothing — the string
+// engine's Mapping.Clone() per search node is gone.
+//
+// For the monotone operators (AND, UNION, FILTER, SELECT) this is the
+// classic certificate search that witnesses the NP membership of
+// Eval(SPARQL[AUFS]) (Section 7).  The non-monotone operators OPT and
+// NS need the complete sub-answer sets to decide what survives, so
+// sub-patterns under them fall back to the reference evaluator; Ask
+// and Limit still terminate early at the outer level.  Patterns wider
+// than sparql.MaxSchemaVars fall back to materializing the reference
+// answer set.
 package exec
 
 import (
-	"fmt"
-
 	"repro/internal/plan"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
@@ -24,141 +30,47 @@ import (
 // Ask reports whether ⟦P⟧_G is non-empty, stopping at the first
 // solution found.
 func Ask(g *rdf.Graph, p sparql.Pattern) bool {
+	opt := plan.Optimize(g, p)
+	sc, ok := sparql.SchemaFor(opt)
+	if !ok {
+		return sparql.Eval(g, opt).Len() > 0
+	}
 	found := false
-	iterate(g, p, sparql.Mapping{}, func(sparql.Mapping) bool {
+	sparql.NewSearcher(g, sc).Iterate(opt, 0, func(uint64) bool {
 		found = true
 		return false
 	})
 	return found
 }
 
-// Limit returns up to k solutions of ⟦P⟧_G (all of them for k < 0),
-// stopping the search as soon as k distinct solutions are found.
+// Limit returns up to k distinct solutions of ⟦P⟧_G (all of them for
+// k < 0), stopping the search as soon as k are found.
 func Limit(g *rdf.Graph, p sparql.Pattern, k int) *sparql.MappingSet {
 	out := sparql.NewMappingSet()
 	if k == 0 {
 		return out
 	}
-	iterate(g, p, sparql.Mapping{}, func(mu sparql.Mapping) bool {
-		out.Add(mu)
-		return k < 0 || out.Len() < k
-	})
-	return out
-}
-
-// iterate streams the solutions of p that are compatible-extensions of
-// the partial binding env, calling emit for each; emit returns false
-// to stop.  iterate reports whether the search should continue.
-//
-// The emitted mappings are the *full* solutions of p (env restricted
-// to p's variables merged with p's own bindings); duplicates may be
-// emitted (e.g. via UNION) — callers deduplicate.
-func iterate(g *rdf.Graph, p sparql.Pattern, env sparql.Mapping, emit func(sparql.Mapping) bool) bool {
-	switch q := p.(type) {
-	case sparql.TriplePattern:
-		return streamTriple(g, q, env, emit)
-	case sparql.And:
-		// Order the two sides by estimated cardinality so the selective
-		// side binds first.
-		l, r := q.L, q.R
-		if plan.Estimate(g, r) < plan.Estimate(g, l) {
-			l, r = r, l
-		}
-		return iterate(g, l, env, func(mu sparql.Mapping) bool {
-			// mu is a full solution of l compatible with env; extend the
-			// environment and search the other side.
-			ext := env.Merge(mu)
-			return iterate(g, r, ext, func(nu sparql.Mapping) bool {
-				if !mu.CompatibleWith(nu) {
-					return true
-				}
-				return emit(mu.Merge(nu))
-			})
-		})
-	case sparql.Union:
-		if !iterate(g, q.L, env, emit) {
-			return false
-		}
-		return iterate(g, q.R, env, emit)
-	case sparql.Filter:
-		return iterate(g, q.P, env, func(mu sparql.Mapping) bool {
-			if !q.Cond.Eval(mu) {
-				return true
-			}
-			return emit(mu)
-		})
-	case sparql.Select:
-		// Project and deduplicate locally so the limit counts distinct
-		// projections.
-		seen := sparql.NewMappingSet()
-		return iterate(g, q.P, env.Restrict(q.Vars), func(mu sparql.Mapping) bool {
-			proj := mu.Restrict(q.Vars)
-			if !proj.CompatibleWith(env) || !seen.Add(proj) {
-				return true
-			}
-			return emit(proj)
-		})
-	case sparql.Opt, sparql.NS:
-		// Non-monotone: the survivors depend on the whole sub-answer
-		// set.  Evaluate compatibly and stream the results.
-		cont := true
-		for _, mu := range sparql.EvalCompatible(g, p, env).Mappings() {
-			if !emit(mu) {
-				cont = false
+	opt := plan.Optimize(g, p)
+	sc, ok := sparql.SchemaFor(opt)
+	if !ok {
+		for _, mu := range sparql.Eval(g, opt).Mappings() {
+			out.Add(mu)
+			if k >= 0 && out.Len() >= k {
 				break
 			}
 		}
-		return cont
-	default:
-		panic(fmt.Sprintf("exec: unknown pattern type %T", p))
+		return out
 	}
-}
-
-// streamTriple emits the matches of a triple pattern compatible with
-// env directly from the graph indexes, without materializing.
-func streamTriple(g *rdf.Graph, t sparql.TriplePattern, env sparql.Mapping, emit func(sparql.Mapping) bool) bool {
-	// Positions bound by env (or constant) become index constraints.
-	resolve := func(v sparql.Value) (*rdf.IRI, sparql.Var, bool) {
-		if !v.IsVar() {
-			iri := v.IRI()
-			return &iri, "", false
-		}
-		if iri, ok := env[v.Var()]; ok {
-			i := iri
-			return &i, v.Var(), true
-		}
-		return nil, v.Var(), true
-	}
-	s, sv, sIsVar := resolve(t.S)
-	p, pv, pIsVar := resolve(t.P)
-	o, ov, oIsVar := resolve(t.O)
-	cont := true
-	g.Match(s, p, o, func(tr rdf.Triple) bool {
-		mu := make(sparql.Mapping, 3)
-		ok := true
-		bind := func(isVar bool, v sparql.Var, iri rdf.IRI) {
-			if !isVar || !ok {
-				return
-			}
-			if prev, bound := mu[v]; bound && prev != iri {
-				ok = false // repeated variable, conflicting values
-				return
-			}
-			mu[v] = iri
-		}
-		bind(sIsVar, sv, tr.S)
-		bind(pIsVar, pv, tr.P)
-		bind(oIsVar, ov, tr.O)
-		if !ok {
+	s := sparql.NewSearcher(g, sc)
+	seen := sparql.NewRowSet(sc)
+	s.Iterate(opt, 0, func(m uint64) bool {
+		if !seen.Add(s.IDs(), m) {
 			return true
 		}
-		if !emit(mu) {
-			cont = false
-			return false
-		}
-		return true
+		out.Add(s.Decode(m))
+		return k < 0 || out.Len() < k
 	})
-	return cont
+	return out
 }
 
 // ConstructContains decides t ∈ ans(Q, G) with early termination: the
@@ -166,23 +78,54 @@ func streamTriple(g *rdf.Graph, t sparql.TriplePattern, env sparql.Mapping, emit
 // binding seeds the backtracking search, and the first witness stops
 // it.  This is the decision problem of Section 7.3.
 func ConstructContains(g *rdf.Graph, q sparql.ConstructQuery, target rdf.Triple) bool {
+	opt := plan.Optimize(g, q.Where)
+	sc, scOK := sparql.SchemaFor(opt)
 	for _, tp := range q.Template {
 		seed, ok := unifyTemplate(tp, target)
 		if !ok {
 			continue
 		}
-		found := false
-		iterate(g, q.Where, seed, func(mu sparql.Mapping) bool {
-			// ans(Q, G) requires var(tp) ⊆ dom(µ); µ is compatible with
-			// the seed, so when that holds the produced triple is the
-			// target.
-			if produced, ok := mu.Apply(tp); ok && produced == target {
-				found = true
-				return false
+		if !scOK {
+			if containsMaterialized(g, opt, tp, target) {
+				return true
 			}
-			return true
+			continue
+		}
+		// Encode the seed against the graph dictionary without
+		// interning.  Solutions only bind template variables to graph
+		// IRIs, so a seed value absent from the dictionary — or a
+		// template variable outside the pattern — cannot be witnessed.
+		c := sparql.Codec{Schema: sc, Dict: g.Dict()}
+		row, ok := c.EncodeLookup(seed)
+		if !ok {
+			continue
+		}
+		// ans(Q, G) requires var(tp) ⊆ dom(µ); every emitted solution
+		// agrees with the seed on shared slots, so domain coverage alone
+		// certifies that µ(tp) is the target.
+		tpMask := sc.SlotMask(sparql.Vars(tp))
+		s := sparql.NewSearcher(g, sc)
+		s.Seed(row)
+		found := false
+		s.Iterate(opt, row.Mask, func(m uint64) bool {
+			if tpMask&^m != 0 {
+				return true
+			}
+			found = true
+			return false
 		})
 		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// containsMaterialized is the wide-schema fallback: materialize the
+// answers and apply the template.
+func containsMaterialized(g *rdf.Graph, where sparql.Pattern, tp sparql.TriplePattern, target rdf.Triple) bool {
+	for _, mu := range sparql.Eval(g, where).Mappings() {
+		if produced, ok := mu.Apply(tp); ok && produced == target {
 			return true
 		}
 	}

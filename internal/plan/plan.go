@@ -9,9 +9,15 @@
 //   - conjunctive FILTER conditions are split and pushed down to the
 //     earliest operand that certainly binds their variables;
 //   - joins, differences and left-outer joins run hash-bucketed on the
-//     shared always-bound variables (sparql.JoinHash and friends).
+//     shared always-bound variables (sparql.JoinHash and friends);
+//   - the optimized pattern is evaluated on the ID-native row engine
+//     (sparql.EvalRows): dictionary-encoded rows with presence bitsets,
+//     hash joins keyed on always-bound slot masks, and the
+//     mask-bucketed NS algorithm.  Patterns wider than
+//     sparql.MaxSchemaVars fall back to the string hash algebra
+//     (EvalString), which also remains available for the E20 ablation.
 //
-// All three choices are ablated in the E20 experiment.
+// These choices are ablated in the E20 experiment.
 package plan
 
 import (
@@ -23,9 +29,22 @@ import (
 	"repro/internal/transform"
 )
 
-// Eval optimizes the pattern for the given graph and evaluates it with
-// the hash-based algebra.  It always returns exactly ⟦P⟧_G.
+// Eval optimizes the pattern for the given graph and evaluates it on
+// the ID-native row engine, decoding at the boundary.  It always
+// returns exactly ⟦P⟧_G.
 func Eval(g *rdf.Graph, p sparql.Pattern) *sparql.MappingSet {
+	opt := Optimize(g, p)
+	if rs, ok := sparql.EvalRows(g, opt); ok {
+		return rs.MappingSet(g.Dict())
+	}
+	return evalOpt(g, opt) // wider than MaxSchemaVars
+}
+
+// EvalString optimizes the pattern and evaluates it with the
+// string-mapping hash algebra — the pre-row-engine planner path, kept
+// as the E20 ablation baseline and the fallback for patterns wider
+// than sparql.MaxSchemaVars.
+func EvalString(g *rdf.Graph, p sparql.Pattern) *sparql.MappingSet {
 	return evalOpt(g, Optimize(g, p))
 }
 

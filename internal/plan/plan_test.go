@@ -154,3 +154,18 @@ func TestCountMatchAgainstEnumeration(t *testing.T) {
 		}
 	}
 }
+
+// TestEvalStringMatchesEvalQuick pins the E20 ablation baseline: the
+// string-mapping planner path and the row-engine path must agree.
+func TestEvalStringMatchesEvalQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.RandomPattern(rng, workload.PatternOpts{Depth: 3})
+		g := workload.RandomGraph(rng, rng.Intn(25), nil)
+		return EvalString(g, p).Equal(Eval(g, p))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

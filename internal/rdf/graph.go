@@ -61,6 +61,18 @@ func (ix index) remove(a, b, c ID) bool {
 	return true
 }
 
+// IDTriple is a triple in interned-ID space.  It is the currency of the
+// ID-native evaluation path: matching and joining operate on machine
+// words, and IRIs are materialized only at query boundaries.
+type IDTriple struct {
+	S, P, O ID
+}
+
+// Dict returns the graph's interning dictionary.  Callers may read it
+// freely (Lookup, IRI); interning new terms while other goroutines read
+// the graph is not safe.
+func (g *Graph) Dict() *Dict { return g.dict }
+
 // NewGraph returns an empty RDF graph.
 func NewGraph() *Graph {
 	return &Graph{
@@ -251,75 +263,111 @@ func (g *Graph) MentionsIRI(iri IRI) bool {
 // nil position is a wildcard, until fn returns false.  The best index
 // for the bound positions is chosen automatically.
 func (g *Graph) Match(s, p, o *IRI, fn func(Triple) bool) {
-	var si, pi, oi ID
+	var si, pi, oi *ID
 	var ok bool
 	if s != nil {
-		if si, ok = g.dict.Lookup(*s); !ok {
+		var id ID
+		if id, ok = g.dict.Lookup(*s); !ok {
 			return
 		}
+		si = &id
 	}
 	if p != nil {
-		if pi, ok = g.dict.Lookup(*p); !ok {
+		var id ID
+		if id, ok = g.dict.Lookup(*p); !ok {
 			return
 		}
+		pi = &id
 	}
 	if o != nil {
-		if oi, ok = g.dict.Lookup(*o); !ok {
+		var id ID
+		if id, ok = g.dict.Lookup(*o); !ok {
 			return
 		}
+		oi = &id
 	}
-	emit := func(a, b, c ID) bool {
-		return fn(Triple{S: g.dict.IRI(a), P: g.dict.IRI(b), O: g.dict.IRI(c)})
+	g.MatchIDs(si, pi, oi, func(t IDTriple) bool {
+		return fn(Triple{S: g.dict.IRI(t.S), P: g.dict.IRI(t.P), O: g.dict.IRI(t.O)})
+	})
+}
+
+// ContainsIDs reports whether the triple (s, p, o), given in interned-ID
+// space, is in the graph.
+func (g *Graph) ContainsIDs(s, p, o ID) bool {
+	m2, ok := g.spo[s]
+	if !ok {
+		return false
 	}
+	m3, ok := m2[p]
+	if !ok {
+		return false
+	}
+	_, ok = m3[o]
+	return ok
+}
+
+// MatchIDs is the ID-native counterpart of Match: positions are interned
+// IDs (nil = wildcard) and fn receives ID triples, with no string
+// conversion on the hot path.  The best index (SPO/POS/OSP) for the
+// bound positions is chosen automatically.
+func (g *Graph) MatchIDs(s, p, o *ID, fn func(IDTriple) bool) {
 	switch {
 	case s != nil && p != nil && o != nil:
-		if g.Contains(*s, *p, *o) {
-			emit(si, pi, oi)
+		if g.ContainsIDs(*s, *p, *o) {
+			fn(IDTriple{S: *s, P: *p, O: *o})
 		}
 	case s != nil && p != nil:
-		for c := range g.spo[si][pi] {
-			if !emit(si, pi, c) {
+		for c := range g.spo[*s][*p] {
+			if !fn(IDTriple{S: *s, P: *p, O: c}) {
 				return
 			}
 		}
 	case s != nil && o != nil:
-		for b := range g.osp[oi][si] {
-			if !emit(si, b, oi) {
+		for b := range g.osp[*o][*s] {
+			if !fn(IDTriple{S: *s, P: b, O: *o}) {
 				return
 			}
 		}
 	case p != nil && o != nil:
-		for a := range g.pos[pi][oi] {
-			if !emit(a, pi, oi) {
+		for a := range g.pos[*p][*o] {
+			if !fn(IDTriple{S: a, P: *p, O: *o}) {
 				return
 			}
 		}
 	case s != nil:
-		for b, m3 := range g.spo[si] {
+		for b, m3 := range g.spo[*s] {
 			for c := range m3 {
-				if !emit(si, b, c) {
+				if !fn(IDTriple{S: *s, P: b, O: c}) {
 					return
 				}
 			}
 		}
 	case p != nil:
-		for c, m3 := range g.pos[pi] {
+		for c, m3 := range g.pos[*p] {
 			for a := range m3 {
-				if !emit(a, pi, c) {
+				if !fn(IDTriple{S: a, P: *p, O: c}) {
 					return
 				}
 			}
 		}
 	case o != nil:
-		for a, m3 := range g.osp[oi] {
+		for a, m3 := range g.osp[*o] {
 			for b := range m3 {
-				if !emit(a, b, oi) {
+				if !fn(IDTriple{S: a, P: b, O: *o}) {
 					return
 				}
 			}
 		}
 	default:
-		g.ForEach(fn)
+		for a, m2 := range g.spo {
+			for b, m3 := range m2 {
+				for c := range m3 {
+					if !fn(IDTriple{S: a, P: b, O: c}) {
+						return
+					}
+				}
+			}
+		}
 	}
 }
 

@@ -320,3 +320,92 @@ func TestMustParseGraph(t *testing.T) {
 	}()
 	MustParseGraph("not a triple line with <")
 }
+
+// TestMatchIDsAgreesWithMatchQuick: the ID-native match iterator returns
+// exactly the triples of the string-level Match, for every combination
+// of bound positions, on random graphs.
+func TestMatchIDsAgreesWithMatchQuick(t *testing.T) {
+	iris := []IRI{"a", "b", "c", "p", "q"}
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		for i := 0; i < rng.Intn(30); i++ {
+			g.Add(iris[rng.Intn(len(iris))], iris[rng.Intn(len(iris))], iris[rng.Intn(len(iris))])
+		}
+		for mask := 0; mask < 8; mask++ {
+			var s, p, o *IRI
+			var si, pi, oi *ID
+			pick := func() (*IRI, *ID) {
+				iri := iris[rng.Intn(len(iris))]
+				if id, ok := g.Dict().Lookup(iri); ok {
+					return &iri, &id
+				}
+				return &iri, nil
+			}
+			missing := false
+			if mask&1 != 0 {
+				if s, si = pick(); si == nil {
+					missing = true
+				}
+			}
+			if mask&2 != 0 {
+				if p, pi = pick(); pi == nil {
+					missing = true
+				}
+			}
+			if mask&4 != 0 {
+				if o, oi = pick(); oi == nil {
+					missing = true
+				}
+			}
+			var want []Triple
+			g.Match(s, p, o, func(tr Triple) bool { want = append(want, tr); return true })
+			if missing {
+				if len(want) != 0 {
+					t.Fatalf("Match with unknown IRI returned triples")
+				}
+				continue
+			}
+			var got []Triple
+			g.MatchIDs(si, pi, oi, func(tr IDTriple) bool {
+				got = append(got, Triple{S: g.Dict().IRI(tr.S), P: g.Dict().IRI(tr.P), O: g.Dict().IRI(tr.O)})
+				return true
+			})
+			sort.Slice(want, func(i, j int) bool { return want[i].Less(want[j]) })
+			sort.Slice(got, func(i, j int) bool { return got[i].Less(got[j]) })
+			if !reflect.DeepEqual(want, got) {
+				t.Logf("mask=%b want %v got %v", mask, want, got)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainsIDs(t *testing.T) {
+	g := FromTriples(T("a", "b", "c"))
+	d := g.Dict()
+	a, _ := d.Lookup("a")
+	b, _ := d.Lookup("b")
+	c, _ := d.Lookup("c")
+	if !g.ContainsIDs(a, b, c) {
+		t.Fatal("ContainsIDs missed present triple")
+	}
+	if g.ContainsIDs(a, b, a) || g.ContainsIDs(c, b, a) {
+		t.Fatal("ContainsIDs reported absent triple")
+	}
+}
+
+func TestMatchIDsEarlyStop(t *testing.T) {
+	g := FromTriples(T("a", "p", "x"), T("a", "p", "y"), T("a", "p", "z"))
+	a, _ := g.Dict().Lookup("a")
+	n := 0
+	g.MatchIDs(&a, nil, nil, func(IDTriple) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d triples", n)
+	}
+}

@@ -2,6 +2,7 @@ package sparql
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/rdf"
 )
@@ -106,11 +107,7 @@ func (q ConstructQuery) Vars() []Var {
 }
 
 func sortVars(vs []Var) {
-	for i := 1; i < len(vs); i++ {
-		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
-			vs[j], vs[j-1] = vs[j-1], vs[j]
-		}
-	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
 }
 
 // EvalConstruct computes ans(Q, G) = {µ(t) | µ ∈ ⟦P⟧_G, t ∈ H,

@@ -32,6 +32,18 @@ func (s *MappingSet) Add(mu Mapping) bool {
 	return true
 }
 
+// addKeyed inserts µ with a precomputed canonical key; callers must
+// pass exactly mu.key().  The row decode boundary uses it to emit keys
+// in slot order instead of re-deriving and sorting each domain.
+func (s *MappingSet) addKeyed(mu Mapping, key string) bool {
+	if _, ok := s.index[key]; ok {
+		return false
+	}
+	s.index[key] = struct{}{}
+	s.items = append(s.items, mu)
+	return true
+}
+
 // Contains reports whether µ ∈ Ω.
 func (s *MappingSet) Contains(mu Mapping) bool {
 	_, ok := s.index[mu.key()]
@@ -48,9 +60,22 @@ func (s *MappingSet) Mappings() []Mapping { return s.items }
 // Sorted returns the members sorted by canonical key, for deterministic
 // output.
 func (s *MappingSet) Sorted() []Mapping {
-	out := make([]Mapping, len(s.items))
-	copy(out, s.items)
-	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	// Compute each canonical key once up front: key() sorts the domain
+	// and formats every binding, so re-deriving it inside the comparator
+	// would cost O(n log n) string builds instead of O(n).
+	type keyed struct {
+		mu  Mapping
+		key string
+	}
+	ks := make([]keyed, len(s.items))
+	for i, mu := range s.items {
+		ks[i] = keyed{mu: mu, key: mu.key()}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	out := make([]Mapping, len(ks))
+	for i, k := range ks {
+		out[i] = k.mu
+	}
 	return out
 }
 

@@ -1,0 +1,98 @@
+package sparql
+
+import (
+	"math/bits"
+
+	"repro/internal/rdf"
+)
+
+// Row is a solution mapping in the ID-native runtime representation: a
+// fixed-width vector of interned IDs (one slot per schema variable)
+// plus a presence bitset marking the bound slots.  Slots whose bit is
+// clear hold unspecified values and must never be read.
+//
+// Rows replace map[Var]IRI in the evaluation core: compatibility,
+// merge and subsumption become word operations, and set membership
+// hashes machine words instead of formatting strings.
+type Row struct {
+	Mask uint64
+	IDs  []rdf.ID
+}
+
+func popcount(m uint64) int      { return bits.OnesCount64(m) }
+func trailingZeros(m uint64) int { return bits.TrailingZeros64(m) }
+
+// rowsCompatible reports µ1 ∼ µ2 on rows: the bound slots shared by the
+// two masks carry equal IDs.
+func rowsCompatible(a []rdf.ID, am uint64, b []rdf.ID, bm uint64) bool {
+	for m := am & bm; m != 0; m &= m - 1 {
+		i := trailingZeros(m)
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeRows writes µ1 ∪ µ2 into dst (width must match) and returns the
+// merged mask.  The caller must ensure compatibility.
+func mergeRows(dst []rdf.ID, a []rdf.ID, am uint64, b []rdf.ID, bm uint64) uint64 {
+	for m := am; m != 0; m &= m - 1 {
+		i := trailingZeros(m)
+		dst[i] = a[i]
+	}
+	for m := bm &^ am; m != 0; m &= m - 1 {
+		i := trailingZeros(m)
+		dst[i] = b[i]
+	}
+	return am | bm
+}
+
+// rowSubsumedBy reports µ1 ⪯ µ2 on rows: dom(µ1) ⊆ dom(µ2) (mask
+// inclusion) and the rows agree on dom(µ1).
+func rowSubsumedBy(a []rdf.ID, am uint64, b []rdf.ID, bm uint64) bool {
+	if am&^bm != 0 {
+		return false
+	}
+	for m := am; m != 0; m &= m - 1 {
+		i := trailingZeros(m)
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowHash computes an FNV-1a style integer hash over the mask and the
+// bound IDs of a row.  Unbound slots do not contribute, so rows that
+// are equal as partial mappings hash equally regardless of slot
+// residue.
+func rowHash(ids []rdf.ID, mask uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	h ^= mask
+	h *= prime
+	for m := mask; m != 0; m &= m - 1 {
+		i := trailingZeros(m)
+		h ^= uint64(ids[i])
+		h *= prime
+	}
+	return h
+}
+
+// rowsEqual reports exact equality of two rows as partial mappings.
+func rowsEqual(a []rdf.ID, am uint64, b []rdf.ID, bm uint64) bool {
+	if am != bm {
+		return false
+	}
+	for m := am; m != 0; m &= m - 1 {
+		i := trailingZeros(m)
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,74 @@
+package sparql
+
+import (
+	"repro/internal/rdf"
+)
+
+// RowCond is a FILTER condition compiled against a VarSchema and a
+// dictionary: it evaluates µ ⊨ R directly on a row — bound() is a bit
+// test, equality compares interned IDs — with no map lookups or string
+// comparisons.
+type RowCond func(ids []rdf.ID, mask uint64) bool
+
+// CompileCond compiles R for rows over the schema.  Constants are
+// resolved with Lookup, not Intern: a constant absent from the
+// dictionary cannot equal any bound ID, so its atom compiles to false
+// (the dictionary — typically a graph's — is never mutated).
+// Variables outside the schema are treated as never bound, matching
+// the semantics of atoms over variables the pattern cannot bind.
+func CompileCond(c Condition, sc *VarSchema, d *rdf.Dict) RowCond {
+	condFalse := func([]rdf.ID, uint64) bool { return false }
+	switch r := c.(type) {
+	case Bound:
+		i, ok := sc.Slot(r.X)
+		if !ok {
+			return condFalse
+		}
+		bit := uint64(1) << uint(i)
+		return func(_ []rdf.ID, mask uint64) bool { return mask&bit != 0 }
+	case EqConst:
+		i, ok := sc.Slot(r.X)
+		if !ok {
+			return condFalse
+		}
+		id, ok := d.Lookup(r.C)
+		if !ok {
+			return condFalse
+		}
+		bit := uint64(1) << uint(i)
+		return func(ids []rdf.ID, mask uint64) bool {
+			return mask&bit != 0 && ids[i] == id
+		}
+	case EqVars:
+		i, iok := sc.Slot(r.X)
+		j, jok := sc.Slot(r.Y)
+		if !iok || !jok {
+			return condFalse
+		}
+		both := uint64(1)<<uint(i) | uint64(1)<<uint(j)
+		return func(ids []rdf.ID, mask uint64) bool {
+			return mask&both == both && ids[i] == ids[j]
+		}
+	case Not:
+		inner := CompileCond(r.R, sc, d)
+		return func(ids []rdf.ID, mask uint64) bool { return !inner(ids, mask) }
+	case AndCond:
+		l := CompileCond(r.L, sc, d)
+		rr := CompileCond(r.R, sc, d)
+		return func(ids []rdf.ID, mask uint64) bool { return l(ids, mask) && rr(ids, mask) }
+	case OrCond:
+		l := CompileCond(r.L, sc, d)
+		rr := CompileCond(r.R, sc, d)
+		return func(ids []rdf.ID, mask uint64) bool { return l(ids, mask) || rr(ids, mask) }
+	case TrueCond:
+		return func([]rdf.ID, uint64) bool { return true }
+	case FalseCond:
+		return condFalse
+	default:
+		// Unknown condition types fall back to the string evaluator.
+		codec := Codec{Schema: sc, Dict: d}
+		return func(ids []rdf.ID, mask uint64) bool {
+			return c.Eval(codec.DecodeMasked(ids, mask))
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package sparql
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// EvalRows computes ⟦P⟧_G with the ID-native row engine: one VarSchema
+// for the whole query, dictionary-encoded rows throughout, and the
+// mask-bucketed NS algorithm.  ok = false when the pattern exceeds
+// MaxSchemaVars variables; callers then fall back to the string
+// algebra.
+//
+// The result decodes to exactly Eval(g, p) (differentially tested);
+// Eval stays the reference implementation and oracle.
+func EvalRows(g *rdf.Graph, p Pattern) (*RowSet, bool) {
+	sc, ok := SchemaFor(p)
+	if !ok {
+		return nil, false
+	}
+	return evalRows(g, p, sc), true
+}
+
+// EvalRowEngine evaluates with the row engine and decodes at the
+// boundary, falling back to the reference evaluator for patterns wider
+// than MaxSchemaVars.
+func EvalRowEngine(g *rdf.Graph, p Pattern) *MappingSet {
+	rs, ok := EvalRows(g, p)
+	if !ok {
+		return Eval(g, p)
+	}
+	return rs.MappingSet(g.Dict())
+}
+
+// evalRows is the bottom-up evaluator over rows; every sub-result uses
+// the same query-wide schema.
+func evalRows(g *rdf.Graph, p Pattern, sc *VarSchema) *RowSet {
+	switch q := p.(type) {
+	case TriplePattern:
+		return evalTripleRows(g, q, sc)
+	case And:
+		return evalRows(g, q.L, sc).Join(evalRows(g, q.R, sc))
+	case Union:
+		return evalRows(g, q.L, sc).Union(evalRows(g, q.R, sc))
+	case Opt:
+		return evalRows(g, q.L, sc).LeftJoin(evalRows(g, q.R, sc))
+	case Filter:
+		return evalRows(g, q.P, sc).Filter(CompileCond(q.Cond, sc, g.Dict()))
+	case Select:
+		return evalRows(g, q.P, sc).Project(sc.SlotMask(q.Vars))
+	case NS:
+		return evalRows(g, q.P, sc).Maximal()
+	default:
+		panic(fmt.Sprintf("sparql: unknown pattern type %T", p))
+	}
+}
+
+// tripleSlots resolves the positions of a triple pattern against a
+// schema and dictionary: each position is either a constant ID or a
+// slot index.  ok = false when a constant is absent from the
+// dictionary (the pattern matches nothing).
+type tripleSlots struct {
+	constID [3]rdf.ID
+	isConst [3]bool
+	slot    [3]int
+	mask    uint64 // slots of the variable positions, i.e. var(t)
+}
+
+func resolveTriple(t TriplePattern, sc *VarSchema, d *rdf.Dict) (tripleSlots, bool) {
+	var ts tripleSlots
+	for i, v := range [3]Value{t.S, t.P, t.O} {
+		if v.IsVar() {
+			s, ok := sc.Slot(v.Var())
+			if !ok {
+				// Schema built from var(P) always covers var(t).
+				panic("sparql: triple variable outside schema")
+			}
+			ts.slot[i] = s
+			ts.mask |= 1 << uint(s)
+			continue
+		}
+		id, ok := d.Lookup(v.IRI())
+		if !ok {
+			return ts, false
+		}
+		ts.isConst[i] = true
+		ts.constID[i] = id
+	}
+	return ts, true
+}
+
+// bindTriple writes the matched IDs of a triple into the variable slots
+// of dst, reporting false when a repeated variable would need two
+// different images.  Positions bound as constants are skipped (the
+// index already constrained them).
+func (ts *tripleSlots) bindTriple(dst []rdf.ID, tr rdf.IDTriple, boundMask uint64) (uint64, bool) {
+	vals := [3]rdf.ID{tr.S, tr.P, tr.O}
+	written := boundMask
+	for i := 0; i < 3; i++ {
+		if ts.isConst[i] {
+			continue
+		}
+		bit := uint64(1) << uint(ts.slot[i])
+		if written&bit != 0 {
+			if dst[ts.slot[i]] != vals[i] {
+				return 0, false
+			}
+			continue
+		}
+		dst[ts.slot[i]] = vals[i]
+		written |= bit
+	}
+	return written, true
+}
+
+// EvalTripleDelta computes the matches of t among a slice of delta
+// triples given in the dictionary's ID space — the Δ⟦t⟧ rule of
+// incremental view maintenance, evaluated without building a delta
+// graph (which would carry its own, incompatible dictionary).
+func EvalTripleDelta(t TriplePattern, sc *VarSchema, d *rdf.Dict, delta []rdf.IDTriple) *RowSet {
+	out := NewRowSet(sc)
+	ts, ok := resolveTriple(t, sc, d)
+	if !ok {
+		return out
+	}
+	scratch := make([]rdf.ID, sc.Len())
+	for _, tr := range delta {
+		vals := [3]rdf.ID{tr.S, tr.P, tr.O}
+		match := true
+		for i := 0; i < 3; i++ {
+			if ts.isConst[i] && ts.constID[i] != vals[i] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if _, ok := ts.bindTriple(scratch, tr, 0); ok {
+			out.Add(scratch, ts.mask)
+		}
+	}
+	return out
+}
+
+// evalTripleRows computes ⟦t⟧_G directly on the ID-level indexes: a
+// constant in any of the three positions selects the matching index
+// order (SPO/POS/OSP) via MatchIDs, and repeated variables are checked
+// in ID space.
+func evalTripleRows(g *rdf.Graph, t TriplePattern, sc *VarSchema) *RowSet {
+	out := NewRowSet(sc)
+	ts, ok := resolveTriple(t, sc, g.Dict())
+	if !ok {
+		return out
+	}
+	var sp, pp, op *rdf.ID
+	if ts.isConst[0] {
+		sp = &ts.constID[0]
+	}
+	if ts.isConst[1] {
+		pp = &ts.constID[1]
+	}
+	if ts.isConst[2] {
+		op = &ts.constID[2]
+	}
+	scratch := make([]rdf.ID, sc.Len())
+	g.MatchIDs(sp, pp, op, func(tr rdf.IDTriple) bool {
+		if _, ok := ts.bindTriple(scratch, tr, 0); ok {
+			out.Add(scratch, ts.mask)
+		}
+		return true
+	})
+	return out
+}

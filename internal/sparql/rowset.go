@@ -1,0 +1,396 @@
+package sparql
+
+import (
+	"strconv"
+
+	"repro/internal/rdf"
+)
+
+// RowSet is the ID-native counterpart of MappingSet: a set of rows over
+// one VarSchema, with deterministic (insertion) iteration order and
+// integer-hash deduplication.  Rows are stored in a single flat backing
+// array and membership runs over an open-addressed table of row
+// indices, so a RowSet of n rows costs O(log n) allocations (array
+// doublings) instead of n maps.
+type RowSet struct {
+	Schema *VarSchema
+	masks  []uint64
+	ids    []rdf.ID // len = len(masks) * Schema.Len()
+	table  []int32  // open-addressed (linear probing); -1 = empty slot
+}
+
+// NewRowSet returns an empty set of rows over the schema.
+func NewRowSet(sc *VarSchema) *RowSet {
+	return &RowSet{Schema: sc}
+}
+
+// Len reports the number of rows.
+func (s *RowSet) Len() int { return len(s.masks) }
+
+// Mask returns the presence bitset of row i.
+func (s *RowSet) Mask(i int) uint64 { return s.masks[i] }
+
+// RowIDs returns the ID vector of row i as a view into the backing
+// array; callers must not modify it.
+func (s *RowSet) RowIDs(i int) []rdf.ID {
+	w := s.Schema.Len()
+	return s.ids[i*w : (i+1)*w : (i+1)*w]
+}
+
+// Row returns row i.
+func (s *RowSet) Row(i int) Row { return Row{Mask: s.masks[i], IDs: s.RowIDs(i)} }
+
+// grow rebuilds the probe table at double capacity (rows keep their
+// insertion positions; only the table is rehashed).
+func (s *RowSet) grow() {
+	n := 2 * len(s.table)
+	if n < 16 {
+		n = 16
+	}
+	s.table = make([]int32, n)
+	for i := range s.table {
+		s.table[i] = -1
+	}
+	for j := range s.masks {
+		s.place(rowHash(s.RowIDs(j), s.masks[j]), int32(j))
+	}
+}
+
+// place inserts index j at the first free slot of h's probe sequence.
+func (s *RowSet) place(h uint64, j int32) {
+	m := uint64(len(s.table) - 1)
+	for i := h & m; ; i = (i + 1) & m {
+		if s.table[i] < 0 {
+			s.table[i] = j
+			return
+		}
+	}
+}
+
+// Add inserts the row (ids, mask), copying it into the backing array;
+// it reports whether the row was new.
+func (s *RowSet) Add(ids []rdf.ID, mask uint64) bool {
+	if 4*(len(s.masks)+1) > 3*len(s.table) {
+		s.grow()
+	}
+	h := rowHash(ids, mask)
+	m := uint64(len(s.table) - 1)
+	i := h & m
+	for {
+		j := s.table[i]
+		if j < 0 {
+			break
+		}
+		if rowsEqual(s.RowIDs(int(j)), s.masks[j], ids, mask) {
+			return false
+		}
+		i = (i + 1) & m
+	}
+	s.table[i] = int32(len(s.masks))
+	s.masks = append(s.masks, mask)
+	s.ids = append(s.ids, ids[:s.Schema.Len()]...)
+	return true
+}
+
+// AddRow inserts r; it reports whether the row was new.
+func (s *RowSet) AddRow(r Row) bool { return s.Add(r.IDs, r.Mask) }
+
+// Contains reports whether the row (ids, mask) is in the set.
+func (s *RowSet) Contains(ids []rdf.ID, mask uint64) bool {
+	if len(s.table) == 0 {
+		return false
+	}
+	m := uint64(len(s.table) - 1)
+	for i := rowHash(ids, mask) & m; ; i = (i + 1) & m {
+		j := s.table[i]
+		if j < 0 {
+			return false
+		}
+		if rowsEqual(s.RowIDs(int(j)), s.masks[j], ids, mask) {
+			return true
+		}
+	}
+}
+
+// alwaysBoundMask returns the slots bound in every row (0 for the empty
+// set).
+func (s *RowSet) alwaysBoundMask() uint64 {
+	if len(s.masks) == 0 {
+		return 0
+	}
+	m := s.masks[0]
+	for _, mm := range s.masks[1:] {
+		m &= mm
+		if m == 0 {
+			break
+		}
+	}
+	return m
+}
+
+// Join returns Ω1 ⋈ Ω2 over rows.  When the two sides share slots that
+// are bound in every row, the smaller side is hash-bucketed on those
+// slots and the larger side probes it; otherwise the join degrades to
+// the nested loop.  Either way the full compatibility check runs on
+// each candidate pair, so the result is exact for heterogeneous
+// domains.
+func (s *RowSet) Join(t *RowSet) *RowSet {
+	out := NewRowSet(s.Schema)
+	if s.Len() == 0 || t.Len() == 0 {
+		return out
+	}
+	scratch := make([]rdf.ID, s.Schema.Len())
+	build, probe := s, t
+	if build.Len() > probe.Len() {
+		build, probe = probe, build
+	}
+	key := build.alwaysBoundMask() & probe.alwaysBoundMask()
+	if key == 0 {
+		for i := 0; i < s.Len(); i++ {
+			for j := 0; j < t.Len(); j++ {
+				a, am := s.RowIDs(i), s.masks[i]
+				b, bm := t.RowIDs(j), t.masks[j]
+				if rowsCompatible(a, am, b, bm) {
+					out.Add(scratch, mergeRows(scratch, a, am, b, bm))
+				}
+			}
+		}
+		return out
+	}
+	head, next := chainIndex(build, key)
+	for j := 0; j < probe.Len(); j++ {
+		b, bm := probe.RowIDs(j), probe.masks[j]
+		for i := headOf(head, rowHash(b, key)); i >= 0; i = next[i] {
+			a, am := build.RowIDs(int(i)), build.masks[i]
+			if rowsCompatible(a, am, b, bm) {
+				out.Add(scratch, mergeRows(scratch, a, am, b, bm))
+			}
+		}
+	}
+	return out
+}
+
+// chainIndex buckets the rows of s by the hash of their key-slot
+// restriction, as a head map plus a chain array — two allocations
+// total, instead of one slice per distinct key.
+func chainIndex(s *RowSet, key uint64) (map[uint64]int32, []int32) {
+	head := make(map[uint64]int32, s.Len())
+	next := make([]int32, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		h := rowHash(s.RowIDs(i), key)
+		next[i] = headOf(head, h)
+		head[h] = int32(i)
+	}
+	return head, next
+}
+
+func headOf(head map[uint64]int32, h uint64) int32 {
+	if i, ok := head[h]; ok {
+		return i
+	}
+	return -1
+}
+
+// Union returns Ω1 ∪ Ω2.
+func (s *RowSet) Union(t *RowSet) *RowSet {
+	out := NewRowSet(s.Schema)
+	for i := 0; i < s.Len(); i++ {
+		out.Add(s.RowIDs(i), s.masks[i])
+	}
+	for i := 0; i < t.Len(); i++ {
+		out.Add(t.RowIDs(i), t.masks[i])
+	}
+	return out
+}
+
+// Diff returns Ω1 ∖ Ω2 = {µ1 ∈ Ω1 | ∀µ2 ∈ Ω2 : µ1 ≁ µ2}, hash-bucketed
+// on the shared always-bound slots when possible.  As with the string
+// algebra, the bucketing is sound because a probe key drawn from slots
+// bound in *every* right row reaches every potentially compatible
+// right row.
+func (s *RowSet) Diff(t *RowSet) *RowSet {
+	out := NewRowSet(s.Schema)
+	if s.Len() == 0 {
+		return out
+	}
+	if t.Len() == 0 {
+		for i := 0; i < s.Len(); i++ {
+			out.Add(s.RowIDs(i), s.masks[i])
+		}
+		return out
+	}
+	key := s.alwaysBoundMask() & t.alwaysBoundMask()
+	if key == 0 {
+		for i := 0; i < s.Len(); i++ {
+			a, am := s.RowIDs(i), s.masks[i]
+			ok := true
+			for j := 0; j < t.Len(); j++ {
+				if rowsCompatible(a, am, t.RowIDs(j), t.masks[j]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out.Add(a, am)
+			}
+		}
+		return out
+	}
+	head, next := chainIndex(t, key)
+	for i := 0; i < s.Len(); i++ {
+		a, am := s.RowIDs(i), s.masks[i]
+		compatible := false
+		for j := headOf(head, rowHash(a, key)); j >= 0; j = next[j] {
+			if rowsCompatible(a, am, t.RowIDs(int(j)), t.masks[j]) {
+				compatible = true
+				break
+			}
+		}
+		if !compatible {
+			out.Add(a, am)
+		}
+	}
+	return out
+}
+
+// LeftJoin returns Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 ∖ Ω2).
+func (s *RowSet) LeftJoin(t *RowSet) *RowSet {
+	return s.Join(t).Union(s.Diff(t))
+}
+
+// Project returns {µ|V | µ ∈ Ω} for V given as a slot mask.
+func (s *RowSet) Project(mask uint64) *RowSet {
+	out := NewRowSet(s.Schema)
+	for i := 0; i < s.Len(); i++ {
+		out.Add(s.RowIDs(i), s.masks[i]&mask)
+	}
+	return out
+}
+
+// Filter returns {µ ∈ Ω | µ ⊨ R} for a compiled row condition.
+func (s *RowSet) Filter(cond RowCond) *RowSet {
+	out := NewRowSet(s.Schema)
+	for i := 0; i < s.Len(); i++ {
+		if cond(s.RowIDs(i), s.masks[i]) {
+			out.Add(s.RowIDs(i), s.masks[i])
+		}
+	}
+	return out
+}
+
+// Maximal returns Ω_max over rows: the domain-bucketed NS algorithm of
+// MaximalBucketed keyed on the presence bitmask.  Rows are grouped by
+// mask; a row can only be properly subsumed by a row whose mask is a
+// strict superset, so for each mask pair (m ⊊ m') the m-restrictions
+// of the m'-bucket are hashed and each row of the m-bucket probes them
+// in O(1) — with word operations end to end.
+func (s *RowSet) Maximal() *RowSet {
+	type bucket struct {
+		mask uint64
+		rows []int32
+	}
+	buckets := make(map[uint64]*bucket)
+	order := make([]uint64, 0)
+	for i := 0; i < s.Len(); i++ {
+		m := s.masks[i]
+		b, ok := buckets[m]
+		if !ok {
+			b = &bucket{mask: m}
+			buckets[m] = b
+			order = append(order, m)
+		}
+		b.rows = append(b.rows, int32(i))
+	}
+	dead := make(map[int32]struct{})
+	for _, m := range order {
+		b := buckets[m]
+		var superKeys *RowSet
+		for m2, b2 := range buckets {
+			if m2 == m || m&^m2 != 0 {
+				continue
+			}
+			// m ⊊ m2: hash the m-restrictions of the superset bucket.
+			if superKeys == nil {
+				superKeys = NewRowSet(s.Schema)
+			}
+			for _, j := range b2.rows {
+				superKeys.Add(s.RowIDs(int(j)), m)
+			}
+		}
+		if superKeys == nil {
+			continue
+		}
+		for _, i := range b.rows {
+			if superKeys.Contains(s.RowIDs(int(i)), m) {
+				dead[i] = struct{}{}
+			}
+		}
+	}
+	out := NewRowSet(s.Schema)
+	for i := 0; i < s.Len(); i++ {
+		if _, gone := dead[int32(i)]; !gone {
+			out.Add(s.RowIDs(i), s.masks[i])
+		}
+	}
+	return out
+}
+
+// MaximalNaive computes Ω_max by pairwise subsumption checks, O(n²);
+// the reference implementation for differential tests.
+func (s *RowSet) MaximalNaive() *RowSet {
+	out := NewRowSet(s.Schema)
+	for i := 0; i < s.Len(); i++ {
+		a, am := s.RowIDs(i), s.masks[i]
+		maximal := true
+		for j := 0; j < s.Len(); j++ {
+			if b, bm := s.RowIDs(j), s.masks[j]; am != bm && rowSubsumedBy(a, am, b, bm) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out.Add(a, am)
+		}
+	}
+	return out
+}
+
+// MappingSet decodes the rows back to a string MappingSet through the
+// codec's dictionary — the boundary conversion from the ID-native core
+// to the public facade.  Schema slots are assigned in sorted variable
+// order, so walking a row's mask yields the variables exactly as
+// Mapping.key() would after sorting; the canonical key is built in the
+// same pass, one allocation per row.
+func (s *RowSet) MappingSet(d *rdf.Dict) *MappingSet {
+	c := Codec{Schema: s.Schema, Dict: d}
+	out := NewMappingSet()
+	var buf []byte
+	for i := 0; i < s.Len(); i++ {
+		ids, mask := s.RowIDs(i), s.masks[i]
+		buf = buf[:0]
+		for m := mask; m != 0; m &= m - 1 {
+			j := trailingZeros(m)
+			buf = strconv.AppendQuote(buf, string(s.Schema.vars[j]))
+			buf = append(buf, '=')
+			buf = strconv.AppendQuote(buf, string(d.IRI(ids[j])))
+			buf = append(buf, ';')
+		}
+		out.addKeyed(c.DecodeMasked(ids, mask), string(buf))
+	}
+	return out
+}
+
+// EncodeMappingSet converts a string MappingSet to rows, interning the
+// variable images into the codec dictionary.  ok = false when some
+// mapping binds a variable outside the schema.
+func EncodeMappingSet(ms *MappingSet, c Codec) (*RowSet, bool) {
+	out := NewRowSet(c.Schema)
+	for _, mu := range ms.Mappings() {
+		r, ok := c.Encode(mu)
+		if !ok {
+			return nil, false
+		}
+		out.AddRow(r)
+	}
+	return out, true
+}

@@ -1,0 +1,212 @@
+package sparql
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// Searcher is a streaming, backtracking evaluator over the ID-native
+// row representation.  It owns a single row buffer: triple matches bind
+// slots in place and presence masks are passed by value, so extending a
+// partial solution costs zero allocations and "undoing" a binding on
+// backtrack is simply dropping its mask bit — no Mapping.Clone() per
+// search node.
+//
+// Iterate streams the solutions of a pattern that extend a seed
+// environment; exec.Ask/Limit and the views delta probes are built on
+// it.  For the monotone operators the search is the classic
+// certificate hunt (Section 7); OPT and NS need complete sub-answer
+// sets and fall back to the constrained reference evaluator at their
+// boundary.
+type Searcher struct {
+	g       *rdf.Graph
+	sc      *VarSchema
+	ids     []rdf.ID
+	triples map[TriplePattern]tripleSlots
+	dead    map[TriplePattern]bool // constants absent from the dictionary
+	conds   map[Condition]RowCond
+}
+
+// NewSearcher returns a searcher for patterns over the schema.
+func NewSearcher(g *rdf.Graph, sc *VarSchema) *Searcher {
+	return &Searcher{
+		g:       g,
+		sc:      sc,
+		ids:     make([]rdf.ID, sc.Len()),
+		triples: make(map[TriplePattern]tripleSlots),
+		dead:    make(map[TriplePattern]bool),
+		conds:   make(map[Condition]RowCond),
+	}
+}
+
+// Schema returns the searcher's variable schema.
+func (s *Searcher) Schema() *VarSchema { return s.sc }
+
+// IDs exposes the shared row buffer.  During an emit callback, the
+// slots of the emitted solution mask hold the solution's IDs; callers
+// must copy what they keep.
+func (s *Searcher) IDs() []rdf.ID { return s.ids }
+
+// Seed copies the bound slots of r into the row buffer; pass r.Mask as
+// the envMask of the subsequent Iterate.
+func (s *Searcher) Seed(r Row) {
+	for m := r.Mask; m != 0; m &= m - 1 {
+		i := trailingZeros(m)
+		s.ids[i] = r.IDs[i]
+	}
+}
+
+// Decode converts the current buffer restricted to mask into a string
+// mapping.
+func (s *Searcher) Decode(mask uint64) Mapping {
+	return Codec{Schema: s.sc, Dict: s.g.Dict()}.DecodeMasked(s.ids, mask)
+}
+
+func (s *Searcher) resolved(t TriplePattern) (tripleSlots, bool) {
+	if s.dead[t] {
+		return tripleSlots{}, false
+	}
+	if ts, ok := s.triples[t]; ok {
+		return ts, true
+	}
+	ts, ok := resolveTriple(t, s.sc, s.g.Dict())
+	if !ok {
+		s.dead[t] = true
+		return tripleSlots{}, false
+	}
+	s.triples[t] = ts
+	return ts, true
+}
+
+func (s *Searcher) compiled(c Condition) RowCond {
+	if rc, ok := s.conds[c]; ok {
+		return rc
+	}
+	rc := CompileCond(c, s.sc, s.g.Dict())
+	s.conds[c] = rc
+	return rc
+}
+
+// Iterate streams the solutions of p that are compatible extensions of
+// the environment (the buffer slots in envMask), calling emit with each
+// solution's presence mask; the solution's IDs sit in the buffer.
+// Duplicates may be emitted (e.g. via UNION) — callers deduplicate.
+// emit returns false to stop; Iterate reports whether the search should
+// continue.
+func (s *Searcher) Iterate(p Pattern, envMask uint64, emit func(solMask uint64) bool) bool {
+	switch q := p.(type) {
+	case TriplePattern:
+		return s.streamTriple(q, envMask, emit)
+	case And:
+		return s.Iterate(q.L, envMask, func(ml uint64) bool {
+			return s.Iterate(q.R, envMask|ml, func(mr uint64) bool {
+				return emit(ml | mr)
+			})
+		})
+	case Union:
+		if !s.Iterate(q.L, envMask, emit) {
+			return false
+		}
+		return s.Iterate(q.R, envMask, emit)
+	case Filter:
+		cond := s.compiled(q.Cond)
+		return s.Iterate(q.P, envMask, func(m uint64) bool {
+			if !cond(s.ids, m) {
+				return true
+			}
+			return emit(m)
+		})
+	case Select:
+		return s.iterateSelect(q, envMask, emit)
+	case Opt, NS:
+		// Non-monotone: the survivors depend on the whole sub-answer
+		// set.  Evaluate compatibly with the environment and stream the
+		// results back through the row buffer.
+		env := s.Decode(envMask)
+		d := s.g.Dict()
+		for _, mu := range EvalCompatible(s.g, p, env).Mappings() {
+			var m uint64
+			ok := true
+			for v, iri := range mu {
+				i, found := s.sc.Slot(v)
+				if !found {
+					ok = false
+					break
+				}
+				id, found := d.Lookup(iri)
+				if !found {
+					ok = false
+					break
+				}
+				s.ids[i] = id
+				m |= 1 << uint(i)
+			}
+			if !ok {
+				continue
+			}
+			if !emit(m) {
+				return false
+			}
+		}
+		return true
+	default:
+		panic(fmt.Sprintf("sparql: unknown pattern type %T", p))
+	}
+}
+
+// iterateSelect projects and deduplicates locally.  The inner pattern
+// runs on its own buffer: hidden variables (outside the SELECT list)
+// must not be constrained by — nor clobber — the outer environment.
+func (s *Searcher) iterateSelect(q Select, envMask uint64, emit func(uint64) bool) bool {
+	selMask := s.sc.SlotMask(q.Vars)
+	inner := NewSearcher(s.g, s.sc)
+	innerEnv := envMask & selMask
+	inner.Seed(Row{Mask: innerEnv, IDs: s.ids})
+	seen := NewRowSet(s.sc)
+	return inner.Iterate(q.P, innerEnv, func(m uint64) bool {
+		proj := m & selMask
+		if !seen.Add(inner.ids, proj) {
+			return true
+		}
+		for mm := proj; mm != 0; mm &= mm - 1 {
+			i := trailingZeros(mm)
+			s.ids[i] = inner.ids[i]
+		}
+		return emit(proj)
+	})
+}
+
+// streamTriple emits the matches of a triple pattern compatible with
+// the environment directly from the ID-level graph indexes.
+func (s *Searcher) streamTriple(t TriplePattern, envMask uint64, emit func(uint64) bool) bool {
+	ts, ok := s.resolved(t)
+	if !ok {
+		return true // a constant is unknown: no matches
+	}
+	// Positions that are constants or env-bound variables become index
+	// constraints.
+	var ptr [3]*rdf.ID
+	var vals [3]rdf.ID
+	for i := 0; i < 3; i++ {
+		if ts.isConst[i] {
+			vals[i] = ts.constID[i]
+			ptr[i] = &vals[i]
+		} else if envMask&(1<<uint(ts.slot[i])) != 0 {
+			vals[i] = s.ids[ts.slot[i]]
+			ptr[i] = &vals[i]
+		}
+	}
+	cont := true
+	s.g.MatchIDs(ptr[0], ptr[1], ptr[2], func(tr rdf.IDTriple) bool {
+		if _, ok := ts.bindTriple(s.ids, tr, envMask); !ok {
+			return true // repeated variable, conflicting values
+		}
+		if !emit(ts.mask) {
+			cont = false
+			return false
+		}
+		return true
+	})
+	return cont
+}

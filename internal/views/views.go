@@ -21,6 +21,12 @@
 // of ⟦P⟧_G — exactly what is needed to extend the view.  The AND rule's
 // ⟦·⟧_G probes run as constrained evaluations seeded by the (small)
 // delta side, so an insert costs ~|Δ| index probes, independent of |G|.
+//
+// The delta rules run on the ID-native row runtime: the delta is a
+// slice of rdf.IDTriple in the base dictionary's ID space, Δ⟦t⟧ scans
+// it with sparql.EvalTripleDelta, and the ⟦·⟧_G probes seed a
+// sparql.Searcher with each delta row.  WHERE clauses wider than
+// sparql.MaxSchemaVars keep the original string-mapping path.
 package views
 
 import (
@@ -35,6 +41,7 @@ type View struct {
 	query sparql.ConstructQuery
 	base  *rdf.Graph
 	out   *rdf.Graph
+	sc    *sparql.VarSchema // nil: WHERE wider than MaxSchemaVars, string fallback
 }
 
 // New materializes a CONSTRUCT[AUF] view over a snapshot of the base
@@ -45,6 +52,9 @@ func New(q sparql.ConstructQuery, base *rdf.Graph) (*View, error) {
 		return nil, fmt.Errorf("views: WHERE clause outside CONSTRUCT[AUF] (the monotone fragment, Corollary 6.8): %s", q.Where)
 	}
 	v := &View{query: q, base: base.Clone()}
+	if sc, ok := sparql.SchemaFor(q.Where); ok {
+		v.sc = sc
+	}
 	v.out = sparql.EvalConstruct(v.base, q)
 	return v, nil
 }
@@ -60,17 +70,27 @@ func (v *View) Base() *rdf.Graph { return v.base }
 // Insert adds triples to the base graph and incrementally extends the
 // output.  It returns the number of new output triples.
 func (v *View) Insert(triples ...rdf.Triple) int {
-	delta := rdf.NewGraph()
+	var delta []rdf.Triple
 	for _, t := range triples {
 		if v.base.AddTriple(t) {
-			delta.AddTriple(t)
+			delta = append(delta, t)
 		}
 	}
-	if delta.Len() == 0 {
+	if len(delta) == 0 {
 		return 0
 	}
+	var newAnswers *sparql.MappingSet
+	if v.sc != nil {
+		newAnswers = v.deltaEvalRows(delta)
+	} else {
+		dg := rdf.NewGraph()
+		for _, t := range delta {
+			dg.AddTriple(t)
+		}
+		newAnswers = deltaEval(v.base, dg, v.query.Where)
+	}
 	added := 0
-	for _, mu := range deltaEval(v.base, delta, v.query.Where).Mappings() {
+	for _, mu := range newAnswers.Mappings() {
 		for _, tp := range v.query.Template {
 			if tr, ok := mu.Apply(tp); ok {
 				if v.out.AddTriple(tr) {
@@ -80,6 +100,57 @@ func (v *View) Insert(triples ...rdf.Triple) int {
 		}
 	}
 	return added
+}
+
+// deltaEvalRows runs the delta rules on the row runtime.  AddTriple has
+// interned the delta's IRIs into the base dictionary, so the delta maps
+// losslessly into ID space.
+func (v *View) deltaEvalRows(delta []rdf.Triple) *sparql.MappingSet {
+	d := v.base.Dict()
+	idDelta := make([]rdf.IDTriple, len(delta))
+	for i, t := range delta {
+		s, _ := d.Lookup(t.S)
+		p, _ := d.Lookup(t.P)
+		o, _ := d.Lookup(t.O)
+		idDelta[i] = rdf.IDTriple{S: s, P: p, O: o}
+	}
+	s := sparql.NewSearcher(v.base, v.sc)
+	return v.deltaRows(idDelta, v.query.Where, s).MappingSet(d)
+}
+
+func (v *View) deltaRows(delta []rdf.IDTriple, p sparql.Pattern, s *sparql.Searcher) *sparql.RowSet {
+	switch q := p.(type) {
+	case sparql.TriplePattern:
+		return sparql.EvalTripleDelta(q, v.sc, v.base.Dict(), delta)
+	case sparql.And:
+		l := v.probe(v.deltaRows(delta, q.L, s), q.R, s)
+		r := v.probe(v.deltaRows(delta, q.R, s), q.L, s)
+		return l.Union(r)
+	case sparql.Union:
+		return v.deltaRows(delta, q.L, s).Union(v.deltaRows(delta, q.R, s))
+	case sparql.Filter:
+		return v.deltaRows(delta, q.P, s).Filter(
+			sparql.CompileCond(q.Cond, v.sc, v.base.Dict()))
+	default:
+		panic(fmt.Sprintf("views: operator outside AUF: %T", p))
+	}
+}
+
+// probe computes small ⋈ ⟦p⟧_G by seeding the searcher with each delta
+// row and streaming the compatible solutions of p — the
+// index-nested-loop delta join, now without allocating a mapping per
+// probe step.
+func (v *View) probe(small *sparql.RowSet, p sparql.Pattern, s *sparql.Searcher) *sparql.RowSet {
+	out := sparql.NewRowSet(v.sc)
+	for i := 0; i < small.Len(); i++ {
+		r := small.Row(i)
+		s.Seed(r)
+		s.Iterate(p, r.Mask, func(m uint64) bool {
+			out.Add(s.IDs(), r.Mask|m)
+			return true
+		})
+	}
+	return out
 }
 
 // deltaEval returns a set Ω with ⟦P⟧_{G} ∖ ⟦P⟧_{G∖Δ} ⊆ Ω ⊆ ⟦P⟧_G,
