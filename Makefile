@@ -1,11 +1,11 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test bench experiments fuzz cover clean ci fmt-check race
+.PHONY: all build vet test bench experiments fuzz cover clean ci fmt-check race staticcheck governor-race
 
 all: build vet test
 
 # Exactly what .github/workflows/ci.yml runs.
-ci: fmt-check vet build test race
+ci: fmt-check vet staticcheck build test race governor-race
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -13,8 +13,26 @@ fmt-check:
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
 
+# Gated: runs when a staticcheck binary is on PATH, skips (loudly)
+# otherwise, so `make ci` works on boxes without network or the tool.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)" >&2; \
+	fi
+
 race:
 	go test -race ./internal/rdf/ ./internal/sparql/ ./internal/plan/ ./internal/exec/ ./internal/views/
+
+# The query-governor fault-injection suites under the race detector;
+# mirrors the governor-race CI job.
+governor-race:
+	go test -race -timeout 5m \
+		-run 'TestBudget|TestUnknownPattern|TestSearcherFault|TestEvalRowsFault|TestEvalBudgetFault|TestEvalCompatibleFault|TestDeadlineStops' \
+		./internal/sparql/
+	go test -race -timeout 5m -run 'Governor|Fault|Budget|Ctx|Insert' ./internal/exec/ ./internal/views/
+	go test -race -timeout 5m ./cmd/nsserve/
 
 build:
 	go build ./...

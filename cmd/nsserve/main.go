@@ -3,28 +3,53 @@
 //
 // Usage:
 //
-//	nsserve -graph data.nt -addr :8080
+//	nsserve -graph data.nt -addr :8080 [governor flags]
 //
 // Endpoints:
 //
-//	GET  /query?q=<query>[&syntax=paper|sparql]
+//	GET  /query?q=<query>[&syntax=paper|sparql][&timeout=<dur|ms>]
 //	     SELECT/pattern → application/sparql-results+json
 //	     ASK (sparql syntax) → {"boolean": true|false}
 //	     CONSTRUCT → N-Triples (text/plain)
 //	POST /insert       body: N-Triples lines; inserts into the graph
 //	GET  /stats        {"triples": N, "iris": M}
+//	GET  /healthz      {"status": "ok"} — liveness, lock-free
 //
 // The default query syntax is the W3C-style surface syntax; pass
 // syntax=paper for the paper notation (with parenthesized triples and
 // the NS(...) operator).
+//
+// # Resource governance
+//
+// NS-SPARQL evaluation is intractable in the worst case (the paper's
+// Theorems 7.1–7.4), so every query runs under a governor:
+//
+//   - -query-timeout is the per-query deadline.  A request may lower
+//     (never raise) it with the timeout= parameter, given as a Go
+//     duration ("500ms") or bare milliseconds ("500").  An expired
+//     deadline returns 504 with {"error": ..., "partial": false}.
+//   - -max-concurrent bounds in-flight /query requests; the excess is
+//     refused immediately with 503.
+//   - -max-steps / -max-rows bound a single query's search steps and
+//     result rows; exceeding them returns 503.
+//   - -max-insert-bytes caps the /insert body (413 beyond it).
+//
+// Engine panics are converted to 500s without killing the process, and
+// SIGINT/SIGTERM drains in-flight requests for up to -drain-timeout
+// before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/rdf"
 )
@@ -33,6 +58,19 @@ func main() {
 	var (
 		graphPath = flag.String("graph", "", "path to the initial graph (default: empty graph)")
 		addr      = flag.String("addr", ":8080", "listen address")
+
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second,
+			"per-query deadline; also the upper bound for the timeout= parameter (0 = unlimited)")
+		maxConcurrent = flag.Int("max-concurrent", 64,
+			"maximum concurrent /query requests; the excess gets 503 (0 = unlimited)")
+		maxInsertBytes = flag.Int64("max-insert-bytes", 16<<20,
+			"maximum /insert body size in bytes; larger bodies get 413 (0 = unlimited)")
+		maxSteps = flag.Int64("max-steps", 0,
+			"per-query engine step budget; exceeding it gets 503 (0 = unlimited)")
+		maxRows = flag.Int64("max-rows", 0,
+			"per-query result row budget; exceeding it gets 503 (0 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second,
+			"how long to drain in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	g := rdf.NewGraph()
@@ -49,6 +87,60 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	log.Printf("nsserve: %d triples loaded, listening on %s", g.Len(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, newServer(g)))
+	cfg := defaultConfig()
+	cfg.queryTimeout = *queryTimeout
+	cfg.maxConcurrent = *maxConcurrent
+	cfg.maxInsertBytes = *maxInsertBytes
+	cfg.maxSteps = *maxSteps
+	cfg.maxRows = *maxRows
+
+	srv := newHTTPServer(*addr, newServerWith(g, cfg), cfg)
+	log.Printf("nsserve: %d triples loaded, listening on %s (query timeout %v, %d concurrent)",
+		g.Len(), *addr, *queryTimeout, *maxConcurrent)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(srv, stop, *drainTimeout); err != nil {
+		log.Fatal("nsserve: ", err)
+	}
+	log.Print("nsserve: drained, bye")
+}
+
+// newHTTPServer configures the http.Server around the handler: header
+// and body read timeouts bound slow clients, the write timeout leaves
+// room for the query deadline plus serialization, and idle keep-alive
+// connections are reaped.
+func newHTTPServer(addr string, h http.Handler, cfg config) *http.Server {
+	writeTimeout := 2 * time.Minute
+	if cfg.queryTimeout > 0 && cfg.queryTimeout+30*time.Second > writeTimeout {
+		writeTimeout = cfg.queryTimeout + 30*time.Second
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       1 * time.Minute,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// run serves until the listener fails or a stop signal arrives, then
+// shuts down gracefully: the listener closes immediately (new
+// connections are refused) while in-flight requests get up to drain to
+// finish.
+func run(srv *http.Server, stop <-chan os.Signal, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-stop:
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
 }

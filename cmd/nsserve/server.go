@@ -1,10 +1,19 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"runtime/debug"
+	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/parser"
@@ -13,21 +22,96 @@ import (
 	"repro/internal/sparql"
 )
 
+// config is the server's resource-governance knobs; see defaultConfig
+// for the values used when a knob is zero.
+type config struct {
+	queryTimeout   time.Duration // per-query deadline; also caps timeout= (0 = none)
+	maxConcurrent  int           // concurrent /query limit; overflow gets 503 (0 = unlimited)
+	maxInsertBytes int64         // /insert body cap in bytes; overflow gets 413 (0 = unlimited)
+	maxSteps       int64         // per-query engine step budget (0 = unlimited)
+	maxRows        int64         // per-query result row budget (0 = unlimited)
+	logf           func(format string, args ...any)
+}
+
+func defaultConfig() config {
+	return config{
+		queryTimeout:   30 * time.Second,
+		maxConcurrent:  64,
+		maxInsertBytes: 16 << 20,
+		logf:           log.Printf,
+	}
+}
+
 // server wraps a graph with a lock: queries take the read side,
-// inserts the write side.
+// inserts the write side.  The query governor guarantees the read side
+// is released within a bounded delay of a deadline or cancellation, so
+// a hostile query cannot starve inserts or /stats.
 type server struct {
 	mu    sync.RWMutex
 	graph *rdf.Graph
+	cfg   config
+	sem   chan struct{} // nil: unlimited concurrency
 }
 
-// newServer returns the HTTP handler for a graph.
+// newServer returns the HTTP handler for a graph with the default
+// governance configuration.
 func newServer(g *rdf.Graph) http.Handler {
-	s := &server{graph: g}
+	return newServerWith(g, defaultConfig())
+}
+
+// newServerWith returns the HTTP handler for a graph under the given
+// configuration.
+func newServerWith(g *rdf.Graph, cfg config) http.Handler {
+	if cfg.logf == nil {
+		cfg.logf = log.Printf
+	}
+	s := &server{graph: g, cfg: cfg}
+	if cfg.maxConcurrent > 0 {
+		s.sem = make(chan struct{}, cfg.maxConcurrent)
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/query", s.limitConcurrency(s.handleQuery))
 	mux.HandleFunc("/insert", s.handleInsert)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return recoverPanics(cfg.logf, mux)
+}
+
+// recoverPanics converts a panicking handler into a 500 response and a
+// log line, keeping the process (and its listener) alive.  A panic
+// below this middleware cannot leak the graph lock: handlers release
+// it with defer, and deferred calls run during the panic unwind.
+func recoverPanics(logf func(string, ...any), h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				logf("nsserve: panic serving %s: %v\n%s", r.URL.Path, rec, debug.Stack())
+				http.Error(w, "internal server error", http.StatusInternalServerError)
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// limitConcurrency admits at most cfg.maxConcurrent requests into h;
+// the rest are refused immediately with 503 so overload degrades into
+// fast failures instead of a growing queue of stuck connections.
+func (s *server) limitConcurrency(h http.HandlerFunc) http.HandlerFunc {
+	if s.sem == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			h(w, r)
+		default:
+			writeJSONError(w, http.StatusServiceUnavailable, "server busy: concurrent query limit reached")
+		}
+	}
 }
 
 // jsonTerm is a term in the SPARQL 1.1 JSON results format.
@@ -44,6 +128,69 @@ type jsonResults struct {
 	Results struct {
 		Bindings []map[string]jsonTerm `json:"bindings"`
 	} `json:"results"`
+}
+
+// jsonError is the error document for governed failures.  Partial is
+// always false: the engine discards partial answers rather than
+// serving a silently incomplete result.
+type jsonError struct {
+	Error   string `json:"error"`
+	Partial bool   `json:"partial"`
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Best effort: an encode failure here means the peer already hung up.
+	_ = json.NewEncoder(w).Encode(jsonError{Error: msg})
+}
+
+// writeEngineError maps the engine's typed governor errors onto HTTP
+// statuses: deadline → 504, resource budget → 503, malformed plan →
+// 400, client cancellation → nothing (the peer is gone).
+func (s *server) writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
+	var budget sparql.ErrBudgetExceeded
+	var unsupported sparql.ErrUnsupportedPattern
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSONError(w, http.StatusGatewayTimeout, "query timeout: "+err.Error())
+	case errors.Is(err, context.Canceled):
+		s.cfg.logf("nsserve: query canceled by client: %v", err)
+	case errors.As(err, &budget):
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.As(err, &unsupported):
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+	default:
+		s.cfg.logf("nsserve: query error: %v", err)
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// queryDeadline resolves the effective deadline of a request: the
+// server's -query-timeout, lowered (never raised) by an explicit
+// timeout= parameter, which accepts a Go duration ("500ms") or a bare
+// millisecond count ("500").
+func (s *server) queryDeadline(r *http.Request) (time.Duration, error) {
+	d := s.cfg.queryTimeout
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		return d, nil
+	}
+	td, err := time.ParseDuration(raw)
+	if err != nil {
+		ms, err2 := strconv.ParseInt(raw, 10, 64)
+		if err2 != nil {
+			return 0, fmt.Errorf("bad timeout parameter %q (want a duration like 500ms, or milliseconds)", raw)
+		}
+		td = time.Duration(ms) * time.Millisecond
+	}
+	if td <= 0 {
+		return 0, fmt.Errorf("bad timeout parameter %q (must be positive)", raw)
+	}
+	if d == 0 || td < d {
+		d = td
+	}
+	return d, nil
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -81,17 +228,50 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	deadline, err := s.queryDeadline(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	bud := sparql.NewBudget(ctx)
+	if s.cfg.maxSteps > 0 {
+		bud.WithMaxSteps(s.cfg.maxSteps)
+	}
+	if s.cfg.maxRows > 0 {
+		bud.WithMaxRows(s.cfg.maxRows)
+	}
+
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	switch {
 	case isAsk:
+		ok, err := exec.AskBudget(s.graph, pattern, bud)
+		if err != nil {
+			s.writeEngineError(w, r, err)
+			return
+		}
 		w.Header().Set("Content-Type", "application/sparql-results+json")
-		json.NewEncoder(w).Encode(map[string]bool{"boolean": exec.Ask(s.graph, pattern)})
+		s.encode(w, map[string]bool{"boolean": ok})
 	case construct != nil:
+		out, err := plan.EvalConstructBudget(s.graph, *construct, bud)
+		if err != nil {
+			s.writeEngineError(w, r, err)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		rdf.WriteGraph(w, plan.EvalConstruct(s.graph, *construct))
+		rdf.WriteGraph(w, out)
 	default:
-		res := plan.Eval(s.graph, pattern)
+		res, err := plan.EvalBudget(s.graph, pattern, bud)
+		if err != nil {
+			s.writeEngineError(w, r, err)
+			return
+		}
 		doc := jsonResults{}
 		seen := make(map[sparql.Var]bool)
 		for _, mu := range res.Mappings() {
@@ -102,6 +282,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 		}
+		// Deterministic head: the schema assigns slots in sorted
+		// variable order, so sorting here matches it and is stable
+		// across runs (map iteration order is not).
+		sort.Strings(doc.Head.Vars)
 		doc.Results.Bindings = make([]map[string]jsonTerm, 0, res.Len())
 		for _, mu := range res.Sorted() {
 			b := make(map[string]jsonTerm, len(mu))
@@ -111,7 +295,15 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			doc.Results.Bindings = append(doc.Results.Bindings, b)
 		}
 		w.Header().Set("Content-Type", "application/sparql-results+json")
-		json.NewEncoder(w).Encode(doc)
+		s.encode(w, doc)
+	}
+}
+
+// encode writes v as JSON, logging (rather than silently dropping) an
+// encode failure — typically a client that hung up mid-response.
+func (s *server) encode(w http.ResponseWriter, v any) {
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.cfg.logf("nsserve: response encode: %v", err)
 	}
 }
 
@@ -120,7 +312,24 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	delta, err := rdf.ReadGraph(r.Body)
+	var body io.Reader = r.Body
+	if s.cfg.maxInsertBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.cfg.maxInsertBytes)
+	}
+	// Drain the capped body before parsing: a cap hit mid-line must
+	// surface as 413, not as a parse error on the truncated line.
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSONError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("insert body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		http.Error(w, "read error: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	delta, err := rdf.ReadGraph(bytes.NewReader(data))
 	if err != nil {
 		http.Error(w, "parse error: "+err.Error(), http.StatusBadRequest)
 		return
@@ -141,4 +350,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"triples": %d, "iris": %d}`+"\n", triples, iris)
+}
+
+// handleHealthz is the liveness probe: it takes no locks, so it answers
+// even while heavy queries are in flight.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status": "ok"}`)
 }

@@ -22,62 +22,130 @@
 package exec
 
 import (
+	"context"
+
 	"repro/internal/plan"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
 
 // Ask reports whether ⟦P⟧_G is non-empty, stopping at the first
-// solution found.
+// solution found.  Ungoverned legacy entry point; servers should use
+// AskCtx or AskBudget.
 func Ask(g *rdf.Graph, p sparql.Pattern) bool {
-	opt := plan.Optimize(g, p)
-	sc, ok := sparql.SchemaFor(opt)
-	if !ok {
-		return sparql.Eval(g, opt).Len() > 0
-	}
-	found := false
-	sparql.NewSearcher(g, sc).Iterate(opt, 0, func(uint64) bool {
-		found = true
-		return false
-	})
+	found, _ := AskBudget(g, p, nil)
 	return found
 }
 
+// AskCtx is Ask bounded by a context.
+func AskCtx(ctx context.Context, g *rdf.Graph, p sparql.Pattern) (bool, error) {
+	return AskBudget(g, p, sparql.NewBudget(ctx))
+}
+
+// AskBudget is Ask under a resource governor: the backtracking search
+// charges the budget per index probe and aborts with the budget's
+// typed error the moment the governor trips.
+func AskBudget(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget) (bool, error) {
+	opt := plan.Optimize(g, p)
+	sc, ok := sparql.SchemaFor(opt)
+	if !ok {
+		ms, err := sparql.EvalBudget(g, opt, b)
+		if err != nil {
+			return false, err
+		}
+		return ms.Len() > 0, nil
+	}
+	found := false
+	err := sparql.NewSearcherBudget(g, sc, b).Search(opt, 0, func(uint64) bool {
+		found = true
+		return false
+	})
+	if err != nil {
+		return false, err
+	}
+	return found, nil
+}
+
 // Limit returns up to k distinct solutions of ⟦P⟧_G (all of them for
-// k < 0), stopping the search as soon as k are found.
+// k < 0), stopping the search as soon as k are found.  Ungoverned
+// legacy entry point; servers should use LimitCtx or LimitBudget.
 func Limit(g *rdf.Graph, p sparql.Pattern, k int) *sparql.MappingSet {
+	out, err := LimitBudget(g, p, k, nil)
+	if err != nil {
+		return sparql.NewMappingSet()
+	}
+	return out
+}
+
+// LimitCtx is Limit bounded by a context.
+func LimitCtx(ctx context.Context, g *rdf.Graph, p sparql.Pattern, k int) (*sparql.MappingSet, error) {
+	return LimitBudget(g, p, k, sparql.NewBudget(ctx))
+}
+
+// LimitBudget is Limit under a resource governor.  Each returned
+// solution also charges the budget's row limit, so MaxRows bounds the
+// result set even for k < 0.
+func LimitBudget(g *rdf.Graph, p sparql.Pattern, k int, b *sparql.Budget) (*sparql.MappingSet, error) {
 	out := sparql.NewMappingSet()
 	if k == 0 {
-		return out
+		return out, nil
 	}
 	opt := plan.Optimize(g, p)
 	sc, ok := sparql.SchemaFor(opt)
 	if !ok {
-		for _, mu := range sparql.Eval(g, opt).Mappings() {
+		ms, err := sparql.EvalBudget(g, opt, b)
+		if err != nil {
+			return nil, err
+		}
+		for _, mu := range ms.Mappings() {
 			out.Add(mu)
 			if k >= 0 && out.Len() >= k {
 				break
 			}
 		}
-		return out
+		return out, nil
 	}
-	s := sparql.NewSearcher(g, sc)
+	s := sparql.NewSearcherBudget(g, sc, b)
 	seen := sparql.NewRowSet(sc)
-	s.Iterate(opt, 0, func(m uint64) bool {
+	var rowErr error
+	err := s.Search(opt, 0, func(m uint64) bool {
 		if !seen.Add(s.IDs(), m) {
 			return true
+		}
+		if rowErr = b.AddRows(1); rowErr != nil {
+			return false
 		}
 		out.Add(s.Decode(m))
 		return k < 0 || out.Len() < k
 	})
-	return out
+	if err == nil {
+		err = rowErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // ConstructContains decides t ∈ ans(Q, G) with early termination: the
 // target triple is unified with each template triple, the resulting
 // binding seeds the backtracking search, and the first witness stops
-// it.  This is the decision problem of Section 7.3.
+// it.  This is the decision problem of Section 7.3.  Ungoverned legacy
+// entry point; servers should use ConstructContainsCtx or
+// ConstructContainsBudget.
 func ConstructContains(g *rdf.Graph, q sparql.ConstructQuery, target rdf.Triple) bool {
+	found, _ := ConstructContainsBudget(g, q, target, nil)
+	return found
+}
+
+// ConstructContainsCtx is ConstructContains bounded by a context.
+func ConstructContainsCtx(ctx context.Context, g *rdf.Graph, q sparql.ConstructQuery, target rdf.Triple) (bool, error) {
+	return ConstructContainsBudget(g, q, target, sparql.NewBudget(ctx))
+}
+
+// ConstructContainsBudget is ConstructContains under a resource
+// governor.
+func ConstructContainsBudget(g *rdf.Graph, q sparql.ConstructQuery, target rdf.Triple, b *sparql.Budget) (bool, error) {
 	opt := plan.Optimize(g, q.Where)
 	sc, scOK := sparql.SchemaFor(opt)
 	for _, tp := range q.Template {
@@ -86,8 +154,12 @@ func ConstructContains(g *rdf.Graph, q sparql.ConstructQuery, target rdf.Triple)
 			continue
 		}
 		if !scOK {
-			if containsMaterialized(g, opt, tp, target) {
-				return true
+			hit, err := containsMaterialized(g, opt, tp, target, b)
+			if err != nil {
+				return false, err
+			}
+			if hit {
+				return true, nil
 			}
 			continue
 		}
@@ -104,32 +176,39 @@ func ConstructContains(g *rdf.Graph, q sparql.ConstructQuery, target rdf.Triple)
 		// agrees with the seed on shared slots, so domain coverage alone
 		// certifies that µ(tp) is the target.
 		tpMask := sc.SlotMask(sparql.Vars(tp))
-		s := sparql.NewSearcher(g, sc)
+		s := sparql.NewSearcherBudget(g, sc, b)
 		s.Seed(row)
 		found := false
-		s.Iterate(opt, row.Mask, func(m uint64) bool {
+		err := s.Search(opt, row.Mask, func(m uint64) bool {
 			if tpMask&^m != 0 {
 				return true
 			}
 			found = true
 			return false
 		})
+		if err != nil {
+			return false, err
+		}
 		if found {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 // containsMaterialized is the wide-schema fallback: materialize the
 // answers and apply the template.
-func containsMaterialized(g *rdf.Graph, where sparql.Pattern, tp sparql.TriplePattern, target rdf.Triple) bool {
-	for _, mu := range sparql.Eval(g, where).Mappings() {
+func containsMaterialized(g *rdf.Graph, where sparql.Pattern, tp sparql.TriplePattern, target rdf.Triple, b *sparql.Budget) (bool, error) {
+	ms, err := sparql.EvalBudget(g, where, b)
+	if err != nil {
+		return false, err
+	}
+	for _, mu := range ms.Mappings() {
 		if produced, ok := mu.Apply(tp); ok && produced == target {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 // unifyTemplate matches a template triple against a concrete triple,

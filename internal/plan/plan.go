@@ -21,7 +21,7 @@
 package plan
 
 import (
-	"fmt"
+	"context"
 	"sort"
 
 	"repro/internal/rdf"
@@ -31,13 +31,50 @@ import (
 
 // Eval optimizes the pattern for the given graph and evaluates it on
 // the ID-native row engine, decoding at the boundary.  It always
-// returns exactly ⟦P⟧_G.
+// returns exactly ⟦P⟧_G.  Eval is the ungoverned legacy entry point
+// (context.Background(), no limits); servers should use EvalCtx or
+// EvalBudget so hostile queries cannot run unboundedly.
 func Eval(g *rdf.Graph, p sparql.Pattern) *sparql.MappingSet {
-	opt := Optimize(g, p)
-	if rs, ok := sparql.EvalRows(g, opt); ok {
-		return rs.MappingSet(g.Dict())
+	ms, err := EvalBudget(g, p, nil)
+	if err != nil {
+		// Only a malformed plan can fail without a budget; degrade to
+		// the empty answer instead of crashing the caller.
+		return sparql.NewMappingSet()
 	}
-	return evalOpt(g, opt) // wider than MaxSchemaVars
+	return ms
+}
+
+// EvalCtx is Eval bounded by a context: evaluation aborts with a typed
+// error (wrapping sparql.ErrCanceled and the context cause) shortly
+// after ctx is canceled or its deadline expires.
+func EvalCtx(ctx context.Context, g *rdf.Graph, p sparql.Pattern) (*sparql.MappingSet, error) {
+	return EvalBudget(g, p, sparql.NewBudget(ctx))
+}
+
+// EvalBudget is Eval under a full resource governor (see
+// sparql.Budget): deadline, step, row and memory limits all surface as
+// typed errors instead of unbounded work.  A nil budget disables all
+// accounting.
+func EvalBudget(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget) (*sparql.MappingSet, error) {
+	opt := Optimize(g, p)
+	rs, ok, err := sparql.EvalRowsBudget(g, opt, b)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		if err := b.AddRows(rs.Len()); err != nil {
+			return nil, err
+		}
+		return rs.MappingSet(g.Dict()), nil
+	}
+	ms, err := evalOptBudget(g, opt, b) // wider than MaxSchemaVars
+	if err != nil {
+		return nil, err
+	}
+	if err := b.AddRows(ms.Len()); err != nil {
+		return nil, err
+	}
+	return ms, nil
 }
 
 // EvalString optimizes the pattern and evaluates it with the
@@ -45,21 +82,46 @@ func Eval(g *rdf.Graph, p sparql.Pattern) *sparql.MappingSet {
 // as the E20 ablation baseline and the fallback for patterns wider
 // than sparql.MaxSchemaVars.
 func EvalString(g *rdf.Graph, p sparql.Pattern) *sparql.MappingSet {
-	return evalOpt(g, Optimize(g, p))
+	ms, err := evalOptBudget(g, Optimize(g, p), nil)
+	if err != nil {
+		return sparql.NewMappingSet()
+	}
+	return ms
 }
 
 // EvalConstruct is the planner-backed counterpart of
 // sparql.EvalConstruct.
 func EvalConstruct(g *rdf.Graph, q sparql.ConstructQuery) *rdf.Graph {
+	out, err := EvalConstructBudget(g, q, nil)
+	if err != nil {
+		return rdf.NewGraph()
+	}
+	return out
+}
+
+// EvalConstructCtx is EvalConstruct bounded by a context.
+func EvalConstructCtx(ctx context.Context, g *rdf.Graph, q sparql.ConstructQuery) (*rdf.Graph, error) {
+	return EvalConstructBudget(g, q, sparql.NewBudget(ctx))
+}
+
+// EvalConstructBudget is EvalConstruct under a resource governor.
+func EvalConstructBudget(g *rdf.Graph, q sparql.ConstructQuery, b *sparql.Budget) (*rdf.Graph, error) {
+	ms, err := EvalBudget(g, q.Where, b)
+	if err != nil {
+		return nil, err
+	}
 	out := rdf.NewGraph()
-	for _, mu := range Eval(g, q.Where).Mappings() {
+	for _, mu := range ms.Mappings() {
+		if err := b.Step(); err != nil {
+			return nil, err
+		}
 		for _, t := range q.Template {
 			if tr, ok := mu.Apply(t); ok {
 				out.AddTriple(tr)
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Optimize rewrites the pattern into a semantically equal pattern with
@@ -91,7 +153,10 @@ func optimize(g *rdf.Graph, p sparql.Pattern) sparql.Pattern {
 	case sparql.NS:
 		return sparql.NS{P: optimize(g, q.P)}
 	default:
-		panic(fmt.Sprintf("plan: unknown pattern type %T", p))
+		// Unknown operator: leave it untouched (optimization is always
+		// allowed to be the identity) and let the evaluator report a
+		// typed sparql.ErrUnsupportedPattern instead of panicking here.
+		return p
 	}
 }
 
@@ -254,28 +319,89 @@ func Estimate(g *rdf.Graph, p sparql.Pattern) float64 {
 	case sparql.NS:
 		return Estimate(g, q.P)
 	default:
-		panic(fmt.Sprintf("plan: unknown pattern type %T", p))
+		// Unknown operator: assume the worst (whole-graph cardinality)
+		// rather than crashing the planner on a malformed plan.
+		return float64(g.Len() + 1)
 	}
 }
 
-// evalOpt mirrors sparql.Eval with the hash-based algebra primitives.
-func evalOpt(g *rdf.Graph, p sparql.Pattern) *sparql.MappingSet {
+// evalOptBudget mirrors sparql.Eval with the hash-based algebra
+// primitives, charging the budget per operator (cardinality-
+// proportional, like sparql.EvalBudget).
+func evalOptBudget(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget) (*sparql.MappingSet, error) {
+	if err := b.Step(); err != nil {
+		return nil, err
+	}
 	switch q := p.(type) {
 	case sparql.TriplePattern:
-		return sparql.Eval(g, q)
+		return sparql.EvalBudget(g, q, b)
 	case sparql.And:
-		return evalOpt(g, q.L).JoinHash(evalOpt(g, q.R))
+		l, err := evalOptBudget(g, q.L, b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalOptBudget(g, q.R, b)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.StepN(l.Len() + r.Len()); err != nil {
+			return nil, err
+		}
+		return l.JoinHash(r), nil
 	case sparql.Union:
-		return evalOpt(g, q.L).Union(evalOpt(g, q.R))
+		l, err := evalOptBudget(g, q.L, b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalOptBudget(g, q.R, b)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.StepN(l.Len() + r.Len()); err != nil {
+			return nil, err
+		}
+		return l.Union(r), nil
 	case sparql.Opt:
-		return evalOpt(g, q.L).LeftJoinHash(evalOpt(g, q.R))
+		l, err := evalOptBudget(g, q.L, b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalOptBudget(g, q.R, b)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.StepN(l.Len() + r.Len()); err != nil {
+			return nil, err
+		}
+		return l.LeftJoinHash(r), nil
 	case sparql.Filter:
-		return evalOpt(g, q.P).Filter(q.Cond)
+		inner, err := evalOptBudget(g, q.P, b)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.StepN(inner.Len()); err != nil {
+			return nil, err
+		}
+		return inner.Filter(q.Cond), nil
 	case sparql.Select:
-		return evalOpt(g, q.P).Project(q.Vars)
+		inner, err := evalOptBudget(g, q.P, b)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.StepN(inner.Len()); err != nil {
+			return nil, err
+		}
+		return inner.Project(q.Vars), nil
 	case sparql.NS:
-		return evalOpt(g, q.P).Maximal()
+		inner, err := evalOptBudget(g, q.P, b)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.StepN(inner.Len() * inner.Len()); err != nil {
+			return nil, err
+		}
+		return inner.Maximal(), nil
 	default:
-		panic(fmt.Sprintf("plan: unknown pattern type %T", p))
+		return nil, sparql.ErrUnsupportedPattern{Pattern: p}
 	}
 }

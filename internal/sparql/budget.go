@@ -1,0 +1,287 @@
+package sparql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// The paper's complexity map (Theorems 7.1–7.4) guarantees that
+// adversarial NS-SPARQL queries are intractable in the worst case:
+// evaluation is DP-complete already for SPARQL[AUF], BH₂ₖ-hard for
+// nested NS, and P^NP_∥-complete in general.  A production engine
+// therefore cannot promise to *finish* every query — it can only
+// promise to *stop*.  Budget is that promise: a per-query resource
+// envelope (deadline via context.Context, maximum search steps,
+// maximum result rows, and a coarse memory estimate) threaded through
+// every evaluation path.
+//
+// The hot loops of the engine call Step once per unit of work (a
+// triple-index probe, a join candidate pair, a subsumption check).
+// Step is designed to be nearly free: a nil *Budget short-circuits
+// immediately, and a live one only increments a counter and compares
+// it against a precomputed checkpoint.  The expensive part — polling
+// ctx.Err() — runs once per stride (default 1024 steps), so the
+// engine notices cancellation within a bounded, small amount of work
+// while the per-step overhead stays in the noise.
+//
+// Budget is single-goroutine state, like the Searcher that carries
+// it; a Budget must not be shared by concurrent queries.
+
+// ErrCanceled is returned (wrapped) when evaluation stops because the
+// query's context was canceled or its deadline expired.  The cause is
+// wrapped too, so errors.Is(err, context.DeadlineExceeded) and
+// errors.Is(err, context.Canceled) distinguish timeout from client
+// cancellation.
+var ErrCanceled = errors.New("sparql: query canceled")
+
+// BudgetKind identifies which resource of a Budget ran out.
+type BudgetKind uint8
+
+const (
+	// BudgetSteps: the search-step limit (MaxSteps) was reached.
+	BudgetSteps BudgetKind = iota
+	// BudgetRows: the result-row limit (MaxRows) was reached.
+	BudgetRows
+	// BudgetMemory: the estimated memory limit (MaxBytes) was reached.
+	BudgetMemory
+)
+
+func (k BudgetKind) String() string {
+	switch k {
+	case BudgetSteps:
+		return "steps"
+	case BudgetRows:
+		return "rows"
+	case BudgetMemory:
+		return "memory"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ErrBudgetExceeded reports that a query exhausted one of its resource
+// limits.  Match with errors.As.
+type ErrBudgetExceeded struct {
+	Kind BudgetKind
+}
+
+func (e ErrBudgetExceeded) Error() string {
+	return "sparql: query budget exceeded: max " + e.Kind.String()
+}
+
+// ErrUnsupportedPattern reports a pattern node outside the algebra the
+// engine implements — a malformed plan.  It is returned through the
+// error paths instead of panicking, so a bad plan cannot crash a
+// caller holding locks.
+type ErrUnsupportedPattern struct {
+	Pattern Pattern
+}
+
+func (e ErrUnsupportedPattern) Error() string {
+	return fmt.Sprintf("sparql: unsupported pattern type %T", e.Pattern)
+}
+
+// DefaultStride is how many steps pass between context polls.  Powers
+// of two only; the default keeps the poll far off the hot path while
+// bounding the engine's reaction latency to ~a thousand index probes.
+const DefaultStride = 1024
+
+// Budget is a query's resource envelope.  The zero limits mean
+// "unlimited"; a nil *Budget is valid everywhere and disables all
+// accounting (every method on a nil receiver returns nil), so legacy
+// entry points simply pass nil.
+type Budget struct {
+	ctx      context.Context // nil: never canceled
+	maxSteps int64           // 0: unlimited
+	maxRows  int64           // 0: unlimited
+	maxBytes int64           // 0: unlimited
+	stride   int64           // power of two
+
+	steps   int64
+	rows    int64
+	bytes   int64
+	checkAt int64 // next steps value that triggers a full check
+	err     error // sticky: first failure, returned forever after
+
+	faultAt  int64 // fault injection: fire once steps >= faultAt
+	faultErr error // nil: injection disabled
+}
+
+// NewBudget returns a budget tied to ctx (nil is allowed and means "no
+// cancellation") with no resource limits and the default stride.  A
+// context that is already dead poisons the budget immediately, so a
+// query on a canceled request fails on its first step instead of a
+// stride later.
+func NewBudget(ctx context.Context) *Budget {
+	b := &Budget{ctx: ctx, stride: DefaultStride}
+	if ctx != nil {
+		if ce := ctx.Err(); ce != nil {
+			b.err = fmt.Errorf("%w (%w)", ErrCanceled, ce)
+		}
+	}
+	b.recalc()
+	return b
+}
+
+// WithMaxSteps bounds the total search steps (0 = unlimited).
+func (b *Budget) WithMaxSteps(n int64) *Budget {
+	b.maxSteps = n
+	b.recalc()
+	return b
+}
+
+// WithMaxRows bounds the number of result rows a query may return
+// (0 = unlimited).  Unlike LIMIT, hitting it is an error: the answer
+// would be silently wrong if truncated.
+func (b *Budget) WithMaxRows(n int64) *Budget {
+	b.maxRows = n
+	return b
+}
+
+// WithMaxBytes bounds the estimated bytes of materialized intermediate
+// rows (0 = unlimited).  The estimate is coarse — row widths times
+// rows retained — and exists to stop runaway joins, not to account
+// precisely.
+func (b *Budget) WithMaxBytes(n int64) *Budget {
+	b.maxBytes = n
+	return b
+}
+
+// WithStride sets the context-poll stride, rounded up to a power of
+// two (minimum 1).  Small strides are for tests.
+func (b *Budget) WithStride(n int64) *Budget {
+	s := int64(1)
+	for s < n {
+		s <<= 1
+	}
+	b.stride = s
+	b.recalc()
+	return b
+}
+
+// InjectFault arms the test-only fault hook: the first Step at or
+// after afterSteps total steps fails with err (sticky).  It simulates
+// cancellation or budget exhaustion at an exact point of the search,
+// so tests can probe every unwind path; production code never calls
+// it.
+func (b *Budget) InjectFault(afterSteps int64, err error) {
+	b.faultAt = afterSteps
+	b.faultErr = err
+	b.recalc()
+}
+
+// Steps reports the search steps consumed so far.
+func (b *Budget) Steps() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.steps
+}
+
+// Err returns the sticky failure, if any.
+func (b *Budget) Err() error {
+	if b == nil {
+		return nil
+	}
+	return b.err
+}
+
+// recalc positions the next checkpoint: the next stride boundary,
+// clipped so that step limits and injected faults fire exactly.
+func (b *Budget) recalc() {
+	n := b.steps + b.stride
+	if b.maxSteps > 0 && b.maxSteps+1 < n {
+		n = b.maxSteps + 1
+	}
+	if b.faultErr != nil && b.faultAt < n {
+		n = b.faultAt
+	}
+	if n <= b.steps {
+		n = b.steps + 1
+	}
+	b.checkAt = n
+}
+
+// Step charges one unit of search work.  It is the hot-path entry:
+// nil receiver and non-checkpoint steps return immediately.
+func (b *Budget) Step() error {
+	if b == nil {
+		return nil
+	}
+	if b.err != nil {
+		return b.err
+	}
+	b.steps++
+	if b.steps < b.checkAt {
+		return nil
+	}
+	return b.check()
+}
+
+// StepN charges n units at once (bulk loops that know their size).
+func (b *Budget) StepN(n int) error {
+	if b == nil || n <= 0 {
+		return nil
+	}
+	if b.err != nil {
+		return b.err
+	}
+	b.steps += int64(n)
+	if b.steps < b.checkAt {
+		return nil
+	}
+	return b.check()
+}
+
+// check runs the full (slow-path) inspection at a checkpoint.
+func (b *Budget) check() error {
+	if b.faultErr != nil && b.steps >= b.faultAt {
+		b.err = b.faultErr
+		return b.err
+	}
+	if b.maxSteps > 0 && b.steps > b.maxSteps {
+		b.err = ErrBudgetExceeded{Kind: BudgetSteps}
+		return b.err
+	}
+	if b.ctx != nil {
+		if ce := b.ctx.Err(); ce != nil {
+			b.err = fmt.Errorf("%w (%w)", ErrCanceled, ce)
+			return b.err
+		}
+	}
+	b.recalc()
+	return nil
+}
+
+// AddRows charges n result rows against the row limit.
+func (b *Budget) AddRows(n int) error {
+	if b == nil {
+		return nil
+	}
+	if b.err != nil {
+		return b.err
+	}
+	b.rows += int64(n)
+	if b.maxRows > 0 && b.rows > b.maxRows {
+		b.err = ErrBudgetExceeded{Kind: BudgetRows}
+		return b.err
+	}
+	return nil
+}
+
+// chargeRow charges the estimated footprint of one materialized row of
+// the given slot width against the memory limit.
+func (b *Budget) chargeRow(width int) error {
+	if b == nil || b.maxBytes == 0 {
+		return nil
+	}
+	if b.err != nil {
+		return b.err
+	}
+	b.bytes += 8*int64(width) + 8 // IDs + mask word
+	if b.bytes > b.maxBytes {
+		b.err = ErrBudgetExceeded{Kind: BudgetMemory}
+		return b.err
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package sparql
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+)
+
+// TestBudgetNilIsUnlimited: a nil *Budget is the ungoverned mode; every
+// method must be a no-op returning nil.
+func TestBudgetNilIsUnlimited(t *testing.T) {
+	var b *Budget
+	for i := 0; i < 10_000; i++ {
+		if err := b.Step(); err != nil {
+			t.Fatalf("nil budget Step: %v", err)
+		}
+	}
+	if err := b.StepN(1 << 20); err != nil {
+		t.Fatalf("nil budget StepN: %v", err)
+	}
+	if err := b.AddRows(1 << 20); err != nil {
+		t.Fatalf("nil budget AddRows: %v", err)
+	}
+	if err := b.chargeRow(64); err != nil {
+		t.Fatalf("nil budget chargeRow: %v", err)
+	}
+	if b.Steps() != 0 || b.Err() != nil {
+		t.Fatalf("nil budget state: steps=%d err=%v", b.Steps(), b.Err())
+	}
+}
+
+// TestBudgetMaxStepsExact: the step limit must fire on exactly the
+// (maxSteps+1)-th step, regardless of the stride, and stay sticky.
+func TestBudgetMaxStepsExact(t *testing.T) {
+	b := NewBudget(nil).WithMaxSteps(100)
+	for i := 0; i < 100; i++ {
+		if err := b.Step(); err != nil {
+			t.Fatalf("step %d within limit failed: %v", i+1, err)
+		}
+	}
+	err := b.Step()
+	var be ErrBudgetExceeded
+	if !errors.As(err, &be) || be.Kind != BudgetSteps {
+		t.Fatalf("step 101: got %v, want ErrBudgetExceeded{BudgetSteps}", err)
+	}
+	// Sticky: every later call returns the same failure.
+	if err2 := b.Step(); !errors.Is(err2, err) && err2.Error() != err.Error() {
+		t.Fatalf("error not sticky: %v then %v", err, err2)
+	}
+	if b.Err() == nil {
+		t.Fatal("Err() nil after exhaustion")
+	}
+}
+
+// TestBudgetStepNBulk: bulk charging trips the same limit.
+func TestBudgetStepNBulk(t *testing.T) {
+	b := NewBudget(nil).WithMaxSteps(1000)
+	if err := b.StepN(1000); err != nil {
+		t.Fatalf("StepN within limit: %v", err)
+	}
+	var be ErrBudgetExceeded
+	if err := b.StepN(1); !errors.As(err, &be) || be.Kind != BudgetSteps {
+		t.Fatalf("StepN over limit: %v", err)
+	}
+}
+
+// TestBudgetCancellationLatency: a canceled context must be noticed
+// within one stride of steps — not immediately (that would be the slow
+// path on every step) but boundedly soon.
+func TestBudgetCancellationLatency(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := NewBudget(ctx).WithStride(8)
+	cancel()
+	var err error
+	n := 0
+	for err == nil && n < 100 {
+		err = b.Step()
+		n++
+	}
+	if err == nil {
+		t.Fatal("canceled context never noticed")
+	}
+	if n > 8 {
+		t.Fatalf("cancellation noticed after %d steps, stride is 8", n)
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrap", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, cause context.Canceled not wrapped", err)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v wrongly matches DeadlineExceeded", err)
+	}
+}
+
+// TestBudgetDeadlineCause: an expired deadline must surface both
+// ErrCanceled and context.DeadlineExceeded, so servers can map it to a
+// timeout status distinct from a client hang-up.
+func TestBudgetDeadlineCause(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	b := NewBudget(ctx).WithStride(1)
+	err := b.Step()
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled and context.DeadlineExceeded", err)
+	}
+}
+
+// TestBudgetMaxRows: the row limit is charged independently of steps.
+func TestBudgetMaxRows(t *testing.T) {
+	b := NewBudget(nil).WithMaxRows(5)
+	if err := b.AddRows(5); err != nil {
+		t.Fatalf("AddRows within limit: %v", err)
+	}
+	var be ErrBudgetExceeded
+	if err := b.AddRows(1); !errors.As(err, &be) || be.Kind != BudgetRows {
+		t.Fatalf("AddRows over limit: %v", err)
+	}
+	// Sticky across other methods too.
+	if err := b.Step(); err == nil {
+		t.Fatal("Step nil after row exhaustion")
+	}
+}
+
+// TestBudgetMaxBytes: the memory estimate (8 bytes per slot + mask
+// word per row) trips BudgetMemory.
+func TestBudgetMaxBytes(t *testing.T) {
+	b := NewBudget(nil).WithMaxBytes(100)
+	// width 4 → 40 bytes/row: two rows fit, the third does not.
+	if err := b.chargeRow(4); err != nil {
+		t.Fatalf("row 1: %v", err)
+	}
+	if err := b.chargeRow(4); err != nil {
+		t.Fatalf("row 2: %v", err)
+	}
+	var be ErrBudgetExceeded
+	if err := b.chargeRow(4); !errors.As(err, &be) || be.Kind != BudgetMemory {
+		t.Fatalf("row 3: %v", err)
+	}
+}
+
+// TestBudgetInjectFaultExact: the fault hook must fire on the exact
+// step that reaches the armed count, even far from a stride boundary.
+func TestBudgetInjectFaultExact(t *testing.T) {
+	sentinel := errors.New("injected")
+	for _, at := range []int64{0, 1, 2, 500, 1023, 1024, 1025, 5000} {
+		b := NewBudget(nil)
+		b.InjectFault(at, sentinel)
+		var err error
+		for err == nil {
+			err = b.Step()
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("faultAt=%d: err = %v", at, err)
+		}
+		want := at
+		if want == 0 {
+			want = 1 // the first step is the earliest observable point
+		}
+		if b.Steps() != want {
+			t.Fatalf("faultAt=%d: fired at step %d", at, b.Steps())
+		}
+	}
+}
+
+// TestBudgetStrideRounding: strides round up to powers of two.
+func TestBudgetStrideRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int64 }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {1000, 1024}, {1024, 1024},
+	} {
+		if b := NewBudget(nil).WithStride(tc.in); b.stride != tc.want {
+			t.Errorf("WithStride(%d) = %d, want %d", tc.in, b.stride, tc.want)
+		}
+	}
+}
+
+// bogusPattern is a Pattern node outside the implemented algebra, as a
+// mutated or hand-built plan might contain.
+type bogusPattern struct{}
+
+func (bogusPattern) String() string { return "BOGUS" }
+func (bogusPattern) isPattern()     {}
+
+// TestUnknownPatternIsTypedError: an unsupported pattern node must
+// surface as ErrUnsupportedPattern through every entry point — and the
+// legacy Iterate must report "stopped early" instead of panicking
+// (the old behavior crashed the caller, lock held and all).
+func TestUnknownPatternIsTypedError(t *testing.T) {
+	g := rdf.NewGraph()
+	g.Add("a", "p", "b")
+	sc, ok := NewVarSchema([]Var{"X"})
+	if !ok {
+		t.Fatal("schema rejected")
+	}
+	s := NewSearcher(g, sc)
+	var up ErrUnsupportedPattern
+	if err := s.Search(bogusPattern{}, 0, func(uint64) bool { return true }); !errors.As(err, &up) {
+		t.Fatalf("Search: %v, want ErrUnsupportedPattern", err)
+	}
+	if s.Iterate(bogusPattern{}, 0, func(uint64) bool { return true }) {
+		t.Fatal("Iterate claimed completion on an unsupported pattern")
+	}
+	if _, err := EvalBudget(g, bogusPattern{}, nil); !errors.As(err, &up) {
+		t.Fatalf("EvalBudget: %v, want ErrUnsupportedPattern", err)
+	}
+	if _, err := EvalCompatibleBudget(g, bogusPattern{}, Mapping{}, nil); !errors.As(err, &up) {
+		t.Fatalf("EvalCompatibleBudget: %v, want ErrUnsupportedPattern", err)
+	}
+	// The nested case unwinds through the combinators too.
+	nested := And{L: TP(V("X"), I("p"), I("b")), R: bogusPattern{}}
+	if err := s.Search(nested, 0, func(uint64) bool { return true }); !errors.As(err, &up) {
+		t.Fatalf("nested Search: %v, want ErrUnsupportedPattern", err)
+	}
+	if up.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+// TestBudgetKindString covers the error-text side of the taxonomy.
+func TestBudgetKindString(t *testing.T) {
+	if got := (ErrBudgetExceeded{Kind: BudgetSteps}).Error(); got != "sparql: query budget exceeded: max steps" {
+		t.Errorf("steps text: %q", got)
+	}
+	if got := (ErrBudgetExceeded{Kind: BudgetRows}).Error(); got != "sparql: query budget exceeded: max rows" {
+		t.Errorf("rows text: %q", got)
+	}
+	if got := (ErrBudgetExceeded{Kind: BudgetMemory}).Error(); got != "sparql: query budget exceeded: max memory" {
+		t.Errorf("memory text: %q", got)
+	}
+	if got := BudgetKind(99).String(); got != "kind(99)" {
+		t.Errorf("unknown kind text: %q", got)
+	}
+}

@@ -1,8 +1,6 @@
 package sparql
 
 import (
-	"fmt"
-
 	"repro/internal/rdf"
 )
 
@@ -28,38 +26,118 @@ func Member(g *rdf.Graph, p Pattern, mu Mapping) bool {
 //   - the difference part of OPT and the maximality check of NS re-run
 //     the sub-pattern constrained by the *candidate* mapping, since a
 //     blocking extension need not be compatible with c.
+//
+// EvalCompatible is the ungoverned wrapper; a malformed pattern yields
+// an empty set rather than a panic.  Use EvalCompatibleBudget to bound
+// the evaluation.
 func EvalCompatible(g *rdf.Graph, p Pattern, c Mapping) *MappingSet {
+	ms, err := EvalCompatibleBudget(g, p, c, nil)
+	if err != nil {
+		return NewMappingSet()
+	}
+	return ms
+}
+
+// EvalCompatibleBudget is EvalCompatible under a governor.  The OPT
+// difference loop and the NS maximality loop re-evaluate the
+// sub-pattern once per candidate — exactly the recursions that make
+// the non-monotone operators expensive (Theorems 7.2–7.4) — and each
+// iteration charges the budget, so cancellation propagates out of
+// arbitrarily nested OPT/NS within a bounded amount of work.
+func EvalCompatibleBudget(g *rdf.Graph, p Pattern, c Mapping, b *Budget) (*MappingSet, error) {
+	if err := b.Step(); err != nil {
+		return nil, err
+	}
 	switch q := p.(type) {
 	case TriplePattern:
-		return evalTripleConstrained(g, q, c)
+		return evalTripleConstrainedB(g, q, c, b)
 	case And:
-		return EvalCompatible(g, q.L, c).JoinHash(EvalCompatible(g, q.R, c))
+		l, err := EvalCompatibleBudget(g, q.L, c, b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := EvalCompatibleBudget(g, q.R, c, b)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.StepN(l.Len() + r.Len()); err != nil {
+			return nil, err
+		}
+		return l.JoinHash(r), nil
 	case Union:
-		return EvalCompatible(g, q.L, c).Union(EvalCompatible(g, q.R, c))
+		l, err := EvalCompatibleBudget(g, q.L, c, b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := EvalCompatibleBudget(g, q.R, c, b)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.StepN(l.Len() + r.Len()); err != nil {
+			return nil, err
+		}
+		return l.Union(r), nil
 	case Opt:
-		left := EvalCompatible(g, q.L, c)
-		out := left.JoinHash(EvalCompatible(g, q.R, c))
+		left, err := EvalCompatibleBudget(g, q.L, c, b)
+		if err != nil {
+			return nil, err
+		}
+		right, err := EvalCompatibleBudget(g, q.R, c, b)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.StepN(left.Len() + right.Len()); err != nil {
+			return nil, err
+		}
+		out := left.JoinHash(right)
 		for _, mu1 := range left.Mappings() {
 			// µ1 survives iff no mapping of ⟦P2⟧ is compatible with it —
 			// a check on the *unrestricted* right side, pruned by µ1.
-			if EvalCompatible(g, q.R, mu1).Len() == 0 {
+			blocked, err := EvalCompatibleBudget(g, q.R, mu1, b)
+			if err != nil {
+				return nil, err
+			}
+			if blocked.Len() == 0 {
 				out.Add(mu1)
 			}
 		}
-		return out
+		return out, nil
 	case Filter:
-		return EvalCompatible(g, q.P, c).Filter(q.Cond)
+		inner, err := EvalCompatibleBudget(g, q.P, c, b)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.StepN(inner.Len()); err != nil {
+			return nil, err
+		}
+		return inner.Filter(q.Cond), nil
 	case Select:
-		inner := EvalCompatible(g, q.P, c.Restrict(q.Vars))
-		return inner.Project(q.Vars)
+		inner, err := EvalCompatibleBudget(g, q.P, c.Restrict(q.Vars), b)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.StepN(inner.Len()); err != nil {
+			return nil, err
+		}
+		return inner.Project(q.Vars), nil
 	case NS:
-		cands := EvalCompatible(g, q.P, c)
+		cands, err := EvalCompatibleBudget(g, q.P, c, b)
+		if err != nil {
+			return nil, err
+		}
 		out := NewMappingSet()
 		for _, mu := range cands.Mappings() {
 			// A proper subsumer of µ is compatible with µ but not
 			// necessarily with c, so re-evaluate constrained by µ.
+			subs, err := EvalCompatibleBudget(g, q.P, mu, b)
+			if err != nil {
+				return nil, err
+			}
 			maximal := true
-			for _, nu := range EvalCompatible(g, q.P, mu).Mappings() {
+			for _, nu := range subs.Mappings() {
+				if err := b.Step(); err != nil {
+					return nil, err
+				}
 				if mu.ProperlySubsumedBy(nu) {
 					maximal = false
 					break
@@ -69,15 +147,15 @@ func EvalCompatible(g *rdf.Graph, p Pattern, c Mapping) *MappingSet {
 				out.Add(mu)
 			}
 		}
-		return out
+		return out, nil
 	default:
-		panic(fmt.Sprintf("sparql: unknown pattern type %T", p))
+		return nil, ErrUnsupportedPattern{Pattern: p}
 	}
 }
 
-// evalTripleConstrained matches a triple pattern with the constraint's
-// bindings substituted as constants.
-func evalTripleConstrained(g *rdf.Graph, t TriplePattern, c Mapping) *MappingSet {
+// evalTripleConstrainedB matches a triple pattern with the constraint's
+// bindings substituted as constants; each index match charges one step.
+func evalTripleConstrainedB(g *rdf.Graph, t TriplePattern, c Mapping, b *Budget) (*MappingSet, error) {
 	bind := func(v Value) Value {
 		if v.IsVar() {
 			if iri, ok := c[v.Var()]; ok {
@@ -87,8 +165,12 @@ func evalTripleConstrained(g *rdf.Graph, t TriplePattern, c Mapping) *MappingSet
 		return v
 	}
 	ground := TP(bind(t.S), bind(t.P), bind(t.O))
+	matches, err := evalTripleBudget(g, ground, b)
+	if err != nil {
+		return nil, err
+	}
 	out := NewMappingSet()
-	for _, mu := range Eval(g, ground).Mappings() {
+	for _, mu := range matches.Mappings() {
 		// Re-attach the substituted bindings, so that dom(ν) = var(t)
 		// as the semantics requires.  (A substituted variable cannot
 		// also be matched: it occurs only as a constant in ground.)
@@ -100,5 +182,5 @@ func evalTripleConstrained(g *rdf.Graph, t TriplePattern, c Mapping) *MappingSet
 		}
 		out.Add(full)
 	}
-	return out
+	return out, nil
 }

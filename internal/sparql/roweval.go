@@ -1,25 +1,40 @@
 package sparql
 
 import (
-	"fmt"
-
 	"repro/internal/rdf"
 )
 
 // EvalRows computes ⟦P⟧_G with the ID-native row engine: one VarSchema
 // for the whole query, dictionary-encoded rows throughout, and the
 // mask-bucketed NS algorithm.  ok = false when the pattern exceeds
-// MaxSchemaVars variables; callers then fall back to the string
-// algebra.
+// MaxSchemaVars variables (or is malformed); callers then fall back to
+// the string algebra.
 //
 // The result decodes to exactly Eval(g, p) (differentially tested);
 // Eval stays the reference implementation and oracle.
 func EvalRows(g *rdf.Graph, p Pattern) (*RowSet, bool) {
-	sc, ok := SchemaFor(p)
-	if !ok {
+	rs, ok, err := EvalRowsBudget(g, p, nil)
+	if err != nil {
 		return nil, false
 	}
-	return evalRows(g, p, sc), true
+	return rs, ok
+}
+
+// EvalRowsBudget is EvalRows under a governor: the budget is charged
+// per triple-index probe, join candidate and materialized row, and the
+// evaluation aborts with the budget's typed error (ErrCanceled,
+// ErrBudgetExceeded) as soon as the governor trips.  Malformed plans
+// surface as ErrUnsupportedPattern instead of panicking.
+func EvalRowsBudget(g *rdf.Graph, p Pattern, b *Budget) (*RowSet, bool, error) {
+	sc, ok := SchemaFor(p)
+	if !ok {
+		return nil, false, nil
+	}
+	rs, err := evalRowsB(g, p, sc, b)
+	if err != nil {
+		return nil, true, err
+	}
+	return rs, true, nil
 }
 
 // EvalRowEngine evaluates with the row engine and decodes at the
@@ -33,26 +48,66 @@ func EvalRowEngine(g *rdf.Graph, p Pattern) *MappingSet {
 	return rs.MappingSet(g.Dict())
 }
 
-// evalRows is the bottom-up evaluator over rows; every sub-result uses
-// the same query-wide schema.
-func evalRows(g *rdf.Graph, p Pattern, sc *VarSchema) *RowSet {
+// evalRowsB is the bottom-up evaluator over rows; every sub-result uses
+// the same query-wide schema, and every operator runs its budgeted
+// variant so a hostile sub-pattern cannot outrun the governor.
+func evalRowsB(g *rdf.Graph, p Pattern, sc *VarSchema, b *Budget) (*RowSet, error) {
+	if err := b.Step(); err != nil {
+		return nil, err
+	}
 	switch q := p.(type) {
 	case TriplePattern:
-		return evalTripleRows(g, q, sc)
+		return evalTripleRowsB(g, q, sc, b)
 	case And:
-		return evalRows(g, q.L, sc).Join(evalRows(g, q.R, sc))
+		l, err := evalRowsB(g, q.L, sc, b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalRowsB(g, q.R, sc, b)
+		if err != nil {
+			return nil, err
+		}
+		return l.JoinB(r, b)
 	case Union:
-		return evalRows(g, q.L, sc).Union(evalRows(g, q.R, sc))
+		l, err := evalRowsB(g, q.L, sc, b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalRowsB(g, q.R, sc, b)
+		if err != nil {
+			return nil, err
+		}
+		return l.UnionB(r, b)
 	case Opt:
-		return evalRows(g, q.L, sc).LeftJoin(evalRows(g, q.R, sc))
+		l, err := evalRowsB(g, q.L, sc, b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalRowsB(g, q.R, sc, b)
+		if err != nil {
+			return nil, err
+		}
+		return l.LeftJoinB(r, b)
 	case Filter:
-		return evalRows(g, q.P, sc).Filter(CompileCond(q.Cond, sc, g.Dict()))
+		inner, err := evalRowsB(g, q.P, sc, b)
+		if err != nil {
+			return nil, err
+		}
+		return inner.FilterB(CompileCond(q.Cond, sc, g.Dict()), b)
 	case Select:
-		return evalRows(g, q.P, sc).Project(sc.SlotMask(q.Vars))
+		inner, err := evalRowsB(g, q.P, sc, b)
+		if err != nil {
+			return nil, err
+		}
+		return inner.ProjectB(sc.SlotMask(q.Vars), b)
 	case NS:
-		return evalRows(g, q.P, sc).Maximal()
+		inner, err := evalRowsB(g, q.P, sc, b)
+		if err != nil {
+			return nil, err
+		}
+		return inner.MaximalB(b)
 	default:
-		panic(fmt.Sprintf("sparql: unknown pattern type %T", p))
+		return nil, ErrUnsupportedPattern{Pattern: p}
 	}
 }
 
@@ -119,13 +174,22 @@ func (ts *tripleSlots) bindTriple(dst []rdf.ID, tr rdf.IDTriple, boundMask uint6
 // incremental view maintenance, evaluated without building a delta
 // graph (which would carry its own, incompatible dictionary).
 func EvalTripleDelta(t TriplePattern, sc *VarSchema, d *rdf.Dict, delta []rdf.IDTriple) *RowSet {
+	out, _ := EvalTripleDeltaB(t, sc, d, delta, nil)
+	return out
+}
+
+// EvalTripleDeltaB is EvalTripleDelta under a governor.
+func EvalTripleDeltaB(t TriplePattern, sc *VarSchema, d *rdf.Dict, delta []rdf.IDTriple, b *Budget) (*RowSet, error) {
 	out := NewRowSet(sc)
 	ts, ok := resolveTriple(t, sc, d)
 	if !ok {
-		return out
+		return out, nil
 	}
 	scratch := make([]rdf.ID, sc.Len())
 	for _, tr := range delta {
+		if err := b.Step(); err != nil {
+			return nil, err
+		}
 		vals := [3]rdf.ID{tr.S, tr.P, tr.O}
 		match := true
 		for i := 0; i < 3; i++ {
@@ -141,18 +205,18 @@ func EvalTripleDelta(t TriplePattern, sc *VarSchema, d *rdf.Dict, delta []rdf.ID
 			out.Add(scratch, ts.mask)
 		}
 	}
-	return out
+	return out, nil
 }
 
-// evalTripleRows computes ⟦t⟧_G directly on the ID-level indexes: a
+// evalTripleRowsB computes ⟦t⟧_G directly on the ID-level indexes: a
 // constant in any of the three positions selects the matching index
 // order (SPO/POS/OSP) via MatchIDs, and repeated variables are checked
-// in ID space.
-func evalTripleRows(g *rdf.Graph, t TriplePattern, sc *VarSchema) *RowSet {
+// in ID space.  Each index probe charges one budget step.
+func evalTripleRowsB(g *rdf.Graph, t TriplePattern, sc *VarSchema, b *Budget) (*RowSet, error) {
 	out := NewRowSet(sc)
 	ts, ok := resolveTriple(t, sc, g.Dict())
 	if !ok {
-		return out
+		return out, nil
 	}
 	var sp, pp, op *rdf.ID
 	if ts.isConst[0] {
@@ -165,11 +229,20 @@ func evalTripleRows(g *rdf.Graph, t TriplePattern, sc *VarSchema) *RowSet {
 		op = &ts.constID[2]
 	}
 	scratch := make([]rdf.ID, sc.Len())
+	var err error
 	g.MatchIDs(sp, pp, op, func(tr rdf.IDTriple) bool {
+		if err = b.Step(); err != nil {
+			return false
+		}
 		if _, ok := ts.bindTriple(scratch, tr, 0); ok {
-			out.Add(scratch, ts.mask)
+			if err = out.addCharged(scratch, ts.mask, b); err != nil {
+				return false
+			}
 		}
 		return true
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

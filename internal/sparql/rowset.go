@@ -135,9 +135,18 @@ func (s *RowSet) alwaysBoundMask() uint64 {
 // each candidate pair, so the result is exact for heterogeneous
 // domains.
 func (s *RowSet) Join(t *RowSet) *RowSet {
+	out, _ := s.JoinB(t, nil)
+	return out
+}
+
+// JoinB is Join under a governor: every candidate pair charges one
+// budget step and every retained row charges the memory estimate, so a
+// runaway (e.g. cross-product) join stops at the deadline instead of
+// wedging the caller.
+func (s *RowSet) JoinB(t *RowSet, bud *Budget) (*RowSet, error) {
 	out := NewRowSet(s.Schema)
 	if s.Len() == 0 || t.Len() == 0 {
-		return out
+		return out, nil
 	}
 	scratch := make([]rdf.ID, s.Schema.Len())
 	build, probe := s, t
@@ -148,26 +157,47 @@ func (s *RowSet) Join(t *RowSet) *RowSet {
 	if key == 0 {
 		for i := 0; i < s.Len(); i++ {
 			for j := 0; j < t.Len(); j++ {
+				if err := bud.Step(); err != nil {
+					return nil, err
+				}
 				a, am := s.RowIDs(i), s.masks[i]
 				b, bm := t.RowIDs(j), t.masks[j]
 				if rowsCompatible(a, am, b, bm) {
-					out.Add(scratch, mergeRows(scratch, a, am, b, bm))
+					if err := out.addCharged(scratch, mergeRows(scratch, a, am, b, bm), bud); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
-		return out
+		return out, nil
 	}
 	head, next := chainIndex(build, key)
 	for j := 0; j < probe.Len(); j++ {
 		b, bm := probe.RowIDs(j), probe.masks[j]
+		if err := bud.Step(); err != nil {
+			return nil, err
+		}
 		for i := headOf(head, rowHash(b, key)); i >= 0; i = next[i] {
+			if err := bud.Step(); err != nil {
+				return nil, err
+			}
 			a, am := build.RowIDs(int(i)), build.masks[i]
 			if rowsCompatible(a, am, b, bm) {
-				out.Add(scratch, mergeRows(scratch, a, am, b, bm))
+				if err := out.addCharged(scratch, mergeRows(scratch, a, am, b, bm), bud); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
-	return out
+	return out, nil
+}
+
+// addCharged inserts a row and charges its footprint when it is new.
+func (s *RowSet) addCharged(ids []rdf.ID, mask uint64, bud *Budget) error {
+	if s.Add(ids, mask) {
+		return bud.chargeRow(s.Schema.Len())
+	}
+	return nil
 }
 
 // chainIndex buckets the rows of s by the hash of their key-slot
@@ -193,14 +223,30 @@ func headOf(head map[uint64]int32, h uint64) int32 {
 
 // Union returns Ω1 ∪ Ω2.
 func (s *RowSet) Union(t *RowSet) *RowSet {
+	out, _ := s.UnionB(t, nil)
+	return out
+}
+
+// UnionB is Union under a governor.
+func (s *RowSet) UnionB(t *RowSet, bud *Budget) (*RowSet, error) {
 	out := NewRowSet(s.Schema)
 	for i := 0; i < s.Len(); i++ {
-		out.Add(s.RowIDs(i), s.masks[i])
+		if err := bud.Step(); err != nil {
+			return nil, err
+		}
+		if err := out.addCharged(s.RowIDs(i), s.masks[i], bud); err != nil {
+			return nil, err
+		}
 	}
 	for i := 0; i < t.Len(); i++ {
-		out.Add(t.RowIDs(i), t.masks[i])
+		if err := bud.Step(); err != nil {
+			return nil, err
+		}
+		if err := out.addCharged(t.RowIDs(i), t.masks[i], bud); err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // Diff returns Ω1 ∖ Ω2 = {µ1 ∈ Ω1 | ∀µ2 ∈ Ω2 : µ1 ≁ µ2}, hash-bucketed
@@ -209,15 +255,27 @@ func (s *RowSet) Union(t *RowSet) *RowSet {
 // bound in *every* right row reaches every potentially compatible
 // right row.
 func (s *RowSet) Diff(t *RowSet) *RowSet {
+	out, _ := s.DiffB(t, nil)
+	return out
+}
+
+// DiffB is Diff under a governor: each compatibility probe charges a
+// step.
+func (s *RowSet) DiffB(t *RowSet, bud *Budget) (*RowSet, error) {
 	out := NewRowSet(s.Schema)
 	if s.Len() == 0 {
-		return out
+		return out, nil
 	}
 	if t.Len() == 0 {
 		for i := 0; i < s.Len(); i++ {
-			out.Add(s.RowIDs(i), s.masks[i])
+			if err := bud.Step(); err != nil {
+				return nil, err
+			}
+			if err := out.addCharged(s.RowIDs(i), s.masks[i], bud); err != nil {
+				return nil, err
+			}
 		}
-		return out
+		return out, nil
 	}
 	key := s.alwaysBoundMask() & t.alwaysBoundMask()
 	if key == 0 {
@@ -225,32 +283,45 @@ func (s *RowSet) Diff(t *RowSet) *RowSet {
 			a, am := s.RowIDs(i), s.masks[i]
 			ok := true
 			for j := 0; j < t.Len(); j++ {
+				if err := bud.Step(); err != nil {
+					return nil, err
+				}
 				if rowsCompatible(a, am, t.RowIDs(j), t.masks[j]) {
 					ok = false
 					break
 				}
 			}
 			if ok {
-				out.Add(a, am)
+				if err := out.addCharged(a, am, bud); err != nil {
+					return nil, err
+				}
 			}
 		}
-		return out
+		return out, nil
 	}
 	head, next := chainIndex(t, key)
 	for i := 0; i < s.Len(); i++ {
 		a, am := s.RowIDs(i), s.masks[i]
+		if err := bud.Step(); err != nil {
+			return nil, err
+		}
 		compatible := false
 		for j := headOf(head, rowHash(a, key)); j >= 0; j = next[j] {
+			if err := bud.Step(); err != nil {
+				return nil, err
+			}
 			if rowsCompatible(a, am, t.RowIDs(int(j)), t.masks[j]) {
 				compatible = true
 				break
 			}
 		}
 		if !compatible {
-			out.Add(a, am)
+			if err := out.addCharged(a, am, bud); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // LeftJoin returns Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 ∖ Ω2).
@@ -258,24 +329,59 @@ func (s *RowSet) LeftJoin(t *RowSet) *RowSet {
 	return s.Join(t).Union(s.Diff(t))
 }
 
+// LeftJoinB is LeftJoin under a governor.
+func (s *RowSet) LeftJoinB(t *RowSet, bud *Budget) (*RowSet, error) {
+	j, err := s.JoinB(t, bud)
+	if err != nil {
+		return nil, err
+	}
+	d, err := s.DiffB(t, bud)
+	if err != nil {
+		return nil, err
+	}
+	return j.UnionB(d, bud)
+}
+
 // Project returns {µ|V | µ ∈ Ω} for V given as a slot mask.
 func (s *RowSet) Project(mask uint64) *RowSet {
+	out, _ := s.ProjectB(mask, nil)
+	return out
+}
+
+// ProjectB is Project under a governor.
+func (s *RowSet) ProjectB(mask uint64, bud *Budget) (*RowSet, error) {
 	out := NewRowSet(s.Schema)
 	for i := 0; i < s.Len(); i++ {
-		out.Add(s.RowIDs(i), s.masks[i]&mask)
+		if err := bud.Step(); err != nil {
+			return nil, err
+		}
+		if err := out.addCharged(s.RowIDs(i), s.masks[i]&mask, bud); err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // Filter returns {µ ∈ Ω | µ ⊨ R} for a compiled row condition.
 func (s *RowSet) Filter(cond RowCond) *RowSet {
+	out, _ := s.FilterB(cond, nil)
+	return out
+}
+
+// FilterB is Filter under a governor.
+func (s *RowSet) FilterB(cond RowCond, bud *Budget) (*RowSet, error) {
 	out := NewRowSet(s.Schema)
 	for i := 0; i < s.Len(); i++ {
+		if err := bud.Step(); err != nil {
+			return nil, err
+		}
 		if cond(s.RowIDs(i), s.masks[i]) {
-			out.Add(s.RowIDs(i), s.masks[i])
+			if err := out.addCharged(s.RowIDs(i), s.masks[i], bud); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Maximal returns Ω_max over rows: the domain-bucketed NS algorithm of
@@ -285,6 +391,14 @@ func (s *RowSet) Filter(cond RowCond) *RowSet {
 // of the m'-bucket are hashed and each row of the m-bucket probes them
 // in O(1) — with word operations end to end.
 func (s *RowSet) Maximal() *RowSet {
+	out, _ := s.MaximalB(nil)
+	return out
+}
+
+// MaximalB is Maximal under a governor: hashing a superset bucket and
+// probing it both charge steps, so the quadratic-in-buckets worst case
+// respects deadlines.
+func (s *RowSet) MaximalB(bud *Budget) (*RowSet, error) {
 	type bucket struct {
 		mask uint64
 		rows []int32
@@ -314,6 +428,9 @@ func (s *RowSet) Maximal() *RowSet {
 				superKeys = NewRowSet(s.Schema)
 			}
 			for _, j := range b2.rows {
+				if err := bud.Step(); err != nil {
+					return nil, err
+				}
 				superKeys.Add(s.RowIDs(int(j)), m)
 			}
 		}
@@ -321,6 +438,9 @@ func (s *RowSet) Maximal() *RowSet {
 			continue
 		}
 		for _, i := range b.rows {
+			if err := bud.Step(); err != nil {
+				return nil, err
+			}
 			if superKeys.Contains(s.RowIDs(int(i)), m) {
 				dead[i] = struct{}{}
 			}
@@ -328,11 +448,16 @@ func (s *RowSet) Maximal() *RowSet {
 	}
 	out := NewRowSet(s.Schema)
 	for i := 0; i < s.Len(); i++ {
+		if err := bud.Step(); err != nil {
+			return nil, err
+		}
 		if _, gone := dead[int32(i)]; !gone {
-			out.Add(s.RowIDs(i), s.masks[i])
+			if err := out.addCharged(s.RowIDs(i), s.masks[i], bud); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // MaximalNaive computes Ω_max by pairwise subsumption checks, O(n²);

@@ -30,6 +30,7 @@
 package views
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/rdf"
@@ -68,8 +69,32 @@ func (v *View) Graph() *rdf.Graph { return v.out }
 func (v *View) Base() *rdf.Graph { return v.base }
 
 // Insert adds triples to the base graph and incrementally extends the
-// output.  It returns the number of new output triples.
+// output.  It returns the number of new output triples.  Ungoverned
+// legacy entry point; servers should use InsertCtx or InsertBudget.
 func (v *View) Insert(triples ...rdf.Triple) int {
+	added, err := v.InsertBudget(nil, triples...)
+	if err != nil {
+		return 0
+	}
+	return added
+}
+
+// InsertCtx is Insert bounded by a context: if the delta evaluation is
+// canceled, the insert is rolled back (see InsertBudget).
+func (v *View) InsertCtx(ctx context.Context, triples ...rdf.Triple) (int, error) {
+	return v.InsertBudget(sparql.NewBudget(ctx), triples...)
+}
+
+// InsertBudget is Insert under a resource governor.  The operation is
+// atomic with respect to failure: if the governor aborts the delta
+// evaluation, the freshly inserted base triples are removed again and
+// the output graph is left untouched, so the view never holds a
+// half-maintained state.  The returned error is the budget's typed
+// error.
+func (v *View) InsertBudget(b *sparql.Budget, triples ...rdf.Triple) (int, error) {
+	if err := b.Err(); err != nil {
+		return 0, err // a poisoned budget fails before mutating the base
+	}
 	var delta []rdf.Triple
 	for _, t := range triples {
 		if v.base.AddTriple(t) {
@@ -77,17 +102,16 @@ func (v *View) Insert(triples ...rdf.Triple) int {
 		}
 	}
 	if len(delta) == 0 {
-		return 0
+		return 0, nil
 	}
-	var newAnswers *sparql.MappingSet
-	if v.sc != nil {
-		newAnswers = v.deltaEvalRows(delta)
-	} else {
-		dg := rdf.NewGraph()
+	newAnswers, err := v.deltaAnswers(delta, b)
+	if err != nil {
+		// Unwind: the output was not touched yet; removing the delta
+		// restores the base, keeping (base, out) consistent.
 		for _, t := range delta {
-			dg.AddTriple(t)
+			v.base.Remove(t.S, t.P, t.O)
 		}
-		newAnswers = deltaEval(v.base, dg, v.query.Where)
+		return 0, err
 	}
 	added := 0
 	for _, mu := range newAnswers.Mappings() {
@@ -99,13 +123,26 @@ func (v *View) Insert(triples ...rdf.Triple) int {
 			}
 		}
 	}
-	return added
+	return added, nil
+}
+
+// deltaAnswers computes the delta answer set on the row runtime, or on
+// the string fallback for WHERE clauses wider than MaxSchemaVars.
+func (v *View) deltaAnswers(delta []rdf.Triple, b *sparql.Budget) (*sparql.MappingSet, error) {
+	if v.sc != nil {
+		return v.deltaEvalRows(delta, b)
+	}
+	dg := rdf.NewGraph()
+	for _, t := range delta {
+		dg.AddTriple(t)
+	}
+	return deltaEval(v.base, dg, v.query.Where, b)
 }
 
 // deltaEvalRows runs the delta rules on the row runtime.  AddTriple has
 // interned the delta's IRIs into the base dictionary, so the delta maps
 // losslessly into ID space.
-func (v *View) deltaEvalRows(delta []rdf.Triple) *sparql.MappingSet {
+func (v *View) deltaEvalRows(delta []rdf.Triple, b *sparql.Budget) (*sparql.MappingSet, error) {
 	d := v.base.Dict()
 	idDelta := make([]rdf.IDTriple, len(delta))
 	for i, t := range delta {
@@ -114,25 +151,57 @@ func (v *View) deltaEvalRows(delta []rdf.Triple) *sparql.MappingSet {
 		o, _ := d.Lookup(t.O)
 		idDelta[i] = rdf.IDTriple{S: s, P: p, O: o}
 	}
-	s := sparql.NewSearcher(v.base, v.sc)
-	return v.deltaRows(idDelta, v.query.Where, s).MappingSet(d)
+	s := sparql.NewSearcherBudget(v.base, v.sc, b)
+	rs, err := v.deltaRows(idDelta, v.query.Where, s)
+	if err != nil {
+		return nil, err
+	}
+	return rs.MappingSet(d), nil
 }
 
-func (v *View) deltaRows(delta []rdf.IDTriple, p sparql.Pattern, s *sparql.Searcher) *sparql.RowSet {
+func (v *View) deltaRows(delta []rdf.IDTriple, p sparql.Pattern, s *sparql.Searcher) (*sparql.RowSet, error) {
 	switch q := p.(type) {
 	case sparql.TriplePattern:
-		return sparql.EvalTripleDelta(q, v.sc, v.base.Dict(), delta)
+		return sparql.EvalTripleDeltaB(q, v.sc, v.base.Dict(), delta, s.Budget())
 	case sparql.And:
-		l := v.probe(v.deltaRows(delta, q.L, s), q.R, s)
-		r := v.probe(v.deltaRows(delta, q.R, s), q.L, s)
-		return l.Union(r)
+		dl, err := v.deltaRows(delta, q.L, s)
+		if err != nil {
+			return nil, err
+		}
+		l, err := v.probe(dl, q.R, s)
+		if err != nil {
+			return nil, err
+		}
+		dr, err := v.deltaRows(delta, q.R, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := v.probe(dr, q.L, s)
+		if err != nil {
+			return nil, err
+		}
+		return l.UnionB(r, s.Budget())
 	case sparql.Union:
-		return v.deltaRows(delta, q.L, s).Union(v.deltaRows(delta, q.R, s))
+		l, err := v.deltaRows(delta, q.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := v.deltaRows(delta, q.R, s)
+		if err != nil {
+			return nil, err
+		}
+		return l.UnionB(r, s.Budget())
 	case sparql.Filter:
-		return v.deltaRows(delta, q.P, s).Filter(
-			sparql.CompileCond(q.Cond, v.sc, v.base.Dict()))
+		inner, err := v.deltaRows(delta, q.P, s)
+		if err != nil {
+			return nil, err
+		}
+		return inner.FilterB(
+			sparql.CompileCond(q.Cond, v.sc, v.base.Dict()), s.Budget())
 	default:
-		panic(fmt.Sprintf("views: operator outside AUF: %T", p))
+		// New() admits only CONSTRUCT[AUF]; reaching this means the
+		// pattern was mutated behind the view's back.
+		return nil, sparql.ErrUnsupportedPattern{Pattern: p}
 	}
 }
 
@@ -140,17 +209,19 @@ func (v *View) deltaRows(delta []rdf.IDTriple, p sparql.Pattern, s *sparql.Searc
 // row and streaming the compatible solutions of p — the
 // index-nested-loop delta join, now without allocating a mapping per
 // probe step.
-func (v *View) probe(small *sparql.RowSet, p sparql.Pattern, s *sparql.Searcher) *sparql.RowSet {
+func (v *View) probe(small *sparql.RowSet, p sparql.Pattern, s *sparql.Searcher) (*sparql.RowSet, error) {
 	out := sparql.NewRowSet(v.sc)
 	for i := 0; i < small.Len(); i++ {
 		r := small.Row(i)
 		s.Seed(r)
-		s.Iterate(p, r.Mask, func(m uint64) bool {
+		if err := s.Search(p, r.Mask, func(m uint64) bool {
 			out.Add(s.IDs(), r.Mask|m)
 			return true
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // deltaEval returns a set Ω with ⟦P⟧_{G} ∖ ⟦P⟧_{G∖Δ} ⊆ Ω ⊆ ⟦P⟧_G,
@@ -159,35 +230,65 @@ func (v *View) probe(small *sparql.RowSet, p sparql.Pattern, s *sparql.Searcher)
 // rule may count an all-new join twice; deduplication makes that
 // harmless, and probing the updated graph on both sides avoids keeping
 // (or cloning) the pre-insert graph.
-func deltaEval(g, delta *rdf.Graph, p sparql.Pattern) *sparql.MappingSet {
+func deltaEval(g, delta *rdf.Graph, p sparql.Pattern, b *sparql.Budget) (*sparql.MappingSet, error) {
 	switch q := p.(type) {
 	case sparql.TriplePattern:
-		return sparql.Eval(delta, q)
+		return sparql.EvalBudget(delta, q, b)
 	case sparql.And:
 		// Index-nested-loop delta join: the delta side is small, so the
 		// other side is probed with each delta mapping as a constraint
 		// (sparql.EvalCompatible turns bound variables into index
 		// lookups) instead of being evaluated in full.
-		l := joinConstrained(g, deltaEval(g, delta, q.L), q.R)
-		r := joinConstrained(g, deltaEval(g, delta, q.R), q.L)
-		return l.Union(r)
+		dl, err := deltaEval(g, delta, q.L, b)
+		if err != nil {
+			return nil, err
+		}
+		l, err := joinConstrained(g, dl, q.R, b)
+		if err != nil {
+			return nil, err
+		}
+		dr, err := deltaEval(g, delta, q.R, b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := joinConstrained(g, dr, q.L, b)
+		if err != nil {
+			return nil, err
+		}
+		return l.Union(r), nil
 	case sparql.Union:
-		return deltaEval(g, delta, q.L).Union(deltaEval(g, delta, q.R))
+		l, err := deltaEval(g, delta, q.L, b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := deltaEval(g, delta, q.R, b)
+		if err != nil {
+			return nil, err
+		}
+		return l.Union(r), nil
 	case sparql.Filter:
-		return deltaEval(g, delta, q.P).Filter(q.Cond)
+		inner, err := deltaEval(g, delta, q.P, b)
+		if err != nil {
+			return nil, err
+		}
+		return inner.Filter(q.Cond), nil
 	default:
-		panic(fmt.Sprintf("views: operator outside AUF: %T", p))
+		return nil, sparql.ErrUnsupportedPattern{Pattern: p}
 	}
 }
 
 // joinConstrained computes small ⋈ ⟦p⟧_g by probing p with each
 // mapping of small as a compatibility constraint.
-func joinConstrained(g *rdf.Graph, small *sparql.MappingSet, p sparql.Pattern) *sparql.MappingSet {
+func joinConstrained(g *rdf.Graph, small *sparql.MappingSet, p sparql.Pattern, b *sparql.Budget) (*sparql.MappingSet, error) {
 	out := sparql.NewMappingSet()
 	for _, mu := range small.Mappings() {
-		for _, nu := range sparql.EvalCompatible(g, p, mu).Mappings() {
+		nus, err := sparql.EvalCompatibleBudget(g, p, mu, b)
+		if err != nil {
+			return nil, err
+		}
+		for _, nu := range nus.Mappings() {
 			out.Add(mu.Merge(nu))
 		}
 	}
-	return out
+	return out, nil
 }
