@@ -1,11 +1,11 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test bench experiments fuzz cover clean ci fmt-check race staticcheck governor-race
+.PHONY: all build vet test bench experiments fuzz cover clean ci fmt-check race staticcheck governor-race bench-smoke
 
 all: build vet test
 
 # Exactly what .github/workflows/ci.yml runs.
-ci: fmt-check vet staticcheck build test race governor-race
+ci: fmt-check vet staticcheck build test bench-smoke race governor-race
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -22,8 +22,26 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)" >&2; \
 	fi
 
+# The GOMAXPROCS matrix of the race-matrix CI job: serialized
+# schedules and real pools both have to be race-clean.  -count=1
+# because the test cache does not key on GOMAXPROCS.
 race:
-	go test -race ./internal/rdf/ ./internal/sparql/ ./internal/plan/ ./internal/exec/ ./internal/views/
+	for procs in 1 4; do \
+		GOMAXPROCS=$$procs go test -race -count=1 -timeout 10m \
+			./internal/rdf/ ./internal/sparql/ ./internal/plan/ ./internal/exec/ ./internal/views/ \
+			|| exit 1; \
+	done
+
+# Mirrors the CI bench-smoke step: nsbench -json must emit well-formed
+# JSON lines.  Gated on jq like staticcheck is on its binary.
+bench-smoke:
+	@if command -v jq >/dev/null 2>&1; then \
+		go run ./cmd/nsbench -json -run E17 \
+		| jq -es 'length > 0 and all(.[]; has("experiment") and has("name") and has("ns_per_op") and has("allocs_per_op") and has("bytes_per_op"))' > /dev/null \
+		|| { echo "nsbench -json output malformed" >&2; exit 1; }; \
+	else \
+		echo "jq not installed; skipping bench smoke" >&2; \
+	fi
 
 # The query-governor fault-injection suites under the race detector;
 # mirrors the governor-race CI job.

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/plan"
@@ -115,6 +116,12 @@ func init() {
 				rs.Maximal()
 			}
 		})
+		registerBench("E17", "maximal-rows-parallel", parParams(params), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rs.MaximalPar(0)
+			}
+		})
 	}
 
 	// E20: the planner ablation — reference evaluator vs the optimized
@@ -149,5 +156,75 @@ func init() {
 				plan.Eval(g, p)
 			}
 		})
+		registerBench("E20", "planner-rows-parallel", parParams(params), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.EvalOpts(g, p, nil, parOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
+
+	// E21: the parallel-engine ablation on workloads the serial engine
+	// cannot overlap — a wide UNION of joins (every branch is an
+	// independent fan-out unit) and an NS over a large answer set (mask
+	// buckets shard across workers).  Serial and parallel run the same
+	// plan; on a single-CPU host the two collapse to the same schedule,
+	// so the recorded gomaxprocs/num_cpu qualify every comparison.
+	e21 := []struct {
+		name string
+		text string
+	}{
+		{"union8", `((?p name ?n) AND (?p works_at ?u))
+			UNION ((?p email ?e) AND (?p works_at ?u))
+			UNION ((?p phone ?f) AND (?p works_at ?u))
+			UNION ((?p homepage ?h) AND (?p works_at ?u))
+			UNION ((?p founder ?u) AND (?u stands_for ?m))
+			UNION ((?p was_born_in ?c) AND (?p works_at ?u))
+			UNION ((?p name ?n) AND (?p founder ?u))
+			UNION ((?p email ?e) AND (?p was_born_in ?c))`},
+		{"ns-wide", `NS(((?p name ?n) AND (?p works_at ?u))
+			UNION ((?p name ?n) AND (?p works_at ?u) AND (?p email ?e))
+			UNION ((?p name ?n) AND (?p works_at ?u) AND (?p phone ?f))
+			UNION ((?p name ?n) AND (?p works_at ?u) AND (?p homepage ?h)))`},
+	}
+	for _, q := range e21 {
+		p := mustPattern(q.text)
+		params := map[string]interface{}{"query": q.name, "people": 1000}
+		registerBench("E21", "rows-serial", params, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.EvalOpts(g, p, nil, plan.Options{Parallel: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		registerBench("E21", "rows-parallel", parParams(params), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.EvalOpts(g, p, nil, parOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// parOpts forces the parallel engine on regardless of the planner's
+// cardinality estimate, so the benches measure the engine and not the
+// gate.
+var parOpts = plan.Options{MinParallelEstimate: -1}
+
+// parParams extends a bench's params with the host facts that qualify
+// a serial-vs-parallel comparison: a recorded speedup only means
+// something alongside the worker count the run actually had.
+func parParams(params map[string]interface{}) map[string]interface{} {
+	out := make(map[string]interface{}, len(params)+2)
+	for k, v := range params {
+		out[k] = v
+	}
+	out["gomaxprocs"] = runtime.GOMAXPROCS(0)
+	out["num_cpu"] = runtime.NumCPU()
+	return out
 }

@@ -33,6 +33,10 @@
 //   - -max-steps / -max-rows bound a single query's search steps and
 //     result rows; exceeding them returns 503.
 //   - -max-insert-bytes caps the /insert body (413 beyond it).
+//   - -parallel sets the per-query worker count of the parallel row
+//     engine (0 = GOMAXPROCS, 1 = serial).  All workers of one query
+//     share its governor, so the limits above bound the query as a
+//     whole regardless of the worker count.
 //
 // Engine panics are converted to 500s without killing the process, and
 // SIGINT/SIGTERM drains in-flight requests for up to -drain-timeout
@@ -69,6 +73,8 @@ func main() {
 			"per-query engine step budget; exceeding it gets 503 (0 = unlimited)")
 		maxRows = flag.Int64("max-rows", 0,
 			"per-query result row budget; exceeding it gets 503 (0 = unlimited)")
+		parallel = flag.Int("parallel", 0,
+			"workers per query for the parallel row engine (0 = GOMAXPROCS, 1 = serial)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second,
 			"how long to drain in-flight requests on SIGINT/SIGTERM")
 	)
@@ -93,6 +99,7 @@ func main() {
 	cfg.maxInsertBytes = *maxInsertBytes
 	cfg.maxSteps = *maxSteps
 	cfg.maxRows = *maxRows
+	cfg.parallel = *parallel
 
 	srv := newHTTPServer(*addr, newServerWith(g, cfg), cfg)
 	log.Printf("nsserve: %d triples loaded, listening on %s (query timeout %v, %d concurrent)",

@@ -30,6 +30,7 @@ type config struct {
 	maxInsertBytes int64         // /insert body cap in bytes; overflow gets 413 (0 = unlimited)
 	maxSteps       int64         // per-query engine step budget (0 = unlimited)
 	maxRows        int64         // per-query result row budget (0 = unlimited)
+	parallel       int           // workers per query (0 = GOMAXPROCS, 1 = serial)
 	logf           func(format string, args ...any)
 }
 
@@ -246,12 +247,13 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.maxRows > 0 {
 		bud.WithMaxRows(s.cfg.maxRows)
 	}
+	opts := plan.Options{Parallel: s.cfg.parallel}
 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	switch {
 	case isAsk:
-		ok, err := exec.AskBudget(s.graph, pattern, bud)
+		ok, err := exec.AskOpts(s.graph, pattern, bud, opts)
 		if err != nil {
 			s.writeEngineError(w, r, err)
 			return
@@ -259,7 +261,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/sparql-results+json")
 		s.encode(w, map[string]bool{"boolean": ok})
 	case construct != nil:
-		out, err := plan.EvalConstructBudget(s.graph, *construct, bud)
+		out, err := plan.EvalConstructOpts(s.graph, *construct, bud, opts)
 		if err != nil {
 			s.writeEngineError(w, r, err)
 			return
@@ -267,7 +269,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		rdf.WriteGraph(w, out)
 	default:
-		res, err := plan.EvalBudget(s.graph, pattern, bud)
+		res, err := plan.EvalOpts(s.graph, pattern, bud, opts)
 		if err != nil {
 			s.writeEngineError(w, r, err)
 			return

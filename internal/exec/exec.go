@@ -46,10 +46,20 @@ func AskCtx(ctx context.Context, g *rdf.Graph, p sparql.Pattern) (bool, error) {
 // charges the budget per index probe and aborts with the budget's
 // typed error the moment the governor trips.
 func AskBudget(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget) (bool, error) {
+	return AskOpts(g, p, b, plan.Options{})
+}
+
+// AskOpts is AskBudget with planner options.  Monotone patterns keep
+// the early-terminating backtracking search; patterns that force full
+// materialization anyway — a non-monotone (OPT/NS) root, or a schema
+// wider than the row runtime — are routed through the planner's
+// (possibly parallel) row evaluator instead of the serial reference
+// evaluator.
+func AskOpts(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget, o plan.Options) (bool, error) {
 	opt := plan.Optimize(g, p)
 	sc, ok := sparql.SchemaFor(opt)
-	if !ok {
-		ms, err := sparql.EvalBudget(g, opt, b)
+	if !ok || materializes(opt) {
+		ms, err := plan.EvalOpts(g, p, b, o)
 		if err != nil {
 			return false, err
 		}
@@ -64,6 +74,18 @@ func AskBudget(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget) (bool, error) {
 		return false, err
 	}
 	return found, nil
+}
+
+// materializes reports whether the root operator needs its complete
+// sub-answer sets before it can emit anything, so a backtracking
+// search over it cannot terminate early and would only add overhead
+// on top of a full evaluation.
+func materializes(p sparql.Pattern) bool {
+	switch p.(type) {
+	case sparql.Opt, sparql.NS:
+		return true
+	}
+	return false
 }
 
 // Limit returns up to k distinct solutions of ⟦P⟧_G (all of them for
@@ -86,14 +108,20 @@ func LimitCtx(ctx context.Context, g *rdf.Graph, p sparql.Pattern, k int) (*spar
 // solution also charges the budget's row limit, so MaxRows bounds the
 // result set even for k < 0.
 func LimitBudget(g *rdf.Graph, p sparql.Pattern, k int, b *sparql.Budget) (*sparql.MappingSet, error) {
+	return LimitOpts(g, p, k, b, plan.Options{})
+}
+
+// LimitOpts is LimitBudget with planner options; like AskOpts it sends
+// the materializing cases through the planner's row evaluator.
+func LimitOpts(g *rdf.Graph, p sparql.Pattern, k int, b *sparql.Budget, o plan.Options) (*sparql.MappingSet, error) {
 	out := sparql.NewMappingSet()
 	if k == 0 {
 		return out, nil
 	}
 	opt := plan.Optimize(g, p)
 	sc, ok := sparql.SchemaFor(opt)
-	if !ok {
-		ms, err := sparql.EvalBudget(g, opt, b)
+	if !ok || materializes(opt) {
+		ms, err := plan.EvalOpts(g, p, b, o)
 		if err != nil {
 			return nil, err
 		}
@@ -146,6 +174,14 @@ func ConstructContainsCtx(ctx context.Context, g *rdf.Graph, q sparql.ConstructQ
 // ConstructContainsBudget is ConstructContains under a resource
 // governor.
 func ConstructContainsBudget(g *rdf.Graph, q sparql.ConstructQuery, target rdf.Triple, b *sparql.Budget) (bool, error) {
+	return ConstructContainsOpts(g, q, target, b, plan.Options{})
+}
+
+// ConstructContainsOpts is ConstructContainsBudget with planner
+// options for the materializing fallback.  The seeded searches keep
+// the serial early-terminating path: the seed row usually prunes the
+// search long before materialization would pay off.
+func ConstructContainsOpts(g *rdf.Graph, q sparql.ConstructQuery, target rdf.Triple, b *sparql.Budget, o plan.Options) (bool, error) {
 	opt := plan.Optimize(g, q.Where)
 	sc, scOK := sparql.SchemaFor(opt)
 	for _, tp := range q.Template {
@@ -154,7 +190,7 @@ func ConstructContainsBudget(g *rdf.Graph, q sparql.ConstructQuery, target rdf.T
 			continue
 		}
 		if !scOK {
-			hit, err := containsMaterialized(g, opt, tp, target, b)
+			hit, err := containsMaterialized(g, q.Where, tp, target, b, o)
 			if err != nil {
 				return false, err
 			}
@@ -198,8 +234,8 @@ func ConstructContainsBudget(g *rdf.Graph, q sparql.ConstructQuery, target rdf.T
 
 // containsMaterialized is the wide-schema fallback: materialize the
 // answers and apply the template.
-func containsMaterialized(g *rdf.Graph, where sparql.Pattern, tp sparql.TriplePattern, target rdf.Triple, b *sparql.Budget) (bool, error) {
-	ms, err := sparql.EvalBudget(g, where, b)
+func containsMaterialized(g *rdf.Graph, where sparql.Pattern, tp sparql.TriplePattern, target rdf.Triple, b *sparql.Budget, o plan.Options) (bool, error) {
+	ms, err := plan.EvalOpts(g, where, b, o)
 	if err != nil {
 		return false, err
 	}

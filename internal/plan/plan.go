@@ -22,12 +22,52 @@ package plan
 
 import (
 	"context"
+	"runtime"
 	"sort"
 
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/transform"
 )
+
+// Options tunes the evaluator.  The zero value is the production
+// default: the parallel row engine with one worker per CPU, engaging
+// only when the planner's cardinality estimate says the query is big
+// enough to amortize the fan-out.
+type Options struct {
+	// Parallel is the worker count for the parallel row engine
+	// (including the calling goroutine): 0 means runtime.GOMAXPROCS(0),
+	// 1 forces the serial engine.
+	Parallel int
+	// MinParallelEstimate is the planner's estimated result
+	// cardinality below which evaluation stays serial even when
+	// Parallel > 1 (goroutine handoff would dominate on small
+	// queries).  0 means DefaultMinParallelEstimate; set it negative
+	// to parallelize unconditionally.
+	MinParallelEstimate float64
+	// MinPartition is passed through to the row engine's partitioned
+	// operators (0 = sparql.DefaultMinPartition).
+	MinPartition int
+}
+
+// DefaultMinParallelEstimate is the default serial/parallel cutover
+// estimate: queries the planner expects to stay under this many
+// intermediate rows are evaluated serially.
+const DefaultMinParallelEstimate = 256
+
+func (o Options) workers() int {
+	if o.Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallel
+}
+
+func (o Options) minEstimate() float64 {
+	if o.MinParallelEstimate == 0 {
+		return DefaultMinParallelEstimate
+	}
+	return o.MinParallelEstimate
+}
 
 // Eval optimizes the pattern for the given graph and evaluates it on
 // the ID-native row engine, decoding at the boundary.  It always
@@ -54,10 +94,33 @@ func EvalCtx(ctx context.Context, g *rdf.Graph, p sparql.Pattern) (*sparql.Mappi
 // EvalBudget is Eval under a full resource governor (see
 // sparql.Budget): deadline, step, row and memory limits all surface as
 // typed errors instead of unbounded work.  A nil budget disables all
-// accounting.
+// accounting.  It runs with the default Options — the parallel engine
+// on multi-core hosts, gated by the cardinality estimate.
 func EvalBudget(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget) (*sparql.MappingSet, error) {
+	return EvalOpts(g, p, b, Options{})
+}
+
+// EvalOpts is EvalBudget with explicit engine options: the optimized
+// pattern runs on the parallel row engine when o asks for more than
+// one worker and the cardinality estimate clears the serial cutover,
+// and on the serial row engine otherwise.  Both engines return exactly
+// the same answer set (differentially tested); the string algebra
+// remains the fallback for patterns wider than sparql.MaxSchemaVars.
+func EvalOpts(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget, o Options) (*sparql.MappingSet, error) {
 	opt := Optimize(g, p)
-	rs, ok, err := sparql.EvalRowsBudget(g, opt, b)
+	var (
+		rs  *sparql.RowSet
+		ok  bool
+		err error
+	)
+	if workers := o.workers(); workers > 1 && Estimate(g, opt) >= o.minEstimate() {
+		rs, ok, err = sparql.EvalRowsParOpts(g, opt, b, sparql.ParOptions{
+			Workers:      workers,
+			MinPartition: o.MinPartition,
+		})
+	} else {
+		rs, ok, err = sparql.EvalRowsBudget(g, opt, b)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +169,13 @@ func EvalConstructCtx(ctx context.Context, g *rdf.Graph, q sparql.ConstructQuery
 
 // EvalConstructBudget is EvalConstruct under a resource governor.
 func EvalConstructBudget(g *rdf.Graph, q sparql.ConstructQuery, b *sparql.Budget) (*rdf.Graph, error) {
-	ms, err := EvalBudget(g, q.Where, b)
+	return EvalConstructOpts(g, q, b, Options{})
+}
+
+// EvalConstructOpts is EvalConstructBudget with explicit engine
+// options.
+func EvalConstructOpts(g *rdf.Graph, q sparql.ConstructQuery, b *sparql.Budget, o Options) (*rdf.Graph, error) {
+	ms, err := EvalOpts(g, q.Where, b, o)
 	if err != nil {
 		return nil, err
 	}
@@ -174,9 +243,9 @@ func optimizeAndChain(g *rdf.Graph, a sparql.And) sparql.Pattern {
 		ops[i] = optimize(g, op)
 	}
 	// Greedy join ordering: start from the smallest estimate; then
-	// repeatedly take the connected operand (sharing a certainly-bound
-	// variable with what is already joined) with the smallest estimate,
-	// falling back to the globally smallest when nothing connects.
+	// repeatedly take the connected operand (sharing a variable with
+	// what is already joined) with the smallest estimate, falling back
+	// to the globally smallest when nothing connects.
 	type cand struct {
 		p    sparql.Pattern
 		est  float64
@@ -184,7 +253,11 @@ func optimizeAndChain(g *rdf.Graph, a sparql.And) sparql.Pattern {
 	}
 	cands := make([]cand, len(ops))
 	for i, op := range ops {
-		cands[i] = cand{p: op, est: Estimate(g, op), vars: transform.CertainlyBound(op)}
+		vars := make(map[sparql.Var]struct{})
+		for _, v := range sparql.Vars(op) {
+			vars[v] = struct{}{}
+		}
+		cands[i] = cand{p: op, est: Estimate(g, op), vars: vars}
 	}
 	// Stable start: smallest estimate, ties by original position.
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].est < cands[j].est })
@@ -192,6 +265,11 @@ func optimizeAndChain(g *rdf.Graph, a sparql.And) sparql.Pattern {
 	used := make([]bool, len(cands))
 	bound := make(map[sparql.Var]struct{})
 	ordered := make([]sparql.Pattern, 0, len(cands))
+	// components records where each variable-disjoint connected
+	// component starts in the greedy order.  The greedy loop exhausts
+	// one component before falling back to a disconnected operand, so
+	// each fallback take is exactly a component boundary.
+	componentStart := []int{0}
 	take := func(i int) {
 		used[i] = true
 		ordered = append(ordered, cands[i].p)
@@ -218,9 +296,47 @@ func optimizeAndChain(g *rdf.Graph, a sparql.And) sparql.Pattern {
 				best, bestConnected = i, connected
 			}
 		}
+		if !bestConnected {
+			componentStart = append(componentStart, len(ordered))
+		}
 		take(best)
 	}
-	return sparql.AndOf(ordered...)
+	return andComponents(ordered, componentStart)
+}
+
+// andComponents rebuilds the AND tree from the greedily ordered chain:
+// each connected component keeps its left-deep greedy order (good join
+// ordering), and the variable-disjoint components combine through a
+// balanced tree of cross products.  AND is associative and commutative,
+// so the reshaping is an equivalence; its point is structural — the
+// parallel engine fans out the operands of every AND node, and a
+// balanced tree over independent components exposes them as concurrent
+// sub-problems instead of hiding them down one left spine.
+func andComponents(ordered []sparql.Pattern, starts []int) sparql.Pattern {
+	if len(starts) <= 1 {
+		return sparql.AndOf(ordered...)
+	}
+	parts := make([]sparql.Pattern, 0, len(starts))
+	for i, lo := range starts {
+		hi := len(ordered)
+		if i+1 < len(starts) {
+			hi = starts[i+1]
+		}
+		parts = append(parts, sparql.AndOf(ordered[lo:hi]...))
+	}
+	return balancedAnd(parts)
+}
+
+// balancedAnd folds patterns into a balanced binary AND tree.
+func balancedAnd(parts []sparql.Pattern) sparql.Pattern {
+	switch len(parts) {
+	case 1:
+		return parts[0]
+	case 2:
+		return sparql.And{L: parts[0], R: parts[1]}
+	}
+	mid := len(parts) / 2
+	return sparql.And{L: balancedAnd(parts[:mid]), R: balancedAnd(parts[mid:])}
 }
 
 func optimizeFilter(g *rdf.Graph, f sparql.Filter) sparql.Pattern {

@@ -3,19 +3,36 @@ package rdf
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Graph is a finite set of RDF triples with hash indexes on all three
 // access paths (SPO, POS, OSP), supporting constant-time membership and
 // efficient matching with any combination of bound positions.
 //
-// A Graph is not safe for concurrent mutation.
+// # Concurrency
+//
+// A Graph is safe for any number of concurrent *readers*: every read
+// path (Match, MatchIDs, Contains, ContainsIDs, CountMatch, ForEach,
+// Len, and Dict.Lookup/Dict.IRI on the graph's dictionary) only loads
+// from the index maps and the dictionary, never stores.  The parallel
+// query engine relies on this — its workers probe the indexes of one
+// graph simultaneously.
+//
+// Mutation (Add, AddTriple, AddAll, Remove) is not safe concurrently
+// with anything, readers included; callers serialize writes against
+// reads externally (nsserve uses an RWMutex).  As a defense-in-depth
+// check, a reader may hold a read snapshot (AcquireRead) for the
+// duration of a multi-goroutine read; mutating the graph while a
+// snapshot is held panics immediately instead of corrupting an index
+// under a concurrent probe.
 type Graph struct {
-	dict *Dict
-	n    int
-	spo  index
-	pos  index
-	osp  index
+	dict    *Dict
+	n       int
+	spo     index
+	pos     index
+	osp     index
+	readers atomic.Int32 // active read snapshots (AcquireRead)
 }
 
 // index is a three-level hash index over interned IDs.
@@ -92,8 +109,34 @@ func FromTriples(ts ...Triple) *Graph {
 	return g
 }
 
+// AcquireRead opens a read snapshot: until the returned release func
+// runs, any mutation of the graph panics.  It is a guard, not a lock —
+// readers are not serialized against each other (they never need to
+// be), and the cost is one atomic increment per snapshot, not per
+// read.  The parallel evaluation paths that fan a graph out across
+// worker goroutines (views delta maintenance) hold a snapshot for the
+// duration of the fan-out so that a misplaced write fails loudly at
+// the write site instead of as index corruption in a reader.
+func (g *Graph) AcquireRead() (release func()) {
+	g.readers.Add(1)
+	var once atomic.Bool
+	return func() {
+		if once.CompareAndSwap(false, true) {
+			g.readers.Add(-1)
+		}
+	}
+}
+
+// assertWritable panics when a mutation races an active read snapshot.
+func (g *Graph) assertWritable() {
+	if g.readers.Load() != 0 {
+		panic("rdf: graph mutated while a read snapshot is held (concurrent readers active)")
+	}
+}
+
 // Add inserts the triple (s, p, o); it reports whether the triple was new.
 func (g *Graph) Add(s, p, o IRI) bool {
+	g.assertWritable()
 	si, pi, oi := g.dict.Intern(s), g.dict.Intern(p), g.dict.Intern(o)
 	if !g.spo.add(si, pi, oi) {
 		return false
@@ -117,6 +160,7 @@ func (g *Graph) AddAll(h *Graph) {
 
 // Remove deletes the triple (s, p, o); it reports whether it was present.
 func (g *Graph) Remove(s, p, o IRI) bool {
+	g.assertWritable()
 	si, ok := g.dict.Lookup(s)
 	if !ok {
 		return false

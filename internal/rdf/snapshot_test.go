@@ -1,0 +1,49 @@
+package rdf
+
+import "testing"
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic with a read snapshot held", what)
+		}
+	}()
+	fn()
+}
+
+// TestAcquireReadGuardsMutation checks the read-snapshot guard used by
+// the parallel evaluators: while any snapshot is held, Add and Remove
+// must panic instead of silently racing a concurrent reader; once the
+// last snapshot is released, mutation works again, and releasing twice
+// is a harmless no-op.
+func TestAcquireReadGuardsMutation(t *testing.T) {
+	g := NewGraph()
+	g.Add("a", "p", "b")
+
+	release := g.AcquireRead()
+	mustPanic(t, "Add", func() { g.Add("c", "p", "d") })
+	mustPanic(t, "Remove", func() { g.Remove("a", "p", "b") })
+	if g.Len() != 1 || !g.Contains("a", "p", "b") {
+		t.Fatal("guarded mutation went through anyway")
+	}
+	release()
+	release() // double release must not underflow the reader count
+
+	g.Add("c", "p", "d")
+	if g.Len() != 2 {
+		t.Fatal("mutation after release failed")
+	}
+
+	// Nested snapshots: the graph stays read-only until the last one
+	// is gone.
+	r1 := g.AcquireRead()
+	r2 := g.AcquireRead()
+	r1()
+	mustPanic(t, "Add under the second snapshot", func() { g.Add("e", "p", "f") })
+	r2()
+	g.Add("e", "p", "f")
+	if !g.Remove("e", "p", "f") {
+		t.Fatal("Remove after release failed")
+	}
+}

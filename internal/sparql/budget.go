@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // The paper's complexity map (Theorems 7.1–7.4) guarantees that
@@ -19,14 +20,36 @@ import (
 // The hot loops of the engine call Step once per unit of work (a
 // triple-index probe, a join candidate pair, a subsumption check).
 // Step is designed to be nearly free: a nil *Budget short-circuits
-// immediately, and a live one only increments a counter and compares
-// it against a precomputed checkpoint.  The expensive part — polling
-// ctx.Err() — runs once per stride (default 1024 steps), so the
-// engine notices cancellation within a bounded, small amount of work
-// while the per-step overhead stays in the noise.
+// immediately, and a live one only bumps an atomic counter and
+// compares it against a precomputed checkpoint.  The expensive part —
+// polling ctx.Err() — runs once per stride (default 1024 steps), so
+// the engine notices cancellation within a bounded, small amount of
+// work while the per-step overhead stays in the noise.
 //
-// Budget is single-goroutine state, like the Searcher that carries
-// it; a Budget must not be shared by concurrent queries.
+// # Memory-ordering contract
+//
+// One Budget governs every worker of a parallel evaluation, so the
+// accounting state is shared.  The contract is:
+//
+//   - Configuration (NewBudget, WithMaxSteps, WithMaxRows, WithMaxBytes,
+//     WithStride, InjectFault) must complete before evaluation starts.
+//     The limits, the context, and the fault hook are plain fields read
+//     without synchronization by the hot path; publishing them to the
+//     workers happens-before the workers run because the pool spawns
+//     its goroutines after configuration (Go's go-statement ordering).
+//     Configuring a Budget concurrently with Step is a data race.
+//   - The counters (steps, rows, bytes) and the checkpoint are atomics.
+//     Charging is an atomic add; readers (Steps, the checkpoint
+//     comparison) see monotonic snapshots.  Counts are exact — no
+//     charge is lost — but which worker crosses a limit first is
+//     scheduling-dependent.
+//   - The sticky error is published once with a compare-and-swap and
+//     read by every Step before doing any work, so after one worker
+//     trips the governor, every other worker observes the failure on
+//     its next Step and unwinds.  The *first* published error wins and
+//     is returned forever after, from every goroutine.
+//   - The fault-injection hook fires at most once (the CAS), even when
+//     several workers cross faultAt together.
 
 // ErrCanceled is returned (wrapped) when evaluation stops because the
 // query's context was canceled or its deadline expired.  The cause is
@@ -86,10 +109,18 @@ func (e ErrUnsupportedPattern) Error() string {
 // bounding the engine's reaction latency to ~a thousand index probes.
 const DefaultStride = 1024
 
+// budgetErr boxes the sticky error so it can sit behind an
+// atomic.Pointer (interfaces cannot).
+type budgetErr struct{ err error }
+
 // Budget is a query's resource envelope.  The zero limits mean
 // "unlimited"; a nil *Budget is valid everywhere and disables all
 // accounting (every method on a nil receiver returns nil), so legacy
 // entry points simply pass nil.
+//
+// A single Budget may be shared by all workers of one parallel
+// evaluation (see the memory-ordering contract above); sharing one
+// Budget across *different* queries is not supported.
 type Budget struct {
 	ctx      context.Context // nil: never canceled
 	maxSteps int64           // 0: unlimited
@@ -97,11 +128,11 @@ type Budget struct {
 	maxBytes int64           // 0: unlimited
 	stride   int64           // power of two
 
-	steps   int64
-	rows    int64
-	bytes   int64
-	checkAt int64 // next steps value that triggers a full check
-	err     error // sticky: first failure, returned forever after
+	steps   atomic.Int64
+	rows    atomic.Int64
+	bytes   atomic.Int64
+	checkAt atomic.Int64              // next steps value that triggers a full check
+	failed  atomic.Pointer[budgetErr] // sticky: first failure, returned forever after
 
 	faultAt  int64 // fault injection: fire once steps >= faultAt
 	faultErr error // nil: injection disabled
@@ -116,7 +147,7 @@ func NewBudget(ctx context.Context) *Budget {
 	b := &Budget{ctx: ctx, stride: DefaultStride}
 	if ctx != nil {
 		if ce := ctx.Err(); ce != nil {
-			b.err = fmt.Errorf("%w (%w)", ErrCanceled, ce)
+			b.fail(fmt.Errorf("%w (%w)", ErrCanceled, ce))
 		}
 	}
 	b.recalc()
@@ -163,19 +194,22 @@ func (b *Budget) WithStride(n int64) *Budget {
 // after afterSteps total steps fails with err (sticky).  It simulates
 // cancellation or budget exhaustion at an exact point of the search,
 // so tests can probe every unwind path; production code never calls
-// it.
+// it.  Like the other configuration methods it must be called before
+// evaluation starts; the sticky-error CAS guarantees the fault fires
+// at most once even when several workers cross afterSteps together.
 func (b *Budget) InjectFault(afterSteps int64, err error) {
 	b.faultAt = afterSteps
 	b.faultErr = err
 	b.recalc()
 }
 
-// Steps reports the search steps consumed so far.
+// Steps reports the search steps consumed so far.  Under concurrent
+// evaluation this is a monotonic snapshot.
 func (b *Budget) Steps() int64 {
 	if b == nil {
 		return 0
 	}
-	return b.steps
+	return b.steps.Load()
 }
 
 // Err returns the sticky failure, if any.
@@ -183,39 +217,53 @@ func (b *Budget) Err() error {
 	if b == nil {
 		return nil
 	}
-	return b.err
+	if f := b.failed.Load(); f != nil {
+		return f.err
+	}
+	return nil
+}
+
+// fail publishes err as the sticky failure; the first publisher wins
+// and every caller gets the winning error back.
+func (b *Budget) fail(err error) error {
+	b.failed.CompareAndSwap(nil, &budgetErr{err: err})
+	return b.failed.Load().err
 }
 
 // recalc positions the next checkpoint: the next stride boundary,
 // clipped so that step limits and injected faults fire exactly.
 func (b *Budget) recalc() {
-	n := b.steps + b.stride
+	b.recalcFrom(b.steps.Load())
+}
+
+func (b *Budget) recalcFrom(steps int64) {
+	n := steps + b.stride
 	if b.maxSteps > 0 && b.maxSteps+1 < n {
 		n = b.maxSteps + 1
 	}
 	if b.faultErr != nil && b.faultAt < n {
 		n = b.faultAt
 	}
-	if n <= b.steps {
-		n = b.steps + 1
+	if n <= steps {
+		n = steps + 1
 	}
-	b.checkAt = n
+	b.checkAt.Store(n)
 }
 
 // Step charges one unit of search work.  It is the hot-path entry:
-// nil receiver and non-checkpoint steps return immediately.
+// nil receiver and non-checkpoint steps return after one atomic add.
 func (b *Budget) Step() error {
 	if b == nil {
 		return nil
 	}
-	if b.err != nil {
-		return b.err
+	if f := b.failed.Load(); f != nil {
+		return f.err
 	}
-	b.steps++
-	if b.steps < b.checkAt {
+	s := b.steps.Add(1)
+	if s < b.checkAt.Load() {
 		return nil
 	}
-	return b.check()
+	return b.check(s)
 }
 
 // StepN charges n units at once (bulk loops that know their size).
@@ -223,33 +271,32 @@ func (b *Budget) StepN(n int) error {
 	if b == nil || n <= 0 {
 		return nil
 	}
-	if b.err != nil {
-		return b.err
+	if f := b.failed.Load(); f != nil {
+		return f.err
 	}
-	b.steps += int64(n)
-	if b.steps < b.checkAt {
+	s := b.steps.Add(int64(n))
+	if s < b.checkAt.Load() {
 		return nil
 	}
-	return b.check()
+	return b.check(s)
 }
 
-// check runs the full (slow-path) inspection at a checkpoint.
-func (b *Budget) check() error {
-	if b.faultErr != nil && b.steps >= b.faultAt {
-		b.err = b.faultErr
-		return b.err
+// check runs the full (slow-path) inspection at a checkpoint.  Several
+// workers may enter it together; the sticky CAS keeps the outcome
+// single-valued and recalc is idempotent.
+func (b *Budget) check(steps int64) error {
+	if b.faultErr != nil && steps >= b.faultAt {
+		return b.fail(b.faultErr)
 	}
-	if b.maxSteps > 0 && b.steps > b.maxSteps {
-		b.err = ErrBudgetExceeded{Kind: BudgetSteps}
-		return b.err
+	if b.maxSteps > 0 && steps > b.maxSteps {
+		return b.fail(ErrBudgetExceeded{Kind: BudgetSteps})
 	}
 	if b.ctx != nil {
 		if ce := b.ctx.Err(); ce != nil {
-			b.err = fmt.Errorf("%w (%w)", ErrCanceled, ce)
-			return b.err
+			return b.fail(fmt.Errorf("%w (%w)", ErrCanceled, ce))
 		}
 	}
-	b.recalc()
+	b.recalcFrom(steps)
 	return nil
 }
 
@@ -258,13 +305,12 @@ func (b *Budget) AddRows(n int) error {
 	if b == nil {
 		return nil
 	}
-	if b.err != nil {
-		return b.err
+	if f := b.failed.Load(); f != nil {
+		return f.err
 	}
-	b.rows += int64(n)
-	if b.maxRows > 0 && b.rows > b.maxRows {
-		b.err = ErrBudgetExceeded{Kind: BudgetRows}
-		return b.err
+	r := b.rows.Add(int64(n))
+	if b.maxRows > 0 && r > b.maxRows {
+		return b.fail(ErrBudgetExceeded{Kind: BudgetRows})
 	}
 	return nil
 }
@@ -275,13 +321,12 @@ func (b *Budget) chargeRow(width int) error {
 	if b == nil || b.maxBytes == 0 {
 		return nil
 	}
-	if b.err != nil {
-		return b.err
+	if f := b.failed.Load(); f != nil {
+		return f.err
 	}
-	b.bytes += 8*int64(width) + 8 // IDs + mask word
-	if b.bytes > b.maxBytes {
-		b.err = ErrBudgetExceeded{Kind: BudgetMemory}
-		return b.err
+	n := b.bytes.Add(8*int64(width) + 8) // IDs + mask word
+	if n > b.maxBytes {
+		return b.fail(ErrBudgetExceeded{Kind: BudgetMemory})
 	}
 	return nil
 }

@@ -12,11 +12,25 @@ import (
 // array and membership runs over an open-addressed table of row
 // indices, so a RowSet of n rows costs O(log n) allocations (array
 // doublings) instead of n maps.
+// A RowSet is not safe for concurrent use: operators mutate scratch
+// state (the cached chain index below) even on the "read" side.  The
+// parallel engine (parallel.go) therefore builds any shared index
+// before fanning out and its workers only read it.
 type RowSet struct {
 	Schema *VarSchema
 	masks  []uint64
 	ids    []rdf.ID // len = len(masks) * Schema.Len()
 	table  []int32  // open-addressed (linear probing); -1 = empty slot
+
+	// Cached chain index (see chainIndex): Join, Diff and LeftJoin on
+	// the same receiver with the same key reuse it instead of
+	// rebuilding the map per call — LeftJoin's Join and Diff halves
+	// share one build, and repeated evaluations (views, benchmarks)
+	// pay for the index once.
+	idxKey  uint64
+	idxRows int
+	idxHead map[uint64]int32
+	idxNext []int32
 }
 
 // NewRowSet returns an empty set of rows over the schema.
@@ -171,7 +185,7 @@ func (s *RowSet) JoinB(t *RowSet, bud *Budget) (*RowSet, error) {
 		}
 		return out, nil
 	}
-	head, next := chainIndex(build, key)
+	head, next := build.chainIndex(key)
 	for j := 0; j < probe.Len(); j++ {
 		b, bm := probe.RowIDs(j), probe.masks[j]
 		if err := bud.Step(); err != nil {
@@ -202,15 +216,32 @@ func (s *RowSet) addCharged(ids []rdf.ID, mask uint64, bud *Budget) error {
 
 // chainIndex buckets the rows of s by the hash of their key-slot
 // restriction, as a head map plus a chain array — two allocations
-// total, instead of one slice per distinct key.
-func chainIndex(s *RowSet, key uint64) (map[uint64]int32, []int32) {
-	head := make(map[uint64]int32, s.Len())
-	next := make([]int32, s.Len())
+// total, instead of one slice per distinct key.  The index is cached
+// on the receiver: a repeat call with the same key and an unchanged
+// row count returns it for free, and a rebuild reuses the map and the
+// chain array.  Callers must treat the returned structures as
+// read-only and must not retain them across mutations of s.
+func (s *RowSet) chainIndex(key uint64) (map[uint64]int32, []int32) {
+	if s.idxHead != nil && s.idxKey == key && s.idxRows == s.Len() {
+		return s.idxHead, s.idxNext
+	}
+	head := s.idxHead
+	if head == nil {
+		head = make(map[uint64]int32, s.Len())
+	} else {
+		clear(head)
+	}
+	next := s.idxNext
+	if cap(next) < s.Len() {
+		next = make([]int32, s.Len())
+	}
+	next = next[:s.Len()]
 	for i := 0; i < s.Len(); i++ {
 		h := rowHash(s.RowIDs(i), key)
 		next[i] = headOf(head, h)
 		head[h] = int32(i)
 	}
+	s.idxKey, s.idxRows, s.idxHead, s.idxNext = key, s.Len(), head, next
 	return head, next
 }
 
@@ -299,7 +330,7 @@ func (s *RowSet) DiffB(t *RowSet, bud *Budget) (*RowSet, error) {
 		}
 		return out, nil
 	}
-	head, next := chainIndex(t, key)
+	head, next := t.chainIndex(key)
 	for i := 0; i < s.Len(); i++ {
 		a, am := s.RowIDs(i), s.masks[i]
 		if err := bud.Step(); err != nil {

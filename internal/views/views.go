@@ -32,6 +32,8 @@ package views
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/rdf"
 	"repro/internal/sparql"
@@ -142,7 +144,14 @@ func (v *View) deltaAnswers(delta []rdf.Triple, b *sparql.Budget) (*sparql.Mappi
 // deltaEvalRows runs the delta rules on the row runtime.  AddTriple has
 // interned the delta's IRIs into the base dictionary, so the delta maps
 // losslessly into ID space.
+//
+// The probes may fan out across goroutines (see probe), all reading
+// the base graph; the read snapshot makes any concurrent mutation of
+// the base — which would corrupt an index under a worker — fail
+// loudly at the write site for the duration of the evaluation.
 func (v *View) deltaEvalRows(delta []rdf.Triple, b *sparql.Budget) (*sparql.MappingSet, error) {
+	release := v.base.AcquireRead()
+	defer release()
 	d := v.base.Dict()
 	idDelta := make([]rdf.IDTriple, len(delta))
 	for i, t := range delta {
@@ -205,13 +214,37 @@ func (v *View) deltaRows(delta []rdf.IDTriple, p sparql.Pattern, s *sparql.Searc
 	}
 }
 
-// probe computes small ⋈ ⟦p⟧_G by seeding the searcher with each delta
+// parProbeMin is the delta size (in rows) below which the probe loop
+// stays on one goroutine: spinning up per-worker searchers only pays
+// off once there are enough independent probes to share out.
+const parProbeMin = 64
+
+// probe computes small ⋈ ⟦p⟧_G by seeding a searcher with each delta
 // row and streaming the compatible solutions of p — the
-// index-nested-loop delta join, now without allocating a mapping per
-// probe step.
+// index-nested-loop delta join, without allocating a mapping per probe
+// step.
+//
+// The probes are independent (each reads the base graph and writes
+// only its own output), so large deltas fan out across GOMAXPROCS
+// goroutines: each worker gets a contiguous chunk of delta rows and
+// its own Searcher, while all workers share s's Budget — safe, since
+// Budget accounting is atomic — so one governor bounds the whole
+// insert no matter how many workers it uses.
 func (v *View) probe(small *sparql.RowSet, p sparql.Pattern, s *sparql.Searcher) (*sparql.RowSet, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if small.Len() >= parProbeMin && workers > 1 {
+		if workers > small.Len()/(parProbeMin/2) {
+			workers = small.Len() / (parProbeMin / 2)
+		}
+		return v.probeChunked(small, p, s.Budget(), workers)
+	}
+	return v.probeRange(small, 0, small.Len(), p, s)
+}
+
+// probeRange runs the probes for delta rows [lo, hi) on one searcher.
+func (v *View) probeRange(small *sparql.RowSet, lo, hi int, p sparql.Pattern, s *sparql.Searcher) (*sparql.RowSet, error) {
 	out := sparql.NewRowSet(v.sc)
-	for i := 0; i < small.Len(); i++ {
+	for i := lo; i < hi; i++ {
 		r := small.Row(i)
 		s.Seed(r)
 		if err := s.Search(p, r.Mask, func(m uint64) bool {
@@ -219,6 +252,38 @@ func (v *View) probe(small *sparql.RowSet, p sparql.Pattern, s *sparql.Searcher)
 			return true
 		}); err != nil {
 			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// probeChunked shares the delta rows across workers and merges the
+// per-worker results in chunk order.  Every worker is joined before
+// returning, error or not, so a governed abort drains cleanly and the
+// caller's rollback never races a live probe.
+func (v *View) probeChunked(small *sparql.RowSet, p sparql.Pattern, b *sparql.Budget, workers int) (*sparql.RowSet, error) {
+	outs := make([]*sparql.RowSet, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		lo, hi := w*small.Len()/workers, (w+1)*small.Len()/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			outs[w], errs[w] = v.probeRange(small, lo, hi, p, sparql.NewSearcherBudget(v.base, v.sc, b))
+		}(w, lo, hi)
+	}
+	outs[0], errs[0] = v.probeRange(small, 0, small.Len()/workers, p, sparql.NewSearcherBudget(v.base, v.sc, b))
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := outs[0]
+	for _, part := range outs[1:] {
+		for i := 0; i < part.Len(); i++ {
+			out.AddRow(part.Row(i))
 		}
 	}
 	return out, nil
