@@ -1,11 +1,11 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test bench experiments fuzz cover clean ci fmt-check race staticcheck governor-race bench-smoke
+.PHONY: all build vet test bench experiments fuzz cover clean ci fmt-check race staticcheck governor-race bench-smoke obs-smoke
 
 all: build vet test
 
 # Exactly what .github/workflows/ci.yml runs.
-ci: fmt-check vet staticcheck build test bench-smoke race governor-race
+ci: fmt-check vet staticcheck build test bench-smoke obs-smoke race governor-race
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -41,6 +41,37 @@ bench-smoke:
 		|| { echo "nsbench -json output malformed" >&2; exit 1; }; \
 	else \
 		echo "jq not installed; skipping bench smoke" >&2; \
+	fi
+
+# Mirrors the CI obs-smoke step: boot nsserve, insert a triple, run a
+# profiled query and check the profile block and /metrics with jq.
+# Gated on jq like bench-smoke is.
+obs-smoke:
+	@if command -v jq >/dev/null 2>&1; then \
+		go build -o /tmp/nsserve-smoke ./cmd/nsserve || exit 1; \
+		/tmp/nsserve-smoke -addr 127.0.0.1:18321 -log-level warn & \
+		pid=$$!; \
+		trap "kill $$pid 2>/dev/null" EXIT; \
+		for i in $$(seq 1 50); do \
+			curl -sf http://127.0.0.1:18321/healthz > /dev/null && break; \
+			sleep 0.1; \
+		done; \
+		curl -sf http://127.0.0.1:18321/healthz \
+		| jq -e '.status == "ok" and .triples == 0 and (.go | startswith("go"))' > /dev/null \
+		|| { echo "obs-smoke: /healthz malformed" >&2; exit 1; }; \
+		printf 'a p b .\nb p c .\n' \
+		| curl -sf --data-binary @- http://127.0.0.1:18321/insert > /dev/null \
+		|| { echo "obs-smoke: /insert failed" >&2; exit 1; }; \
+		curl -sfG --data-urlencode 'q=SELECT ?x ?y WHERE { ?x p ?y }' \
+			--data-urlencode 'profile=1' http://127.0.0.1:18321/query \
+		| jq -e '.profile.op == "query" and .profile.rows_out == 2 and (.profile.children | length > 0)' > /dev/null \
+		|| { echo "obs-smoke: profile=1 block malformed" >&2; exit 1; }; \
+		curl -sf http://127.0.0.1:18321/metrics \
+		| jq -e '.requests["200"] >= 2 and .in_flight == 0 and .latency.query.count >= 1 and .governor_trips == 0' > /dev/null \
+		|| { echo "obs-smoke: /metrics malformed" >&2; exit 1; }; \
+		kill $$pid; \
+	else \
+		echo "jq not installed; skipping obs smoke" >&2; \
 	fi
 
 # The query-governor fault-injection suites under the race detector;

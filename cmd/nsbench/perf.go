@@ -13,26 +13,43 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/workload"
 )
 
-// benchRow is one emitted measurement.
+// benchRow is one emitted measurement.  The row-level counters come
+// from one profiled run of the workload (outside the timing loop, so
+// they cost the measurement nothing); benches without a profiled
+// shape omit them.
 type benchRow struct {
-	Experiment  string                 `json:"experiment"`
-	Name        string                 `json:"name"`
-	Params      map[string]interface{} `json:"params,omitempty"`
-	NsPerOp     float64                `json:"ns_per_op"`
-	AllocsPerOp int64                  `json:"allocs_per_op"`
-	BytesPerOp  int64                  `json:"bytes_per_op"`
+	Experiment   string                 `json:"experiment"`
+	Name         string                 `json:"name"`
+	Params       map[string]interface{} `json:"params,omitempty"`
+	NsPerOp      float64                `json:"ns_per_op"`
+	AllocsPerOp  int64                  `json:"allocs_per_op"`
+	BytesPerOp   int64                  `json:"bytes_per_op"`
+	NSCandidates int64                  `json:"ns_candidates,omitempty"`
+	NSSurvivors  int64                  `json:"ns_survivors,omitempty"`
+	RowsScanned  int64                  `json:"rows_scanned,omitempty"`
+}
+
+// profStats is the row-level shape of one workload, derived from a
+// profiled run: how many candidate rows entered NS maximality checks,
+// how many survived, and how many rows the operators produced in total.
+type profStats struct {
+	NSCandidates int64
+	NSSurvivors  int64
+	RowsScanned  int64
 }
 
 type jsonBench struct {
 	experiment string
 	name       string
 	params     map[string]interface{}
+	stats      func() profStats // nil: no row-level counters
 	fn         func(b *testing.B)
 }
 
@@ -40,6 +57,32 @@ var jsonBenches []jsonBench
 
 func registerBench(experiment, name string, params map[string]interface{}, fn func(*testing.B)) {
 	jsonBenches = append(jsonBenches, jsonBench{experiment: experiment, name: name, params: params, fn: fn})
+}
+
+// registerBenchStats is registerBench plus a stats thunk run once per
+// emitted row to fill the ns_candidates/ns_survivors/rows_scanned
+// columns.
+func registerBenchStats(experiment, name string, params map[string]interface{}, stats func() profStats, fn func(*testing.B)) {
+	jsonBenches = append(jsonBenches, jsonBench{experiment: experiment, name: name, params: params, stats: stats, fn: fn})
+}
+
+// planStats evaluates p once under a profile and folds the tree into
+// profStats: rows_scanned is the total operator output excluding the
+// root (which double-counts the final result set).
+func planStats(g *rdf.Graph, p sparql.Pattern, o plan.Options) func() profStats {
+	return func() profStats {
+		prof := obs.NewNode("query", "")
+		o.Prof = prof
+		if _, err := plan.EvalOpts(g, p, nil, o); err != nil {
+			panic(fmt.Sprintf("nsbench: profiled run failed: %v", err))
+		}
+		snap := prof.Snapshot()
+		return profStats{
+			NSCandidates: snap.Sum(func(n *obs.Profile) int64 { return n.NSCandidates }),
+			NSSurvivors:  snap.Sum(func(n *obs.Profile) int64 { return n.NSSurvivors }),
+			RowsScanned:  snap.Sum(func(n *obs.Profile) int64 { return n.RowsOut }) - snap.RowsOut,
+		}
+	}
 }
 
 // runJSON measures every registered benchmark (restricted to one
@@ -53,14 +96,21 @@ func runJSON(runID string) error {
 		}
 		ran = true
 		res := testing.Benchmark(jb.fn)
-		if err := enc.Encode(benchRow{
+		row := benchRow{
 			Experiment:  jb.experiment,
 			Name:        jb.name,
 			Params:      jb.params,
 			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
-		}); err != nil {
+		}
+		if jb.stats != nil {
+			st := jb.stats()
+			row.NSCandidates = st.NSCandidates
+			row.NSSurvivors = st.NSSurvivors
+			row.RowsScanned = st.RowsScanned
+		}
+		if err := enc.Encode(row); err != nil {
 			return err
 		}
 	}
@@ -93,13 +143,24 @@ func init() {
 	for _, n := range []int{200, 1000, 4000} {
 		set := e17MappingSet(rng, n)
 		params := map[string]interface{}{"n": set.Len(), "vars": 4, "iri_pool": 20}
-		registerBench("E17", "maximal-naive", params, func(b *testing.B) {
+		// E17 exercises the maximality pass directly (no operator tree),
+		// so its row counters are computed from the inputs: every row is
+		// an NS candidate and gets scanned at least once.
+		setStats := func() profStats {
+			out := set.MaximalBucketed()
+			return profStats{
+				NSCandidates: int64(set.Len()),
+				NSSurvivors:  int64(out.Len()),
+				RowsScanned:  int64(set.Len()),
+			}
+		}
+		registerBenchStats("E17", "maximal-naive", params, setStats, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				set.MaximalNaive()
 			}
 		})
-		registerBench("E17", "maximal-bucketed", params, func(b *testing.B) {
+		registerBenchStats("E17", "maximal-bucketed", params, setStats, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				set.MaximalBucketed()
@@ -110,13 +171,21 @@ func init() {
 		if !ok {
 			panic("nsbench: E17 encode failed")
 		}
-		registerBench("E17", "maximal-rows", params, func(b *testing.B) {
+		rowStats := func() profStats {
+			out := rs.Maximal()
+			return profStats{
+				NSCandidates: int64(rs.Len()),
+				NSSurvivors:  int64(out.Len()),
+				RowsScanned:  int64(rs.Len()),
+			}
+		}
+		registerBenchStats("E17", "maximal-rows", params, rowStats, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rs.Maximal()
 			}
 		})
-		registerBench("E17", "maximal-rows-parallel", parParams(params), func(b *testing.B) {
+		registerBenchStats("E17", "maximal-rows-parallel", parParams(params), rowStats, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rs.MaximalPar(0)
@@ -150,13 +219,13 @@ func init() {
 				plan.EvalString(g, p)
 			}
 		})
-		registerBench("E20", "planner-rows", params, func(b *testing.B) {
+		registerBenchStats("E20", "planner-rows", params, planStats(g, p, plan.Options{}), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				plan.Eval(g, p)
 			}
 		})
-		registerBench("E20", "planner-rows-parallel", parParams(params), func(b *testing.B) {
+		registerBenchStats("E20", "planner-rows-parallel", parParams(params), planStats(g, p, parOpts), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := plan.EvalOpts(g, p, nil, parOpts); err != nil {
@@ -189,10 +258,24 @@ func init() {
 			UNION ((?p name ?n) AND (?p works_at ?u) AND (?p phone ?f))
 			UNION ((?p name ?n) AND (?p works_at ?u) AND (?p homepage ?h)))`},
 	}
-	for _, q := range e21 {
+	// E24: observability overhead — identical plans with profiling off
+	// (nil node: one pointer check per operator) vs on (per-operator
+	// wall clocks, atomic row counters, NS bucket maps).  join3 is the
+	// operator-dense case, ns-wide the NS-bucket-recording case.
+	e24 := []struct {
+		name string
+		text string
+	}{
+		{"join3", `(?p name ?n) AND (?p works_at ?u) AND (?u stands_for ?m)`},
+		{"ns-wide", `NS(((?p name ?n) AND (?p works_at ?u))
+			UNION ((?p name ?n) AND (?p works_at ?u) AND (?p email ?e))
+			UNION ((?p name ?n) AND (?p works_at ?u) AND (?p phone ?f))
+			UNION ((?p name ?n) AND (?p works_at ?u) AND (?p homepage ?h)))`},
+	}
+	for _, q := range e24 {
 		p := mustPattern(q.text)
 		params := map[string]interface{}{"query": q.name, "people": 1000}
-		registerBench("E21", "rows-serial", params, func(b *testing.B) {
+		registerBench("E24", "profile-off", params, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := plan.EvalOpts(g, p, nil, plan.Options{Parallel: 1}); err != nil {
@@ -200,7 +283,29 @@ func init() {
 				}
 			}
 		})
-		registerBench("E21", "rows-parallel", parParams(params), func(b *testing.B) {
+		registerBenchStats("E24", "profile-on", params, planStats(g, p, plan.Options{Parallel: 1}), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				prof := obs.NewNode("query", "")
+				if _, err := plan.EvalOpts(g, p, nil, plan.Options{Parallel: 1, Prof: prof}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	for _, q := range e21 {
+		p := mustPattern(q.text)
+		params := map[string]interface{}{"query": q.name, "people": 1000}
+		registerBenchStats("E21", "rows-serial", params, planStats(g, p, plan.Options{Parallel: 1}), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.EvalOpts(g, p, nil, plan.Options{Parallel: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		registerBenchStats("E21", "rows-parallel", parParams(params), planStats(g, p, parOpts), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := plan.EvalOpts(g, p, nil, parOpts); err != nil {

@@ -7,46 +7,72 @@
 //	nsq -graph data.nt -query '(?p founder ?o)'
 //	nsq -graph data.nt -query-file q.rq -max
 //	echo 'a b c .' | nsq -query '(?x b ?y)'
+//
+// With -stats, the per-operator execution profile (wall time, rows
+// in/out, dedup hits, NS candidates vs survivors, budget steps) is
+// printed to stderr after the results; -stats always evaluates through
+// the query planner.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/plan"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
 
+// runOpts bundles the command-line switches of one nsq invocation.
+type runOpts struct {
+	graphPath string // graph file ("" = stdin)
+	queryText string
+	queryFile string
+	maxOnly   bool // wrap the pattern in NS(...)
+	showPlan  bool // print the parsed/optimized query first
+	optimize  bool // use the query planner
+	w3c       bool // W3C SPARQL surface syntax
+	stats     bool // print the execution profile to stderr
+}
+
 func main() {
-	var (
-		graphPath = flag.String("graph", "", "path to the graph in N-Triples-style format (default: stdin)")
-		queryText = flag.String("query", "", "query text (graph pattern or CONSTRUCT query)")
-		queryFile = flag.String("query-file", "", "read the query from a file instead")
-		maxOnly   = flag.Bool("max", false, "wrap the pattern in NS(...) to keep only maximal answers")
-		showPlan  = flag.Bool("ast", false, "print the parsed query before evaluating")
-		optimize  = flag.Bool("optimize", true, "use the query planner (hash joins, join reordering)")
-		w3c       = flag.Bool("sparql", false, "parse the query in W3C-style SPARQL surface syntax")
-	)
+	var o runOpts
+	flag.StringVar(&o.graphPath, "graph", "", "path to the graph in N-Triples-style format (default: stdin)")
+	flag.StringVar(&o.queryText, "query", "", "query text (graph pattern or CONSTRUCT query)")
+	flag.StringVar(&o.queryFile, "query-file", "", "read the query from a file instead")
+	flag.BoolVar(&o.maxOnly, "max", false, "wrap the pattern in NS(...) to keep only maximal answers")
+	flag.BoolVar(&o.showPlan, "ast", false, "print the parsed query before evaluating")
+	flag.BoolVar(&o.optimize, "optimize", true, "use the query planner (hash joins, join reordering)")
+	flag.BoolVar(&o.w3c, "sparql", false, "parse the query in W3C-style SPARQL surface syntax")
+	flag.BoolVar(&o.stats, "stats", false, "print the per-operator execution profile to stderr (implies the planner)")
 	flag.Parse()
-	if err := run(*graphPath, *queryText, *queryFile, *maxOnly, *showPlan, *optimize, *w3c); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "nsq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, queryText, queryFile string, maxOnly, showPlan, optimize, w3c bool) error {
-	if queryText == "" && queryFile == "" {
+// printStats renders the profile tree to stderr, keeping stdout clean
+// for the query results.
+func printStats(prof *obs.Node) {
+	fmt.Fprint(os.Stderr, prof.Snapshot().Tree())
+}
+
+func run(o runOpts) error {
+	if o.queryText == "" && o.queryFile == "" {
 		return fmt.Errorf("one of -query or -query-file is required")
 	}
-	if queryText != "" && queryFile != "" {
+	if o.queryText != "" && o.queryFile != "" {
 		return fmt.Errorf("-query and -query-file are mutually exclusive")
 	}
-	if queryFile != "" {
-		data, err := os.ReadFile(queryFile)
+	queryText := o.queryText
+	if o.queryFile != "" {
+		data, err := os.ReadFile(o.queryFile)
 		if err != nil {
 			return err
 		}
@@ -55,11 +81,11 @@ func run(graphPath, queryText, queryFile string, maxOnly, showPlan, optimize, w3
 
 	var g *rdf.Graph
 	var err error
-	if graphPath == "" {
+	if o.graphPath == "" {
 		g, err = rdf.ReadGraph(os.Stdin)
 	} else {
 		var f *os.File
-		f, err = os.Open(graphPath)
+		f, err = os.Open(o.graphPath)
 		if err == nil {
 			defer f.Close()
 			g, err = rdf.ReadGraph(f)
@@ -69,13 +95,29 @@ func run(graphPath, queryText, queryFile string, maxOnly, showPlan, optimize, w3
 		return fmt.Errorf("reading graph: %w", err)
 	}
 
+	var prof *obs.Node
+	if o.stats {
+		prof = obs.NewNode("query", "")
+	}
+	popts := plan.Options{Prof: prof}
+	bud := sparql.NewBudget(context.Background())
+
 	var q parser.Query
-	if w3c {
+	if o.w3c {
 		sq, err := parser.ParseSPARQL(queryText)
 		if err != nil {
 			return fmt.Errorf("parsing query: %w", err)
 		}
 		if sq.Ask {
+			if o.stats {
+				ok, err := exec.AskOpts(g, sq.Pattern, bud, popts)
+				if err != nil {
+					return err
+				}
+				fmt.Println(ok)
+				printStats(prof)
+				return nil
+			}
 			fmt.Println(exec.Ask(g, sq.Pattern))
 			return nil
 		}
@@ -90,31 +132,53 @@ func run(graphPath, queryText, queryFile string, maxOnly, showPlan, optimize, w3
 
 	evalPattern := sparql.Eval
 	evalConstruct := sparql.EvalConstruct
-	if optimize {
+	if o.optimize {
 		evalPattern = plan.Eval
 		evalConstruct = plan.EvalConstruct
 	}
 	switch {
 	case q.Construct != nil:
-		if maxOnly {
+		if o.maxOnly {
 			q.Construct.Where = sparql.NS{P: q.Construct.Where}
 		}
-		if showPlan {
+		if o.showPlan {
 			fmt.Println("#", q.Construct)
 		}
-		out := evalConstruct(g, *q.Construct)
+		var out *rdf.Graph
+		if o.stats {
+			out, err = plan.EvalConstructOpts(g, *q.Construct, bud, popts)
+			if err != nil {
+				return err
+			}
+		} else {
+			out = evalConstruct(g, *q.Construct)
+		}
 		fmt.Print(out)
+		if o.stats {
+			printStats(prof)
+		}
 	default:
 		p := q.Pattern
-		if maxOnly {
+		if o.maxOnly {
 			p = sparql.NS{P: p}
 		}
-		if showPlan {
+		if o.showPlan {
 			fmt.Println("#", plan.Optimize(g, p))
 		}
-		res := evalPattern(g, p)
+		var res *sparql.MappingSet
+		if o.stats {
+			res, err = plan.EvalOpts(g, p, bud, popts)
+			if err != nil {
+				return err
+			}
+		} else {
+			res = evalPattern(g, p)
+		}
 		fmt.Print(res.Table())
 		fmt.Printf("(%d solution%s)\n", res.Len(), plural(res.Len()))
+		if o.stats {
+			printStats(prof)
+		}
 	}
 	return nil
 }

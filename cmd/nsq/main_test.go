@@ -19,21 +19,27 @@ func writeTempGraph(t *testing.T) string {
 func TestRunQueries(t *testing.T) {
 	g := writeTempGraph(t)
 	cases := []struct {
-		name                        string
-		query                       string
-		maxOnly, ast, optimize, w3c bool
+		name                               string
+		query                              string
+		maxOnly, ast, optimize, w3c, stats bool
 	}{
-		{"pattern", `(?p was_born_in chile) OPT (?p email ?e)`, false, false, false, false},
-		{"pattern planner+ast", `(?p was_born_in chile) OPT (?p email ?e)`, false, true, true, false},
-		{"max wrap", `(?p was_born_in chile) UNION ((?p was_born_in chile) AND (?p email ?e))`, true, false, true, false},
-		{"construct", `CONSTRUCT {(?p contact ?e)} WHERE (?p email ?e)`, false, true, false, false},
-		{"construct max", `CONSTRUCT {(?p contact ?e)} WHERE (?p email ?e)`, true, false, true, false},
-		{"w3c select", `SELECT ?p WHERE { ?p was_born_in chile }`, false, false, true, true},
-		{"w3c ask", `ASK { ?p email ?e }`, false, false, true, true},
-		{"w3c construct", `CONSTRUCT { ?p contact ?e } WHERE { ?p email ?e }`, false, false, true, true},
+		{"pattern", `(?p was_born_in chile) OPT (?p email ?e)`, false, false, false, false, false},
+		{"pattern planner+ast", `(?p was_born_in chile) OPT (?p email ?e)`, false, true, true, false, false},
+		{"max wrap", `(?p was_born_in chile) UNION ((?p was_born_in chile) AND (?p email ?e))`, true, false, true, false, false},
+		{"construct", `CONSTRUCT {(?p contact ?e)} WHERE (?p email ?e)`, false, true, false, false, false},
+		{"construct max", `CONSTRUCT {(?p contact ?e)} WHERE (?p email ?e)`, true, false, true, false, false},
+		{"w3c select", `SELECT ?p WHERE { ?p was_born_in chile }`, false, false, true, true, false},
+		{"w3c ask", `ASK { ?p email ?e }`, false, false, true, true, false},
+		{"w3c construct", `CONSTRUCT { ?p contact ?e } WHERE { ?p email ?e }`, false, false, true, true, false},
+		{"stats pattern", `(?p was_born_in chile) OPT (?p email ?e)`, false, false, true, false, true},
+		{"stats max", `(?p was_born_in chile) UNION ((?p was_born_in chile) AND (?p email ?e))`, true, false, true, false, true},
+		{"stats construct", `CONSTRUCT {(?p contact ?e)} WHERE (?p email ?e)`, false, false, true, false, true},
+		{"stats w3c ask", `ASK { ?p email ?e }`, false, false, true, true, true},
 	}
 	for _, c := range cases {
-		if err := run(g, c.query, "", c.maxOnly, c.ast, c.optimize, c.w3c); err != nil {
+		o := runOpts{graphPath: g, queryText: c.query, maxOnly: c.maxOnly,
+			showPlan: c.ast, optimize: c.optimize, w3c: c.w3c, stats: c.stats}
+		if err := run(o); err != nil {
 			t.Errorf("%s: %v", c.name, err)
 		}
 	}
@@ -45,29 +51,29 @@ func TestRunQueryFile(t *testing.T) {
 	if err := os.WriteFile(qf, []byte("(?p was_born_in chile)"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(g, "", qf, false, false, true, false); err != nil {
+	if err := run(runOpts{graphPath: g, queryFile: qf, optimize: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	g := writeTempGraph(t)
-	if err := run(g, "", "", false, false, false, false); err == nil {
+	if err := run(runOpts{graphPath: g}); err == nil {
 		t.Error("missing query accepted")
 	}
-	if err := run(g, "(?x a b)", "also-a-file", false, false, false, false); err == nil {
+	if err := run(runOpts{graphPath: g, queryText: "(?x a b)", queryFile: "also-a-file"}); err == nil {
 		t.Error("both -query and -query-file accepted")
 	}
-	if err := run(g, "(?x a", "", false, false, false, false); err == nil {
+	if err := run(runOpts{graphPath: g, queryText: "(?x a"}); err == nil {
 		t.Error("malformed query accepted")
 	}
-	if err := run(g, "SELECT nope", "", false, false, false, true); err == nil {
+	if err := run(runOpts{graphPath: g, queryText: "SELECT nope", w3c: true}); err == nil {
 		t.Error("malformed W3C query accepted")
 	}
-	if err := run("/does/not/exist.nt", "(?x a b)", "", false, false, false, false); err == nil {
+	if err := run(runOpts{graphPath: "/does/not/exist.nt", queryText: "(?x a b)"}); err == nil {
 		t.Error("missing graph file accepted")
 	}
-	if err := run(g, "", "/does/not/exist.rq", false, false, false, false); err == nil {
+	if err := run(runOpts{graphPath: g, queryFile: "/does/not/exist.rq"}); err == nil {
 		t.Error("missing query file accepted")
 	}
 }

@@ -1,20 +1,51 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
+
+// testLogWriter routes slog output into the test log.
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+// testLogger returns a debug-level slog.Logger feeding t.Logf.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t: t},
+		&slog.HandlerOptions{Level: slog.LevelDebug}))
+}
+
+// lockedWriter serializes writes into a shared buffer so tests can
+// read it while handlers are still logging.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
 
 // chainGraph returns x0 -p-> x1 -p-> ... -p-> xn: no cycles, so a
 // cyclic pattern has no answers and forces an exhaustive search.
@@ -39,7 +70,7 @@ const expensiveAskQuery = "ASK { ?a p ?b . ?c p ?d . ?e p ?f . ?g p ?h . ?h p ?g
 func governedTestServer(t *testing.T, g *rdf.Graph, mutate func(*config)) *httptest.Server {
 	t.Helper()
 	cfg := defaultConfig()
-	cfg.logf = t.Logf
+	cfg.logger = testLogger(t)
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -219,16 +250,25 @@ func TestPanicRecovery(t *testing.T) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) { panic("kaboom") })
 	mux.HandleFunc("/fine", func(w http.ResponseWriter, _ *http.Request) { fmt.Fprint(w, "still here") })
-	logged := false
-	ts := httptest.NewServer(recoverPanics(func(string, ...any) { logged = true }, mux))
+	var mu sync.Mutex
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(lockedWriter{mu: &mu, w: &logBuf}, nil))
+	m := obs.NewMetrics()
+	ts := httptest.NewServer(recoverPanics(logger, m, mux))
 	t.Cleanup(ts.Close)
 
 	resp, _ := get(t, ts, "/boom")
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("panic handler: status %d, want 500", resp.StatusCode)
 	}
-	if !logged {
-		t.Fatal("panic was not logged")
+	mu.Lock()
+	logged := logBuf.String()
+	mu.Unlock()
+	if !strings.Contains(logged, "kaboom") {
+		t.Fatalf("panic was not logged: %q", logged)
+	}
+	if got := m.Snapshot().Panics; got != 1 {
+		t.Fatalf("panic counter = %d, want 1", got)
 	}
 	resp, body := get(t, ts, "/fine")
 	if resp.StatusCode != http.StatusOK || body != "still here" {
@@ -241,7 +281,7 @@ func TestPanicRecovery(t *testing.T) {
 // the connection.
 func TestGracefulShutdownDrains(t *testing.T) {
 	cfg := defaultConfig()
-	cfg.logf = t.Logf
+	cfg.logger = testLogger(t)
 	srv := newHTTPServer("127.0.0.1:0", newServerWith(chainGraph(300), cfg), cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

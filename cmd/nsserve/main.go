@@ -13,11 +13,28 @@
 //	     CONSTRUCT → N-Triples (text/plain)
 //	POST /insert       body: N-Triples lines; inserts into the graph
 //	GET  /stats        {"triples": N, "iris": M}
-//	GET  /healthz      {"status": "ok"} — liveness, lock-free
+//	GET  /healthz      {"status": "ok", "version": ..., "go": ..., "triples": N} — liveness, lock-free
+//	GET  /metrics      process metrics as JSON: request counts by status,
+//	                   per-endpoint latency histograms, in-flight gauge,
+//	                   governor-trip / pool-saturation / panic counters
+//	GET  /debug/pprof  Go profiling endpoints (only with -pprof)
 //
 // The default query syntax is the W3C-style surface syntax; pass
 // syntax=paper for the paper notation (with parenthesized triples and
 // the NS(...) operator).
+//
+// # Observability
+//
+// Every query is evaluated under a per-operator profiler (wall time,
+// rows in/out, dedup hits, NS candidates vs survivors, hash-join
+// partitions, worker-pool tokens, budget consumption).  Pass profile=1
+// on /query to receive the profile tree as a "profile" block in
+// SELECT and ASK responses (CONSTRUCT output is N-Triples text and has
+// no JSON envelope; use nsq -stats for profiled CONSTRUCT runs).
+//
+// Requests are logged as one structured line each (log/slog) carrying
+// a generated query ID; -log-level sets the threshold and -pprof
+// opt-in exposes /debug/pprof.
 //
 // # Resource governance
 //
@@ -48,7 +65,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -57,6 +74,15 @@ import (
 
 	"repro/internal/rdf"
 )
+
+// parseLogLevel maps the -log-level flag onto a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", s)
+	}
+	return lvl, nil
+}
 
 func main() {
 	var (
@@ -77,8 +103,18 @@ func main() {
 			"workers per query for the parallel row engine (0 = GOMAXPROCS, 1 = serial)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second,
 			"how long to drain in-flight requests on SIGINT/SIGTERM")
+		logLevel = flag.String("log-level", "info",
+			"structured-log threshold: debug, info, warn or error")
+		pprofFlag = flag.Bool("pprof", false,
+			"expose Go profiling under /debug/pprof (off by default: it leaks process internals)")
 	)
 	flag.Parse()
+	lvl, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nsserve:", err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	g := rdf.NewGraph()
 	if *graphPath != "" {
 		f, err := os.Open(*graphPath)
@@ -100,17 +136,21 @@ func main() {
 	cfg.maxSteps = *maxSteps
 	cfg.maxRows = *maxRows
 	cfg.parallel = *parallel
+	cfg.pprof = *pprofFlag
+	cfg.logger = logger
 
 	srv := newHTTPServer(*addr, newServerWith(g, cfg), cfg)
-	log.Printf("nsserve: %d triples loaded, listening on %s (query timeout %v, %d concurrent)",
-		g.Len(), *addr, *queryTimeout, *maxConcurrent)
+	logger.Info("nsserve listening", "addr", *addr, "triples", g.Len(),
+		"query_timeout", *queryTimeout, "max_concurrent", *maxConcurrent,
+		"pprof", *pprofFlag)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	if err := run(srv, stop, *drainTimeout); err != nil {
-		log.Fatal("nsserve: ", err)
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
 	}
-	log.Print("nsserve: drained, bye")
+	logger.Info("drained, bye")
 }
 
 // newHTTPServer configures the http.Server around the handler: header

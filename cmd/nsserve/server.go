@@ -7,23 +7,27 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/plan"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
 
-// config is the server's resource-governance knobs; see defaultConfig
-// for the values used when a knob is zero.
+// config is the server's resource-governance and observability knobs;
+// see defaultConfig for the values used when a knob is zero.
 type config struct {
 	queryTimeout   time.Duration // per-query deadline; also caps timeout= (0 = none)
 	maxConcurrent  int           // concurrent /query limit; overflow gets 503 (0 = unlimited)
@@ -31,7 +35,14 @@ type config struct {
 	maxSteps       int64         // per-query engine step budget (0 = unlimited)
 	maxRows        int64         // per-query result row budget (0 = unlimited)
 	parallel       int           // workers per query (0 = GOMAXPROCS, 1 = serial)
-	logf           func(format string, args ...any)
+	pprof          bool          // expose /debug/pprof (opt-in: it leaks host internals)
+	logger         *slog.Logger  // structured logger; nil = slog.Default()
+
+	// Engine tuning passed through to plan.Options; zero keeps the
+	// planner defaults.  Tests set these to force parallel code paths
+	// on small graphs.
+	minParallelEstimate float64
+	minPartition        int
 }
 
 func defaultConfig() config {
@@ -39,7 +50,7 @@ func defaultConfig() config {
 		queryTimeout:   30 * time.Second,
 		maxConcurrent:  64,
 		maxInsertBytes: 16 << 20,
-		logf:           log.Printf,
+		logger:         slog.Default(),
 	}
 }
 
@@ -52,6 +63,10 @@ type server struct {
 	graph *rdf.Graph
 	cfg   config
 	sem   chan struct{} // nil: unlimited concurrency
+
+	metrics *obs.Metrics
+	triples atomic.Int64  // lock-free mirror of graph.Len() for /healthz
+	qid     atomic.Uint64 // per-request query-ID generator
 }
 
 // newServer returns the HTTP handler for a graph with the default
@@ -63,33 +78,101 @@ func newServer(g *rdf.Graph) http.Handler {
 // newServerWith returns the HTTP handler for a graph under the given
 // configuration.
 func newServerWith(g *rdf.Graph, cfg config) http.Handler {
-	if cfg.logf == nil {
-		cfg.logf = log.Printf
+	if cfg.logger == nil {
+		cfg.logger = slog.Default()
 	}
-	s := &server{graph: g, cfg: cfg}
+	s := &server{graph: g, cfg: cfg, metrics: obs.NewMetrics()}
+	s.triples.Store(int64(g.Len()))
 	if cfg.maxConcurrent > 0 {
 		s.sem = make(chan struct{}, cfg.maxConcurrent)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.limitConcurrency(s.handleQuery))
-	mux.HandleFunc("/insert", s.handleInsert)
-	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/query", s.instrument("query", s.limitConcurrency(s.handleQuery)))
+	mux.HandleFunc("/insert", s.instrument("insert", s.handleInsert))
+	mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	return recoverPanics(cfg.logf, mux)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.pprof {
+		// Opt-in only: the profiles expose memory contents and host
+		// details no public endpoint should leak.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return recoverPanics(cfg.logger, s.metrics, mux)
 }
 
-// recoverPanics converts a panicking handler into a 500 response and a
-// log line, keeping the process (and its listener) alive.  A panic
-// below this middleware cannot leak the graph lock: handlers release
-// it with defer, and deferred calls run during the panic unwind.
-func recoverPanics(logf func(string, ...any), h http.Handler) http.Handler {
+// loggerKey carries the per-request logger through the context;
+// qidKey carries the generated request ID.
+type loggerKey struct{}
+type qidKey struct{}
+
+// reqLogger returns the request's logger (qid-scoped when the request
+// went through instrument), or the server logger.
+func (s *server) reqLogger(r *http.Request) *slog.Logger {
+	if l, ok := r.Context().Value(loggerKey{}).(*slog.Logger); ok {
+		return l
+	}
+	return s.cfg.logger
+}
+
+// reqQID returns the request's generated ID ("" outside instrument).
+func reqQID(r *http.Request) string {
+	qid, _ := r.Context().Value(qidKey{}).(string)
+	return qid
+}
+
+// statusRecorder captures the response status for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an endpoint with the observability envelope: a
+// generated request ID (rendered as qid), a per-request structured
+// logger in the context, the in-flight gauge, the request counter by
+// status code, and the endpoint's latency histogram.  One log line per
+// request, queryable by qid.
+func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		qid := fmt.Sprintf("q%06d", s.qid.Add(1))
+		logger := s.cfg.logger.With("qid", qid, "endpoint", endpoint)
+		ctx := context.WithValue(r.Context(), loggerKey{}, logger)
+		ctx = context.WithValue(ctx, qidKey{}, qid)
+		r = r.WithContext(ctx)
+		s.metrics.IncInFlight()
+		defer s.metrics.DecInFlight()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sr, r)
+		d := time.Since(start)
+		s.metrics.ObserveRequest(endpoint, sr.status, d)
+		logger.Info("request", "method", r.Method, "status", sr.status, "duration", d)
+	}
+}
+
+// recoverPanics converts a panicking handler into a 500 response, a
+// structured log line, and a metrics tick, keeping the process (and its
+// listener) alive.  A panic below this middleware cannot leak the graph
+// lock: handlers release it with defer, and deferred calls run during
+// the panic unwind.
+func recoverPanics(logger *slog.Logger, m *obs.Metrics, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
 				if rec == http.ErrAbortHandler {
 					panic(rec)
 				}
-				logf("nsserve: panic serving %s: %v\n%s", r.URL.Path, rec, debug.Stack())
+				m.Panic()
+				logger.Error("panic recovered", "path", r.URL.Path, "panic", rec,
+					"stack", string(debug.Stack()))
 				http.Error(w, "internal server error", http.StatusInternalServerError)
 			}
 		}()
@@ -121,7 +204,8 @@ type jsonTerm struct {
 	Value string `json:"value"`
 }
 
-// jsonResults is the SPARQL 1.1 JSON results document.
+// jsonResults is the SPARQL 1.1 JSON results document, extended with an
+// optional execution profile (profile=1).
 type jsonResults struct {
 	Head struct {
 		Vars []string `json:"vars"`
@@ -129,6 +213,7 @@ type jsonResults struct {
 	Results struct {
 		Bindings []map[string]jsonTerm `json:"bindings"`
 	} `json:"results"`
+	Profile *obs.Profile `json:"profile,omitempty"`
 }
 
 // jsonError is the error document for governed failures.  Partial is
@@ -148,21 +233,29 @@ func writeJSONError(w http.ResponseWriter, status int, msg string) {
 
 // writeEngineError maps the engine's typed governor errors onto HTTP
 // statuses: deadline → 504, resource budget → 503, malformed plan →
-// 400, client cancellation → nothing (the peer is gone).
+// 400, client cancellation → nothing (the peer is gone).  Deadline and
+// budget failures count as governor trips — exactly once per failed
+// query, since a query reaches here at most once.
 func (s *server) writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
+	logger := s.reqLogger(r)
 	var budget sparql.ErrBudgetExceeded
 	var unsupported sparql.ErrUnsupportedPattern
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.GovernorTrip()
+		logger.Warn("governor trip", "kind", "deadline", "err", err)
 		writeJSONError(w, http.StatusGatewayTimeout, "query timeout: "+err.Error())
 	case errors.Is(err, context.Canceled):
-		s.cfg.logf("nsserve: query canceled by client: %v", err)
+		logger.Info("query canceled by client", "err", err)
 	case errors.As(err, &budget):
+		s.metrics.GovernorTrip()
+		logger.Warn("governor trip", "kind", budget.Kind.String(), "limit", budget.Limit, "err", err)
 		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.As(err, &unsupported):
+		logger.Warn("unsupported pattern", "err", err)
 		writeJSONError(w, http.StatusBadRequest, err.Error())
 	default:
-		s.cfg.logf("nsserve: query error: %v", err)
+		logger.Error("query error", "err", err)
 		writeJSONError(w, http.StatusInternalServerError, err.Error())
 	}
 }
@@ -205,6 +298,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	syntax := r.URL.Query().Get("syntax")
+	wantProfile := r.URL.Query().Get("profile") == "1"
 
 	var pattern sparql.Pattern
 	var construct *sparql.ConstructQuery
@@ -247,7 +341,22 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.maxRows > 0 {
 		bud.WithMaxRows(s.cfg.maxRows)
 	}
-	opts := plan.Options{Parallel: s.cfg.parallel}
+	// Every query is profiled: the per-operator counters cost one
+	// atomic add per operator (not per row), and the pool-saturation
+	// metric needs the pool counters even when the client did not ask
+	// for the profile block.
+	prof := obs.NewNode("query", reqQID(r))
+	defer func() {
+		if prof.Snapshot().Sum(func(n *obs.Profile) int64 { return n.PoolInline }) > 0 {
+			s.metrics.PoolSaturation()
+		}
+	}()
+	opts := plan.Options{
+		Parallel:            s.cfg.parallel,
+		MinParallelEstimate: s.cfg.minParallelEstimate,
+		MinPartition:        s.cfg.minPartition,
+		Prof:                prof,
+	}
 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -258,14 +367,21 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.writeEngineError(w, r, err)
 			return
 		}
+		doc := map[string]any{"boolean": ok}
+		if wantProfile {
+			doc["profile"] = prof.Snapshot()
+		}
 		w.Header().Set("Content-Type", "application/sparql-results+json")
-		s.encode(w, map[string]bool{"boolean": ok})
+		s.encode(w, r, doc)
 	case construct != nil:
 		out, err := plan.EvalConstructOpts(s.graph, *construct, bud, opts)
 		if err != nil {
 			s.writeEngineError(w, r, err)
 			return
 		}
+		// CONSTRUCT output is N-Triples text; there is no JSON envelope
+		// to carry a profile block.  Use nsq -stats for profiled
+		// CONSTRUCT runs.
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		rdf.WriteGraph(w, out)
 	default:
@@ -296,16 +412,19 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 			doc.Results.Bindings = append(doc.Results.Bindings, b)
 		}
+		if wantProfile {
+			doc.Profile = prof.Snapshot()
+		}
 		w.Header().Set("Content-Type", "application/sparql-results+json")
-		s.encode(w, doc)
+		s.encode(w, r, doc)
 	}
 }
 
 // encode writes v as JSON, logging (rather than silently dropping) an
 // encode failure — typically a client that hung up mid-response.
-func (s *server) encode(w http.ResponseWriter, v any) {
+func (s *server) encode(w http.ResponseWriter, r *http.Request, v any) {
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		s.cfg.logf("nsserve: response encode: %v", err)
+		s.reqLogger(r).Warn("response encode failed", "err", err)
 	}
 }
 
@@ -339,8 +458,11 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	before := s.graph.Len()
 	s.graph.AddAll(delta)
-	added := s.graph.Len() - before
+	after := s.graph.Len()
 	s.mu.Unlock()
+	s.triples.Store(int64(after))
+	added := after - before
+	s.reqLogger(r).Debug("insert applied", "added", added, "triples", after)
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"added": %d}`+"\n", added)
 }
@@ -354,9 +476,31 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, `{"triples": %d, "iris": %d}`+"\n", triples, iris)
 }
 
-// handleHealthz is the liveness probe: it takes no locks, so it answers
-// even while heavy queries are in flight.
+// handleMetrics serves the process metrics registry as expvar-style
+// JSON: request counts by status, per-endpoint latency histograms, the
+// in-flight gauge, and governor-trip / pool-saturation / panic
+// counters.  Snapshot reads atomics only — no graph lock, so /metrics
+// answers even while heavy queries hold the read side.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.encode(w, r, s.metrics.Snapshot())
+}
+
+// buildVersion resolves the binary's module version from the build
+// info ("(devel)" for local builds, a module version for released
+// ones).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
+// handleHealthz is the liveness probe: it takes no locks — the triple
+// count is a lock-free mirror maintained by handleInsert — so it
+// answers even while heavy queries are in flight.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, `{"status": "ok"}`)
+	fmt.Fprintf(w, `{"status": "ok", "version": %q, "go": %q, "triples": %d}`+"\n",
+		buildVersion(), runtime.Version(), s.triples.Load())
 }

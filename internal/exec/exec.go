@@ -23,11 +23,34 @@ package exec
 
 import (
 	"context"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
+
+// instrumentSearch attaches a "search" node under prof and returns a
+// completion callback recording wall time, budget deltas and rows out.
+// The backtracking searcher interleaves all operators in one depth-first
+// walk, so exec profiles it as a single node instead of an operator
+// tree; materializing fallbacks go through plan.EvalOpts, which builds
+// the full tree.  A nil prof costs one nil check.
+func instrumentSearch(prof *obs.Node, b *sparql.Budget, detail string) func(rows int64) {
+	if prof == nil {
+		return func(int64) {}
+	}
+	node := prof.Child("search", detail)
+	start := time.Now()
+	steps0, rows0, bytes0 := b.Counters()
+	return func(rows int64) {
+		node.AddWall(time.Since(start))
+		steps1, rows1, bytes1 := b.Counters()
+		node.AddBudget(steps1-steps0, rows1-rows0, bytes1-bytes0)
+		node.AddRowsOut(rows)
+	}
+}
 
 // Ask reports whether ⟦P⟧_G is non-empty, stopping at the first
 // solution found.  Ungoverned legacy entry point; servers should use
@@ -65,14 +88,21 @@ func AskOpts(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget, o plan.Options) (
 		}
 		return ms.Len() > 0, nil
 	}
+	done := instrumentSearch(o.Prof, b, "ask")
 	found := false
 	err := sparql.NewSearcherBudget(g, sc, b).Search(opt, 0, func(uint64) bool {
 		found = true
 		return false
 	})
 	if err != nil {
+		done(0)
 		return false, err
 	}
+	var rows int64
+	if found {
+		rows = 1
+	}
+	done(rows)
 	return found, nil
 }
 
@@ -133,6 +163,7 @@ func LimitOpts(g *rdf.Graph, p sparql.Pattern, k int, b *sparql.Budget, o plan.O
 		}
 		return out, nil
 	}
+	done := instrumentSearch(o.Prof, b, "limit")
 	s := sparql.NewSearcherBudget(g, sc, b)
 	seen := sparql.NewRowSet(sc)
 	var rowErr error
@@ -150,8 +181,10 @@ func LimitOpts(g *rdf.Graph, p sparql.Pattern, k int, b *sparql.Budget, o plan.O
 		err = rowErr
 	}
 	if err != nil {
+		done(0)
 		return nil, err
 	}
+	done(int64(out.Len()))
 	return out, nil
 }
 
@@ -212,6 +245,7 @@ func ConstructContainsOpts(g *rdf.Graph, q sparql.ConstructQuery, target rdf.Tri
 		// agrees with the seed on shared slots, so domain coverage alone
 		// certifies that µ(tp) is the target.
 		tpMask := sc.SlotMask(sparql.Vars(tp))
+		done := instrumentSearch(o.Prof, b, "construct-contains")
 		s := sparql.NewSearcherBudget(g, sc, b)
 		s.Seed(row)
 		found := false
@@ -223,11 +257,14 @@ func ConstructContainsOpts(g *rdf.Graph, q sparql.ConstructQuery, target rdf.Tri
 			return false
 		})
 		if err != nil {
+			done(0)
 			return false, err
 		}
 		if found {
+			done(1)
 			return true, nil
 		}
+		done(0)
 	}
 	return false, nil
 }

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsUS are the upper bounds (µs, inclusive) of the latency
+// histogram, log-spaced from 100µs to 10s; observations beyond the
+// last bound land in the +Inf bucket.  Fixed at compile time so
+// Observe is a lock-free scan over a small array.
+var latencyBucketsUS = [...]int64{
+	100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+}
+
+// Histogram is a fixed-bucket latency histogram with atomic counters.
+type Histogram struct {
+	counts [len(latencyBucketsUS) + 1]atomic.Int64 // +1: the +Inf bucket
+	count  atomic.Int64
+	sumUS  atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	us := d.Microseconds()
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	for i, le := range latencyBucketsUS {
+		if us <= le {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[len(latencyBucketsUS)].Add(1)
+}
+
+// HistogramSnapshot is the serialized form of a Histogram.  Buckets
+// are non-cumulative; the final bucket's LeUS is -1, meaning +Inf.
+type HistogramSnapshot struct {
+	Count   int64           `json:"count"`
+	SumUS   int64           `json:"sum_us"`
+	Buckets []LatencyBucket `json:"buckets"`
+}
+
+// LatencyBucket is one histogram bucket: observations in
+// (previous bound, LeUS], with LeUS = -1 for the +Inf bucket.
+type LatencyBucket struct {
+	LeUS  int64 `json:"le_us"`
+	Count int64 `json:"count"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), SumUS: h.sumUS.Load()}
+	s.Buckets = make([]LatencyBucket, 0, len(h.counts))
+	for i := range h.counts {
+		le := int64(-1)
+		if i < len(latencyBucketsUS) {
+			le = latencyBucketsUS[i]
+		}
+		s.Buckets = append(s.Buckets, LatencyBucket{LeUS: le, Count: h.counts[i].Load()})
+	}
+	return s
+}
+
+// metricsCodes are the response statuses nsserve can produce; every
+// counter exists from construction so the increment path is lock-free
+// map reads of a map that never mutates after NewMetrics.
+var metricsCodes = [...]int{200, 400, 404, 405, 413, 500, 503, 504}
+
+// metricsEndpoints are the instrumented endpoints, each with its own
+// latency histogram.
+var metricsEndpoints = [...]string{"query", "insert", "stats"}
+
+// Metrics is the process-wide server metrics registry: request counts
+// by status, per-endpoint latency histograms, an in-flight gauge, and
+// counters for governor trips and pool saturation.  All methods are
+// safe for concurrent use and are no-ops on a nil receiver.
+type Metrics struct {
+	codes      map[int]*atomic.Int64
+	codesOther atomic.Int64
+	latency    map[string]*Histogram
+
+	inFlight        atomic.Int64
+	governorTrips   atomic.Int64
+	poolSaturations atomic.Int64
+	panics          atomic.Int64
+}
+
+// NewMetrics returns an empty registry with every known status and
+// endpoint pre-seeded.
+func NewMetrics() *Metrics {
+	m := &Metrics{
+		codes:   make(map[int]*atomic.Int64, len(metricsCodes)),
+		latency: make(map[string]*Histogram, len(metricsEndpoints)),
+	}
+	for _, c := range metricsCodes {
+		m.codes[c] = new(atomic.Int64)
+	}
+	for _, e := range metricsEndpoints {
+		m.latency[e] = new(Histogram)
+	}
+	return m
+}
+
+// ObserveRequest records one completed request: its status code and,
+// for a known endpoint, its latency.
+func (m *Metrics) ObserveRequest(endpoint string, code int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.codes[code]; ok {
+		c.Add(1)
+	} else {
+		m.codesOther.Add(1)
+	}
+	if h, ok := m.latency[endpoint]; ok {
+		h.Observe(d)
+	}
+}
+
+// IncInFlight/DecInFlight maintain the in-flight request gauge.
+func (m *Metrics) IncInFlight() {
+	if m != nil {
+		m.inFlight.Add(1)
+	}
+}
+
+// DecInFlight decrements the in-flight request gauge.
+func (m *Metrics) DecInFlight() {
+	if m != nil {
+		m.inFlight.Add(-1)
+	}
+}
+
+// GovernorTrip counts one query stopped by its governor (deadline or
+// resource budget).
+func (m *Metrics) GovernorTrip() {
+	if m != nil {
+		m.governorTrips.Add(1)
+	}
+}
+
+// PoolSaturation counts one query that wanted a parallel worker but
+// found the pool saturated at least once (it fell back to inline
+// evaluation; correct, but a sign the host is out of spare cores).
+func (m *Metrics) PoolSaturation() {
+	if m != nil {
+		m.poolSaturations.Add(1)
+	}
+}
+
+// Panic counts one handler panic converted to a 500.
+func (m *Metrics) Panic() {
+	if m != nil {
+		m.panics.Add(1)
+	}
+}
+
+// MetricsSnapshot is the serialized form of Metrics — the /metrics
+// response body (expvar-style JSON).
+type MetricsSnapshot struct {
+	Requests        map[string]int64             `json:"requests"`
+	InFlight        int64                        `json:"in_flight"`
+	GovernorTrips   int64                        `json:"governor_trips"`
+	PoolSaturations int64                        `json:"pool_saturations"`
+	Panics          int64                        `json:"panics"`
+	Latency         map[string]HistogramSnapshot `json:"latency"`
+}
+
+// Snapshot copies the registry into a plain, serializable value.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Requests: make(map[string]int64, len(m.codes)+1),
+		Latency:  make(map[string]HistogramSnapshot, len(m.latency)),
+	}
+	for code, c := range m.codes {
+		s.Requests[itoa(code)] = c.Load()
+	}
+	if other := m.codesOther.Load(); other > 0 {
+		s.Requests["other"] = other
+	}
+	for e, h := range m.latency {
+		s.Latency[e] = h.snapshot()
+	}
+	s.InFlight = m.inFlight.Load()
+	s.GovernorTrips = m.governorTrips.Load()
+	s.PoolSaturations = m.poolSaturations.Load()
+	s.Panics = m.panics.Load()
+	return s
+}
+
+// itoa avoids strconv for the tiny fixed status-code set.
+func itoa(code int) string {
+	buf := [8]byte{}
+	i := len(buf)
+	for code > 0 {
+		i--
+		buf[i] = byte('0' + code%10)
+		code /= 10
+	}
+	return string(buf[i:])
+}

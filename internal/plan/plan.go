@@ -24,7 +24,9 @@ import (
 	"context"
 	"runtime"
 	"sort"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/transform"
@@ -48,6 +50,13 @@ type Options struct {
 	// MinPartition is passed through to the row engine's partitioned
 	// operators (0 = sparql.DefaultMinPartition).
 	MinPartition int
+	// Prof, when non-nil, collects a per-query execution profile: the
+	// evaluator attaches one obs child node per operator under it (see
+	// internal/obs and sparql.EvalRowsProf).  The string-algebra
+	// fallback for patterns wider than sparql.MaxSchemaVars records
+	// only root-level totals.  A nil Prof disables all instrumentation
+	// at the cost of one nil check per operator node.
+	Prof *obs.Node
 }
 
 // DefaultMinParallelEstimate is the default serial/parallel cutover
@@ -107,6 +116,8 @@ func EvalBudget(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget) (*sparql.Mappi
 // the same answer set (differentially tested); the string algebra
 // remains the fallback for patterns wider than sparql.MaxSchemaVars.
 func EvalOpts(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget, o Options) (*sparql.MappingSet, error) {
+	start := time.Now()
+	steps0, rows0, bytes0 := b.Counters()
 	opt := Optimize(g, p)
 	var (
 		rs  *sparql.RowSet
@@ -117,26 +128,42 @@ func EvalOpts(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget, o Options) (*spa
 		rs, ok, err = sparql.EvalRowsParOpts(g, opt, b, sparql.ParOptions{
 			Workers:      workers,
 			MinPartition: o.MinPartition,
+			Prof:         o.Prof,
 		})
 	} else {
-		rs, ok, err = sparql.EvalRowsBudget(g, opt, b)
+		rs, ok, err = sparql.EvalRowsProf(g, opt, b, o.Prof)
+	}
+	recordRoot := func(resultRows int) {
+		if o.Prof == nil {
+			return
+		}
+		o.Prof.AddWall(time.Since(start))
+		steps1, rows1, bytes1 := b.Counters()
+		o.Prof.AddBudget(steps1-steps0, rows1-rows0, bytes1-bytes0)
+		o.Prof.AddRowsOut(int64(resultRows))
 	}
 	if err != nil {
+		recordRoot(0)
 		return nil, err
 	}
 	if ok {
 		if err := b.AddRows(rs.Len()); err != nil {
+			recordRoot(0)
 			return nil, err
 		}
+		recordRoot(rs.Len())
 		return rs.MappingSet(g.Dict()), nil
 	}
 	ms, err := evalOptBudget(g, opt, b) // wider than MaxSchemaVars
 	if err != nil {
+		recordRoot(0)
 		return nil, err
 	}
 	if err := b.AddRows(ms.Len()); err != nil {
+		recordRoot(0)
 		return nil, err
 	}
+	recordRoot(ms.Len())
 	return ms, nil
 }
 

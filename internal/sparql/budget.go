@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 )
 
@@ -83,13 +84,20 @@ func (k BudgetKind) String() string {
 }
 
 // ErrBudgetExceeded reports that a query exhausted one of its resource
-// limits.  Match with errors.As.
+// limits.  Match with errors.As; Kind says which limit tripped and
+// Limit carries its configured value, so the error string alone is
+// enough to tune the envelope ("raise -max-steps" vs "raise -max-rows").
 type ErrBudgetExceeded struct {
-	Kind BudgetKind
+	Kind  BudgetKind
+	Limit int64 // the configured limit that tripped; 0 when unknown
 }
 
 func (e ErrBudgetExceeded) Error() string {
-	return "sparql: query budget exceeded: max " + e.Kind.String()
+	msg := "sparql: query budget exceeded: max " + e.Kind.String()
+	if e.Limit > 0 {
+		msg += " (limit " + strconv.FormatInt(e.Limit, 10) + ")"
+	}
+	return msg
 }
 
 // ErrUnsupportedPattern reports a pattern node outside the algebra the
@@ -212,6 +220,17 @@ func (b *Budget) Steps() int64 {
 	return b.steps.Load()
 }
 
+// Counters reports the resources consumed so far — search steps,
+// result rows and estimated bytes.  Under concurrent evaluation each
+// value is a monotonic snapshot; the profiler diffs two Counters calls
+// to attribute consumption to an operator's wall-clock window.
+func (b *Budget) Counters() (steps, rows, bytes int64) {
+	if b == nil {
+		return 0, 0, 0
+	}
+	return b.steps.Load(), b.rows.Load(), b.bytes.Load()
+}
+
 // Err returns the sticky failure, if any.
 func (b *Budget) Err() error {
 	if b == nil {
@@ -289,7 +308,7 @@ func (b *Budget) check(steps int64) error {
 		return b.fail(b.faultErr)
 	}
 	if b.maxSteps > 0 && steps > b.maxSteps {
-		return b.fail(ErrBudgetExceeded{Kind: BudgetSteps})
+		return b.fail(ErrBudgetExceeded{Kind: BudgetSteps, Limit: b.maxSteps})
 	}
 	if b.ctx != nil {
 		if ce := b.ctx.Err(); ce != nil {
@@ -310,7 +329,7 @@ func (b *Budget) AddRows(n int) error {
 	}
 	r := b.rows.Add(int64(n))
 	if b.maxRows > 0 && r > b.maxRows {
-		return b.fail(ErrBudgetExceeded{Kind: BudgetRows})
+		return b.fail(ErrBudgetExceeded{Kind: BudgetRows, Limit: b.maxRows})
 	}
 	return nil
 }
@@ -326,7 +345,7 @@ func (b *Budget) chargeRow(width int) error {
 	}
 	n := b.bytes.Add(8*int64(width) + 8) // IDs + mask word
 	if n > b.maxBytes {
-		return b.fail(ErrBudgetExceeded{Kind: BudgetMemory})
+		return b.fail(ErrBudgetExceeded{Kind: BudgetMemory, Limit: b.maxBytes})
 	}
 	return nil
 }

@@ -236,3 +236,77 @@ func TestBudgetKindString(t *testing.T) {
 		t.Errorf("unknown kind text: %q", got)
 	}
 }
+
+// TestBudgetErrorCarriesLimit: every tripped limit must surface its
+// configured value in both the typed error and the message, so an
+// operator reading a 503 body knows which knob to raise and from what.
+func TestBudgetErrorCarriesLimit(t *testing.T) {
+	// Steps.
+	b := NewBudget(nil).WithMaxSteps(3)
+	var err error
+	for i := 0; i < 10 && err == nil; i++ {
+		err = b.Step()
+	}
+	var be ErrBudgetExceeded
+	if !errors.As(err, &be) || be.Kind != BudgetSteps || be.Limit != 3 {
+		t.Fatalf("steps: err=%v, want Kind=steps Limit=3", err)
+	}
+	if got := err.Error(); got != "sparql: query budget exceeded: max steps (limit 3)" {
+		t.Errorf("steps text: %q", got)
+	}
+
+	// Rows.
+	b = NewBudget(nil).WithMaxRows(2)
+	err = b.AddRows(5)
+	if !errors.As(err, &be) || be.Kind != BudgetRows || be.Limit != 2 {
+		t.Fatalf("rows: err=%v, want Kind=rows Limit=2", err)
+	}
+	if got := err.Error(); got != "sparql: query budget exceeded: max rows (limit 2)" {
+		t.Errorf("rows text: %q", got)
+	}
+
+	// Memory.  Width 4 → 40 bytes per row; the third row exceeds 100.
+	b = NewBudget(nil).WithMaxBytes(100)
+	err = nil
+	for i := 0; i < 10 && err == nil; i++ {
+		err = b.chargeRow(4)
+	}
+	if !errors.As(err, &be) || be.Kind != BudgetMemory || be.Limit != 100 {
+		t.Fatalf("memory: err=%v, want Kind=memory Limit=100", err)
+	}
+	if got := err.Error(); got != "sparql: query budget exceeded: max memory (limit 100)" {
+		t.Errorf("memory text: %q", got)
+	}
+}
+
+// TestBudgetCounters: the Counters accessor exposes exact consumption
+// snapshots (the profiler's budget-attribution source) and is nil-safe.
+func TestBudgetCounters(t *testing.T) {
+	var nilB *Budget
+	if s, r, by := nilB.Counters(); s != 0 || r != 0 || by != 0 {
+		t.Fatalf("nil budget counters: %d/%d/%d", s, r, by)
+	}
+	// chargeRow only accounts when a byte limit is armed.
+	b := NewBudget(nil).WithMaxBytes(1 << 20)
+	for i := 0; i < 7; i++ {
+		if err := b.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddRows(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.chargeRow(4); err != nil {
+		t.Fatal(err)
+	}
+	steps, rows, bytes := b.Counters()
+	if steps != 7 {
+		t.Errorf("steps=%d, want 7", steps)
+	}
+	if rows != 3 {
+		t.Errorf("rows=%d, want 3", rows)
+	}
+	if bytes != 40 {
+		t.Errorf("bytes=%d, want 40 (width 4 → 8*(4+1))", bytes)
+	}
+}

@@ -5,5 +5,5 @@ package sparql
 
 // MaximalParMin is MaximalParB with a tunable partition threshold.
 func (s *RowSet) MaximalParMin(bud *Budget, workers, minPart int) (*RowSet, error) {
-	return s.maximalParB(bud, newPool(workers-1), minPart)
+	return s.maximalParB(bud, newPool(workers-1), minPart, nil)
 }

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
@@ -58,6 +59,10 @@ type ParOptions struct {
 	// default).  Tests set it to 1 to force partitioned operators on
 	// small inputs.
 	MinPartition int
+	// Prof, when non-nil, collects an execution profile: one child
+	// node per operator, with pool and partition counters on top of
+	// the serial engine's metrics.  See EvalRowsProf.
+	Prof *obs.Node
 }
 
 func (o ParOptions) workers() int {
@@ -131,7 +136,7 @@ func EvalRowsParOpts(g *rdf.Graph, p Pattern, b *Budget, o ParOptions) (*RowSet,
 		return nil, false, nil
 	}
 	if o.workers() <= 1 {
-		rs, err := evalRowsB(g, p, sc, b)
+		rs, err := evalRowsB(g, p, sc, b, o.Prof)
 		if err != nil {
 			return nil, true, err
 		}
@@ -144,7 +149,7 @@ func EvalRowsParOpts(g *rdf.Graph, p Pattern, b *Budget, o ParOptions) (*RowSet,
 		po:      newPool(o.workers() - 1),
 		minPart: o.minPartition(),
 	}
-	rs, err := e.eval(p)
+	rs, err := e.eval(p, o.Prof)
 	if err != nil {
 		return nil, true, err
 	}
@@ -161,7 +166,22 @@ type parEval struct {
 	minPart int
 }
 
-func (e *parEval) eval(p Pattern) (*RowSet, error) {
+// eval attaches a profile node for p under parent and evaluates; the
+// instrumentation wrapper is shared with the serial engine.
+func (e *parEval) eval(p Pattern, parent *obs.Node) (*RowSet, error) {
+	return e.evalInto(p, childNode(parent, p))
+}
+
+// evalInto evaluates p into an already-created profile node — evalBoth
+// creates both operand nodes before fanning out so the profile tree's
+// child order is deterministic (L, R) regardless of scheduling.
+func (e *parEval) evalInto(p Pattern, node *obs.Node) (*RowSet, error) {
+	return evalInstrumented(node, e.b, func() (*RowSet, error) {
+		return e.evalOp(p, node)
+	})
+}
+
+func (e *parEval) evalOp(p Pattern, node *obs.Node) (*RowSet, error) {
 	if err := e.b.Step(); err != nil {
 		return nil, err
 	}
@@ -169,41 +189,52 @@ func (e *parEval) eval(p Pattern) (*RowSet, error) {
 	case TriplePattern:
 		return evalTripleRowsB(e.g, q, e.sc, e.b)
 	case And:
-		l, r, err := e.evalBoth(q.L, q.R)
+		l, r, err := e.evalBoth(q.L, q.R, node)
 		if err != nil {
 			return nil, err
 		}
-		return l.joinParB(r, e.b, e.po, e.minPart)
+		node.AddRowsIn(int64(l.Len() + r.Len()))
+		return l.joinParB(r, e.b, e.po, e.minPart, node)
 	case Union:
-		l, r, err := e.evalBoth(q.L, q.R)
+		l, r, err := e.evalBoth(q.L, q.R, node)
 		if err != nil {
 			return nil, err
 		}
+		node.AddRowsIn(int64(l.Len() + r.Len()))
 		return l.UnionB(r, e.b)
 	case Opt:
-		l, r, err := e.evalBoth(q.L, q.R)
+		l, r, err := e.evalBoth(q.L, q.R, node)
 		if err != nil {
 			return nil, err
 		}
-		return l.leftJoinParB(r, e.b, e.po, e.minPart)
+		node.AddRowsIn(int64(l.Len() + r.Len()))
+		return l.leftJoinParB(r, e.b, e.po, e.minPart, node)
 	case Filter:
-		inner, err := e.eval(q.P)
+		inner, err := e.eval(q.P, node)
 		if err != nil {
 			return nil, err
 		}
+		node.AddRowsIn(int64(inner.Len()))
 		return inner.FilterB(CompileCond(q.Cond, e.sc, e.g.Dict()), e.b)
 	case Select:
-		inner, err := e.eval(q.P)
+		inner, err := e.eval(q.P, node)
 		if err != nil {
 			return nil, err
 		}
+		node.AddRowsIn(int64(inner.Len()))
 		return inner.ProjectB(e.sc.SlotMask(q.Vars), e.b)
 	case NS:
-		inner, err := e.eval(q.P)
+		inner, err := e.eval(q.P, node)
 		if err != nil {
 			return nil, err
 		}
-		return inner.maximalParB(e.b, e.po, e.minPart)
+		node.AddRowsIn(int64(inner.Len()))
+		out, err := inner.maximalParB(e.b, e.po, e.minPart, node)
+		if err != nil {
+			return nil, err
+		}
+		recordNS(node, inner, out)
+		return out, nil
 	default:
 		return nil, ErrUnsupportedPattern{Pattern: p}
 	}
@@ -212,9 +243,13 @@ func (e *parEval) eval(p Pattern) (*RowSet, error) {
 // evalBoth evaluates two sub-patterns, on two goroutines when a worker
 // is free.  It always joins the spawned branch before returning —
 // including on error — so an unwinding evaluation never leaves a
-// worker running behind the caller's back.
-func (e *parEval) evalBoth(pl, pr Pattern) (*RowSet, *RowSet, error) {
+// worker running behind the caller's back.  The pool counters land on
+// node (the binary operator that wanted the fan-out).
+func (e *parEval) evalBoth(pl, pr Pattern, node *obs.Node) (*RowSet, *RowSet, error) {
+	nl := childNode(node, pl)
+	nr := childNode(node, pr)
 	if e.po.tryAcquire() {
+		node.AddPoolAcquired(1)
 		var (
 			r    *RowSet
 			rerr error
@@ -223,9 +258,9 @@ func (e *parEval) evalBoth(pl, pr Pattern) (*RowSet, *RowSet, error) {
 		go func() {
 			defer close(done)
 			defer e.po.release()
-			r, rerr = e.eval(pr)
+			r, rerr = e.evalInto(pr, nr)
 		}()
-		l, lerr := e.eval(pl)
+		l, lerr := e.evalInto(pl, nl)
 		<-done
 		if lerr != nil {
 			return nil, nil, lerr
@@ -235,11 +270,12 @@ func (e *parEval) evalBoth(pl, pr Pattern) (*RowSet, *RowSet, error) {
 		}
 		return l, r, nil
 	}
-	l, err := e.eval(pl)
+	node.AddPoolInline(1)
+	l, err := e.evalInto(pl, nl)
 	if err != nil {
 		return nil, nil, err
 	}
-	r, err := e.eval(pr)
+	r, err := e.evalInto(pr, nr)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -251,8 +287,10 @@ func (e *parEval) evalBoth(pl, pr Pattern) (*RowSet, *RowSet, error) {
 // workers — and returns the per-chunk results in chunk order.  Every
 // spawned worker is joined before parChunks returns (clean drain); the
 // first error in chunk order wins, and with a shared sticky budget all
-// chunks report the same governor error anyway.
-func parChunks[T any](po *pool, n, minChunk int, work func(lo, hi int) (T, error)) ([]T, error) {
+// chunks report the same governor error anyway.  Pool counters land on
+// node: tokens acquired, plus one inline fallback when the operator
+// wanted more workers than the pool had free.
+func parChunks[T any](po *pool, n, minChunk int, node *obs.Node, work func(lo, hi int) (T, error)) ([]T, error) {
 	if minChunk < 1 {
 		minChunk = 1
 	}
@@ -260,6 +298,10 @@ func parChunks[T any](po *pool, n, minChunk int, work func(lo, hi int) (T, error
 	maxWorkers := n / minChunk
 	for workers < maxWorkers && po.tryAcquire() {
 		workers++
+	}
+	node.AddPoolAcquired(int64(workers - 1))
+	if workers < maxWorkers {
+		node.AddPoolInline(1)
 	}
 	if workers == 1 {
 		out, err := work(0, n)
@@ -291,10 +333,13 @@ func parChunks[T any](po *pool, n, minChunk int, work func(lo, hi int) (T, error
 }
 
 // mergeParts folds per-partition RowSets into one through the
-// open-addressed dedup, in partition order.
+// open-addressed dedup, in partition order.  Each partition's own
+// dedup hits fold into the merged set's counter so the operator's
+// profile sees every rejected duplicate, wherever it happened.
 func mergeParts(parts []*RowSet, bud *Budget) (*RowSet, error) {
 	out := parts[0]
 	for _, p := range parts[1:] {
+		out.dedup += p.dedup
 		for i := 0; i < p.Len(); i++ {
 			if err := bud.Step(); err != nil {
 				return nil, err
@@ -312,7 +357,7 @@ func mergeParts(parts []*RowSet, bud *Budget) (*RowSet, error) {
 // caller's goroutine; each worker streams a contiguous chunk of probe
 // rows against it into a private RowSet, and the partitions merge
 // through the shared dedup.  Small or keyless joins stay serial.
-func (s *RowSet) joinParB(t *RowSet, bud *Budget, po *pool, minPart int) (*RowSet, error) {
+func (s *RowSet) joinParB(t *RowSet, bud *Budget, po *pool, minPart int, node *obs.Node) (*RowSet, error) {
 	if s.Len() == 0 || t.Len() == 0 {
 		return NewRowSet(s.Schema), nil
 	}
@@ -325,7 +370,7 @@ func (s *RowSet) joinParB(t *RowSet, bud *Budget, po *pool, minPart int) (*RowSe
 		return s.JoinB(t, bud)
 	}
 	head, next := build.chainIndex(key)
-	parts, err := parChunks(po, probe.Len(), chunkOf(minPart), func(lo, hi int) (*RowSet, error) {
+	parts, err := parChunks(po, probe.Len(), chunkOf(minPart), node, func(lo, hi int) (*RowSet, error) {
 		out := NewRowSet(s.Schema)
 		scratch := make([]rdf.ID, s.Schema.Len())
 		for j := lo; j < hi; j++ {
@@ -350,12 +395,13 @@ func (s *RowSet) joinParB(t *RowSet, bud *Budget, po *pool, minPart int) (*RowSe
 	if err != nil {
 		return nil, err
 	}
+	node.AddPartitions(int64(len(parts)))
 	return mergeParts(parts, bud)
 }
 
 // diffParB is DiffB with the left side partitioned across workers,
 // each probing the shared chain index of t.
-func (s *RowSet) diffParB(t *RowSet, bud *Budget, po *pool, minPart int) (*RowSet, error) {
+func (s *RowSet) diffParB(t *RowSet, bud *Budget, po *pool, minPart int, node *obs.Node) (*RowSet, error) {
 	if s.Len() == 0 {
 		return NewRowSet(s.Schema), nil
 	}
@@ -364,7 +410,7 @@ func (s *RowSet) diffParB(t *RowSet, bud *Budget, po *pool, minPart int) (*RowSe
 		return s.DiffB(t, bud)
 	}
 	head, next := t.chainIndex(key)
-	parts, err := parChunks(po, s.Len(), chunkOf(minPart), func(lo, hi int) (*RowSet, error) {
+	parts, err := parChunks(po, s.Len(), chunkOf(minPart), node, func(lo, hi int) (*RowSet, error) {
 		out := NewRowSet(s.Schema)
 		for i := lo; i < hi; i++ {
 			a, am := s.RowIDs(i), s.masks[i]
@@ -392,18 +438,19 @@ func (s *RowSet) diffParB(t *RowSet, bud *Budget, po *pool, minPart int) (*RowSe
 	if err != nil {
 		return nil, err
 	}
+	node.AddPartitions(int64(len(parts)))
 	return mergeParts(parts, bud)
 }
 
 // leftJoinParB is Ω1 ⟕ Ω2 with both halves partitioned.  The Join
 // half often indexes t with the same key the Diff half needs, so the
 // receiver-cached chain index is built once for both.
-func (s *RowSet) leftJoinParB(t *RowSet, bud *Budget, po *pool, minPart int) (*RowSet, error) {
-	j, err := s.joinParB(t, bud, po, minPart)
+func (s *RowSet) leftJoinParB(t *RowSet, bud *Budget, po *pool, minPart int, node *obs.Node) (*RowSet, error) {
+	j, err := s.joinParB(t, bud, po, minPart, node)
 	if err != nil {
 		return nil, err
 	}
-	d, err := s.diffParB(t, bud, po, minPart)
+	d, err := s.diffParB(t, bud, po, minPart, node)
 	if err != nil {
 		return nil, err
 	}
@@ -435,10 +482,10 @@ func (s *RowSet) MaximalPar(workers int) *RowSet {
 // output order identical to the serial algorithm's.
 func (s *RowSet) MaximalParB(bud *Budget, workers int) (*RowSet, error) {
 	o := ParOptions{Workers: workers}
-	return s.maximalParB(bud, newPool(o.workers()-1), DefaultMinPartition)
+	return s.maximalParB(bud, newPool(o.workers()-1), DefaultMinPartition, nil)
 }
 
-func (s *RowSet) maximalParB(bud *Budget, po *pool, minPart int) (*RowSet, error) {
+func (s *RowSet) maximalParB(bud *Budget, po *pool, minPart int, node *obs.Node) (*RowSet, error) {
 	if po == nil || s.Len() < minPart {
 		return s.MaximalB(bud)
 	}
@@ -474,7 +521,7 @@ func (s *RowSet) maximalParB(bud *Budget, po *pool, minPart int) (*RowSet, error
 	// Shard the buckets: each worker hunts subsumption for a chunk of
 	// buckets, reading the shared bucket map and rows (no writes) and
 	// collecting its own dead-row list.
-	deadParts, err := parChunks(po, len(order), 1, func(lo, hi int) ([]int32, error) {
+	deadParts, err := parChunks(po, len(order), 1, node, func(lo, hi int) ([]int32, error) {
 		var dead []int32
 		for _, m := range order[lo:hi] {
 			b := buckets[m]
@@ -511,6 +558,7 @@ func (s *RowSet) maximalParB(bud *Budget, po *pool, minPart int) (*RowSet, error
 	if err != nil {
 		return nil, err
 	}
+	node.AddPartitions(int64(len(deadParts)))
 	// Cross-shard sweep: merge the shards' dead lists and emit the
 	// survivors in row order (the serial algorithm's order).
 	dead := make([]bool, s.Len())

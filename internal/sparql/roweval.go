@@ -1,6 +1,10 @@
 package sparql
 
 import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
@@ -26,15 +30,110 @@ func EvalRows(g *rdf.Graph, p Pattern) (*RowSet, bool) {
 // ErrBudgetExceeded) as soon as the governor trips.  Malformed plans
 // surface as ErrUnsupportedPattern instead of panicking.
 func EvalRowsBudget(g *rdf.Graph, p Pattern, b *Budget) (*RowSet, bool, error) {
+	return EvalRowsProf(g, p, b, nil)
+}
+
+// EvalRowsProf is EvalRowsBudget with an execution profile: when prof
+// is non-nil, evaluation attaches one child node per operator of the
+// pattern tree under it, recording wall time, rows in/out, dedup hits,
+// NS pruning per mask bucket, and budget consumption.  A nil prof is
+// exactly EvalRowsBudget — the instrumentation costs one nil check per
+// operator node, nothing per row.
+func EvalRowsProf(g *rdf.Graph, p Pattern, b *Budget, prof *obs.Node) (*RowSet, bool, error) {
 	sc, ok := SchemaFor(p)
 	if !ok {
 		return nil, false, nil
 	}
-	rs, err := evalRowsB(g, p, sc, b)
+	rs, err := evalRowsB(g, p, sc, b, prof)
 	if err != nil {
 		return nil, true, err
 	}
 	return rs, true, nil
+}
+
+// opName maps a pattern node to its profile operator name and detail.
+// Only triples carry a detail (their pattern text): inner nodes are
+// identified by tree position, and repeating whole sub-pattern strings
+// would bloat every profile response.
+func opName(p Pattern) (op, detail string) {
+	switch q := p.(type) {
+	case TriplePattern:
+		return "triple", q.String()
+	case And:
+		return "and", ""
+	case Union:
+		return "union", ""
+	case Opt:
+		return "opt", ""
+	case Filter:
+		return "filter", ""
+	case Select:
+		return "select", ""
+	case NS:
+		return "ns", ""
+	}
+	return fmt.Sprintf("%T", p), ""
+}
+
+// childNode attaches a profile node for pattern p under parent (nil in,
+// nil out: the uninstrumented path never allocates).
+func childNode(parent *obs.Node, p Pattern) *obs.Node {
+	if parent == nil {
+		return nil
+	}
+	op, detail := opName(p)
+	return parent.Child(op, detail)
+}
+
+// evalInstrumented wraps one operator evaluation with the profile
+// counters common to the serial and parallel engines: wall time and
+// budget deltas over the call's window, then rows out and dedup hits of
+// the result.  Budget deltas include the children evaluated inside the
+// window (see obs.Node.AddBudget); the root node's totals are exact.
+func evalInstrumented(node *obs.Node, b *Budget, eval func() (*RowSet, error)) (*RowSet, error) {
+	if node == nil {
+		return eval()
+	}
+	start := time.Now()
+	steps0, rows0, bytes0 := b.Counters()
+	rs, err := eval()
+	node.AddWall(time.Since(start))
+	steps1, rows1, bytes1 := b.Counters()
+	node.AddBudget(steps1-steps0, rows1-rows0, bytes1-bytes0)
+	if err != nil {
+		return nil, err
+	}
+	node.AddRowsOut(int64(rs.Len()))
+	node.AddDedupHits(rs.DedupHits())
+	return rs, nil
+}
+
+// recordNS attributes an NS operator's pruning to its profile node:
+// total candidates vs survivors, plus the per-presence-mask breakdown
+// (survivors are a subset of candidates, so every survivor mask has a
+// candidate bucket).
+func recordNS(node *obs.Node, in, out *RowSet) {
+	if node == nil {
+		return
+	}
+	node.AddNS(int64(in.Len()), int64(out.Len()))
+	type cs struct{ c, s int64 }
+	buckets := make(map[uint64]*cs)
+	for i := 0; i < in.Len(); i++ {
+		m := in.masks[i]
+		b := buckets[m]
+		if b == nil {
+			b = &cs{}
+			buckets[m] = b
+		}
+		b.c++
+	}
+	for i := 0; i < out.Len(); i++ {
+		buckets[out.masks[i]].s++
+	}
+	for m, b := range buckets {
+		node.AddNSBucket(m, b.c, b.s)
+	}
 }
 
 // EvalRowEngine evaluates with the row engine and decodes at the
@@ -50,8 +149,19 @@ func EvalRowEngine(g *rdf.Graph, p Pattern) *MappingSet {
 
 // evalRowsB is the bottom-up evaluator over rows; every sub-result uses
 // the same query-wide schema, and every operator runs its budgeted
-// variant so a hostile sub-pattern cannot outrun the governor.
-func evalRowsB(g *rdf.Graph, p Pattern, sc *VarSchema, b *Budget) (*RowSet, error) {
+// variant so a hostile sub-pattern cannot outrun the governor.  parent
+// is the enclosing profile node (nil disables instrumentation).
+func evalRowsB(g *rdf.Graph, p Pattern, sc *VarSchema, b *Budget, parent *obs.Node) (*RowSet, error) {
+	node := childNode(parent, p)
+	return evalInstrumented(node, b, func() (*RowSet, error) {
+		return evalRowsOp(g, p, sc, b, node)
+	})
+}
+
+// evalRowsOp dispatches one operator, recursing through evalRowsB so
+// the children attach under node.  Rows-in is the operand total fed to
+// the operator (its own output is recorded by the wrapper).
+func evalRowsOp(g *rdf.Graph, p Pattern, sc *VarSchema, b *Budget, node *obs.Node) (*RowSet, error) {
 	if err := b.Step(); err != nil {
 		return nil, err
 	}
@@ -59,53 +169,64 @@ func evalRowsB(g *rdf.Graph, p Pattern, sc *VarSchema, b *Budget) (*RowSet, erro
 	case TriplePattern:
 		return evalTripleRowsB(g, q, sc, b)
 	case And:
-		l, err := evalRowsB(g, q.L, sc, b)
+		l, err := evalRowsB(g, q.L, sc, b, node)
 		if err != nil {
 			return nil, err
 		}
-		r, err := evalRowsB(g, q.R, sc, b)
+		r, err := evalRowsB(g, q.R, sc, b, node)
 		if err != nil {
 			return nil, err
 		}
+		node.AddRowsIn(int64(l.Len() + r.Len()))
 		return l.JoinB(r, b)
 	case Union:
-		l, err := evalRowsB(g, q.L, sc, b)
+		l, err := evalRowsB(g, q.L, sc, b, node)
 		if err != nil {
 			return nil, err
 		}
-		r, err := evalRowsB(g, q.R, sc, b)
+		r, err := evalRowsB(g, q.R, sc, b, node)
 		if err != nil {
 			return nil, err
 		}
+		node.AddRowsIn(int64(l.Len() + r.Len()))
 		return l.UnionB(r, b)
 	case Opt:
-		l, err := evalRowsB(g, q.L, sc, b)
+		l, err := evalRowsB(g, q.L, sc, b, node)
 		if err != nil {
 			return nil, err
 		}
-		r, err := evalRowsB(g, q.R, sc, b)
+		r, err := evalRowsB(g, q.R, sc, b, node)
 		if err != nil {
 			return nil, err
 		}
+		node.AddRowsIn(int64(l.Len() + r.Len()))
 		return l.LeftJoinB(r, b)
 	case Filter:
-		inner, err := evalRowsB(g, q.P, sc, b)
+		inner, err := evalRowsB(g, q.P, sc, b, node)
 		if err != nil {
 			return nil, err
 		}
+		node.AddRowsIn(int64(inner.Len()))
 		return inner.FilterB(CompileCond(q.Cond, sc, g.Dict()), b)
 	case Select:
-		inner, err := evalRowsB(g, q.P, sc, b)
+		inner, err := evalRowsB(g, q.P, sc, b, node)
 		if err != nil {
 			return nil, err
 		}
+		node.AddRowsIn(int64(inner.Len()))
 		return inner.ProjectB(sc.SlotMask(q.Vars), b)
 	case NS:
-		inner, err := evalRowsB(g, q.P, sc, b)
+		inner, err := evalRowsB(g, q.P, sc, b, node)
 		if err != nil {
 			return nil, err
 		}
-		return inner.MaximalB(b)
+		node.AddRowsIn(int64(inner.Len()))
+		out, err := inner.MaximalB(b)
+		if err != nil {
+			return nil, err
+		}
+		recordNS(node, inner, out)
+		return out, nil
 	default:
 		return nil, ErrUnsupportedPattern{Pattern: p}
 	}

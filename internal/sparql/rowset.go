@@ -31,6 +31,12 @@ type RowSet struct {
 	idxRows int
 	idxHead map[uint64]int32
 	idxNext []int32
+
+	// dedup counts Add calls rejected as duplicates — the rows the
+	// open-addressed table saved downstream operators from reprocessing.
+	// Plain (not atomic): a RowSet is single-writer by contract, and the
+	// parallel engine's partition merge folds partition counts in.
+	dedup int64
 }
 
 // NewRowSet returns an empty set of rows over the schema.
@@ -96,6 +102,7 @@ func (s *RowSet) Add(ids []rdf.ID, mask uint64) bool {
 			break
 		}
 		if rowsEqual(s.RowIDs(int(j)), s.masks[j], ids, mask) {
+			s.dedup++
 			return false
 		}
 		i = (i + 1) & m
@@ -108,6 +115,15 @@ func (s *RowSet) Add(ids []rdf.ID, mask uint64) bool {
 
 // AddRow inserts r; it reports whether the row was new.
 func (s *RowSet) AddRow(r Row) bool { return s.Add(r.IDs, r.Mask) }
+
+// DedupHits reports how many Add calls were rejected as duplicates over
+// the set's lifetime.
+func (s *RowSet) DedupHits() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.dedup
+}
 
 // Contains reports whether the row (ids, mask) is in the set.
 func (s *RowSet) Contains(ids []rdf.ID, mask uint64) bool {

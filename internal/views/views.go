@@ -34,7 +34,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
@@ -94,8 +96,34 @@ func (v *View) InsertCtx(ctx context.Context, triples ...rdf.Triple) (int, error
 // half-maintained state.  The returned error is the budget's typed
 // error.
 func (v *View) InsertBudget(b *sparql.Budget, triples ...rdf.Triple) (int, error) {
+	return v.InsertObserved(b, nil, triples...)
+}
+
+// InsertObserved is InsertBudget with an execution profile: when prof
+// is non-nil, a "view-insert" node is attached under it recording the
+// delta size (rows in), the new output triples (rows out), wall time,
+// and budget consumption of the delta evaluation.
+func (v *View) InsertObserved(b *sparql.Budget, prof *obs.Node, triples ...rdf.Triple) (int, error) {
 	if err := b.Err(); err != nil {
 		return 0, err // a poisoned budget fails before mutating the base
+	}
+	var node *obs.Node
+	var start time.Time
+	var steps0, rows0, bytes0 int64
+	if prof != nil {
+		node = prof.Child("view-insert", "")
+		start = time.Now()
+		steps0, rows0, bytes0 = b.Counters()
+	}
+	finish := func(deltaLen, added int) {
+		if node == nil {
+			return
+		}
+		node.AddWall(time.Since(start))
+		steps1, rows1, bytes1 := b.Counters()
+		node.AddBudget(steps1-steps0, rows1-rows0, bytes1-bytes0)
+		node.AddRowsIn(int64(deltaLen))
+		node.AddRowsOut(int64(added))
 	}
 	var delta []rdf.Triple
 	for _, t := range triples {
@@ -104,6 +132,7 @@ func (v *View) InsertBudget(b *sparql.Budget, triples ...rdf.Triple) (int, error
 		}
 	}
 	if len(delta) == 0 {
+		finish(0, 0)
 		return 0, nil
 	}
 	newAnswers, err := v.deltaAnswers(delta, b)
@@ -113,6 +142,7 @@ func (v *View) InsertBudget(b *sparql.Budget, triples ...rdf.Triple) (int, error
 		for _, t := range delta {
 			v.base.Remove(t.S, t.P, t.O)
 		}
+		finish(len(delta), 0)
 		return 0, err
 	}
 	added := 0
@@ -125,6 +155,7 @@ func (v *View) InsertBudget(b *sparql.Budget, triples ...rdf.Triple) (int, error
 			}
 		}
 	}
+	finish(len(delta), added)
 	return added, nil
 }
 
