@@ -39,6 +39,8 @@ bench-smoke:
 		go run ./cmd/nsbench -json -run E17 \
 		| jq -es 'length > 0 and all(.[]; has("experiment") and has("name") and has("ns_per_op") and has("allocs_per_op") and has("bytes_per_op"))' > /dev/null \
 		|| { echo "nsbench -json output malformed" >&2; exit 1; }; \
+		jq -es '[.[] | select(.experiment == "E25")] | length >= 15 and ([.[] | select(.experiment == "E25" and .name == "join-merge")] | length >= 1) and ([.[] | select(.experiment == "E25" and .name == "join-hash")] | length >= 1)' BENCH_rowengine.json > /dev/null \
+		|| { echo "BENCH_rowengine.json missing E25 storage-ablation rows" >&2; exit 1; }; \
 	else \
 		echo "jq not installed; skipping bench smoke" >&2; \
 	fi
@@ -66,9 +68,15 @@ obs-smoke:
 			--data-urlencode 'profile=1' http://127.0.0.1:18321/query \
 		| jq -e '.profile.op == "query" and .profile.rows_out == 2 and (.profile.children | length > 0)' > /dev/null \
 		|| { echo "obs-smoke: profile=1 block malformed" >&2; exit 1; }; \
+		curl -sfG --data-urlencode 'q=SELECT ?x ?y WHERE { ?x p ?y }' \
+			--data-urlencode 'profile=1' http://127.0.0.1:18321/query > /dev/null \
+		|| { echo "obs-smoke: repeat query failed" >&2; exit 1; }; \
 		curl -sf http://127.0.0.1:18321/metrics \
 		| jq -e '.requests["200"] >= 2 and .in_flight == 0 and .latency.query.count >= 1 and .governor_trips == 0' > /dev/null \
 		|| { echo "obs-smoke: /metrics malformed" >&2; exit 1; }; \
+		curl -sf http://127.0.0.1:18321/metrics \
+		| jq -e '.plan_cache.hits >= 1 and .plan_cache.misses >= 1 and .store.triples == 2 and .store.epoch >= 2' > /dev/null \
+		|| { echo "obs-smoke: plan-cache/store counters missing" >&2; exit 1; }; \
 		kill $$pid; \
 	else \
 		echo "jq not installed; skipping obs smoke" >&2; \

@@ -60,6 +60,9 @@ func TestJSONBenchRegistry(t *testing.T) {
 	if byExp["E20"] < 9 { // reference, planner-string, planner-rows × three queries
 		t.Errorf("E20 has %d JSON benchmarks, want >= 9", byExp["E20"])
 	}
+	if byExp["E25"] < 15 { // nested/sorted/count × four scan shapes, linear, join-merge, join-hash
+		t.Errorf("E25 has %d JSON benchmarks, want >= 15", byExp["E25"])
+	}
 	row := benchRow{Experiment: "E17", Name: "maximal-rows",
 		Params: map[string]interface{}{"n": 200}, NsPerOp: 1.5, AllocsPerOp: 2, BytesPerOp: 3}
 	buf, err := json.Marshal(row)

@@ -16,7 +16,9 @@
 //	GET  /healthz      {"status": "ok", "version": ..., "go": ..., "triples": N} — liveness, lock-free
 //	GET  /metrics      process metrics as JSON: request counts by status,
 //	                   per-endpoint latency histograms, in-flight gauge,
-//	                   governor-trip / pool-saturation / panic counters
+//	                   governor-trip / pool-saturation / panic counters,
+//	                   triple-store index stats and plan-cache hit/miss
+//	                   counters
 //	GET  /debug/pprof  Go profiling endpoints (only with -pprof)
 //
 // The default query syntax is the W3C-style surface syntax; pass
@@ -54,6 +56,10 @@
 //     engine (0 = GOMAXPROCS, 1 = serial).  All workers of one query
 //     share its governor, so the limits above bound the query as a
 //     whole regardless of the worker count.
+//   - -plan-cache bounds the LRU parse/plan cache (entries; 0
+//     disables).  Entries are keyed by (query text, graph epoch) and
+//     the epoch bumps on every insert, so a cached plan is never
+//     served against contents it was not prepared for.
 //
 // Engine panics are converted to 500s without killing the process, and
 // SIGINT/SIGTERM drains in-flight requests for up to -drain-timeout
@@ -101,6 +107,8 @@ func main() {
 			"per-query result row budget; exceeding it gets 503 (0 = unlimited)")
 		parallel = flag.Int("parallel", 0,
 			"workers per query for the parallel row engine (0 = GOMAXPROCS, 1 = serial)")
+		planCacheSize = flag.Int("plan-cache", 256,
+			"parse/plan cache capacity in entries, keyed by (query, graph epoch); 0 disables")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second,
 			"how long to drain in-flight requests on SIGINT/SIGTERM")
 		logLevel = flag.String("log-level", "info",
@@ -136,6 +144,7 @@ func main() {
 	cfg.maxSteps = *maxSteps
 	cfg.maxRows = *maxRows
 	cfg.parallel = *parallel
+	cfg.planCache = *planCacheSize
 	cfg.pprof = *pprofFlag
 	cfg.logger = logger
 

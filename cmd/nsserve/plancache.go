@@ -1,0 +1,116 @@
+package main
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/sparql"
+)
+
+// cachedPlan is one parsed-and-prepared query, ready to execute: the
+// dispatch shape (ASK / CONSTRUCT / SELECT) plus the optimized plan.
+// For CONSTRUCT the prepared plan covers the WHERE pattern and the
+// template rides along verbatim.
+type cachedPlan struct {
+	isAsk     bool
+	construct *sparql.ConstructQuery
+	prepared  plan.Prepared
+}
+
+// planCache is a bounded LRU of cachedPlans keyed by
+// (syntax, query text, graph epoch).  Because the epoch is part of the
+// key and every successful insert bumps it (rdf.Graph.Epoch), a cached
+// plan can never be served against graph contents it was not prepared
+// for — stale entries simply stop being hit and age out through the
+// LRU.  A nil *planCache (capacity 0, the -plan-cache 0 case) is valid
+// and caches nothing.
+//
+// Hit/miss/eviction counters are atomic so /metrics can read them
+// without the cache mutex; size takes the mutex briefly (never the
+// graph lock).
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	lru *list.List // front = most recently used; values are *planEntry
+	m   map[string]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type planEntry struct {
+	key string
+	cp  *cachedPlan
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &planCache{
+		cap: capacity,
+		lru: list.New(),
+		m:   make(map[string]*list.Element, capacity),
+	}
+}
+
+func planKey(syntax, qText string, epoch uint64) string {
+	return syntax + "\x00" + qText + "\x00" + strconv.FormatUint(epoch, 10)
+}
+
+func (c *planCache) get(key string) (*cachedPlan, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*planEntry).cp, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+func (c *planCache) put(key string, cp *cachedPlan) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		// Concurrent misses on one key both prepare; last writer wins.
+		el.Value.(*planEntry).cp = cp
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.lru.PushFront(&planEntry{key: key, cp: cp})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.m, back.Value.(*planEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+func (c *planCache) stats() *obs.PlanCacheStats {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	size := c.lru.Len()
+	c.mu.Unlock()
+	return &obs.PlanCacheStats{
+		Size:      int64(size),
+		Capacity:  int64(c.cap),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// cacheTestServer spins up a server with a given plan-cache capacity
+// over a small fixed graph.
+func cacheTestServer(t *testing.T, capacity int) *httptest.Server {
+	t.Helper()
+	g := rdf.FromTriples(
+		rdf.T("juan", "was_born_in", "chile"),
+		rdf.T("ana", "was_born_in", "chile"),
+	)
+	return governedTestServer(t, g, func(c *config) { c.planCache = capacity })
+}
+
+func queryOK(t *testing.T, ts *httptest.Server, q string) string {
+	t.Helper()
+	resp, body := get(t, ts, "/query?q="+url.QueryEscape(q))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query %q: status %d, body %s", q, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestPlanCacheHitMissCounters: a repeated query hits the cache, the
+// /metrics plan_cache block accounts for it, and the cached plan
+// produces the same answers as the fresh one.
+func TestPlanCacheHitMissCounters(t *testing.T) {
+	ts := cacheTestServer(t, 16)
+	const q = "SELECT ?x WHERE { ?x was_born_in chile }"
+	first := queryOK(t, ts, q)
+	second := queryOK(t, ts, q)
+	if first != second {
+		t.Fatalf("cached plan changed the answer:\nfirst: %s\nsecond:%s", first, second)
+	}
+	pc := fetchMetrics(t, ts).PlanCache
+	if pc == nil {
+		t.Fatal("/metrics has no plan_cache block with the cache enabled")
+	}
+	if pc.Misses < 1 || pc.Hits < 1 {
+		t.Fatalf("plan cache counters: %+v, want >=1 miss and >=1 hit", pc)
+	}
+	if pc.Size != 1 || pc.Capacity != 16 {
+		t.Fatalf("plan cache size/capacity: %+v", pc)
+	}
+	// Same text under the other syntax is a distinct key.
+	resp, _ := get(t, ts, "/query?syntax=paper&q="+url.QueryEscape("(?x was_born_in chile)"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("paper-syntax query failed: %d", resp.StatusCode)
+	}
+	if pc2 := fetchMetrics(t, ts).PlanCache; pc2.Size != 2 {
+		t.Fatalf("paper-syntax query did not get its own entry: %+v", pc2)
+	}
+}
+
+// TestPlanCacheEpochInvalidation: an insert bumps the graph epoch, so
+// the same query text misses the cache afterwards and sees the new
+// triple — a cached plan is never served against contents it was not
+// prepared for.
+func TestPlanCacheEpochInvalidation(t *testing.T) {
+	ts := cacheTestServer(t, 16)
+	const q = "SELECT ?x WHERE { ?x was_born_in chile }"
+	if body := queryOK(t, ts, q); strings.Contains(body, "maria") {
+		t.Fatalf("maria before insert: %s", body)
+	}
+	epoch0 := fetchMetrics(t, ts).Store.Epoch
+	misses0 := fetchMetrics(t, ts).PlanCache.Misses
+
+	resp, err := http.Post(ts.URL+"/insert", "text/plain", strings.NewReader("maria was_born_in chile .\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+
+	if body := queryOK(t, ts, q); !strings.Contains(body, "maria") {
+		t.Fatalf("stale answers served after insert: %s", body)
+	}
+	snap := fetchMetrics(t, ts)
+	if snap.Store.Epoch <= epoch0 {
+		t.Fatalf("store epoch did not advance on insert: %d -> %d", epoch0, snap.Store.Epoch)
+	}
+	if snap.PlanCache.Misses <= misses0 {
+		t.Fatalf("post-insert query did not miss the cache: misses %d -> %d",
+			misses0, snap.PlanCache.Misses)
+	}
+}
+
+// TestPlanCacheEviction: with capacity 2, a third distinct query evicts
+// the least recently used entry.
+func TestPlanCacheEviction(t *testing.T) {
+	ts := cacheTestServer(t, 2)
+	for i := 0; i < 3; i++ {
+		queryOK(t, ts, fmt.Sprintf("SELECT ?x%d WHERE { ?x%d was_born_in chile }", i, i))
+	}
+	pc := fetchMetrics(t, ts).PlanCache
+	if pc.Evictions < 1 {
+		t.Fatalf("no evictions at capacity 2 after 3 distinct queries: %+v", pc)
+	}
+	if pc.Size > 2 {
+		t.Fatalf("cache size %d exceeds capacity 2", pc.Size)
+	}
+}
+
+// TestPlanCacheDisabled: -plan-cache 0 serves queries uncached and
+// omits the plan_cache block from /metrics.
+func TestPlanCacheDisabled(t *testing.T) {
+	ts := cacheTestServer(t, 0)
+	const q = "SELECT ?x WHERE { ?x was_born_in chile }"
+	a := queryOK(t, ts, q)
+	b := queryOK(t, ts, q)
+	if a != b {
+		t.Fatalf("uncached answers differ:\n%s\n%s", a, b)
+	}
+	if pc := fetchMetrics(t, ts).PlanCache; pc != nil {
+		t.Fatalf("/metrics reports a plan_cache block with the cache disabled: %+v", pc)
+	}
+}
+
+// TestPlanCacheParseErrorsNotCached: malformed queries 400 every time
+// and never occupy a cache slot.
+func TestPlanCacheParseErrorsNotCached(t *testing.T) {
+	ts := cacheTestServer(t, 16)
+	for i := 0; i < 2; i++ {
+		resp, _ := get(t, ts, "/query?q="+url.QueryEscape("SELECT WHERE {{{"))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("attempt %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+	pc := fetchMetrics(t, ts).PlanCache
+	if pc.Size != 0 {
+		t.Fatalf("parse failures were cached: %+v", pc)
+	}
+	if pc.Misses < 2 {
+		t.Fatalf("expected >=2 misses from repeated parse failures: %+v", pc)
+	}
+}
+
+// TestPlanCacheGovernorTrip: a governor-tripped query still flows
+// through the cache — the plan is cached at parse time, the second
+// attempt is a cache hit, and both trip the step budget identically.
+func TestPlanCacheGovernorTrip(t *testing.T) {
+	g := chainGraph(300)
+	ts := governedTestServer(t, g, func(c *config) {
+		c.planCache = 16
+		c.maxSteps = 10
+	})
+	q := "SELECT ?a ?b WHERE { ?a p ?b . ?b p ?c . ?c p ?d }"
+	for i := 0; i < 2; i++ {
+		resp, body := get(t, ts, "/query?q="+url.QueryEscape(q))
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("attempt %d: status %d (want 503), body %s", i, resp.StatusCode, body)
+		}
+	}
+	pc := fetchMetrics(t, ts).PlanCache
+	if pc.Hits < 1 {
+		t.Fatalf("tripped query did not hit the cached plan on retry: %+v", pc)
+	}
+}

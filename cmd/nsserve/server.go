@@ -35,6 +35,7 @@ type config struct {
 	maxSteps       int64         // per-query engine step budget (0 = unlimited)
 	maxRows        int64         // per-query result row budget (0 = unlimited)
 	parallel       int           // workers per query (0 = GOMAXPROCS, 1 = serial)
+	planCache      int           // parse/plan cache capacity in entries (0 = disabled)
 	pprof          bool          // expose /debug/pprof (opt-in: it leaks host internals)
 	logger         *slog.Logger  // structured logger; nil = slog.Default()
 
@@ -50,6 +51,7 @@ func defaultConfig() config {
 		queryTimeout:   30 * time.Second,
 		maxConcurrent:  64,
 		maxInsertBytes: 16 << 20,
+		planCache:      256,
 		logger:         slog.Default(),
 	}
 }
@@ -63,10 +65,12 @@ type server struct {
 	graph *rdf.Graph
 	cfg   config
 	sem   chan struct{} // nil: unlimited concurrency
+	plans *planCache    // nil: caching disabled
 
-	metrics *obs.Metrics
-	triples atomic.Int64  // lock-free mirror of graph.Len() for /healthz
-	qid     atomic.Uint64 // per-request query-ID generator
+	metrics    *obs.Metrics
+	triples    atomic.Int64                   // lock-free mirror of graph.Len() for /healthz
+	storeStats atomic.Pointer[obs.StoreStats] // lock-free mirror of graph.Stats() for /metrics
+	qid        atomic.Uint64                  // per-request query-ID generator
 }
 
 // newServer returns the HTTP handler for a graph with the default
@@ -81,8 +85,9 @@ func newServerWith(g *rdf.Graph, cfg config) http.Handler {
 	if cfg.logger == nil {
 		cfg.logger = slog.Default()
 	}
-	s := &server{graph: g, cfg: cfg, metrics: obs.NewMetrics()}
+	s := &server{graph: g, cfg: cfg, metrics: obs.NewMetrics(), plans: newPlanCache(cfg.planCache)}
 	s.triples.Store(int64(g.Len()))
+	s.refreshStoreStats()
 	if cfg.maxConcurrent > 0 {
 		s.sem = make(chan struct{}, cfg.maxConcurrent)
 	}
@@ -300,26 +305,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	syntax := r.URL.Query().Get("syntax")
 	wantProfile := r.URL.Query().Get("profile") == "1"
 
-	var pattern sparql.Pattern
-	var construct *sparql.ConstructQuery
-	var isAsk bool
-	switch syntax {
-	case "", "sparql":
-		sq, err := parser.ParseSPARQL(qText)
-		if err != nil {
-			http.Error(w, "parse error: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		pattern, construct, isAsk = sq.Pattern, sq.Construct, sq.Ask
-	case "paper":
-		q, err := parser.ParseQuery(qText)
-		if err != nil {
-			http.Error(w, "parse error: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		pattern, construct = q.Pattern, q.Construct
-	default:
-		http.Error(w, "unknown syntax "+syntax, http.StatusBadRequest)
+	// Parse and prepare under the read lock: preparation reads the
+	// graph's index counts, and the cache key's epoch must describe the
+	// same contents the query will run against.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cp, errMsg := s.lookupPlan(syntax, qText)
+	if errMsg != "" {
+		http.Error(w, errMsg, http.StatusBadRequest)
 		return
 	}
 
@@ -358,11 +351,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Prof:                prof,
 	}
 
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	switch {
-	case isAsk:
-		ok, err := exec.AskOpts(s.graph, pattern, bud, opts)
+	case cp.isAsk:
+		ok, err := exec.AskPreparedOpts(s.graph, cp.prepared, bud, opts)
 		if err != nil {
 			s.writeEngineError(w, r, err)
 			return
@@ -373,8 +364,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "application/sparql-results+json")
 		s.encode(w, r, doc)
-	case construct != nil:
-		out, err := plan.EvalConstructOpts(s.graph, *construct, bud, opts)
+	case cp.construct != nil:
+		out, err := plan.EvalConstructPreparedOpts(s.graph, cp.prepared, cp.construct.Template, bud, opts)
 		if err != nil {
 			s.writeEngineError(w, r, err)
 			return
@@ -385,7 +376,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		rdf.WriteGraph(w, out)
 	default:
-		res, err := plan.EvalOpts(s.graph, pattern, bud, opts)
+		res, err := plan.EvalPreparedOpts(s.graph, cp.prepared, bud, opts)
 		if err != nil {
 			s.writeEngineError(w, r, err)
 			return
@@ -418,6 +409,69 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/sparql-results+json")
 		s.encode(w, r, doc)
 	}
+}
+
+// lookupPlan resolves a query to an executable plan through the plan
+// cache: a hit skips both the parse and the optimizer, a miss parses,
+// prepares against the current graph and caches the result.  Called
+// with the read lock held (the prepare pass reads index counts and the
+// epoch in the key must match the contents).  Parse failures are
+// returned as a message for a 400 and are never cached.
+func (s *server) lookupPlan(syntax, qText string) (*cachedPlan, string) {
+	var key string
+	if s.plans != nil {
+		key = planKey(syntax, qText, s.graph.Epoch())
+		if cp, ok := s.plans.get(key); ok {
+			return cp, ""
+		}
+	}
+	cp := &cachedPlan{}
+	switch syntax {
+	case "", "sparql":
+		sq, err := parser.ParseSPARQL(qText)
+		if err != nil {
+			return nil, "parse error: " + err.Error()
+		}
+		if sq.Construct != nil {
+			cp.construct = sq.Construct
+			cp.prepared = plan.Prepare(s.graph, sq.Construct.Where)
+		} else {
+			cp.isAsk = sq.Ask
+			cp.prepared = plan.Prepare(s.graph, sq.Pattern)
+		}
+	case "paper":
+		q, err := parser.ParseQuery(qText)
+		if err != nil {
+			return nil, "parse error: " + err.Error()
+		}
+		if q.Construct != nil {
+			cp.construct = q.Construct
+			cp.prepared = plan.Prepare(s.graph, q.Construct.Where)
+		} else {
+			cp.prepared = plan.Prepare(s.graph, q.Pattern)
+		}
+	default:
+		return nil, "unknown syntax " + syntax
+	}
+	if s.plans != nil {
+		s.plans.put(key, cp)
+	}
+	return cp, ""
+}
+
+// refreshStoreStats updates the lock-free /metrics mirror of the
+// graph's index statistics.  Called at construction and after each
+// insert, while the caller still guarantees no concurrent writer.
+func (s *server) refreshStoreStats() {
+	st := s.graph.Stats()
+	s.storeStats.Store(&obs.StoreStats{
+		Triples:     int64(st.Triples),
+		BaseTriples: int64(st.BaseTriples),
+		OverlayAdds: int64(st.OverlayAdds),
+		OverlayDels: int64(st.OverlayDels),
+		Compactions: st.Compactions,
+		Epoch:       st.Epoch,
+	})
 }
 
 // encode writes v as JSON, logging (rather than silently dropping) an
@@ -459,6 +513,7 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	before := s.graph.Len()
 	s.graph.AddAll(delta)
 	after := s.graph.Len()
+	s.refreshStoreStats()
 	s.mu.Unlock()
 	s.triples.Store(int64(after))
 	added := after - before
@@ -483,7 +538,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 // answers even while heavy queries hold the read side.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	s.encode(w, r, s.metrics.Snapshot())
+	snap := s.metrics.Snapshot()
+	snap.Store = s.storeStats.Load()
+	snap.PlanCache = s.plans.stats()
+	s.encode(w, r, snap)
 }
 
 // buildVersion resolves the binary's module version from the build

@@ -79,10 +79,16 @@ func AskBudget(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget) (bool, error) {
 // (possibly parallel) row evaluator instead of the serial reference
 // evaluator.
 func AskOpts(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget, o plan.Options) (bool, error) {
-	opt := plan.Optimize(g, p)
+	return AskPreparedOpts(g, plan.Prepare(g, p), b, o)
+}
+
+// AskPreparedOpts is AskOpts on an already-prepared plan, so servers
+// can run ASK through their plan cache without re-optimizing.
+func AskPreparedOpts(g *rdf.Graph, pr plan.Prepared, b *sparql.Budget, o plan.Options) (bool, error) {
+	opt := pr.Pattern()
 	sc, ok := sparql.SchemaFor(opt)
 	if !ok || materializes(opt) {
-		ms, err := plan.EvalOpts(g, p, b, o)
+		ms, err := plan.EvalPreparedOpts(g, pr, b, o)
 		if err != nil {
 			return false, err
 		}

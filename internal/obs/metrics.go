@@ -160,14 +160,40 @@ func (m *Metrics) Panic() {
 	}
 }
 
+// StoreStats is the /metrics view of the triple store's index layout:
+// logical size, base/overlay split, and compaction count.  nsserve
+// maintains it as an atomic mirror refreshed after each insert, so
+// /metrics stays lock-free.
+type StoreStats struct {
+	Triples     int64  `json:"triples"`
+	BaseTriples int64  `json:"base_triples"`
+	OverlayAdds int64  `json:"overlay_adds"`
+	OverlayDels int64  `json:"overlay_dels"`
+	Compactions int64  `json:"compactions"`
+	Epoch       uint64 `json:"epoch"`
+}
+
+// PlanCacheStats is the /metrics view of nsserve's parse/plan cache.
+type PlanCacheStats struct {
+	Size      int64 `json:"size"`
+	Capacity  int64 `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
 // MetricsSnapshot is the serialized form of Metrics — the /metrics
-// response body (expvar-style JSON).
+// response body (expvar-style JSON).  Store and PlanCache are filled
+// in by the server (they live outside this registry) and omitted when
+// the feature is off.
 type MetricsSnapshot struct {
 	Requests        map[string]int64             `json:"requests"`
 	InFlight        int64                        `json:"in_flight"`
 	GovernorTrips   int64                        `json:"governor_trips"`
 	PoolSaturations int64                        `json:"pool_saturations"`
 	Panics          int64                        `json:"panics"`
+	Store           *StoreStats                  `json:"store,omitempty"`
+	PlanCache       *PlanCacheStats              `json:"plan_cache,omitempty"`
 	Latency         map[string]HistogramSnapshot `json:"latency"`
 }
 

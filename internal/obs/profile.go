@@ -58,6 +58,9 @@ type Node struct {
 	poolAcquired atomic.Int64
 	poolInline   atomic.Int64
 
+	rangeScans atomic.Int64
+	mergeRuns  atomic.Int64
+
 	budgetSteps atomic.Int64
 	budgetRows  atomic.Int64
 	budgetBytes atomic.Int64
@@ -180,6 +183,26 @@ func (n *Node) AddPoolInline(v int64) {
 	n.poolInline.Add(v)
 }
 
+// AddRangeScans accumulates index range scans this operator issued
+// against the sorted permutation store (one per triple-pattern
+// evaluation; the merge-join fast path issues one per side).
+func (n *Node) AddRangeScans(v int64) {
+	if n == nil {
+		return
+	}
+	n.rangeScans.Add(v)
+}
+
+// AddMergeRuns accumulates key runs the sort-merge join fast path
+// aligned while joining two index scans on their shared leading sort
+// key.  Zero on an operator means the hash join handled it.
+func (n *Node) AddMergeRuns(v int64) {
+	if n == nil {
+		return
+	}
+	n.mergeRuns.Add(v)
+}
+
 // AddBudget accumulates governor consumption attributed to this node:
 // search steps, result rows and estimated bytes.  The evaluators
 // attribute by wall-clock window, so a node's numbers include its
@@ -214,6 +237,8 @@ func (n *Node) Snapshot() *Profile {
 		Partitions:   n.partitions.Load(),
 		PoolAcquired: n.poolAcquired.Load(),
 		PoolInline:   n.poolInline.Load(),
+		RangeScans:   n.rangeScans.Load(),
+		MergeRuns:    n.mergeRuns.Load(),
 		BudgetSteps:  n.budgetSteps.Load(),
 		BudgetRows:   n.budgetRows.Load(),
 		BudgetBytes:  n.budgetBytes.Load(),
@@ -253,6 +278,9 @@ type Profile struct {
 	Partitions   int64 `json:"partitions,omitempty"`
 	PoolAcquired int64 `json:"pool_acquired,omitempty"`
 	PoolInline   int64 `json:"pool_inline,omitempty"`
+
+	RangeScans int64 `json:"range_scans,omitempty"`
+	MergeRuns  int64 `json:"merge_runs,omitempty"`
 
 	BudgetSteps int64 `json:"budget_steps,omitempty"`
 	BudgetRows  int64 `json:"budget_rows,omitempty"`
@@ -327,6 +355,12 @@ func (p *Profile) tree(sb *strings.Builder, depth int) {
 	}
 	if p.Partitions > 0 {
 		fmt.Fprintf(sb, " partitions=%d", p.Partitions)
+	}
+	if p.RangeScans > 0 {
+		fmt.Fprintf(sb, " range_scans=%d", p.RangeScans)
+	}
+	if p.MergeRuns > 0 {
+		fmt.Fprintf(sb, " merge_runs=%d", p.MergeRuns)
 	}
 	if p.PoolAcquired > 0 || p.PoolInline > 0 {
 		fmt.Fprintf(sb, " pool=%d acquired/%d inline", p.PoolAcquired, p.PoolInline)

@@ -109,6 +109,28 @@ func EvalBudget(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget) (*sparql.Mappi
 	return EvalOpts(g, p, b, Options{})
 }
 
+// Prepared is an optimized, ready-to-run query plan: the rewritten
+// pattern plus the planner's cardinality estimate for the
+// serial/parallel cutover.  Preparation reads the graph's index counts
+// (Optimize and Estimate call CountMatch), so a Prepared plan is only
+// valid for the graph contents it was built against — cache it keyed by
+// the graph's Epoch, as nsserve's plan cache does, and it never goes
+// stale.
+type Prepared struct {
+	pattern sparql.Pattern
+	est     float64
+}
+
+// Pattern returns the optimized pattern the plan will evaluate.
+func (pr Prepared) Pattern() sparql.Pattern { return pr.pattern }
+
+// Prepare optimizes p for g and captures the cardinality estimate, the
+// graph-dependent (and therefore cacheable) half of EvalOpts.
+func Prepare(g *rdf.Graph, p sparql.Pattern) Prepared {
+	opt := Optimize(g, p)
+	return Prepared{pattern: opt, est: Estimate(g, opt)}
+}
+
 // EvalOpts is EvalBudget with explicit engine options: the optimized
 // pattern runs on the parallel row engine when o asks for more than
 // one worker and the cardinality estimate clears the serial cutover,
@@ -116,15 +138,22 @@ func EvalBudget(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget) (*sparql.Mappi
 // the same answer set (differentially tested); the string algebra
 // remains the fallback for patterns wider than sparql.MaxSchemaVars.
 func EvalOpts(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget, o Options) (*sparql.MappingSet, error) {
+	return EvalPreparedOpts(g, Prepare(g, p), b, o)
+}
+
+// EvalPreparedOpts runs a Prepared plan, skipping the optimization and
+// estimation passes — the evaluation half of EvalOpts, split out so
+// servers can cache plans across requests.
+func EvalPreparedOpts(g *rdf.Graph, pr Prepared, b *sparql.Budget, o Options) (*sparql.MappingSet, error) {
 	start := time.Now()
 	steps0, rows0, bytes0 := b.Counters()
-	opt := Optimize(g, p)
+	opt := pr.pattern
 	var (
 		rs  *sparql.RowSet
 		ok  bool
 		err error
 	)
-	if workers := o.workers(); workers > 1 && Estimate(g, opt) >= o.minEstimate() {
+	if workers := o.workers(); workers > 1 && pr.est >= o.minEstimate() {
 		rs, ok, err = sparql.EvalRowsParOpts(g, opt, b, sparql.ParOptions{
 			Workers:      workers,
 			MinPartition: o.MinPartition,
@@ -202,7 +231,13 @@ func EvalConstructBudget(g *rdf.Graph, q sparql.ConstructQuery, b *sparql.Budget
 // EvalConstructOpts is EvalConstructBudget with explicit engine
 // options.
 func EvalConstructOpts(g *rdf.Graph, q sparql.ConstructQuery, b *sparql.Budget, o Options) (*rdf.Graph, error) {
-	ms, err := EvalOpts(g, q.Where, b, o)
+	return EvalConstructPreparedOpts(g, Prepare(g, q.Where), q.Template, b, o)
+}
+
+// EvalConstructPreparedOpts is EvalConstructOpts on an already-prepared
+// WHERE plan (the template needs no preparation).
+func EvalConstructPreparedOpts(g *rdf.Graph, pr Prepared, template []sparql.TriplePattern, b *sparql.Budget, o Options) (*rdf.Graph, error) {
+	ms, err := EvalPreparedOpts(g, pr, b, o)
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +246,7 @@ func EvalConstructOpts(g *rdf.Graph, q sparql.ConstructQuery, b *sparql.Budget, 
 		if err := b.Step(); err != nil {
 			return nil, err
 		}
-		for _, t := range q.Template {
+		for _, t := range template {
 			if tr, ok := mu.Apply(t); ok {
 				out.AddTriple(tr)
 			}

@@ -1,0 +1,270 @@
+package sparql
+
+import (
+	"math/bits"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rdf"
+)
+
+// This file is the sort-merge fast path for Join, Diff and LeftJoin.
+// The sorted permutation store (internal/rdf) emits every index scan in
+// ascending key order of the permutation it selects, so when both
+// operands of a binary operator are triple-pattern scans whose emission
+// order leads with the *same variable*, their rows arrive pre-grouped
+// by that variable's value and the join reduces to aligning equal-key
+// runs — no hash table, no rehashing, one forward pass over each side.
+// Everything else falls back to the hash join (JoinB/DiffB/LeftJoinB).
+//
+// Soundness of the run restriction: a triple pattern binds all of its
+// variables in every row it produces, so the shared leading variable is
+// bound on both sides of every candidate pair; compatible rows must
+// agree on it, hence every compatible pair lies inside one equal-key
+// run and — for the Diff half of OPT — a left row with no compatible
+// row in its run has none anywhere.
+
+// MergeJoinEnabled gates the fast path.  It exists for the E25 store
+// ablation benchmark (merge vs hash join on identical plans) and as an
+// escape hatch; the engines consult it at dispatch time.
+var MergeJoinEnabled = true
+
+// scanLeadSlot returns the schema slot of the variable that the index
+// scan for ts emits its rows ordered by — the leading free position of
+// the permutation chooseIndex picks for the pattern's constants.  ok =
+// false when the pattern has no variables or repeats one (a repeated
+// variable filters rows, breaking the "one row per matched triple"
+// accounting the merge path relies on).
+func scanLeadSlot(ts *tripleSlots) (int, bool) {
+	cbits := 0
+	for i := 0; i < 3; i++ {
+		if ts.isConst[i] {
+			cbits |= 1 << i
+		}
+	}
+	nvars := 3 - bits.OnesCount(uint(cbits))
+	if nvars == 0 || bits.OnesCount64(ts.mask) != nvars {
+		return 0, false
+	}
+	// Mirror of rdf's index choice: constants select the permutation,
+	// the first unbound position of its key order is the sort leader.
+	var lead int
+	switch cbits {
+	case 0b011: // S,P const -> SPO, ordered by O
+		lead = 2
+	case 0b110, 0b100, 0b000: // P,O / O / none -> ordered by S
+		lead = 0
+	case 0b101, 0b001: // S,O / S -> ordered by P
+		lead = 1
+	case 0b010: // P const -> POS, ordered by O
+		lead = 2
+	}
+	return ts.slot[lead], true
+}
+
+// mergeSide is one operand's scan, buffered flat: row i is
+// ids[i*w:(i+1)*w] with presence mask mask, and keys[i] is its leading
+// sort-key value.  keys is nondecreasing by the store's emission-order
+// contract.
+type mergeSide struct {
+	keys []rdf.ID
+	ids  []rdf.ID
+	mask uint64
+	n    int
+	w    int
+}
+
+func (m *mergeSide) row(i int) []rdf.ID { return m.ids[i*m.w : (i+1)*m.w : (i+1)*m.w] }
+
+// scanMergeSide runs one index scan and buffers it as a mergeSide,
+// charging the budget like evalTripleRowsB does: one step per matched
+// triple, one row charge per buffered row.
+func scanMergeSide(g *rdf.Graph, ts *tripleSlots, leadSlot int, sc *VarSchema, b *Budget) (*mergeSide, error) {
+	w := sc.Len()
+	side := &mergeSide{mask: ts.mask, w: w}
+	var sp, pp, op *rdf.ID
+	if ts.isConst[0] {
+		sp = &ts.constID[0]
+	}
+	if ts.isConst[1] {
+		pp = &ts.constID[1]
+	}
+	if ts.isConst[2] {
+		op = &ts.constID[2]
+	}
+	scratch := make([]rdf.ID, w)
+	var err error
+	g.MatchIDs(sp, pp, op, func(tr rdf.IDTriple) bool {
+		if err = b.Step(); err != nil {
+			return false
+		}
+		// No repeated variables (scanLeadSlot rejected those), so the
+		// bind cannot fail and every matched triple is one row.
+		ts.bindTriple(scratch, tr, 0)
+		if err = b.chargeRow(w); err != nil {
+			return false
+		}
+		side.ids = append(side.ids, scratch...)
+		side.keys = append(side.keys, scratch[leadSlot])
+		side.n++
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return side, nil
+}
+
+// instrumentedScan wraps one side's scan with the per-operand profile
+// counters the standard path records through evalInstrumented, so the
+// profile tree stays congruent to the pattern tree whichever join
+// strategy ran: wall time, budget deltas, rows out (= |⟦t⟧_G|) and one
+// range scan.
+func instrumentedScan(g *rdf.Graph, ts *tripleSlots, leadSlot int, sc *VarSchema, b *Budget, node *obs.Node) (*mergeSide, error) {
+	if node == nil {
+		return scanMergeSide(g, ts, leadSlot, sc, b)
+	}
+	start := time.Now()
+	steps0, rows0, bytes0 := b.Counters()
+	side, err := scanMergeSide(g, ts, leadSlot, sc, b)
+	node.AddWall(time.Since(start))
+	steps1, rows1, bytes1 := b.Counters()
+	node.AddBudget(steps1-steps0, rows1-rows0, bytes1-bytes0)
+	if err != nil {
+		return nil, err
+	}
+	node.AddRowsOut(int64(side.n))
+	node.AddRangeScans(1)
+	return side, nil
+}
+
+// tryMergeScanJoin attempts the merge fast path for l ⋈ r (outer =
+// false) or l ⟕ r (outer = true).  handled = false means the operands
+// don't qualify — not both triple patterns, different lead variables, a
+// repeated variable, or a constant missing from the dictionary — and
+// the caller must run the standard path; nothing has been recorded on
+// node in that case.  When handled, the profile children for both
+// operands have been created (L before R) and the operator's counters
+// (rows in, merge runs) recorded, exactly like the standard path.
+func tryMergeScanJoin(g *rdf.Graph, lp, rp Pattern, sc *VarSchema, b *Budget, node *obs.Node, outer bool) (*RowSet, bool, error) {
+	if !MergeJoinEnabled {
+		return nil, false, nil
+	}
+	lt, ok := lp.(TriplePattern)
+	if !ok {
+		return nil, false, nil
+	}
+	rt, ok := rp.(TriplePattern)
+	if !ok {
+		return nil, false, nil
+	}
+	lts, ok := resolveTriple(lt, sc, g.Dict())
+	if !ok {
+		return nil, false, nil
+	}
+	rts, ok := resolveTriple(rt, sc, g.Dict())
+	if !ok {
+		return nil, false, nil
+	}
+	lLead, ok := scanLeadSlot(&lts)
+	if !ok {
+		return nil, false, nil
+	}
+	rLead, ok := scanLeadSlot(&rts)
+	if !ok || lLead != rLead {
+		return nil, false, nil
+	}
+	nl := childNode(node, lp)
+	ls, err := instrumentedScan(g, &lts, lLead, sc, b, nl)
+	if err != nil {
+		return nil, true, err
+	}
+	nr := childNode(node, rp)
+	rs, err := instrumentedScan(g, &rts, rLead, sc, b, nr)
+	if err != nil {
+		return nil, true, err
+	}
+	node.AddRowsIn(int64(ls.n + rs.n))
+	out := NewRowSet(sc)
+	runs, err := mergeJoinRuns(ls, rs, outer, b, out)
+	if err != nil {
+		return nil, true, err
+	}
+	node.AddMergeRuns(runs)
+	return out, true, nil
+}
+
+// mergeJoinRuns aligns the equal-key runs of two nondecreasing-key
+// sides and emits compatible pairs into out; with outer set, left rows
+// with no compatible partner are emitted alone (the Diff half of ⟕).
+// Returns the number of aligned runs (both sides non-empty at the key).
+func mergeJoinRuns(l, r *mergeSide, outer bool, b *Budget, out *RowSet) (int64, error) {
+	scratch := make([]rdf.ID, l.w)
+	var runs int64
+	i, j := 0, 0
+	for i < l.n {
+		if j >= r.n {
+			if !outer {
+				break
+			}
+			for ; i < l.n; i++ {
+				if err := b.Step(); err != nil {
+					return runs, err
+				}
+				if err := out.addCharged(l.row(i), l.mask, b); err != nil {
+					return runs, err
+				}
+			}
+			break
+		}
+		lk, rk := l.keys[i], r.keys[j]
+		if lk < rk {
+			if outer {
+				if err := b.Step(); err != nil {
+					return runs, err
+				}
+				if err := out.addCharged(l.row(i), l.mask, b); err != nil {
+					return runs, err
+				}
+			}
+			i++
+			continue
+		}
+		if lk > rk {
+			j++
+			continue
+		}
+		i1 := i
+		for i1 < l.n && l.keys[i1] == lk {
+			i1++
+		}
+		j1 := j
+		for j1 < r.n && r.keys[j1] == rk {
+			j1++
+		}
+		runs++
+		for a := i; a < i1; a++ {
+			arow := l.row(a)
+			matched := false
+			for c := j; c < j1; c++ {
+				if err := b.Step(); err != nil {
+					return runs, err
+				}
+				brow := r.row(c)
+				if rowsCompatible(arow, l.mask, brow, r.mask) {
+					matched = true
+					if err := out.addCharged(scratch, mergeRows(scratch, arow, l.mask, brow, r.mask), b); err != nil {
+						return runs, err
+					}
+				}
+			}
+			if outer && !matched {
+				if err := out.addCharged(arow, l.mask, b); err != nil {
+					return runs, err
+				}
+			}
+		}
+		i, j = i1, j1
+	}
+	return runs, nil
+}

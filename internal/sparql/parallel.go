@@ -187,8 +187,11 @@ func (e *parEval) evalOp(p Pattern, node *obs.Node) (*RowSet, error) {
 	}
 	switch q := p.(type) {
 	case TriplePattern:
-		return evalTripleRowsB(e.g, q, e.sc, e.b)
+		return evalTripleRowsB(e.g, q, e.sc, e.b, node)
 	case And:
+		if rs, handled, err := tryMergeScanJoin(e.g, q.L, q.R, e.sc, e.b, node, false); handled {
+			return rs, err
+		}
 		l, r, err := e.evalBoth(q.L, q.R, node)
 		if err != nil {
 			return nil, err
@@ -203,6 +206,9 @@ func (e *parEval) evalOp(p Pattern, node *obs.Node) (*RowSet, error) {
 		node.AddRowsIn(int64(l.Len() + r.Len()))
 		return l.UnionB(r, e.b)
 	case Opt:
+		if rs, handled, err := tryMergeScanJoin(e.g, q.L, q.R, e.sc, e.b, node, true); handled {
+			return rs, err
+		}
 		l, r, err := e.evalBoth(q.L, q.R, node)
 		if err != nil {
 			return nil, err

@@ -167,8 +167,11 @@ func evalRowsOp(g *rdf.Graph, p Pattern, sc *VarSchema, b *Budget, node *obs.Nod
 	}
 	switch q := p.(type) {
 	case TriplePattern:
-		return evalTripleRowsB(g, q, sc, b)
+		return evalTripleRowsB(g, q, sc, b, node)
 	case And:
+		if rs, handled, err := tryMergeScanJoin(g, q.L, q.R, sc, b, node, false); handled {
+			return rs, err
+		}
 		l, err := evalRowsB(g, q.L, sc, b, node)
 		if err != nil {
 			return nil, err
@@ -191,6 +194,9 @@ func evalRowsOp(g *rdf.Graph, p Pattern, sc *VarSchema, b *Budget, node *obs.Nod
 		node.AddRowsIn(int64(l.Len() + r.Len()))
 		return l.UnionB(r, b)
 	case Opt:
+		if rs, handled, err := tryMergeScanJoin(g, q.L, q.R, sc, b, node, true); handled {
+			return rs, err
+		}
 		l, err := evalRowsB(g, q.L, sc, b, node)
 		if err != nil {
 			return nil, err
@@ -332,13 +338,15 @@ func EvalTripleDeltaB(t TriplePattern, sc *VarSchema, d *rdf.Dict, delta []rdf.I
 // evalTripleRowsB computes ⟦t⟧_G directly on the ID-level indexes: a
 // constant in any of the three positions selects the matching index
 // order (SPO/POS/OSP) via MatchIDs, and repeated variables are checked
-// in ID space.  Each index probe charges one budget step.
-func evalTripleRowsB(g *rdf.Graph, t TriplePattern, sc *VarSchema, b *Budget) (*RowSet, error) {
+// in ID space.  Each index probe charges one budget step; the scan is
+// recorded as one range scan on the pattern's profile node.
+func evalTripleRowsB(g *rdf.Graph, t TriplePattern, sc *VarSchema, b *Budget, node *obs.Node) (*RowSet, error) {
 	out := NewRowSet(sc)
 	ts, ok := resolveTriple(t, sc, g.Dict())
 	if !ok {
 		return out, nil
 	}
+	node.AddRangeScans(1)
 	var sp, pp, op *rdf.ID
 	if ts.isConst[0] {
 		sp = &ts.constID[0]
