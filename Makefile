@@ -1,11 +1,11 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test bench experiments fuzz cover clean ci fmt-check race staticcheck governor-race bench-smoke obs-smoke
+.PHONY: all build vet test bench experiments fuzz cover clean ci fmt-check race staticcheck governor-race bench-smoke obs-smoke crash-smoke
 
 all: build vet test
 
 # Exactly what .github/workflows/ci.yml runs.
-ci: fmt-check vet staticcheck build test bench-smoke obs-smoke race governor-race
+ci: fmt-check vet staticcheck build test bench-smoke obs-smoke crash-smoke race governor-race
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -28,7 +28,7 @@ staticcheck:
 race:
 	for procs in 1 4; do \
 		GOMAXPROCS=$$procs go test -race -count=1 -timeout 10m \
-			./internal/rdf/ ./internal/sparql/ ./internal/plan/ ./internal/exec/ ./internal/views/ \
+			./internal/rdf/... ./internal/sparql/ ./internal/plan/ ./internal/exec/ ./internal/views/ \
 			|| exit 1; \
 	done
 
@@ -41,6 +41,8 @@ bench-smoke:
 		|| { echo "nsbench -json output malformed" >&2; exit 1; }; \
 		jq -es '[.[] | select(.experiment == "E25")] | length >= 15 and ([.[] | select(.experiment == "E25" and .name == "join-merge")] | length >= 1) and ([.[] | select(.experiment == "E25" and .name == "join-hash")] | length >= 1)' BENCH_rowengine.json > /dev/null \
 		|| { echo "BENCH_rowengine.json missing E25 storage-ablation rows" >&2; exit 1; }; \
+		jq -es '[.[] | select(.experiment == "E26")] | length >= 6 and ([.[] | select(.experiment == "E26" and .name == "insert-durable")] | length >= 3) and ([.[] | select(.experiment == "E26" and .name == "insert-durable" and .params.fsync == "always")] | length >= 1) and ([.[] | select(.experiment == "E26" and .name == "scan-durable")] | length >= 1)' BENCH_rowengine.json > /dev/null \
+		|| { echo "BENCH_rowengine.json missing E26 durability-ablation rows" >&2; exit 1; }; \
 	else \
 		echo "jq not installed; skipping bench smoke" >&2; \
 	fi
@@ -80,6 +82,50 @@ obs-smoke:
 		kill $$pid; \
 	else \
 		echo "jq not installed; skipping obs smoke" >&2; \
+	fi
+
+# Mirrors the CI crash-recovery smoke step: boot nsserve on a durable
+# data dir with fsync=always, insert triples, kill -9 the process,
+# restart it on the same directory and assert the query results and the
+# /metrics recovery counters survived the crash.  Gated on jq.
+crash-smoke:
+	@if command -v jq >/dev/null 2>&1; then \
+		go build -o /tmp/nsserve-crash ./cmd/nsserve || exit 1; \
+		dir=$$(mktemp -d); \
+		/tmp/nsserve-crash -addr 127.0.0.1:18322 -data-dir $$dir -fsync always -log-level warn & \
+		pid=$$!; \
+		trap 'kill -9 $$pid 2>/dev/null; rm -rf $$dir' EXIT; \
+		for i in $$(seq 1 50); do \
+			curl -sf http://127.0.0.1:18322/healthz > /dev/null && break; \
+			sleep 0.1; \
+		done; \
+		curl -sf http://127.0.0.1:18322/healthz \
+		| jq -e '.backend == "durable" and .wal_generation == 1' > /dev/null \
+		|| { echo "crash-smoke: /healthz missing durable backend" >&2; exit 1; }; \
+		printf 'a p b .\nb p c .\n' \
+		| curl -sf --data-binary @- http://127.0.0.1:18322/insert > /dev/null \
+		|| { echo "crash-smoke: /insert failed" >&2; exit 1; }; \
+		curl -sfG --data-urlencode 'q=SELECT ?x ?y WHERE { ?x p ?y }' http://127.0.0.1:18322/query \
+		| jq -e '.results.bindings | length == 2' > /dev/null \
+		|| { echo "crash-smoke: pre-crash query wrong" >&2; exit 1; }; \
+		kill -9 $$pid; \
+		wait $$pid 2>/dev/null; \
+		/tmp/nsserve-crash -addr 127.0.0.1:18322 -data-dir $$dir -fsync always -log-level warn & \
+		pid=$$!; \
+		trap 'kill -9 $$pid 2>/dev/null; rm -rf $$dir' EXIT; \
+		for i in $$(seq 1 50); do \
+			curl -sf http://127.0.0.1:18322/healthz > /dev/null && break; \
+			sleep 0.1; \
+		done; \
+		curl -sfG --data-urlencode 'q=SELECT ?x ?y WHERE { ?x p ?y }' http://127.0.0.1:18322/query \
+		| jq -e '.results.bindings | length == 2' > /dev/null \
+		|| { echo "crash-smoke: triples lost across kill -9" >&2; exit 1; }; \
+		curl -sf http://127.0.0.1:18322/metrics \
+		| jq -e '.durable.recovered_wal_records >= 1 and .durable.recovered_snapshot_triples == 0 and .durable.generation == 1 and .store.triples == 2' > /dev/null \
+		|| { echo "crash-smoke: /metrics recovery counters wrong" >&2; exit 1; }; \
+		echo "crash-smoke: kill -9 recovery OK"; \
+	else \
+		echo "jq not installed; skipping crash smoke" >&2; \
 	fi
 
 # The query-governor fault-injection suites under the race detector;

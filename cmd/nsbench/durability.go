@@ -1,0 +1,183 @@
+package main
+
+// Experiment E26: the durability ablation.  The durable backend
+// (internal/rdf/durable) wraps the in-memory sorted-index store with a
+// write-ahead log; this experiment prices that wrapper on the two
+// paths it touches differently:
+//
+//   - insert: the WAL append dominates, and the fsync policy sets the
+//     price — off (no syncs), batch (amortized), always (one fsync
+//     per record) — against the memstore's log-free baseline;
+//   - scan: reads delegate straight to the embedded memstore, so the
+//     durable rows must sit on top of the memstore rows, pricing the
+//     interface indirection at (near) zero.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/rdf/durable"
+)
+
+// e26TripleCount is the insert batch per benchmark iteration — large
+// enough that per-store setup amortizes, small enough that
+// fsync=always stays measurable in CI.
+const e26TripleCount = 2000
+
+// e26Triples generates the deterministic insert workload: a
+// people/works_at/born star with distinct subjects.
+func e26Triples() []rdf.Triple {
+	ts := make([]rdf.Triple, 0, e26TripleCount)
+	for i := 0; len(ts) < e26TripleCount; i++ {
+		p := rdf.IRI(fmt.Sprintf("person_%d", i))
+		ts = append(ts,
+			rdf.T(p, "works_at", rdf.IRI(fmt.Sprintf("university_%d", i%10))),
+			rdf.T(p, "was_born_in", rdf.IRI(fmt.Sprintf("country_%d", i%20))))
+	}
+	return ts[:e26TripleCount]
+}
+
+// e26Open opens a durable store on a fresh temp dir; the cleanup
+// closes it and removes the directory.
+func e26Open(fsync durable.FsyncPolicy) (*durable.Store, func()) {
+	dir, err := os.MkdirTemp("", "nsbench-e26-")
+	if err != nil {
+		panic(fmt.Sprintf("nsbench: E26 temp dir: %v", err))
+	}
+	s, err := durable.Open(dir, durable.Options{Fsync: fsync, SnapshotEvery: -1})
+	if err != nil {
+		os.RemoveAll(dir)
+		panic(fmt.Sprintf("nsbench: E26 open: %v", err))
+	}
+	return s, func() {
+		s.Close()
+		os.RemoveAll(dir)
+	}
+}
+
+// e26Fixture is the scan-side state: the same triples loaded into a
+// plain memstore and into a durable store (kept open for the process
+// lifetime), so a scan hits identical index contents through both.
+type e26Fixture struct {
+	mem     *rdf.Graph
+	dur     *durable.Store
+	byPred  rdf.ID
+	cleanup func()
+}
+
+var e26 = sync.OnceValue(func() *e26Fixture {
+	triples := e26Triples()
+	mem := rdf.FromTriples(triples...)
+	dur, cleanup := e26Open(durable.FsyncOff)
+	for _, t := range triples {
+		dur.AddTriple(t)
+	}
+	mem.Compact()
+	dur.Compact()
+	pid, ok := mem.Dict().Lookup("works_at")
+	if !ok {
+		panic("nsbench: E26 workload lost its predicate")
+	}
+	return &e26Fixture{mem: mem, dur: dur, byPred: pid, cleanup: cleanup}
+})
+
+func init() {
+	insertParams := func(backend, fsync string) map[string]interface{} {
+		p := map[string]interface{}{"triples": e26TripleCount, "backend": backend}
+		if fsync != "" {
+			p["fsync"] = fsync
+		}
+		return p
+	}
+	registerBench("E26", "insert-memstore", insertParams("memstore", ""), func(b *testing.B) {
+		triples := e26Triples()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g := rdf.NewGraph()
+			for _, t := range triples {
+				g.AddTriple(t)
+			}
+		}
+	})
+	for _, pol := range []durable.FsyncPolicy{durable.FsyncOff, durable.FsyncBatch, durable.FsyncAlways} {
+		pol := pol
+		registerBench("E26", "insert-durable", insertParams("durable", pol.String()), func(b *testing.B) {
+			triples := e26Triples()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, cleanup := e26Open(pol)
+				b.StartTimer()
+				for _, t := range triples {
+					s.AddTriple(t)
+				}
+				// Close is part of the durability cost: it flushes the
+				// records the policy left unsynced.
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				cleanup()
+				b.StartTimer()
+			}
+		})
+	}
+
+	scanParams := map[string]interface{}{"triples": e26TripleCount, "query": "by-predicate"}
+	registerBench("E26", "scan-memstore", scanParams, func(b *testing.B) {
+		fx := e26()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			fx.mem.MatchIDs(nil, &fx.byPred, nil, func(rdf.IDTriple) bool { n++; return true })
+		}
+	})
+	registerBench("E26", "scan-durable", scanParams, func(b *testing.B) {
+		fx := e26()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			fx.dur.MatchIDs(nil, &fx.byPred, nil, func(rdf.IDTriple) bool { n++; return true })
+		}
+	})
+
+	register("E26", "Durability ablation: WAL+snapshot backend vs memstore on insert and scan; crash recovery round-trip", func() {
+		triples := e26Triples()
+		s, cleanup := e26Open(durable.FsyncBatch)
+		defer cleanup()
+		for _, t := range triples {
+			s.AddTriple(t)
+		}
+		mem := rdf.FromTriples(triples...)
+		check(s.Equal(mem), fmt.Sprintf("durable and memstore agree on %d triples after insert", s.Len()))
+		if err := s.Snapshot(); err != nil {
+			check(false, "snapshot: "+err.Error())
+			return
+		}
+		extra := rdf.T("late", "works_at", "university_0")
+		s.AddTriple(extra)
+		mem.AddTriple(extra)
+		if err := s.Close(); err != nil {
+			check(false, "close: "+err.Error())
+			return
+		}
+		re, err := durable.Open(s.Dir(), durable.Options{Fsync: durable.FsyncBatch, SnapshotEvery: -1})
+		if err != nil {
+			check(false, "reopen: "+err.Error())
+			return
+		}
+		defer re.Close()
+		check(re.Equal(mem), fmt.Sprintf("reopened store recovered all %d triples (snapshot + WAL tail)", re.Len()))
+		st := re.DurableStats()
+		check(st.RecoveredSnapshotTriples == int64(e26TripleCount) && st.RecoveredWALRecords == 1,
+			fmt.Sprintf("recovery split: %d triples from the snapshot, %d WAL records replayed",
+				st.RecoveredSnapshotTriples, st.RecoveredWALRecords))
+	})
+}

@@ -34,7 +34,7 @@ func init() {
 					rdf.IRI(fmt.Sprintf("new_hire_%d", i)), "works_at", "university_0"))
 			}
 			dInc := timeIt(func() { v.Insert(batch...) })
-			var full *rdf.Graph
+			var full rdf.Store
 			dFull := timeIt(func() { full = sparql.EvalConstruct(v.Base(), q) })
 			fmt.Printf("  %11d | %12d | %5d | %11s | %9s | %v\n",
 				size, v.Graph().Len(), len(batch),

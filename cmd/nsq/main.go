@@ -144,7 +144,7 @@ func run(o runOpts) error {
 		if o.showPlan {
 			fmt.Println("#", q.Construct)
 		}
-		var out *rdf.Graph
+		var out rdf.Store
 		if o.stats {
 			out, err = plan.EvalConstructOpts(g, *q.Construct, bud, popts)
 			if err != nil {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/plan"
 	"repro/internal/rdf"
+	"repro/internal/rdf/durable"
 	"repro/internal/sparql"
 )
 
@@ -62,10 +63,16 @@ func defaultConfig() config {
 // a hostile query cannot starve inserts or /stats.
 type server struct {
 	mu    sync.RWMutex
-	graph *rdf.Graph
+	graph rdf.Store
 	cfg   config
 	sem   chan struct{} // nil: unlimited concurrency
 	plans *planCache    // nil: caching disabled
+
+	// durable is non-nil when the store is the WAL+snapshot backend;
+	// backend names the active storage backend for /healthz.  Durable
+	// stats are atomics, so /healthz and /metrics read them lock-free.
+	durable *durable.Store
+	backend string
 
 	metrics    *obs.Metrics
 	triples    atomic.Int64                   // lock-free mirror of graph.Len() for /healthz
@@ -75,17 +82,22 @@ type server struct {
 
 // newServer returns the HTTP handler for a graph with the default
 // governance configuration.
-func newServer(g *rdf.Graph) http.Handler {
+func newServer(g rdf.Store) http.Handler {
 	return newServerWith(g, defaultConfig())
 }
 
 // newServerWith returns the HTTP handler for a graph under the given
 // configuration.
-func newServerWith(g *rdf.Graph, cfg config) http.Handler {
+func newServerWith(g rdf.Store, cfg config) http.Handler {
 	if cfg.logger == nil {
 		cfg.logger = slog.Default()
 	}
 	s := &server{graph: g, cfg: cfg, metrics: obs.NewMetrics(), plans: newPlanCache(cfg.planCache)}
+	s.backend = "memstore"
+	if d, ok := g.(*durable.Store); ok {
+		s.durable = d
+		s.backend = "durable"
+	}
 	s.triples.Store(int64(g.Len()))
 	s.refreshStoreStats()
 	if cfg.maxConcurrent > 0 {
@@ -509,14 +521,28 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "parse error: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	// The whole insert is one durability batch: on the durable backend
+	// it commits as a single atomic WAL record, so a crash never
+	// persists half a request body.
 	s.mu.Lock()
 	before := s.graph.Len()
+	s.graph.BeginBatch()
 	s.graph.AddAll(delta)
+	commitErr := s.graph.CommitBatch()
 	after := s.graph.Len()
 	s.refreshStoreStats()
 	s.mu.Unlock()
 	s.triples.Store(int64(after))
 	added := after - before
+	if commitErr != nil {
+		// The triples are applied in memory but the log rejected them:
+		// the insert is NOT durable.  Fail the request loudly so the
+		// client knows a crash could lose it.
+		s.reqLogger(r).Error("insert commit failed", "added", added, "err", commitErr)
+		writeJSONError(w, http.StatusInternalServerError,
+			"insert applied in memory but not durable: "+commitErr.Error())
+		return
+	}
 	s.reqLogger(r).Debug("insert applied", "added", added, "triples", after)
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"added": %d}`+"\n", added)
@@ -540,6 +566,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	snap := s.metrics.Snapshot()
 	snap.Store = s.storeStats.Load()
+	if s.durable != nil {
+		ds := s.durable.DurableStats()
+		snap.Durable = &ds
+	}
 	snap.PlanCache = s.plans.stats()
 	s.encode(w, r, snap)
 }
@@ -555,10 +585,24 @@ func buildVersion() string {
 }
 
 // handleHealthz is the liveness probe: it takes no locks — the triple
-// count is a lock-free mirror maintained by handleInsert — so it
-// answers even while heavy queries are in flight.
+// count is a lock-free mirror maintained by handleInsert, and the
+// durable backend's stats are atomics — so it answers even while
+// heavy queries are in flight.  It names the active storage backend,
+// and on the durable backend reports the age of the last snapshot in
+// seconds (-1 before the first snapshot of the run), so probes can
+// alert on a stuck snapshot loop.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"status": "ok", "version": %q, "go": %q, "triples": %d}`+"\n",
-		buildVersion(), runtime.Version(), s.triples.Load())
+	if s.durable != nil {
+		ds := s.durable.DurableStats()
+		age := int64(-1)
+		if ds.LastSnapshotUnix > 0 {
+			age = time.Now().Unix() - ds.LastSnapshotUnix
+		}
+		fmt.Fprintf(w, `{"status": "ok", "version": %q, "go": %q, "triples": %d, "backend": %q, "wal_generation": %d, "last_snapshot_age_seconds": %d}`+"\n",
+			buildVersion(), runtime.Version(), s.triples.Load(), s.backend, ds.Generation, age)
+		return
+	}
+	fmt.Fprintf(w, `{"status": "ok", "version": %q, "go": %q, "triples": %d, "backend": %q}`+"\n",
+		buildVersion(), runtime.Version(), s.triples.Load(), s.backend)
 }

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/rdf/durable"
+)
+
+func openTestDurable(t *testing.T, dir string) *durable.Store {
+	t.Helper()
+	ds, err := durable.Open(dir, durable.Options{Fsync: durable.FsyncOff, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestDurableServerRestart is the in-process restart simulation: a
+// server on a durable store takes inserts, the store closes (clean
+// shutdown), a second server opens the same directory, and the same
+// query returns the same results.
+func TestDurableServerRestart(t *testing.T) {
+	dir := t.TempDir()
+	q := "/query?q=" + url.QueryEscape("SELECT ?p WHERE { ?p was_born_in chile }")
+
+	ds := openTestDurable(t, dir)
+	ts := httptest.NewServer(newServer(ds))
+	body := "juan was_born_in chile\nana was_born_in chile\njuan email juan@puc.cl\n"
+	resp, err := http.Post(ts.URL+"/insert", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+	resp, first := get(t, ts, q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, first)
+	}
+	ts.Close()
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openTestDurable(t, dir)
+	defer re.Close()
+	ts2 := httptest.NewServer(newServer(re))
+	defer ts2.Close()
+	resp, second := get(t, ts2, q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status after restart %d: %s", resp.StatusCode, second)
+	}
+	if first != second {
+		t.Fatalf("results diverged across restart\nbefore: %s\nafter:  %s", first, second)
+	}
+	if st := re.DurableStats(); st.RecoveredWALRecords == 0 {
+		t.Fatalf("restart replayed no WAL records: %+v", st)
+	}
+}
+
+// TestDurableHealthzAndMetrics checks /healthz names the backend and
+// snapshot age, and /metrics carries the durable counter block.
+func TestDurableHealthzAndMetrics(t *testing.T) {
+	ds := openTestDurable(t, t.TempDir())
+	defer ds.Close()
+	ts := httptest.NewServer(newServer(ds))
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var hz map[string]any
+	if err := json.Unmarshal([]byte(body), &hz); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, body)
+	}
+	if hz["backend"] != "durable" {
+		t.Fatalf("healthz backend = %v, want durable: %s", hz["backend"], body)
+	}
+	if age, ok := hz["last_snapshot_age_seconds"].(float64); !ok || age != -1 {
+		t.Fatalf("last_snapshot_age_seconds = %v, want -1 before the first snapshot: %s", hz["last_snapshot_age_seconds"], body)
+	}
+
+	resp, err := http.Post(ts.URL+"/insert", "text/plain", strings.NewReader("a p b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := ds.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body = get(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	var snap obs.MetricsSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	if snap.Durable == nil {
+		t.Fatalf("metrics missing durable block: %s", body)
+	}
+	if snap.Durable.Snapshots != 1 || snap.Durable.Generation != 2 {
+		t.Fatalf("durable block = %+v, want 1 snapshot at generation 2", snap.Durable)
+	}
+
+	resp, body = get(t, ts, "/healthz")
+	resp.Body.Close()
+	if err := json.Unmarshal([]byte(body), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if age, ok := hz["last_snapshot_age_seconds"].(float64); !ok || age < 0 || age > 60 {
+		t.Fatalf("last_snapshot_age_seconds = %v after a snapshot: %s", hz["last_snapshot_age_seconds"], body)
+	}
+}
+
+// TestMemstoreHealthzBackend checks the default backend is reported.
+func TestMemstoreHealthzBackend(t *testing.T) {
+	ts := testServer(t)
+	_, body := get(t, ts, "/healthz")
+	var hz map[string]any
+	if err := json.Unmarshal([]byte(body), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz["backend"] != "memstore" {
+		t.Fatalf("healthz backend = %v, want memstore: %s", hz["backend"], body)
+	}
+	if _, present := hz["last_snapshot_age_seconds"]; present {
+		t.Fatalf("memstore healthz reports a snapshot age: %s", body)
+	}
+}

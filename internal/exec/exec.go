@@ -55,20 +55,20 @@ func instrumentSearch(prof *obs.Node, b *sparql.Budget, detail string) func(rows
 // Ask reports whether ⟦P⟧_G is non-empty, stopping at the first
 // solution found.  Ungoverned legacy entry point; servers should use
 // AskCtx or AskBudget.
-func Ask(g *rdf.Graph, p sparql.Pattern) bool {
+func Ask(g rdf.Store, p sparql.Pattern) bool {
 	found, _ := AskBudget(g, p, nil)
 	return found
 }
 
 // AskCtx is Ask bounded by a context.
-func AskCtx(ctx context.Context, g *rdf.Graph, p sparql.Pattern) (bool, error) {
+func AskCtx(ctx context.Context, g rdf.Store, p sparql.Pattern) (bool, error) {
 	return AskBudget(g, p, sparql.NewBudget(ctx))
 }
 
 // AskBudget is Ask under a resource governor: the backtracking search
 // charges the budget per index probe and aborts with the budget's
 // typed error the moment the governor trips.
-func AskBudget(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget) (bool, error) {
+func AskBudget(g rdf.Store, p sparql.Pattern, b *sparql.Budget) (bool, error) {
 	return AskOpts(g, p, b, plan.Options{})
 }
 
@@ -78,13 +78,13 @@ func AskBudget(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget) (bool, error) {
 // wider than the row runtime — are routed through the planner's
 // (possibly parallel) row evaluator instead of the serial reference
 // evaluator.
-func AskOpts(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget, o plan.Options) (bool, error) {
+func AskOpts(g rdf.Store, p sparql.Pattern, b *sparql.Budget, o plan.Options) (bool, error) {
 	return AskPreparedOpts(g, plan.Prepare(g, p), b, o)
 }
 
 // AskPreparedOpts is AskOpts on an already-prepared plan, so servers
 // can run ASK through their plan cache without re-optimizing.
-func AskPreparedOpts(g *rdf.Graph, pr plan.Prepared, b *sparql.Budget, o plan.Options) (bool, error) {
+func AskPreparedOpts(g rdf.Store, pr plan.Prepared, b *sparql.Budget, o plan.Options) (bool, error) {
 	opt := pr.Pattern()
 	sc, ok := sparql.SchemaFor(opt)
 	if !ok || materializes(opt) {
@@ -127,7 +127,7 @@ func materializes(p sparql.Pattern) bool {
 // Limit returns up to k distinct solutions of ⟦P⟧_G (all of them for
 // k < 0), stopping the search as soon as k are found.  Ungoverned
 // legacy entry point; servers should use LimitCtx or LimitBudget.
-func Limit(g *rdf.Graph, p sparql.Pattern, k int) *sparql.MappingSet {
+func Limit(g rdf.Store, p sparql.Pattern, k int) *sparql.MappingSet {
 	out, err := LimitBudget(g, p, k, nil)
 	if err != nil {
 		return sparql.NewMappingSet()
@@ -136,20 +136,20 @@ func Limit(g *rdf.Graph, p sparql.Pattern, k int) *sparql.MappingSet {
 }
 
 // LimitCtx is Limit bounded by a context.
-func LimitCtx(ctx context.Context, g *rdf.Graph, p sparql.Pattern, k int) (*sparql.MappingSet, error) {
+func LimitCtx(ctx context.Context, g rdf.Store, p sparql.Pattern, k int) (*sparql.MappingSet, error) {
 	return LimitBudget(g, p, k, sparql.NewBudget(ctx))
 }
 
 // LimitBudget is Limit under a resource governor.  Each returned
 // solution also charges the budget's row limit, so MaxRows bounds the
 // result set even for k < 0.
-func LimitBudget(g *rdf.Graph, p sparql.Pattern, k int, b *sparql.Budget) (*sparql.MappingSet, error) {
+func LimitBudget(g rdf.Store, p sparql.Pattern, k int, b *sparql.Budget) (*sparql.MappingSet, error) {
 	return LimitOpts(g, p, k, b, plan.Options{})
 }
 
 // LimitOpts is LimitBudget with planner options; like AskOpts it sends
 // the materializing cases through the planner's row evaluator.
-func LimitOpts(g *rdf.Graph, p sparql.Pattern, k int, b *sparql.Budget, o plan.Options) (*sparql.MappingSet, error) {
+func LimitOpts(g rdf.Store, p sparql.Pattern, k int, b *sparql.Budget, o plan.Options) (*sparql.MappingSet, error) {
 	out := sparql.NewMappingSet()
 	if k == 0 {
 		return out, nil
@@ -200,19 +200,19 @@ func LimitOpts(g *rdf.Graph, p sparql.Pattern, k int, b *sparql.Budget, o plan.O
 // it.  This is the decision problem of Section 7.3.  Ungoverned legacy
 // entry point; servers should use ConstructContainsCtx or
 // ConstructContainsBudget.
-func ConstructContains(g *rdf.Graph, q sparql.ConstructQuery, target rdf.Triple) bool {
+func ConstructContains(g rdf.Store, q sparql.ConstructQuery, target rdf.Triple) bool {
 	found, _ := ConstructContainsBudget(g, q, target, nil)
 	return found
 }
 
 // ConstructContainsCtx is ConstructContains bounded by a context.
-func ConstructContainsCtx(ctx context.Context, g *rdf.Graph, q sparql.ConstructQuery, target rdf.Triple) (bool, error) {
+func ConstructContainsCtx(ctx context.Context, g rdf.Store, q sparql.ConstructQuery, target rdf.Triple) (bool, error) {
 	return ConstructContainsBudget(g, q, target, sparql.NewBudget(ctx))
 }
 
 // ConstructContainsBudget is ConstructContains under a resource
 // governor.
-func ConstructContainsBudget(g *rdf.Graph, q sparql.ConstructQuery, target rdf.Triple, b *sparql.Budget) (bool, error) {
+func ConstructContainsBudget(g rdf.Store, q sparql.ConstructQuery, target rdf.Triple, b *sparql.Budget) (bool, error) {
 	return ConstructContainsOpts(g, q, target, b, plan.Options{})
 }
 
@@ -220,7 +220,7 @@ func ConstructContainsBudget(g *rdf.Graph, q sparql.ConstructQuery, target rdf.T
 // options for the materializing fallback.  The seeded searches keep
 // the serial early-terminating path: the seed row usually prunes the
 // search long before materialization would pay off.
-func ConstructContainsOpts(g *rdf.Graph, q sparql.ConstructQuery, target rdf.Triple, b *sparql.Budget, o plan.Options) (bool, error) {
+func ConstructContainsOpts(g rdf.Store, q sparql.ConstructQuery, target rdf.Triple, b *sparql.Budget, o plan.Options) (bool, error) {
 	opt := plan.Optimize(g, q.Where)
 	sc, scOK := sparql.SchemaFor(opt)
 	for _, tp := range q.Template {
@@ -277,7 +277,7 @@ func ConstructContainsOpts(g *rdf.Graph, q sparql.ConstructQuery, target rdf.Tri
 
 // containsMaterialized is the wide-schema fallback: materialize the
 // answers and apply the template.
-func containsMaterialized(g *rdf.Graph, where sparql.Pattern, tp sparql.TriplePattern, target rdf.Triple, b *sparql.Budget, o plan.Options) (bool, error) {
+func containsMaterialized(g rdf.Store, where sparql.Pattern, tp sparql.TriplePattern, target rdf.Triple, b *sparql.Budget, o plan.Options) (bool, error) {
 	ms, err := plan.EvalOpts(g, where, b, o)
 	if err != nil {
 		return false, err

@@ -53,7 +53,13 @@ type LatencyBucket struct {
 	Count int64 `json:"count"`
 }
 
-func (h *Histogram) snapshot() HistogramSnapshot {
+// Snapshot copies the histogram into a plain, serializable value.  It
+// is safe to call concurrently with Observe (buckets may be slightly
+// torn relative to each other, never corrupt) and on a nil receiver.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
 	s := HistogramSnapshot{Count: h.count.Load(), SumUS: h.sumUS.Load()}
 	s.Buckets = make([]LatencyBucket, 0, len(h.counts))
 	for i := range h.counts {
@@ -173,6 +179,24 @@ type StoreStats struct {
 	Epoch       uint64 `json:"epoch"`
 }
 
+// DurableStats is the /metrics view of the durable storage backend
+// (internal/rdf/durable): WAL volume, sync activity, snapshot cadence
+// and what the last recovery found.  The Recovered* fields are set
+// once at Open and never change; the rest are live counters.
+type DurableStats struct {
+	Generation               uint64            `json:"generation"`
+	WALRecords               int64             `json:"wal_records"`
+	WALBytes                 int64             `json:"wal_bytes"`
+	WALSyncs                 int64             `json:"wal_syncs"`
+	WALErrors                int64             `json:"wal_errors"`
+	Snapshots                int64             `json:"snapshots"`
+	LastSnapshotUnix         int64             `json:"last_snapshot_unix"`
+	RecoveredSnapshotTriples int64             `json:"recovered_snapshot_triples"`
+	RecoveredWALRecords      int64             `json:"recovered_wal_records"`
+	RecoveredTruncatedBytes  int64             `json:"recovered_truncated_bytes"`
+	FsyncLatency             HistogramSnapshot `json:"fsync_latency"`
+}
+
 // PlanCacheStats is the /metrics view of nsserve's parse/plan cache.
 type PlanCacheStats struct {
 	Size      int64 `json:"size"`
@@ -193,6 +217,7 @@ type MetricsSnapshot struct {
 	PoolSaturations int64                        `json:"pool_saturations"`
 	Panics          int64                        `json:"panics"`
 	Store           *StoreStats                  `json:"store,omitempty"`
+	Durable         *DurableStats                `json:"durable,omitempty"`
 	PlanCache       *PlanCacheStats              `json:"plan_cache,omitempty"`
 	Latency         map[string]HistogramSnapshot `json:"latency"`
 }
@@ -210,7 +235,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		s.Requests["other"] = other
 	}
 	for e, h := range m.latency {
-		s.Latency[e] = h.snapshot()
+		s.Latency[e] = h.Snapshot()
 	}
 	s.InFlight = m.inFlight.Load()
 	s.GovernorTrips = m.governorTrips.Load()

@@ -150,7 +150,7 @@ func TestHistogramBuckets(t *testing.T) {
 	h.Observe(100 * time.Microsecond) // boundary: still the 100µs bucket
 	h.Observe(101 * time.Microsecond) // next bucket (<= 250µs)
 	h.Observe(20 * time.Second)       // beyond the last bound: +Inf
-	s := h.snapshot()
+	s := h.Snapshot()
 	if s.Count != 4 {
 		t.Fatalf("count = %d", s.Count)
 	}

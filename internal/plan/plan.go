@@ -83,7 +83,7 @@ func (o Options) minEstimate() float64 {
 // returns exactly ⟦P⟧_G.  Eval is the ungoverned legacy entry point
 // (context.Background(), no limits); servers should use EvalCtx or
 // EvalBudget so hostile queries cannot run unboundedly.
-func Eval(g *rdf.Graph, p sparql.Pattern) *sparql.MappingSet {
+func Eval(g rdf.Store, p sparql.Pattern) *sparql.MappingSet {
 	ms, err := EvalBudget(g, p, nil)
 	if err != nil {
 		// Only a malformed plan can fail without a budget; degrade to
@@ -96,7 +96,7 @@ func Eval(g *rdf.Graph, p sparql.Pattern) *sparql.MappingSet {
 // EvalCtx is Eval bounded by a context: evaluation aborts with a typed
 // error (wrapping sparql.ErrCanceled and the context cause) shortly
 // after ctx is canceled or its deadline expires.
-func EvalCtx(ctx context.Context, g *rdf.Graph, p sparql.Pattern) (*sparql.MappingSet, error) {
+func EvalCtx(ctx context.Context, g rdf.Store, p sparql.Pattern) (*sparql.MappingSet, error) {
 	return EvalBudget(g, p, sparql.NewBudget(ctx))
 }
 
@@ -105,7 +105,7 @@ func EvalCtx(ctx context.Context, g *rdf.Graph, p sparql.Pattern) (*sparql.Mappi
 // typed errors instead of unbounded work.  A nil budget disables all
 // accounting.  It runs with the default Options — the parallel engine
 // on multi-core hosts, gated by the cardinality estimate.
-func EvalBudget(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget) (*sparql.MappingSet, error) {
+func EvalBudget(g rdf.Store, p sparql.Pattern, b *sparql.Budget) (*sparql.MappingSet, error) {
 	return EvalOpts(g, p, b, Options{})
 }
 
@@ -126,7 +126,7 @@ func (pr Prepared) Pattern() sparql.Pattern { return pr.pattern }
 
 // Prepare optimizes p for g and captures the cardinality estimate, the
 // graph-dependent (and therefore cacheable) half of EvalOpts.
-func Prepare(g *rdf.Graph, p sparql.Pattern) Prepared {
+func Prepare(g rdf.Store, p sparql.Pattern) Prepared {
 	opt := Optimize(g, p)
 	return Prepared{pattern: opt, est: Estimate(g, opt)}
 }
@@ -137,14 +137,14 @@ func Prepare(g *rdf.Graph, p sparql.Pattern) Prepared {
 // and on the serial row engine otherwise.  Both engines return exactly
 // the same answer set (differentially tested); the string algebra
 // remains the fallback for patterns wider than sparql.MaxSchemaVars.
-func EvalOpts(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget, o Options) (*sparql.MappingSet, error) {
+func EvalOpts(g rdf.Store, p sparql.Pattern, b *sparql.Budget, o Options) (*sparql.MappingSet, error) {
 	return EvalPreparedOpts(g, Prepare(g, p), b, o)
 }
 
 // EvalPreparedOpts runs a Prepared plan, skipping the optimization and
 // estimation passes — the evaluation half of EvalOpts, split out so
 // servers can cache plans across requests.
-func EvalPreparedOpts(g *rdf.Graph, pr Prepared, b *sparql.Budget, o Options) (*sparql.MappingSet, error) {
+func EvalPreparedOpts(g rdf.Store, pr Prepared, b *sparql.Budget, o Options) (*sparql.MappingSet, error) {
 	start := time.Now()
 	steps0, rows0, bytes0 := b.Counters()
 	opt := pr.pattern
@@ -200,7 +200,7 @@ func EvalPreparedOpts(g *rdf.Graph, pr Prepared, b *sparql.Budget, o Options) (*
 // string-mapping hash algebra — the pre-row-engine planner path, kept
 // as the E20 ablation baseline and the fallback for patterns wider
 // than sparql.MaxSchemaVars.
-func EvalString(g *rdf.Graph, p sparql.Pattern) *sparql.MappingSet {
+func EvalString(g rdf.Store, p sparql.Pattern) *sparql.MappingSet {
 	ms, err := evalOptBudget(g, Optimize(g, p), nil)
 	if err != nil {
 		return sparql.NewMappingSet()
@@ -210,7 +210,7 @@ func EvalString(g *rdf.Graph, p sparql.Pattern) *sparql.MappingSet {
 
 // EvalConstruct is the planner-backed counterpart of
 // sparql.EvalConstruct.
-func EvalConstruct(g *rdf.Graph, q sparql.ConstructQuery) *rdf.Graph {
+func EvalConstruct(g rdf.Store, q sparql.ConstructQuery) rdf.Store {
 	out, err := EvalConstructBudget(g, q, nil)
 	if err != nil {
 		return rdf.NewGraph()
@@ -219,24 +219,24 @@ func EvalConstruct(g *rdf.Graph, q sparql.ConstructQuery) *rdf.Graph {
 }
 
 // EvalConstructCtx is EvalConstruct bounded by a context.
-func EvalConstructCtx(ctx context.Context, g *rdf.Graph, q sparql.ConstructQuery) (*rdf.Graph, error) {
+func EvalConstructCtx(ctx context.Context, g rdf.Store, q sparql.ConstructQuery) (rdf.Store, error) {
 	return EvalConstructBudget(g, q, sparql.NewBudget(ctx))
 }
 
 // EvalConstructBudget is EvalConstruct under a resource governor.
-func EvalConstructBudget(g *rdf.Graph, q sparql.ConstructQuery, b *sparql.Budget) (*rdf.Graph, error) {
+func EvalConstructBudget(g rdf.Store, q sparql.ConstructQuery, b *sparql.Budget) (rdf.Store, error) {
 	return EvalConstructOpts(g, q, b, Options{})
 }
 
 // EvalConstructOpts is EvalConstructBudget with explicit engine
 // options.
-func EvalConstructOpts(g *rdf.Graph, q sparql.ConstructQuery, b *sparql.Budget, o Options) (*rdf.Graph, error) {
+func EvalConstructOpts(g rdf.Store, q sparql.ConstructQuery, b *sparql.Budget, o Options) (rdf.Store, error) {
 	return EvalConstructPreparedOpts(g, Prepare(g, q.Where), q.Template, b, o)
 }
 
 // EvalConstructPreparedOpts is EvalConstructOpts on an already-prepared
 // WHERE plan (the template needs no preparation).
-func EvalConstructPreparedOpts(g *rdf.Graph, pr Prepared, template []sparql.TriplePattern, b *sparql.Budget, o Options) (*rdf.Graph, error) {
+func EvalConstructPreparedOpts(g rdf.Store, pr Prepared, template []sparql.TriplePattern, b *sparql.Budget, o Options) (rdf.Store, error) {
 	ms, err := EvalPreparedOpts(g, pr, b, o)
 	if err != nil {
 		return nil, err
@@ -263,11 +263,11 @@ func EvalConstructPreparedOpts(g *rdf.Graph, pr Prepared, template []sparql.Trip
 //	(P1 AND P2) FILTER R ≡ (P1 FILTER R) AND P2
 //	    when var(R) ⊆ cb(P1) (the certainly-bound variables);
 //	R1 ∧ R2 splits into two FILTER applications.
-func Optimize(g *rdf.Graph, p sparql.Pattern) sparql.Pattern {
+func Optimize(g rdf.Store, p sparql.Pattern) sparql.Pattern {
 	return optimize(g, sparql.SimplifyPattern(p))
 }
 
-func optimize(g *rdf.Graph, p sparql.Pattern) sparql.Pattern {
+func optimize(g rdf.Store, p sparql.Pattern) sparql.Pattern {
 	switch q := p.(type) {
 	case sparql.TriplePattern:
 		return q
@@ -299,7 +299,7 @@ func andOperands(p sparql.Pattern) []sparql.Pattern {
 	return []sparql.Pattern{p}
 }
 
-func optimizeAndChain(g *rdf.Graph, a sparql.And) sparql.Pattern {
+func optimizeAndChain(g rdf.Store, a sparql.And) sparql.Pattern {
 	ops := andOperands(a)
 	for i, op := range ops {
 		ops[i] = optimize(g, op)
@@ -401,7 +401,7 @@ func balancedAnd(parts []sparql.Pattern) sparql.Pattern {
 	return sparql.And{L: balancedAnd(parts[:mid]), R: balancedAnd(parts[mid:])}
 }
 
-func optimizeFilter(g *rdf.Graph, f sparql.Filter) sparql.Pattern {
+func optimizeFilter(g rdf.Store, f sparql.Filter) sparql.Pattern {
 	body := optimize(g, f.P)
 	conjuncts := splitConjuncts(f.Cond)
 	var remaining []sparql.Condition
@@ -461,7 +461,7 @@ func pushFilter(p sparql.Pattern, cond sparql.Condition) (sparql.Pattern, bool) 
 // Estimate returns a rough upper estimate of |⟦P⟧_G| used for join
 // ordering.  Triple patterns use exact index counts; operators combine
 // estimates structurally.
-func Estimate(g *rdf.Graph, p sparql.Pattern) float64 {
+func Estimate(g rdf.Store, p sparql.Pattern) float64 {
 	switch q := p.(type) {
 	case sparql.TriplePattern:
 		var s, pr, o *rdf.IRI
@@ -506,7 +506,7 @@ func Estimate(g *rdf.Graph, p sparql.Pattern) float64 {
 // evalOptBudget mirrors sparql.Eval with the hash-based algebra
 // primitives, charging the budget per operator (cardinality-
 // proportional, like sparql.EvalBudget).
-func evalOptBudget(g *rdf.Graph, p sparql.Pattern, b *sparql.Budget) (*sparql.MappingSet, error) {
+func evalOptBudget(g rdf.Store, p sparql.Pattern, b *sparql.Budget) (*sparql.MappingSet, error) {
 	if err := b.Step(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,39 @@
+package rdf
+
+import "fmt"
+
+// NewGraphFromSnapshot adopts a dictionary table and an SPO-sorted,
+// duplicate-free triple array as a graph's base — the bulk-load path
+// of the durable backend's snapshot loader.  iris is the dictionary in
+// ID order (index i becomes ID i); spo becomes the SPO base array
+// directly, and the POS/OSP permutations are rebuilt by sorting
+// copies.  The inputs are validated rather than trusted: a snapshot
+// file that decodes but violates the index invariants (duplicate
+// dictionary entries, IDs out of range, unsorted or duplicate triples)
+// must fail recovery loudly, not corrupt binary search.
+func NewGraphFromSnapshot(iris []IRI, spo []IDTriple) (*Graph, error) {
+	g := NewGraph()
+	for i, iri := range iris {
+		if id := g.dict.Intern(iri); id != ID(i) {
+			return nil, fmt.Errorf("rdf: snapshot dictionary has duplicate entry %q (index %d collides with ID %d)", iri, i, id)
+		}
+	}
+	n := ID(len(iris))
+	for i, t := range spo {
+		if t.S >= n || t.P >= n || t.O >= n {
+			return nil, fmt.Errorf("rdf: snapshot triple %d (%d %d %d) references IDs beyond the dictionary (size %d)", i, t.S, t.P, t.O, n)
+		}
+		if i > 0 && !permSPO.less(spo[i-1], t) {
+			return nil, fmt.Errorf("rdf: snapshot triples not strictly SPO-sorted at index %d", i)
+		}
+	}
+	g.base[permSPO] = spo
+	for _, k := range []perm{permPOS, permOSP} {
+		arr := make([]IDTriple, len(spo))
+		copy(arr, spo)
+		k.sortTriples(arr)
+		g.base[k] = arr
+	}
+	g.n = len(spo)
+	return g, nil
+}

@@ -1,0 +1,483 @@
+package durable
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// testOptions keeps unit tests deterministic: sync on close only (no
+// timing-dependent batch syncs) and no automatic snapshots unless the
+// test opts in.
+func testOptions() Options {
+	return Options{Fsync: FsyncOff, SnapshotEvery: -1}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestDurableEmptyBootstrap opens a fresh directory and checks the
+// store starts empty at generation 1.
+func TestDurableEmptyBootstrap(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOptions())
+	if s.Len() != 0 {
+		t.Fatalf("fresh store has %d triples", s.Len())
+	}
+	if st := s.DurableStats(); st.Generation != 1 || st.RecoveredWALRecords != 0 {
+		t.Fatalf("fresh stats = %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableReopen round-trips mutations through a clean close.
+func TestDurableReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOptions())
+	s.Add("ana", "works_at", "puc")
+	s.Add("puc", "located_in", "chile")
+	s.Add("bob", "born", "peru")
+	s.Remove("bob", "born", "peru")
+	want := rdf.CloneStore(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, testOptions())
+	defer r.Close()
+	if !r.Equal(want) {
+		t.Fatalf("reopened store:\n%swant:\n%s", r, want)
+	}
+	if st := r.DurableStats(); st.RecoveredWALRecords != 4 || st.RecoveredTruncatedBytes != 0 {
+		t.Fatalf("recovery stats = %+v, want 4 records, 0 truncated", st)
+	}
+}
+
+// TestDurableSnapshotRoll drives enough mutations through a small
+// SnapshotEvery to roll generations several times, then reopens and
+// checks contents and the on-disk file set.
+func TestDurableSnapshotRoll(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Fsync: FsyncOff, SnapshotEvery: 8}
+	s := mustOpen(t, dir, opts)
+	model := rdf.NewGraph()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		tr := randTriple(rng)
+		if rng.Intn(4) == 0 {
+			s.Remove(tr.S, tr.P, tr.O)
+			model.Remove(tr.S, tr.P, tr.O)
+		} else {
+			s.AddTriple(tr)
+			model.AddTriple(tr)
+		}
+	}
+	st := s.DurableStats()
+	if st.Snapshots == 0 || st.Generation < 2 {
+		t.Fatalf("expected generation rolls, stats = %+v", st)
+	}
+	if st.LastSnapshotUnix == 0 {
+		t.Fatal("LastSnapshotUnix not set after a snapshot")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only the current generation's files may remain.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if g, ok := parseGenName(e.Name(), "snap"); ok && g != st.Generation {
+			t.Fatalf("stale snapshot %s after roll to generation %d", e.Name(), st.Generation)
+		}
+		if g, ok := parseGenName(e.Name(), "wal"); ok && g != st.Generation {
+			t.Fatalf("stale WAL %s after roll to generation %d", e.Name(), st.Generation)
+		}
+	}
+
+	r := mustOpen(t, dir, opts)
+	defer r.Close()
+	if !r.Equal(model) {
+		t.Fatalf("reopened store diverges from model\ngot:\n%swant:\n%s", r, model)
+	}
+	if rs := r.DurableStats(); rs.RecoveredSnapshotTriples == 0 {
+		t.Fatalf("recovery should have loaded a snapshot, stats = %+v", rs)
+	}
+}
+
+// crashUniverse is the small IRI universe of the property test —
+// small so removes hit existing triples and duplicates occur.
+var crashSubjects = []rdf.IRI{"a", "b", "c", "d"}
+var crashPreds = []rdf.IRI{"p", "q", "r"}
+var crashObjects = []rdf.IRI{"x", "y", "z", "w", "v"}
+
+func randTriple(rng *rand.Rand) rdf.Triple {
+	return rdf.T(
+		crashSubjects[rng.Intn(len(crashSubjects))],
+		crashPreds[rng.Intn(len(crashPreds))],
+		crashObjects[rng.Intn(len(crashObjects))],
+	)
+}
+
+// crashOp is one mutation with the durability coordinates recorded
+// right after it ran: the generation whose WAL holds its record and
+// the WAL end offset once its record was written.  Ops folded into a
+// snapshot (gen < final) survive regardless of offset.
+type crashOp struct {
+	tr     rdf.Triple
+	remove bool
+	gen    uint64
+	walEnd int64
+}
+
+// TestCrashRecoveryProperty is the crash-recovery property test: run
+// a random interleaving of adds, removes, batches and compactions
+// against a durable store (rolling generations via snapshots), then
+// simulate kill -9 by truncating the final WAL at EVERY byte offset
+// C — mid-record (torn write), at a record boundary, and at the full
+// size (post-fsync) — reopen, and check the recovered store equals
+// the model built from exactly the ops whose records fit in C.
+func TestCrashRecoveryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 8; round++ {
+		dir := t.TempDir()
+		// Snapshots roll mid-history in most rounds; round 0 stays on
+		// generation 1 to cover the no-snapshot recovery path.
+		opts := testOptions()
+		if round > 0 {
+			opts.SnapshotEvery = 10 + rng.Intn(30)
+		}
+		s := mustOpen(t, dir, opts)
+		s.SetCompactionThreshold(4) // force frequent index compactions
+		var ops []crashOp
+
+		record := func(tr rdf.Triple, remove, changed bool) {
+			if !changed {
+				return // no record written; a no-op in every replay
+			}
+			ops = append(ops, crashOp{tr: tr, remove: remove, gen: s.gen.Load(), walEnd: s.wal.off})
+		}
+		for i := 0; i < 120+rng.Intn(80); i++ {
+			switch k := rng.Intn(10); {
+			case k == 0:
+				s.Compact() // physical only: no WAL record, no model effect
+			case k == 1:
+				// A committed batch: all its ops share one record and
+				// therefore one walEnd — they survive or vanish together.
+				s.BeginBatch()
+				var batch []crashOp
+				for j := 0; j < 1+rng.Intn(4); j++ {
+					tr := randTriple(rng)
+					remove := rng.Intn(3) == 0
+					var changed bool
+					if remove {
+						changed = s.Remove(tr.S, tr.P, tr.O)
+					} else {
+						changed = s.AddTriple(tr)
+					}
+					if changed {
+						batch = append(batch, crashOp{tr: tr, remove: remove})
+					}
+				}
+				if err := s.CommitBatch(); err != nil {
+					t.Fatal(err)
+				}
+				for _, op := range batch {
+					op.gen, op.walEnd = s.gen.Load(), s.wal.off
+					ops = append(ops, op)
+				}
+			case k < 4:
+				tr := randTriple(rng)
+				record(tr, true, s.Remove(tr.S, tr.P, tr.O))
+			default:
+				tr := randTriple(rng)
+				record(tr, false, s.AddTriple(tr))
+			}
+		}
+		finalGen := s.gen.Load()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		walPath := filepath.Join(dir, walName(finalGen))
+		full, err := os.ReadFile(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cut points: every record boundary (clean crash between
+		// writes), one byte either side of each (torn header / torn
+		// tail), the empty file, and the full size (post-fsync crash
+		// loses nothing).
+		cutSet := map[int64]bool{0: true, int64(len(full)): true}
+		for _, op := range ops {
+			if op.gen != finalGen {
+				continue
+			}
+			for _, c := range []int64{op.walEnd - 1, op.walEnd, op.walEnd + 1} {
+				if c >= 0 && c <= int64(len(full)) {
+					cutSet[c] = true
+				}
+			}
+		}
+		for i := 0; i < 20; i++ { // plus arbitrary mid-record offsets
+			cutSet[rng.Int63n(int64(len(full))+1)] = true
+		}
+		for cut := range cutSet {
+			if err := os.WriteFile(walPath, full[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			model := rdf.NewGraph()
+			for _, op := range ops {
+				if op.gen == finalGen && op.walEnd > cut {
+					break // everything after the cut is a dropped suffix
+				}
+				if op.remove {
+					model.Remove(op.tr.S, op.tr.P, op.tr.O)
+				} else {
+					model.AddTriple(op.tr)
+				}
+			}
+			r := mustOpen(t, dir, opts)
+			if !r.Equal(model) {
+				t.Fatalf("round %d cut@%d/%d (gen %d): recovered %d triples, model %d\nrecovered:\n%swant:\n%s",
+					round, cut, len(full), finalGen, r.Len(), model.Len(), r, model)
+			}
+			if st := r.DurableStats(); st.RecoveredTruncatedBytes < 0 {
+				t.Fatalf("negative truncated bytes: %+v", st)
+			}
+			r.Close()
+			// Recovery truncated the torn tail in place; restore the
+			// full WAL for the next cut.
+			if err := os.WriteFile(walPath, full, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestInjectedWALCrash cuts a WAL write mid-record via the
+// fault-injection hook and checks the store reports the error sticky
+// on Close, and recovery drops exactly the torn op.
+func TestInjectedWALCrash(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOptions())
+	s.Add("ana", "works_at", "puc")
+	s.wal.failAfter = 5 // next record tears after 5 bytes
+	if !s.Add("bob", "born", "peru") {
+		t.Fatal("in-memory add must succeed even when the log write fails")
+	}
+	if st := s.DurableStats(); st.WALErrors != 1 {
+		t.Fatalf("WALErrors = %d, want 1", st.WALErrors)
+	}
+	if err := s.Close(); err == nil || !strings.Contains(err.Error(), "injected WAL crash") {
+		t.Fatalf("Close() = %v, want sticky injected crash error", err)
+	}
+
+	r := mustOpen(t, dir, testOptions())
+	defer r.Close()
+	want := rdf.FromTriples(rdf.T("ana", "works_at", "puc"))
+	if !r.Equal(want) {
+		t.Fatalf("recovered:\n%swant only the pre-crash triple", r)
+	}
+	if st := r.DurableStats(); st.RecoveredTruncatedBytes != 5 {
+		t.Fatalf("RecoveredTruncatedBytes = %d, want 5", st.RecoveredTruncatedBytes)
+	}
+}
+
+// TestInjectedSnapshotCrash fails a snapshot mid-dump and checks the
+// store stays on the old generation with nothing lost and no .tmp
+// litter, and that a reopen recovers the full pre-crash state.
+func TestInjectedSnapshotCrash(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOptions())
+	for _, tr := range []rdf.Triple{
+		rdf.T("ana", "works_at", "puc"),
+		rdf.T("puc", "located_in", "chile"),
+		rdf.T("bob", "born", "peru"),
+	} {
+		s.AddTriple(tr)
+	}
+	want := rdf.CloneStore(s)
+
+	s.failSnapAfter = 16
+	if err := s.Snapshot(); !errors.Is(err, errInjectedSnapCrash) {
+		t.Fatalf("Snapshot() = %v, want injected crash", err)
+	}
+	if st := s.DurableStats(); st.Generation != 1 || st.Snapshots != 0 {
+		t.Fatalf("failed snapshot moved the generation: %+v", st)
+	}
+	// The writer cleans its own tmp on failure; simulate the harsher
+	// crash (tmp left behind) too and let recovery sweep it.
+	stray := filepath.Join(dir, snapName(2)+".tmp")
+	if err := os.WriteFile(stray, []byte("partial snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, testOptions())
+	defer r.Close()
+	if !r.Equal(want) {
+		t.Fatalf("recovered:\n%swant:\n%s", r, want)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("stray snapshot tmp not swept at recovery (stat err: %v)", err)
+	}
+	// A retried snapshot must now succeed and roll the generation.
+	if err := r.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.DurableStats(); st.Generation != 2 {
+		t.Fatalf("generation after retried snapshot = %d, want 2", st.Generation)
+	}
+}
+
+// TestCorruptSnapshotRefusesOpen flips a byte in a snapshot and
+// checks Open fails loudly instead of replaying the WAL over the
+// wrong base.
+func TestCorruptSnapshotRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOptions())
+	s.Add("ana", "works_at", "puc")
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	s.Add("bob", "born", "peru")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, snapName(2))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, testOptions()); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("Open over corrupt snapshot = %v, want corruption error", err)
+	}
+}
+
+// TestAbortBatchWritesNothing checks an aborted batch leaves no WAL
+// records: after reopen, none of its mutations exist.
+func TestAbortBatchWritesNothing(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOptions())
+	s.Add("keep", "p", "x")
+	s.BeginBatch()
+	s.Add("drop", "p", "y")
+	s.Remove("keep", "p", "x")
+	// The caller unwinds memory before aborting, per the contract.
+	s.Add("keep", "p", "x")
+	s.Remove("drop", "p", "y")
+	s.AbortBatch()
+	if st := s.DurableStats(); st.WALRecords != 1 {
+		t.Fatalf("WALRecords = %d after abort, want 1 (the pre-batch add)", st.WALRecords)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, dir, testOptions())
+	defer r.Close()
+	want := rdf.FromTriples(rdf.T("keep", "p", "x"))
+	if !r.Equal(want) {
+		t.Fatalf("recovered:\n%swant:\n%s", r, want)
+	}
+}
+
+// TestFsyncAlwaysCountsSyncs checks the always policy syncs once per
+// record and feeds the latency histogram.
+func TestFsyncAlwaysCountsSyncs(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Fsync: FsyncAlways, SnapshotEvery: -1})
+	defer s.Close()
+	s.Add("a", "p", "x")
+	s.Add("a", "p", "y")
+	st := s.DurableStats()
+	if st.WALSyncs != 2 {
+		t.Fatalf("WALSyncs = %d under always, want 2", st.WALSyncs)
+	}
+	if st.FsyncLatency.Count != 2 {
+		t.Fatalf("fsync histogram count = %d, want 2", st.FsyncLatency.Count)
+	}
+}
+
+// TestDurableStatsRace hammers DurableStats from readers while the
+// main goroutine mutates and snapshots — the one concurrent access
+// the backend promises.  Run under -race at GOMAXPROCS 1 and 4.
+func TestDurableStatsRace(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Fsync: FsyncOff, SnapshotEvery: 25})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					st := s.DurableStats()
+					if st.Generation == 0 {
+						t.Error("generation 0 observed")
+						return
+					}
+				}
+			}
+		}()
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 400; i++ {
+		tr := randTriple(rng)
+		if rng.Intn(4) == 0 {
+			s.Remove(tr.S, tr.P, tr.O)
+		} else {
+			s.AddTriple(tr)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseFsyncPolicy covers the flag-value parser.
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FsyncPolicy
+	}{{"always", FsyncAlways}, {"batch", FsyncBatch}, {"off", FsyncOff}, {"Batch", FsyncBatch}} {
+		got, err := ParseFsyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != strings.ToLower(tc.in) {
+			t.Fatalf("String() = %q, want %q", got.String(), strings.ToLower(tc.in))
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseFsyncPolicy accepted garbage")
+	}
+}

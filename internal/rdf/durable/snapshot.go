@@ -1,0 +1,237 @@
+// Snapshot encoding: a point-in-time dump of the whole store that
+// bounds WAL replay time.
+//
+//	snapshot := magic("NSSNAP01") body crc(u32 LE)
+//	body     := generation(u64 LE)
+//	            dictLen(u64 LE)  (uvarint-length bytes)*   IRIs in ID order
+//	            tripleCount(u64 LE) (uvarint S P O)*       triples in SPO ID order
+//
+// where crc is CRC-32 (IEEE) of body.  Triples reference the
+// dictionary by position, and arrive pre-sorted in SPO order, so
+// loading is the rdf.NewGraphFromSnapshot bulk path: adopt the
+// dictionary and SPO array, sort two copies for POS/OSP — no
+// per-triple hashing or re-interning.
+//
+// A snapshot is written to a .tmp file, fsynced, renamed into place,
+// and the directory fsynced; a crash anywhere in that sequence
+// leaves either no snapshot (a stray .tmp, deleted at recovery) or a
+// complete one.  Torn snapshots are impossible by construction; the
+// CRC guards against silent media corruption, and a snapshot that
+// fails its CRC is skipped in favor of the previous generation.
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/rdf"
+)
+
+var snapMagic = [8]byte{'N', 'S', 'S', 'N', 'A', 'P', '0', '1'}
+
+// errInjectedSnapCrash marks a test-injected mid-snapshot crash.
+var errInjectedSnapCrash = fmt.Errorf("durable: injected snapshot crash")
+
+// limitFailWriter fails after writing n bytes — the snapshot
+// counterpart of walWriter.failAfter, simulating a crash mid-dump.
+type limitFailWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (l *limitFailWriter) Write(p []byte) (int, error) {
+	if int64(len(p)) > l.n {
+		n, _ := l.w.Write(p[:l.n])
+		l.n = 0
+		return n, errInjectedSnapCrash
+	}
+	l.n -= int64(len(p))
+	return l.w.Write(p)
+}
+
+// crcWriter tees writes through a running CRC-32.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// writeSnapshot dumps g as generation gen into dir's snapshot file,
+// atomically (tmp + fsync + rename + dir fsync).  failAfter < 0
+// disables crash injection.
+func writeSnapshot(dir string, gen uint64, g *rdf.Graph, failAfter int64) error {
+	path := filepath.Join(dir, snapName(gen))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: snapshot create: %w", err)
+	}
+	err = func() error {
+		var sink io.Writer = f
+		if failAfter >= 0 {
+			sink = &limitFailWriter{w: f, n: failAfter}
+		}
+		bw := bufio.NewWriterSize(sink, 1<<16)
+		cw := &crcWriter{w: bw}
+		if _, err := cw.Write(snapMagic[:]); err != nil {
+			return err
+		}
+		cw.crc = 0 // the trailer covers the body only, not the magic
+		var u64 [8]byte
+		put64 := func(v uint64) error {
+			binary.LittleEndian.PutUint64(u64[:], v)
+			_, err := cw.Write(u64[:])
+			return err
+		}
+		if err := put64(gen); err != nil {
+			return err
+		}
+		dict := g.Dict()
+		if err := put64(uint64(dict.Len())); err != nil {
+			return err
+		}
+		var varint [binary.MaxVarintLen64]byte
+		putUvarint := func(v uint64) error {
+			n := binary.PutUvarint(varint[:], v)
+			_, err := cw.Write(varint[:n])
+			return err
+		}
+		for id := 0; id < dict.Len(); id++ {
+			iri := dict.IRI(rdf.ID(id))
+			if err := putUvarint(uint64(len(iri))); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(cw, string(iri)); err != nil {
+				return err
+			}
+		}
+		if err := put64(uint64(g.Len())); err != nil {
+			return err
+		}
+		var werr error
+		g.MatchIDs(nil, nil, nil, func(t rdf.IDTriple) bool {
+			for _, id := range [3]rdf.ID{t.S, t.P, t.O} {
+				if werr = putUvarint(uint64(id)); werr != nil {
+					return false
+				}
+			}
+			return true
+		})
+		if werr != nil {
+			return werr
+		}
+		var trailer [4]byte
+		binary.LittleEndian.PutUint32(trailer[:], cw.crc)
+		if _, err := cw.Write(trailer[:]); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot write: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot rename: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// loadSnapshot reads and validates the generation-gen snapshot in
+// dir, returning the reconstructed graph.
+func loadSnapshot(dir string, gen uint64) (*rdf.Graph, error) {
+	data, err := os.ReadFile(filepath.Join(dir, snapName(gen)))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(snapMagic)+8+8+8+4 {
+		return nil, fmt.Errorf("durable: snapshot too short (%d bytes)", len(data))
+	}
+	if [8]byte(data[:8]) != snapMagic {
+		return nil, fmt.Errorf("durable: bad snapshot magic")
+	}
+	body := data[8 : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("durable: snapshot CRC mismatch (got %08x want %08x)", got, want)
+	}
+	if g := binary.LittleEndian.Uint64(body[:8]); g != gen {
+		return nil, fmt.Errorf("durable: snapshot generation %d in file named for %d", g, gen)
+	}
+	body = body[8:]
+	dictLen := binary.LittleEndian.Uint64(body[:8])
+	body = body[8:]
+	if dictLen > uint64(len(body)) {
+		return nil, fmt.Errorf("durable: snapshot dictionary length %d exceeds body", dictLen)
+	}
+	iris := make([]rdf.IRI, 0, dictLen)
+	for i := uint64(0); i < dictLen; i++ {
+		n, w := binary.Uvarint(body)
+		if w <= 0 || uint64(len(body)-w) < n {
+			return nil, fmt.Errorf("durable: snapshot dictionary entry %d truncated", i)
+		}
+		iris = append(iris, rdf.IRI(body[w:w+int(n)]))
+		body = body[w+int(n):]
+	}
+	if len(body) < 8 {
+		return nil, fmt.Errorf("durable: snapshot triple count truncated")
+	}
+	count := binary.LittleEndian.Uint64(body[:8])
+	body = body[8:]
+	if count > uint64(len(body)) {
+		return nil, fmt.Errorf("durable: snapshot triple count %d exceeds body", count)
+	}
+	spo := make([]rdf.IDTriple, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var ids [3]uint64
+		for j := range ids {
+			v, w := binary.Uvarint(body)
+			if w <= 0 {
+				return nil, fmt.Errorf("durable: snapshot triple %d truncated", i)
+			}
+			if v > uint64(^rdf.ID(0)) {
+				return nil, fmt.Errorf("durable: snapshot triple %d has ID %d beyond the ID space", i, v)
+			}
+			ids[j] = v
+			body = body[w:]
+		}
+		spo = append(spo, rdf.IDTriple{S: rdf.ID(ids[0]), P: rdf.ID(ids[1]), O: rdf.ID(ids[2])})
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("durable: %d trailing bytes after snapshot triples", len(body))
+	}
+	return rdf.NewGraphFromSnapshot(iris, spo)
+}
+
+// syncDir best-effort fsyncs a directory so renames and file
+// creations within it are durable.  Errors are ignored: some
+// filesystems reject directory fsync, and the write path must not
+// fail on them.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

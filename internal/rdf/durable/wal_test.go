@@ -1,0 +1,135 @@
+package durable
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func walFixtureOps() [][]walOp {
+	return [][]walOp{
+		{{s: "ana", p: "works_at", o: "puc"}},
+		{{s: "puc", p: "located_in", o: "chile"}, {remove: true, s: "ana", p: "works_at", o: "puc"}},
+		{{s: "bob", p: "born", o: "<http://example.org/peru>"}},
+	}
+}
+
+// TestWALRoundTrip encodes records and replays them byte-for-byte.
+func TestWALRoundTrip(t *testing.T) {
+	recs := walFixtureOps()
+	var data []byte
+	for _, ops := range recs {
+		data = append(data, encodeRecord(ops)...)
+	}
+	var got []walOp
+	n, valid := parseWAL(data, func(op walOp) { got = append(got, op) })
+	if n != len(recs) {
+		t.Fatalf("replayed %d records, want %d", n, len(recs))
+	}
+	if valid != int64(len(data)) {
+		t.Fatalf("valid bytes %d, want %d", valid, len(data))
+	}
+	var want []walOp
+	for _, ops := range recs {
+		want = append(want, ops...)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed ops %+v, want %+v", got, want)
+	}
+}
+
+// TestWALTornTail checks that a record cut at every possible byte
+// offset replays exactly the records before it and reports the valid
+// prefix length.
+func TestWALTornTail(t *testing.T) {
+	recs := walFixtureOps()
+	var data []byte
+	var bounds []int64 // record end offsets
+	for _, ops := range recs {
+		data = append(data, encodeRecord(ops)...)
+		bounds = append(bounds, int64(len(data)))
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		wantRecs, wantValid := 0, int64(0)
+		for i, b := range bounds {
+			if b <= int64(cut) {
+				wantRecs, wantValid = i+1, b
+			}
+		}
+		n, valid := parseWAL(data[:cut], func(walOp) {})
+		if n != wantRecs || valid != wantValid {
+			t.Fatalf("cut@%d: replay = (%d records, %d bytes), want (%d, %d)",
+				cut, n, valid, wantRecs, wantValid)
+		}
+	}
+}
+
+// TestWALCorruptCRC flips one payload byte in the middle record and
+// checks replay stops before it, keeping the earlier record.
+func TestWALCorruptCRC(t *testing.T) {
+	recs := walFixtureOps()
+	var data []byte
+	var bounds []int64
+	for _, ops := range recs {
+		data = append(data, encodeRecord(ops)...)
+		bounds = append(bounds, int64(len(data)))
+	}
+	data[bounds[0]+walHeaderLen] ^= 0xff // first payload byte of record 2
+	n, valid := parseWAL(data, func(walOp) {})
+	if n != 1 || valid != bounds[0] {
+		t.Fatalf("replay after CRC corruption = (%d, %d), want (1, %d)", n, valid, bounds[0])
+	}
+}
+
+// TestWALOversizedLength checks a record whose header claims an
+// absurd payload length is rejected as corruption, not allocated.
+func TestWALOversizedLength(t *testing.T) {
+	good := encodeRecord(walFixtureOps()[0])
+	bad := make([]byte, walHeaderLen)
+	binary.LittleEndian.PutUint32(bad[0:4], maxWALRecordLen+1)
+	data := append(append([]byte{}, good...), bad...)
+	n, valid := parseWAL(data, func(walOp) {})
+	if n != 1 || valid != int64(len(good)) {
+		t.Fatalf("replay = (%d, %d), want (1, %d)", n, valid, len(good))
+	}
+}
+
+// TestWALBadOpKind checks that a CRC-valid record with an undecodable
+// payload is rejected whole: no partial application.
+func TestWALBadOpKind(t *testing.T) {
+	payload := appendOp(nil, walOp{s: "a", p: "b", o: "c"})
+	payload = append(payload, 99) // valid op, then garbage kind
+	rec := make([]byte, walHeaderLen, walHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
+	rec = append(rec, payload...)
+	applied := 0
+	n, valid := parseWAL(rec, func(walOp) { applied++ })
+	if n != 0 || valid != 0 || applied != 0 {
+		t.Fatalf("replay = (%d records, %d bytes, %d ops applied), want all zero", n, valid, applied)
+	}
+}
+
+// TestSnapshotRoundTrip dumps a graph and loads it back.
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := rdf.FromTriples(
+		rdf.T("ana", "works_at", "puc"),
+		rdf.T("puc", "located_in", "chile"),
+		rdf.T("ana", "email", "a@puc.cl"),
+	)
+	g.Remove("ana", "email", "a@puc.cl") // leave a removed IRI in the dictionary
+	if err := writeSnapshot(dir, 7, g, -1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadSnapshot(dir, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(g) {
+		t.Fatalf("loaded snapshot:\n%swant:\n%s", got, g)
+	}
+}

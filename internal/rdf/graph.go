@@ -1,6 +1,7 @@
 package rdf
 
 import (
+	"fmt"
 	"math/bits"
 	"sort"
 	"strings"
@@ -104,11 +105,34 @@ func (g *Graph) AcquireRead() (release func()) {
 }
 
 // assertWritable panics when a mutation races an active read snapshot.
+// The message names the live holder count so the offending fan-out is
+// identifiable from the stack alone; the fix is always the same — run
+// the release func each AcquireRead returned (the snapshot's Release)
+// before mutating.
 func (g *Graph) assertWritable() {
-	if g.readers.Load() != 0 {
-		panic("rdf: graph mutated while a read snapshot is held (concurrent readers active)")
+	if n := g.readers.Load(); n != 0 {
+		panic(fmt.Sprintf(
+			"rdf: graph mutated while %d read snapshot(s) are held; "+
+				"call the release func returned by each AcquireRead (Release) before mutating "+
+				"(see the Store snapshot-guard contract)", n))
 	}
 }
+
+// BeginBatch, CommitBatch and AbortBatch are the durability-staging
+// hooks of the Store interface.  The memstore has no log to stage, so
+// all three are no-ops: mutations are immediately "durable" in the
+// only sense an in-memory backend has.
+func (g *Graph) BeginBatch() {}
+
+// CommitBatch is a no-op for the memstore; see BeginBatch.
+func (g *Graph) CommitBatch() error { return nil }
+
+// AbortBatch is a no-op for the memstore; see BeginBatch.
+func (g *Graph) AbortBatch() {}
+
+// Close is a no-op for the memstore: there are no backend resources to
+// release.
+func (g *Graph) Close() error { return nil }
 
 // Epoch returns the graph's mutation epoch: a counter bumped on every
 // successful Add or Remove.  Callers that cache anything derived from
@@ -149,7 +173,7 @@ func (g *Graph) Add(s, p, o IRI) bool {
 func (g *Graph) AddTriple(t Triple) bool { return g.Add(t.S, t.P, t.O) }
 
 // AddAll inserts every triple of h into g.
-func (g *Graph) AddAll(h *Graph) {
+func (g *Graph) AddAll(h Store) {
 	h.ForEach(func(t Triple) bool {
 		g.AddTriple(t)
 		return true
@@ -342,14 +366,14 @@ func (g *Graph) Clone() *Graph {
 }
 
 // Union returns a new graph containing the triples of both g and h.
-func (g *Graph) Union(h *Graph) *Graph {
+func (g *Graph) Union(h Store) *Graph {
 	u := g.Clone()
 	u.AddAll(h)
 	return u
 }
 
 // IsSubgraphOf reports whether every triple of g is in h (g ⊆ h).
-func (g *Graph) IsSubgraphOf(h *Graph) bool {
+func (g *Graph) IsSubgraphOf(h Store) bool {
 	ok := true
 	g.ForEach(func(t Triple) bool {
 		if !h.ContainsTriple(t) {
@@ -362,8 +386,8 @@ func (g *Graph) IsSubgraphOf(h *Graph) bool {
 }
 
 // Equal reports whether g and h contain exactly the same triples.
-func (g *Graph) Equal(h *Graph) bool {
-	return g.n == h.n && g.IsSubgraphOf(h)
+func (g *Graph) Equal(h Store) bool {
+	return g.n == h.Len() && g.IsSubgraphOf(h)
 }
 
 // IRIs returns the sorted set of IRIs mentioned in the graph, I(G).

@@ -99,8 +99,8 @@ func readTerm(s string) (IRI, string, error) {
 	return IRI(word), s[end:], nil
 }
 
-// WriteGraph writes the graph in sorted N-Triples form.
-func WriteGraph(w io.Writer, g *Graph) error {
+// WriteGraph writes the store's contents in sorted N-Triples form.
+func WriteGraph(w io.Writer, g Store) error {
 	bw := bufio.NewWriter(w)
 	for _, t := range g.Triples() {
 		if _, err := bw.WriteString(t.NTriples()); err != nil {

@@ -9,7 +9,7 @@ import (
 
 // Eval computes ⟦P⟧_G bottom-up, following the semantics of Section 2.1
 // and the NS semantics of Section 5.1.
-func Eval(g *rdf.Graph, p Pattern) *MappingSet {
+func Eval(g rdf.Store, p Pattern) *MappingSet {
 	switch q := p.(type) {
 	case TriplePattern:
 		return evalTriple(g, q)
@@ -32,7 +32,7 @@ func Eval(g *rdf.Graph, p Pattern) *MappingSet {
 
 // evalTriple computes ⟦t⟧_G = {µ | dom(µ) = var(t), µ(t) ∈ G}, handling
 // repeated variables within the triple pattern (e.g. (?X, p, ?X)).
-func evalTriple(g *rdf.Graph, t TriplePattern) *MappingSet {
+func evalTriple(g rdf.Store, t TriplePattern) *MappingSet {
 	out := NewMappingSet()
 	var s, p, o *rdf.IRI
 	if !t.S.IsVar() {
@@ -112,7 +112,7 @@ func sortVars(vs []Var) {
 
 // EvalConstruct computes ans(Q, G) = {µ(t) | µ ∈ ⟦P⟧_G, t ∈ H,
 // var(t) ⊆ dom(µ)} as an RDF graph (Section 6.1).
-func EvalConstruct(g *rdf.Graph, q ConstructQuery) *rdf.Graph {
+func EvalConstruct(g rdf.Store, q ConstructQuery) rdf.Store {
 	out := rdf.NewGraph()
 	for _, mu := range Eval(g, q.Where).Mappings() {
 		for _, t := range q.Template {
@@ -127,7 +127,7 @@ func EvalConstruct(g *rdf.Graph, q ConstructQuery) *rdf.Graph {
 // ConstructContains reports t ∈ ans(Q, G) without materializing the
 // whole output graph; this is the decision problem Eval(G) of
 // Section 7.3.
-func ConstructContains(g *rdf.Graph, q ConstructQuery, t rdf.Triple) bool {
+func ConstructContains(g rdf.Store, q ConstructQuery, t rdf.Triple) bool {
 	for _, mu := range Eval(g, q.Where).Mappings() {
 		for _, tp := range q.Template {
 			if tr, ok := mu.Apply(tp); ok && tr == t {

@@ -19,7 +19,7 @@ import (
 // With b == nil, EvalBudget(g, p, nil) computes exactly Eval(g, p)
 // (differentially tested), except that a malformed pattern returns
 // ErrUnsupportedPattern instead of panicking.
-func EvalBudget(g *rdf.Graph, p Pattern, b *Budget) (*MappingSet, error) {
+func EvalBudget(g rdf.Store, p Pattern, b *Budget) (*MappingSet, error) {
 	if err := b.Step(); err != nil {
 		return nil, err
 	}
@@ -99,7 +99,7 @@ func EvalBudget(g *rdf.Graph, p Pattern, b *Budget) (*MappingSet, error) {
 
 // evalTripleBudget computes ⟦t⟧_G like evalTriple, charging one step
 // per index match.
-func evalTripleBudget(g *rdf.Graph, t TriplePattern, b *Budget) (*MappingSet, error) {
+func evalTripleBudget(g rdf.Store, t TriplePattern, b *Budget) (*MappingSet, error) {
 	out := NewMappingSet()
 	var s, p, o *rdf.IRI
 	if !t.S.IsVar() {

@@ -9,7 +9,7 @@ import (
 // evaluation EvalCompatible with µ as the constraint, which substitutes
 // µ's bindings into triple patterns as constants, pruning the search
 // space to mappings compatible with µ.
-func Member(g *rdf.Graph, p Pattern, mu Mapping) bool {
+func Member(g rdf.Store, p Pattern, mu Mapping) bool {
 	return EvalCompatible(g, p, mu).Contains(mu)
 }
 
@@ -30,7 +30,7 @@ func Member(g *rdf.Graph, p Pattern, mu Mapping) bool {
 // EvalCompatible is the ungoverned wrapper; a malformed pattern yields
 // an empty set rather than a panic.  Use EvalCompatibleBudget to bound
 // the evaluation.
-func EvalCompatible(g *rdf.Graph, p Pattern, c Mapping) *MappingSet {
+func EvalCompatible(g rdf.Store, p Pattern, c Mapping) *MappingSet {
 	ms, err := EvalCompatibleBudget(g, p, c, nil)
 	if err != nil {
 		return NewMappingSet()
@@ -44,7 +44,7 @@ func EvalCompatible(g *rdf.Graph, p Pattern, c Mapping) *MappingSet {
 // the non-monotone operators expensive (Theorems 7.2–7.4) — and each
 // iteration charges the budget, so cancellation propagates out of
 // arbitrarily nested OPT/NS within a bounded amount of work.
-func EvalCompatibleBudget(g *rdf.Graph, p Pattern, c Mapping, b *Budget) (*MappingSet, error) {
+func EvalCompatibleBudget(g rdf.Store, p Pattern, c Mapping, b *Budget) (*MappingSet, error) {
 	if err := b.Step(); err != nil {
 		return nil, err
 	}
@@ -155,7 +155,7 @@ func EvalCompatibleBudget(g *rdf.Graph, p Pattern, c Mapping, b *Budget) (*Mappi
 
 // evalTripleConstrainedB matches a triple pattern with the constraint's
 // bindings substituted as constants; each index match charges one step.
-func evalTripleConstrainedB(g *rdf.Graph, t TriplePattern, c Mapping, b *Budget) (*MappingSet, error) {
+func evalTripleConstrainedB(g rdf.Store, t TriplePattern, c Mapping, b *Budget) (*MappingSet, error) {
 	bind := func(v Value) Value {
 		if v.IsVar() {
 			if iri, ok := c[v.Var()]; ok {

@@ -79,7 +79,7 @@ func (m *mergeSide) row(i int) []rdf.ID { return m.ids[i*m.w : (i+1)*m.w : (i+1)
 // scanMergeSide runs one index scan and buffers it as a mergeSide,
 // charging the budget like evalTripleRowsB does: one step per matched
 // triple, one row charge per buffered row.
-func scanMergeSide(g *rdf.Graph, ts *tripleSlots, leadSlot int, sc *VarSchema, b *Budget) (*mergeSide, error) {
+func scanMergeSide(g rdf.Store, ts *tripleSlots, leadSlot int, sc *VarSchema, b *Budget) (*mergeSide, error) {
 	w := sc.Len()
 	side := &mergeSide{mask: ts.mask, w: w}
 	var sp, pp, op *rdf.ID
@@ -120,7 +120,7 @@ func scanMergeSide(g *rdf.Graph, ts *tripleSlots, leadSlot int, sc *VarSchema, b
 // profile tree stays congruent to the pattern tree whichever join
 // strategy ran: wall time, budget deltas, rows out (= |⟦t⟧_G|) and one
 // range scan.
-func instrumentedScan(g *rdf.Graph, ts *tripleSlots, leadSlot int, sc *VarSchema, b *Budget, node *obs.Node) (*mergeSide, error) {
+func instrumentedScan(g rdf.Store, ts *tripleSlots, leadSlot int, sc *VarSchema, b *Budget, node *obs.Node) (*mergeSide, error) {
 	if node == nil {
 		return scanMergeSide(g, ts, leadSlot, sc, b)
 	}
@@ -146,7 +146,7 @@ func instrumentedScan(g *rdf.Graph, ts *tripleSlots, leadSlot int, sc *VarSchema
 // node in that case.  When handled, the profile children for both
 // operands have been created (L before R) and the operator's counters
 // (rows in, merge runs) recorded, exactly like the standard path.
-func tryMergeScanJoin(g *rdf.Graph, lp, rp Pattern, sc *VarSchema, b *Budget, node *obs.Node, outer bool) (*RowSet, bool, error) {
+func tryMergeScanJoin(g rdf.Store, lp, rp Pattern, sc *VarSchema, b *Budget, node *obs.Node, outer bool) (*RowSet, bool, error) {
 	if !MergeJoinEnabled {
 		return nil, false, nil
 	}

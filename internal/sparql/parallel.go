@@ -113,7 +113,7 @@ func (p *pool) release() { <-p.sem }
 // branches, AND/OPT operands, large joins and NS evaluated across up
 // to workers goroutines (0 = GOMAXPROCS).  ok = false when the
 // pattern exceeds MaxSchemaVars variables.
-func EvalRowsPar(g *rdf.Graph, p Pattern, workers int) (*RowSet, bool) {
+func EvalRowsPar(g rdf.Store, p Pattern, workers int) (*RowSet, bool) {
 	rs, ok, err := EvalRowsParOpts(g, p, nil, ParOptions{Workers: workers})
 	if err != nil {
 		return nil, false
@@ -125,12 +125,12 @@ func EvalRowsPar(g *rdf.Graph, p Pattern, workers int) (*RowSet, bool) {
 // is shared by every worker (its counters are atomic), cancellation
 // and limits stop all of them within a stride, and the pool is fully
 // drained before the error returns.
-func EvalRowsParBudget(g *rdf.Graph, p Pattern, b *Budget, workers int) (*RowSet, bool, error) {
+func EvalRowsParBudget(g rdf.Store, p Pattern, b *Budget, workers int) (*RowSet, bool, error) {
 	return EvalRowsParOpts(g, p, b, ParOptions{Workers: workers})
 }
 
 // EvalRowsParOpts is EvalRowsParBudget with full tuning options.
-func EvalRowsParOpts(g *rdf.Graph, p Pattern, b *Budget, o ParOptions) (*RowSet, bool, error) {
+func EvalRowsParOpts(g rdf.Store, p Pattern, b *Budget, o ParOptions) (*RowSet, bool, error) {
 	sc, ok := SchemaFor(p)
 	if !ok {
 		return nil, false, nil
@@ -159,7 +159,7 @@ func EvalRowsParOpts(g *rdf.Graph, p Pattern, b *Budget, o ParOptions) (*RowSet,
 // parEval is the parallel bottom-up evaluator; it mirrors evalRowsB
 // with concurrent operand evaluation and partitioned operators.
 type parEval struct {
-	g       *rdf.Graph
+	g       rdf.Store
 	sc      *VarSchema
 	b       *Budget
 	po      *pool

@@ -16,7 +16,7 @@ import (
 //
 // The result decodes to exactly Eval(g, p) (differentially tested);
 // Eval stays the reference implementation and oracle.
-func EvalRows(g *rdf.Graph, p Pattern) (*RowSet, bool) {
+func EvalRows(g rdf.Store, p Pattern) (*RowSet, bool) {
 	rs, ok, err := EvalRowsBudget(g, p, nil)
 	if err != nil {
 		return nil, false
@@ -29,7 +29,7 @@ func EvalRows(g *rdf.Graph, p Pattern) (*RowSet, bool) {
 // evaluation aborts with the budget's typed error (ErrCanceled,
 // ErrBudgetExceeded) as soon as the governor trips.  Malformed plans
 // surface as ErrUnsupportedPattern instead of panicking.
-func EvalRowsBudget(g *rdf.Graph, p Pattern, b *Budget) (*RowSet, bool, error) {
+func EvalRowsBudget(g rdf.Store, p Pattern, b *Budget) (*RowSet, bool, error) {
 	return EvalRowsProf(g, p, b, nil)
 }
 
@@ -39,7 +39,7 @@ func EvalRowsBudget(g *rdf.Graph, p Pattern, b *Budget) (*RowSet, bool, error) {
 // NS pruning per mask bucket, and budget consumption.  A nil prof is
 // exactly EvalRowsBudget — the instrumentation costs one nil check per
 // operator node, nothing per row.
-func EvalRowsProf(g *rdf.Graph, p Pattern, b *Budget, prof *obs.Node) (*RowSet, bool, error) {
+func EvalRowsProf(g rdf.Store, p Pattern, b *Budget, prof *obs.Node) (*RowSet, bool, error) {
 	sc, ok := SchemaFor(p)
 	if !ok {
 		return nil, false, nil
@@ -139,7 +139,7 @@ func recordNS(node *obs.Node, in, out *RowSet) {
 // EvalRowEngine evaluates with the row engine and decodes at the
 // boundary, falling back to the reference evaluator for patterns wider
 // than MaxSchemaVars.
-func EvalRowEngine(g *rdf.Graph, p Pattern) *MappingSet {
+func EvalRowEngine(g rdf.Store, p Pattern) *MappingSet {
 	rs, ok := EvalRows(g, p)
 	if !ok {
 		return Eval(g, p)
@@ -151,7 +151,7 @@ func EvalRowEngine(g *rdf.Graph, p Pattern) *MappingSet {
 // the same query-wide schema, and every operator runs its budgeted
 // variant so a hostile sub-pattern cannot outrun the governor.  parent
 // is the enclosing profile node (nil disables instrumentation).
-func evalRowsB(g *rdf.Graph, p Pattern, sc *VarSchema, b *Budget, parent *obs.Node) (*RowSet, error) {
+func evalRowsB(g rdf.Store, p Pattern, sc *VarSchema, b *Budget, parent *obs.Node) (*RowSet, error) {
 	node := childNode(parent, p)
 	return evalInstrumented(node, b, func() (*RowSet, error) {
 		return evalRowsOp(g, p, sc, b, node)
@@ -161,7 +161,7 @@ func evalRowsB(g *rdf.Graph, p Pattern, sc *VarSchema, b *Budget, parent *obs.No
 // evalRowsOp dispatches one operator, recursing through evalRowsB so
 // the children attach under node.  Rows-in is the operand total fed to
 // the operator (its own output is recorded by the wrapper).
-func evalRowsOp(g *rdf.Graph, p Pattern, sc *VarSchema, b *Budget, node *obs.Node) (*RowSet, error) {
+func evalRowsOp(g rdf.Store, p Pattern, sc *VarSchema, b *Budget, node *obs.Node) (*RowSet, error) {
 	if err := b.Step(); err != nil {
 		return nil, err
 	}
@@ -340,7 +340,7 @@ func EvalTripleDeltaB(t TriplePattern, sc *VarSchema, d *rdf.Dict, delta []rdf.I
 // order (SPO/POS/OSP) via MatchIDs, and repeated variables are checked
 // in ID space.  Each index probe charges one budget step; the scan is
 // recorded as one range scan on the pattern's profile node.
-func evalTripleRowsB(g *rdf.Graph, t TriplePattern, sc *VarSchema, b *Budget, node *obs.Node) (*RowSet, error) {
+func evalTripleRowsB(g rdf.Store, t TriplePattern, sc *VarSchema, b *Budget, node *obs.Node) (*RowSet, error) {
 	out := NewRowSet(sc)
 	ts, ok := resolveTriple(t, sc, g.Dict())
 	if !ok {

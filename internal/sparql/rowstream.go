@@ -23,7 +23,7 @@ import (
 // limits and injected faults all surface as typed errors from Search,
 // unwinding the recursion cleanly.
 type Searcher struct {
-	g       *rdf.Graph
+	g       rdf.Store
 	sc      *VarSchema
 	ids     []rdf.ID
 	budget  *Budget
@@ -34,13 +34,13 @@ type Searcher struct {
 
 // NewSearcher returns a searcher for patterns over the schema with no
 // resource budget.
-func NewSearcher(g *rdf.Graph, sc *VarSchema) *Searcher {
+func NewSearcher(g rdf.Store, sc *VarSchema) *Searcher {
 	return NewSearcherBudget(g, sc, nil)
 }
 
 // NewSearcherBudget returns a searcher governed by b (nil disables all
 // accounting).
-func NewSearcherBudget(g *rdf.Graph, sc *VarSchema, b *Budget) *Searcher {
+func NewSearcherBudget(g rdf.Store, sc *VarSchema, b *Budget) *Searcher {
 	return &Searcher{
 		g:       g,
 		sc:      sc,

@@ -49,8 +49,8 @@ func TestInsertUnwindThroughCompaction(t *testing.T) {
 	compacted := false
 	for n := int64(0); n <= total; n++ {
 		v := newView()
-		baseBefore := v.Base().Clone()
-		outBefore := v.Graph().Clone()
+		baseBefore := rdf.CloneStore(v.Base())
+		outBefore := rdf.CloneStore(v.Graph())
 
 		fb := sparql.NewBudget(nil)
 		fb.InjectFault(n, errInjectedView)

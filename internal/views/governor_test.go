@@ -58,8 +58,8 @@ func TestInsertBudgetAtomicUnwind(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		baseBefore := v.Base().Clone()
-		outBefore := v.Graph().Clone()
+		baseBefore := rdf.CloneStore(v.Base())
+		outBefore := rdf.CloneStore(v.Graph())
 
 		b := sparql.NewBudget(nil)
 		b.InjectFault(n, errInjectedView)
@@ -157,8 +157,8 @@ func TestInsertBudgetRandomizedUnwind(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			baseBefore := v.Base().Clone()
-			outBefore := v.Graph().Clone()
+			baseBefore := rdf.CloneStore(v.Base())
+			outBefore := rdf.CloneStore(v.Graph())
 			fb := sparql.NewBudget(nil)
 			fb.InjectFault(n, errInjectedView)
 			if _, err := v.InsertBudget(fb, delta...); !errors.Is(err, errInjectedView) {

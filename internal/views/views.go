@@ -44,19 +44,38 @@ import (
 // View is a materialized monotone CONSTRUCT view over a base graph.
 type View struct {
 	query sparql.ConstructQuery
-	base  *rdf.Graph
-	out   *rdf.Graph
+	base  rdf.Store
+	out   rdf.Store
 	sc    *sparql.VarSchema // nil: WHERE wider than MaxSchemaVars, string fallback
 }
 
 // New materializes a CONSTRUCT[AUF] view over a snapshot of the base
-// graph.  The base graph is cloned: the view is updated exclusively
-// through Insert, so that its state stays consistent.
-func New(q sparql.ConstructQuery, base *rdf.Graph) (*View, error) {
+// graph.  The base graph is cloned into a fresh in-memory store: the
+// view is updated exclusively through Insert, so that its state stays
+// consistent.  To maintain a view directly over a shared (for example
+// durable) store, use Over.
+func New(q sparql.ConstructQuery, base rdf.Store) (*View, error) {
+	return newView(q, base, true)
+}
+
+// Over materializes a CONSTRUCT[AUF] view directly over base, without
+// cloning it.  The view adopts the store: after Over returns, base
+// must be mutated exclusively through the view's Insert methods, which
+// keep (base, out) consistent and stage each insert as one atomic
+// durability batch — on a durable backend, a rolled-back insert leaves
+// no committed WAL records.
+func Over(q sparql.ConstructQuery, base rdf.Store) (*View, error) {
+	return newView(q, base, false)
+}
+
+func newView(q sparql.ConstructQuery, base rdf.Store, clone bool) (*View, error) {
 	if !sparql.InFragment(q.Where, sparql.FragmentAUF) {
 		return nil, fmt.Errorf("views: WHERE clause outside CONSTRUCT[AUF] (the monotone fragment, Corollary 6.8): %s", q.Where)
 	}
-	v := &View{query: q, base: base.Clone()}
+	v := &View{query: q, base: base}
+	if clone {
+		v.base = rdf.CloneStore(base)
+	}
 	if sc, ok := sparql.SchemaFor(q.Where); ok {
 		v.sc = sc
 	}
@@ -66,11 +85,11 @@ func New(q sparql.ConstructQuery, base *rdf.Graph) (*View, error) {
 
 // Graph returns the materialized output graph.  Callers must not
 // modify it.
-func (v *View) Graph() *rdf.Graph { return v.out }
+func (v *View) Graph() rdf.Store { return v.out }
 
 // Base returns the view's snapshot of the base graph.  Callers must
 // not modify it; use Insert.
-func (v *View) Base() *rdf.Graph { return v.base }
+func (v *View) Base() rdf.Store { return v.base }
 
 // Insert adds triples to the base graph and incrementally extends the
 // output.  It returns the number of new output triples.  Ungoverned
@@ -125,6 +144,11 @@ func (v *View) InsertObserved(b *sparql.Budget, prof *obs.Node, triples ...rdf.T
 		node.AddRowsIn(int64(deltaLen))
 		node.AddRowsOut(int64(added))
 	}
+	// The whole insert is one durability batch: the adds (and, on the
+	// unwind path, their compensating removes) stay staged until the
+	// delta evaluation succeeds, so a durable base commits either one
+	// atomic WAL record for the full insert or nothing at all.
+	v.base.BeginBatch()
 	var delta []rdf.Triple
 	for _, t := range triples {
 		if v.base.AddTriple(t) {
@@ -132,16 +156,33 @@ func (v *View) InsertObserved(b *sparql.Budget, prof *obs.Node, triples ...rdf.T
 		}
 	}
 	if len(delta) == 0 {
+		v.base.AbortBatch() // nothing staged; nothing to persist
 		finish(0, 0)
 		return 0, nil
 	}
 	newAnswers, err := v.deltaAnswers(delta, b)
 	if err != nil {
 		// Unwind: the output was not touched yet; removing the delta
-		// restores the base, keeping (base, out) consistent.
+		// restores the base, keeping (base, out) consistent.  The
+		// removes land in the same open batch as the adds, and the
+		// abort discards both — a rolled-back insert must not leave
+		// committed WAL records on a durable base.
 		for _, t := range delta {
 			v.base.Remove(t.S, t.P, t.O)
 		}
+		v.base.AbortBatch()
+		finish(len(delta), 0)
+		return 0, err
+	}
+	if err := v.base.CommitBatch(); err != nil {
+		// The log rejected the batch (I/O failure on a durable base).
+		// Re-sync memory with the log's view of the world: remove the
+		// delta again, discarding the compensating records unwritten.
+		v.base.BeginBatch()
+		for _, t := range delta {
+			v.base.Remove(t.S, t.P, t.O)
+		}
+		v.base.AbortBatch()
 		finish(len(delta), 0)
 		return 0, err
 	}
@@ -326,7 +367,7 @@ func (v *View) probeChunked(small *sparql.RowSet, p sparql.Pattern, b *sparql.Bu
 // rule may count an all-new join twice; deduplication makes that
 // harmless, and probing the updated graph on both sides avoids keeping
 // (or cloning) the pre-insert graph.
-func deltaEval(g, delta *rdf.Graph, p sparql.Pattern, b *sparql.Budget) (*sparql.MappingSet, error) {
+func deltaEval(g, delta rdf.Store, p sparql.Pattern, b *sparql.Budget) (*sparql.MappingSet, error) {
 	switch q := p.(type) {
 	case sparql.TriplePattern:
 		return sparql.EvalBudget(delta, q, b)
@@ -375,7 +416,7 @@ func deltaEval(g, delta *rdf.Graph, p sparql.Pattern, b *sparql.Budget) (*sparql
 
 // joinConstrained computes small ⋈ ⟦p⟧_g by probing p with each
 // mapping of small as a compatibility constraint.
-func joinConstrained(g *rdf.Graph, small *sparql.MappingSet, p sparql.Pattern, b *sparql.Budget) (*sparql.MappingSet, error) {
+func joinConstrained(g rdf.Store, small *sparql.MappingSet, p sparql.Pattern, b *sparql.Budget) (*sparql.MappingSet, error) {
 	out := sparql.NewMappingSet()
 	for _, mu := range small.Mappings() {
 		nus, err := sparql.EvalCompatibleBudget(g, p, mu, b)

@@ -102,8 +102,8 @@ func TestInsertLargeDeltaParallelUnwind(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		baseBefore := v.Base().Clone()
-		outBefore := v.Graph().Clone()
+		baseBefore := rdf.CloneStore(v.Base())
+		outBefore := rdf.CloneStore(v.Graph())
 		fb := sparql.NewBudget(nil)
 		fb.InjectFault(n, errInjectedView)
 		added, err := v.InsertBudget(fb, delta...)

@@ -55,8 +55,13 @@ type (
 	IRI = rdf.IRI
 	// Triple is an RDF triple (subject, predicate, object).
 	Triple = rdf.Triple
-	// Graph is a finite set of RDF triples with SPO/POS/OSP indexes.
+	// Graph is a finite set of RDF triples with SPO/POS/OSP indexes —
+	// the in-memory memstore backend of the Store interface.
 	Graph = rdf.Graph
+	// Store is the pluggable storage interface every evaluator accepts:
+	// *Graph is the default in-memory backend, and
+	// internal/rdf/durable adds a WAL+snapshot persistent backend.
+	Store = rdf.Store
 	// Var is a SPARQL variable (without the leading '?').
 	Var = sparql.Var
 	// Mapping is a partial function from variables to IRIs.
@@ -102,10 +107,10 @@ func ParseConstruct(s string) (ConstructQuery, error) { return parser.ParseConst
 func ParseQuery(s string) (Query, error) { return parser.ParseQuery(s) }
 
 // Eval computes ⟦P⟧_G.
-func Eval(g *Graph, p Pattern) *MappingSet { return sparql.Eval(g, p) }
+func Eval(g Store, p Pattern) *MappingSet { return sparql.Eval(g, p) }
 
 // EvalConstruct computes ans(Q, G) as an RDF graph.
-func EvalConstruct(g *Graph, q ConstructQuery) *Graph { return sparql.EvalConstruct(g, q) }
+func EvalConstruct(g Store, q ConstructQuery) Store { return sparql.EvalConstruct(g, q) }
 
 // OptToNS rewrites every OPT using the NS operator (Section 5.1).
 func OptToNS(p Pattern) Pattern { return transform.OptToNS(p) }
@@ -151,12 +156,12 @@ func CheckSubsumptionFree(p Pattern, opts CheckOpts) *Counterexample {
 
 // MemberOf decides the Section 7 evaluation problem µ ∈ ⟦P⟧_G with the
 // constrained membership procedure (bindings of µ become constants).
-func MemberOf(g *Graph, p Pattern, mu Mapping) bool { return sparql.Member(g, p, mu) }
+func MemberOf(g Store, p Pattern, mu Mapping) bool { return sparql.Member(g, p, mu) }
 
 // EvalOptimized evaluates with the query planner (hash joins, join
 // reordering, filter push-down); always returns exactly ⟦P⟧_G.
-func EvalOptimized(g *Graph, p Pattern) *MappingSet { return plan.Eval(g, p) }
+func EvalOptimized(g Store, p Pattern) *MappingSet { return plan.Eval(g, p) }
 
 // NewView materializes a monotone CONSTRUCT[AUF] view with incremental
 // insert-only maintenance (Corollary 6.8); see the views package.
-func NewView(q ConstructQuery, base *Graph) (*views.View, error) { return views.New(q, base) }
+func NewView(q ConstructQuery, base Store) (*views.View, error) { return views.New(q, base) }
