@@ -1,11 +1,11 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test bench experiments fuzz cover clean ci fmt-check race staticcheck governor-race bench-smoke obs-smoke crash-smoke
+.PHONY: all build vet test bench experiments fuzz cover clean ci fmt-check race staticcheck governor-race bench-smoke obs-smoke crash-smoke cluster-smoke
 
 all: build vet test
 
 # Exactly what .github/workflows/ci.yml runs.
-ci: fmt-check vet staticcheck build test bench-smoke obs-smoke crash-smoke race governor-race
+ci: fmt-check vet staticcheck build test bench-smoke obs-smoke crash-smoke cluster-smoke race governor-race
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -29,6 +29,7 @@ race:
 	for procs in 1 4; do \
 		GOMAXPROCS=$$procs go test -race -count=1 -timeout 10m \
 			./internal/rdf/... ./internal/sparql/ ./internal/plan/ ./internal/exec/ ./internal/views/ \
+			./internal/cluster/ \
 			|| exit 1; \
 	done
 
@@ -126,6 +127,47 @@ crash-smoke:
 		echo "crash-smoke: kill -9 recovery OK"; \
 	else \
 		echo "jq not installed; skipping crash smoke" >&2; \
+	fi
+
+# Mirrors the CI cluster-smoke step: two sharded nsserve processes
+# behind an nscoord; insert through the coordinator, query across the
+# shard split, kill -9 one shard and assert the degraded answer is
+# still 200 with partial:true and the dead shard named.  Gated on jq.
+cluster-smoke:
+	@if command -v jq >/dev/null 2>&1; then \
+		go build -o /tmp/nsserve-cluster ./cmd/nsserve || exit 1; \
+		go build -o /tmp/nscoord-cluster ./cmd/nscoord || exit 1; \
+		/tmp/nsserve-cluster -addr 127.0.0.1:18323 -shard 0/2 -log-level warn & s0=$$!; \
+		/tmp/nsserve-cluster -addr 127.0.0.1:18324 -shard 1/2 -log-level warn & s1=$$!; \
+		/tmp/nscoord-cluster -addr 127.0.0.1:18325 \
+			-shards http://127.0.0.1:18323,http://127.0.0.1:18324 \
+			-probe-interval 200ms -scan-timeout 2s -query-timeout 10s -log-level warn & co=$$!; \
+		trap "kill -9 $$s0 $$s1 $$co 2>/dev/null" EXIT; \
+		for port in 18323 18324 18325; do \
+			for i in $$(seq 1 50); do \
+				curl -sf http://127.0.0.1:$$port/readyz > /dev/null && break; \
+				sleep 0.1; \
+			done; \
+		done; \
+		seq 0 99 | awk '{printf "<s%d> <knows> <o%d> .\n", $$1, $$1}' \
+		| curl -sf --data-binary @- http://127.0.0.1:18325/insert \
+		| jq -e '.added == 100 and (.partial | not)' > /dev/null \
+		|| { echo "cluster-smoke: /insert through the coordinator failed" >&2; exit 1; }; \
+		curl -sfG --data-urlencode 'q=(?x knows ?y)' --data-urlencode 'syntax=paper' \
+			http://127.0.0.1:18325/query \
+		| jq -e '(.results.bindings | length == 100) and (.partial | not)' > /dev/null \
+		|| { echo "cluster-smoke: healthy cluster query wrong" >&2; exit 1; }; \
+		kill -9 $$s0; \
+		curl -sfG --data-urlencode 'q=(?x knows ?y)' --data-urlencode 'syntax=paper' \
+			http://127.0.0.1:18325/query \
+		| jq -e '.partial == true and (.shards | length == 1) and .shards[0].shard == 0 and (.results.bindings | length > 0) and (.results.bindings | length < 100)' > /dev/null \
+		|| { echo "cluster-smoke: degraded query not 200+partial" >&2; exit 1; }; \
+		curl -sf http://127.0.0.1:18325/metrics \
+		| jq -e '.cluster.queries >= 2 and .cluster.partial_responses >= 1' > /dev/null \
+		|| { echo "cluster-smoke: /metrics cluster block wrong" >&2; exit 1; }; \
+		echo "cluster-smoke: degraded scatter-gather OK"; \
+	else \
+		echo "jq not installed; skipping cluster smoke" >&2; \
 	fi
 
 # The query-governor fault-injection suites under the race detector;

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestClusterMultiProcess is the end-to-end cluster test with real
+// processes: two durable nsserve shards behind an nscoord, exercising
+// insert routing, cross-shard queries, kill -9 degradation, health
+// ejection, and recovery + readmission after restart.
+func TestClusterMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	nsserveBin := filepath.Join(dir, "nsserve")
+	nscoordBin := filepath.Join(dir, "nscoord")
+	for bin, pkg := range map[string]string{nsserveBin: "repro/cmd/nsserve", nscoordBin: "repro/cmd/nscoord"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	freePort := func() string {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		return l.Addr().String()
+	}
+	shard0Addr, shard1Addr, coordAddr := freePort(), freePort(), freePort()
+
+	startShard := func(index int, addr, dataDir string) *exec.Cmd {
+		cmd := exec.Command(nsserveBin,
+			"-addr", addr, "-shard", fmt.Sprintf("%d/2", index),
+			"-data-dir", dataDir, "-fsync", "always", "-log-level", "error")
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+	waitReady := func(addr string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get("http://" + addr + "/readyz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Fatalf("%s never became ready", addr)
+	}
+
+	shard0Dir := filepath.Join(dir, "s0")
+	shard0 := startShard(0, shard0Addr, shard0Dir)
+	shard1 := startShard(1, shard1Addr, filepath.Join(dir, "s1"))
+	defer func() {
+		if shard0.Process != nil {
+			shard0.Process.Kill()
+			shard0.Wait()
+		}
+		shard1.Process.Kill()
+		shard1.Wait()
+	}()
+	waitReady(shard0Addr)
+	waitReady(shard1Addr)
+
+	coord := exec.Command(nscoordBin,
+		"-addr", coordAddr,
+		"-shards", fmt.Sprintf("http://%s,http://%s", shard0Addr, shard1Addr),
+		"-probe-interval", "100ms", "-eject-after", "2", "-readmit-after", "1",
+		"-query-timeout", "5s", "-scan-timeout", "1s", "-log-level", "error")
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		coord.Process.Signal(syscall.SIGTERM)
+		coord.Wait()
+	}()
+	waitReady(coordAddr)
+	base := "http://" + coordAddr
+
+	// Insert 200 triples through the coordinator; it must route each to
+	// its subject's shard.
+	var body strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&body, "<s%d> <knows> <o%d> .\n", i, i)
+	}
+	resp, err := http.Post(base+"/insert", "text/plain", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ins struct {
+		Added   int  `json:"added"`
+		Partial bool `json:"partial"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ins); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ins.Added != 200 || ins.Partial {
+		t.Fatalf("insert: %+v", ins)
+	}
+
+	query := func() (int, bool, int) {
+		t.Helper()
+		resp, err := http.Get(base + "/query?syntax=paper&q=" + urlQueryEscape("(?x knows ?y)"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("query = %d: %s", resp.StatusCode, b)
+		}
+		var doc struct {
+			Results struct {
+				Bindings []json.RawMessage `json:"bindings"`
+			} `json:"results"`
+			Partial bool `json:"partial"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return len(doc.Results.Bindings), doc.Partial, resp.StatusCode
+	}
+
+	if rows, partial, _ := query(); rows != 200 || partial {
+		t.Fatalf("healthy cluster: rows=%d partial=%v", rows, partial)
+	}
+
+	// kill -9 shard 0: queries must degrade to 200/partial within the
+	// deadline, never hang.
+	if err := shard0.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	shard0.Wait()
+	start := time.Now()
+	rows, partial, _ := query()
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("degraded query took %v (deadline overshoot)", elapsed)
+	}
+	if !partial {
+		t.Fatalf("query after kill -9 not partial (rows=%d)", rows)
+	}
+	if rows >= 200 || rows == 0 {
+		t.Fatalf("degraded rows = %d, want the surviving shard's share", rows)
+	}
+
+	// The prober must eject the dead shard.
+	ejected := false
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(b), `"state":"ejected"`) {
+			ejected = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !ejected {
+		t.Fatal("dead shard never ejected")
+	}
+
+	// Restart shard 0 on the same data dir: durable recovery brings its
+	// partition back, the prober readmits it, and answers are whole
+	// again.
+	shard0 = startShard(0, shard0Addr, shard0Dir)
+	waitReady(shard0Addr)
+	recovered := false
+	deadline = time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if rows, partial, _ := query(); rows == 200 && !partial {
+			recovered = true
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("cluster never recovered full answers after shard restart")
+	}
+}

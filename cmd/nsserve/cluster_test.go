@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/rdf"
+)
+
+// TestReadyzDrainSplit checks /readyz flips to 503 on BeginDrain while
+// /healthz (liveness) stays 200 — the split that lets a load balancer
+// stop routing to a draining process without the orchestrator killing
+// it early.
+func TestReadyzDrainSplit(t *testing.T) {
+	s := newServer(rdf.NewStore())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz before drain = %d", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz before drain = %d", got)
+	}
+	s.BeginDrain()
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain = %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d, want 200 (alive)", got)
+	}
+}
+
+// TestShardInsertFilter checks a shard-mode server rejects foreign
+// triples atomically and reports its shard in /healthz.
+func TestShardInsertFilter(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.shardIndex, cfg.shardCount = 0, 4
+	s := newServerWith(rdf.NewStore(), cfg)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Find one subject that hashes here and one that does not.
+	var mine, foreign rdf.IRI
+	for i := 0; mine == "" || foreign == ""; i++ {
+		subj := rdf.IRI(fmt.Sprintf("s%d", i))
+		if cluster.ShardOf(subj, 4) == 0 {
+			mine = subj
+		} else {
+			foreign = subj
+		}
+	}
+
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/insert", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := post(fmt.Sprintf("<%s> <p> <o> .\n", mine)); code != http.StatusOK {
+		t.Fatalf("own-partition insert = %d: %s", code, body)
+	}
+	// Foreign triple poisons the whole batch: nothing is applied.
+	code, body := post(fmt.Sprintf("<%s> <p2> <o2> .\n<%s> <p> <o> .\n", mine, foreign))
+	if code != http.StatusBadRequest || !strings.Contains(body, "belongs to shard") {
+		t.Fatalf("foreign insert = %d: %s", code, body)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(stats), `"triples": 1`) {
+		t.Fatalf("rejected batch partially applied: %s", stats)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(hb), `"shard": "0/4"`) {
+		t.Fatalf("/healthz missing shard field: %s", hb)
+	}
+}
+
+// TestScanEndpoint checks the mounted /scan speaks the cluster wire
+// protocol end to end against a live server.
+func TestScanEndpoint(t *testing.T) {
+	g := rdf.NewStore()
+	g.Add("a", "knows", "b")
+	g.Add("b", "knows", "c")
+	ts := httptest.NewServer(newServer(g))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/scan?p=knows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	triples, err := cluster.ParseScanBody(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 2 {
+		t.Fatalf("scan returned %d triples, want 2", len(triples))
+	}
+}

@@ -13,9 +13,15 @@
 //	     CONSTRUCT → N-Triples (text/plain)
 //	POST /insert       body: N-Triples lines; inserts into the graph
 //	GET  /stats        {"triples": N, "iris": M}
+//	GET  /scan?s=&p=&o=  one triple pattern's matches as sorted N-Triples
+//	                   lines plus a "# eof <count>" marker — the cluster
+//	                   scatter-gather wire protocol (internal/cluster)
 //	GET  /healthz      {"status": "ok", "version": ..., "go": ..., "triples": N,
-//	                   "backend": "memstore"|"durable"[, "wal_generation": G,
+//	                   "backend": "memstore"|"durable"[, "shard": "i/N"]
+//	                   [, "wal_generation": G,
 //	                   "last_snapshot_age_seconds": A]} — liveness, lock-free
+//	GET  /readyz       readiness: 200 {"status": "ready"} normally, 503
+//	                   {"status": "draining"} once graceful shutdown began
 //	GET  /metrics      process metrics as JSON: request counts by status,
 //	                   per-endpoint latency histograms, in-flight gauge,
 //	                   governor-trip / pool-saturation / panic counters,
@@ -79,6 +85,15 @@
 // newest valid snapshot plus the WAL tail, truncating any record torn
 // by a crash; pair -data-dir with -graph to idempotently seed the
 // store from a triples file.
+//
+// # Cluster mode
+//
+// Pass -shard i/N to make this server one shard of an N-way cluster:
+// it owns the hash-by-subject partition i and rejects inserts of
+// triples outside it (400), so a fleet of N nsserve processes behind
+// an nscoord coordinator holds each triple exactly once.  The
+// coordinator routes inserts, scatter-gathers queries over /scan and
+// probes /readyz for shard health; see cmd/nscoord.
 package main
 
 import (
@@ -137,6 +152,8 @@ func main() {
 			"structured-log threshold: debug, info, warn or error")
 		pprofFlag = flag.Bool("pprof", false,
 			"expose Go profiling under /debug/pprof (off by default: it leaks process internals)")
+		shardSpec = flag.String("shard", "",
+			`cluster mode: serve hash-by-subject partition i of N, given as "i/N" (e.g. "0/4")`)
 	)
 	flag.Parse()
 	lvl, err := parseLogLevel(*logLevel)
@@ -197,15 +214,24 @@ func main() {
 	cfg.planCache = *planCacheSize
 	cfg.pprof = *pprofFlag
 	cfg.logger = logger
+	if *shardSpec != "" {
+		idx, n, err := parseShardSpec(*shardSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nsserve:", err)
+			os.Exit(1)
+		}
+		cfg.shardIndex, cfg.shardCount = idx, n
+	}
 
-	srv := newHTTPServer(*addr, newServerWith(store, cfg), cfg)
+	s := newServerWith(store, cfg)
+	srv := newHTTPServer(*addr, s, cfg)
 	logger.Info("nsserve listening", "addr", *addr, "triples", store.Len(),
-		"backend", backend, "query_timeout", *queryTimeout,
+		"backend", backend, "shard", *shardSpec, "query_timeout", *queryTimeout,
 		"max_concurrent", *maxConcurrent, "pprof", *pprofFlag)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	err = run(srv, stop, *drainTimeout)
+	err = run(srv, stop, *drainTimeout, s.BeginDrain)
 	// Close after the drain: no in-flight request can touch the store
 	// once Shutdown returns, and Close flushes the final WAL records.
 	if cerr := store.Close(); cerr != nil {
@@ -240,11 +266,22 @@ func newHTTPServer(addr string, h http.Handler, cfg config) *http.Server {
 	}
 }
 
+// parseShardSpec parses the -shard "i/N" flag.
+func parseShardSpec(spec string) (index, count int, err error) {
+	if _, serr := fmt.Sscanf(spec, "%d/%d", &index, &count); serr != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q (want \"i/N\", e.g. \"0/4\")", spec)
+	}
+	if count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("bad -shard %q (need 0 <= i < N)", spec)
+	}
+	return index, count, nil
+}
+
 // run serves until the listener fails or a stop signal arrives, then
-// shuts down gracefully: the listener closes immediately (new
-// connections are refused) while in-flight requests get up to drain to
-// finish.
-func run(srv *http.Server, stop <-chan os.Signal, drain time.Duration) error {
+// shuts down gracefully: onStop flips readiness (so probers stop
+// routing here), the listener closes immediately (new connections are
+// refused) and in-flight requests get up to drain to finish.
+func run(srv *http.Server, stop <-chan os.Signal, drain time.Duration, onStop func()) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
@@ -254,6 +291,9 @@ func run(srv *http.Server, stop <-chan os.Signal, drain time.Duration) error {
 		}
 		return err
 	case <-stop:
+		if onStop != nil {
+			onStop()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		return srv.Shutdown(ctx)

@@ -6,19 +6,15 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/exec"
 	"repro/internal/obs"
-	"repro/internal/plan"
-	"repro/internal/sparql"
 )
 
 // cachedPlan is one parsed-and-prepared query, ready to execute: the
-// dispatch shape (ASK / CONSTRUCT / SELECT) plus the optimized plan.
-// For CONSTRUCT the prepared plan covers the WHERE pattern and the
-// template rides along verbatim.
+// shared compiled form (dispatch shape plus optimized plan) that
+// exec.EvalCompiled runs for both nsserve and nscoord.
 type cachedPlan struct {
-	isAsk     bool
-	construct *sparql.ConstructQuery
-	prepared  plan.Prepared
+	compiled exec.Compiled
 }
 
 // planCache is a bounded LRU of cachedPlans keyed by

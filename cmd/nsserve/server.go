@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/exec"
 	"repro/internal/obs"
 	"repro/internal/parser"
@@ -39,6 +40,12 @@ type config struct {
 	planCache      int           // parse/plan cache capacity in entries (0 = disabled)
 	pprof          bool          // expose /debug/pprof (opt-in: it leaks host internals)
 	logger         *slog.Logger  // structured logger; nil = slog.Default()
+
+	// shardIndex / shardCount put the server in cluster mode: it owns
+	// hash-by-subject partition shardIndex of shardCount and rejects
+	// inserts outside it.  shardCount 0 or 1 is single-node mode.
+	shardIndex int
+	shardCount int
 
 	// Engine tuning passed through to plan.Options; zero keeps the
 	// planner defaults.  Tests set these to force parallel code paths
@@ -78,17 +85,35 @@ type server struct {
 	triples    atomic.Int64                   // lock-free mirror of graph.Len() for /healthz
 	storeStats atomic.Pointer[obs.StoreStats] // lock-free mirror of graph.Stats() for /metrics
 	qid        atomic.Uint64                  // per-request query-ID generator
+
+	// draining flips when graceful shutdown begins: /readyz goes 503 so
+	// load balancers and the cluster health prober stop routing here,
+	// while /healthz (liveness) stays 200 — the process is healthy, just
+	// leaving.  In-flight requests still complete.
+	draining atomic.Bool
+
+	handler http.Handler // the middleware-wrapped mux
 }
 
-// newServer returns the HTTP handler for a graph with the default
+// ServeHTTP serves the wrapped mux, so a *server is mountable
+// anywhere an http.Handler is.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// BeginDrain marks the server not-ready; main calls it when a stop
+// signal arrives, before draining in-flight requests.
+func (s *server) BeginDrain() { s.draining.Store(true) }
+
+// newServer returns the server for a graph with the default
 // governance configuration.
-func newServer(g rdf.Store) http.Handler {
+func newServer(g rdf.Store) *server {
 	return newServerWith(g, defaultConfig())
 }
 
-// newServerWith returns the HTTP handler for a graph under the given
+// newServerWith returns the server for a graph under the given
 // configuration.
-func newServerWith(g rdf.Store, cfg config) http.Handler {
+func newServerWith(g rdf.Store, cfg config) *server {
 	if cfg.logger == nil {
 		cfg.logger = slog.Default()
 	}
@@ -108,7 +133,15 @@ func newServerWith(g rdf.Store, cfg config) http.Handler {
 	mux.HandleFunc("/insert", s.instrument("insert", s.handleInsert))
 	mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	// The scan endpoint serves the cluster wire protocol (one triple
+	// pattern's sorted matches) under the same read lock as /query.
+	scan := cluster.ScanHandler(func() (rdf.Store, func()) {
+		s.mu.RLock()
+		return s.graph, s.mu.RUnlock
+	})
+	mux.HandleFunc("/scan", s.instrument("scan", scan.ServeHTTP))
 	if cfg.pprof {
 		// Opt-in only: the profiles expose memory contents and host
 		// details no public endpoint should leak.
@@ -118,7 +151,8 @@ func newServerWith(g rdf.Store, cfg config) http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return recoverPanics(cfg.logger, s.metrics, mux)
+	s.handler = recoverPanics(cfg.logger, s.metrics, mux)
+	return s
 }
 
 // loggerKey carries the per-request logger through the context;
@@ -363,64 +397,61 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Prof:                prof,
 	}
 
+	res, err := exec.EvalCompiled(s.graph, cp.compiled, bud, opts)
+	if err != nil {
+		s.writeEngineError(w, r, err)
+		return
+	}
 	switch {
-	case cp.isAsk:
-		ok, err := exec.AskPreparedOpts(s.graph, cp.prepared, bud, opts)
-		if err != nil {
-			s.writeEngineError(w, r, err)
-			return
-		}
-		doc := map[string]any{"boolean": ok}
+	case res.Bool != nil:
+		doc := map[string]any{"boolean": *res.Bool}
 		if wantProfile {
 			doc["profile"] = prof.Snapshot()
 		}
 		w.Header().Set("Content-Type", "application/sparql-results+json")
 		s.encode(w, r, doc)
-	case cp.construct != nil:
-		out, err := plan.EvalConstructPreparedOpts(s.graph, cp.prepared, cp.construct.Template, bud, opts)
-		if err != nil {
-			s.writeEngineError(w, r, err)
-			return
-		}
+	case res.Graph != nil:
 		// CONSTRUCT output is N-Triples text; there is no JSON envelope
 		// to carry a profile block.  Use nsq -stats for profiled
 		// CONSTRUCT runs.
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		rdf.WriteGraph(w, out)
+		rdf.WriteGraph(w, res.Graph)
 	default:
-		res, err := plan.EvalPreparedOpts(s.graph, cp.prepared, bud, opts)
-		if err != nil {
-			s.writeEngineError(w, r, err)
-			return
-		}
-		doc := jsonResults{}
-		seen := make(map[sparql.Var]bool)
-		for _, mu := range res.Mappings() {
-			for v := range mu {
-				if !seen[v] {
-					seen[v] = true
-					doc.Head.Vars = append(doc.Head.Vars, string(v))
-				}
-			}
-		}
-		// Deterministic head: the schema assigns slots in sorted
-		// variable order, so sorting here matches it and is stable
-		// across runs (map iteration order is not).
-		sort.Strings(doc.Head.Vars)
-		doc.Results.Bindings = make([]map[string]jsonTerm, 0, res.Len())
-		for _, mu := range res.Sorted() {
-			b := make(map[string]jsonTerm, len(mu))
-			for v, iri := range mu {
-				b[string(v)] = jsonTerm{Type: "uri", Value: string(iri)}
-			}
-			doc.Results.Bindings = append(doc.Results.Bindings, b)
-		}
+		doc := rowsToJSON(res.Rows)
 		if wantProfile {
 			doc.Profile = prof.Snapshot()
 		}
 		w.Header().Set("Content-Type", "application/sparql-results+json")
 		s.encode(w, r, doc)
 	}
+}
+
+// rowsToJSON renders a mapping set as the SPARQL 1.1 JSON results
+// document (shared by the single-node and cluster query paths).
+func rowsToJSON(res *sparql.MappingSet) jsonResults {
+	doc := jsonResults{}
+	seen := make(map[sparql.Var]bool)
+	for _, mu := range res.Mappings() {
+		for v := range mu {
+			if !seen[v] {
+				seen[v] = true
+				doc.Head.Vars = append(doc.Head.Vars, string(v))
+			}
+		}
+	}
+	// Deterministic head: the schema assigns slots in sorted
+	// variable order, so sorting here matches it and is stable
+	// across runs (map iteration order is not).
+	sort.Strings(doc.Head.Vars)
+	doc.Results.Bindings = make([]map[string]jsonTerm, 0, res.Len())
+	for _, mu := range res.Sorted() {
+		b := make(map[string]jsonTerm, len(mu))
+		for v, iri := range mu {
+			b[string(v)] = jsonTerm{Type: "uri", Value: string(iri)}
+		}
+		doc.Results.Bindings = append(doc.Results.Bindings, b)
+	}
+	return doc
 }
 
 // lookupPlan resolves a query to an executable plan through the plan
@@ -437,34 +468,11 @@ func (s *server) lookupPlan(syntax, qText string) (*cachedPlan, string) {
 			return cp, ""
 		}
 	}
-	cp := &cachedPlan{}
-	switch syntax {
-	case "", "sparql":
-		sq, err := parser.ParseSPARQL(qText)
-		if err != nil {
-			return nil, "parse error: " + err.Error()
-		}
-		if sq.Construct != nil {
-			cp.construct = sq.Construct
-			cp.prepared = plan.Prepare(s.graph, sq.Construct.Where)
-		} else {
-			cp.isAsk = sq.Ask
-			cp.prepared = plan.Prepare(s.graph, sq.Pattern)
-		}
-	case "paper":
-		q, err := parser.ParseQuery(qText)
-		if err != nil {
-			return nil, "parse error: " + err.Error()
-		}
-		if q.Construct != nil {
-			cp.construct = q.Construct
-			cp.prepared = plan.Prepare(s.graph, q.Construct.Where)
-		} else {
-			cp.prepared = plan.Prepare(s.graph, q.Pattern)
-		}
-	default:
-		return nil, "unknown syntax " + syntax
+	parsed, err := parser.ParseAny(syntax, qText)
+	if err != nil {
+		return nil, "parse error: " + err.Error()
 	}
+	cp := &cachedPlan{compiled: exec.Compile(s.graph, parsed.Pattern, parsed.Construct, parsed.Ask)}
 	if s.plans != nil {
 		s.plans.put(key, cp)
 	}
@@ -520,6 +528,27 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		http.Error(w, "parse error: "+err.Error(), http.StatusBadRequest)
 		return
+	}
+	// In cluster mode the server owns one hash-by-subject partition.  A
+	// triple outside it fails the whole request (before any mutation):
+	// silently accepting it would break the partition-disjointness the
+	// coordinator's scatter-gather relies on, and silently dropping it
+	// would lie to the client about what was stored.
+	if s.cfg.shardCount > 1 {
+		var foreign *rdf.Triple
+		delta.ForEach(func(t rdf.Triple) bool {
+			if cluster.ShardOf(t.S, s.cfg.shardCount) != s.cfg.shardIndex {
+				foreign = &t
+				return false
+			}
+			return true
+		})
+		if foreign != nil {
+			writeJSONError(w, http.StatusBadRequest, fmt.Sprintf(
+				"triple with subject %s belongs to shard %d, this server is shard %d/%d",
+				foreign.S, cluster.ShardOf(foreign.S, s.cfg.shardCount), s.cfg.shardIndex, s.cfg.shardCount))
+			return
+		}
 	}
 	// The whole insert is one durability batch: on the durable backend
 	// it commits as a single atomic WAL record, so a crash never
@@ -593,16 +622,37 @@ func buildVersion() string {
 // alert on a stuck snapshot loop.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	shard := ""
+	if s.cfg.shardCount > 1 {
+		shard = fmt.Sprintf(`, "shard": "%d/%d"`, s.cfg.shardIndex, s.cfg.shardCount)
+	}
 	if s.durable != nil {
 		ds := s.durable.DurableStats()
 		age := int64(-1)
 		if ds.LastSnapshotUnix > 0 {
 			age = time.Now().Unix() - ds.LastSnapshotUnix
 		}
-		fmt.Fprintf(w, `{"status": "ok", "version": %q, "go": %q, "triples": %d, "backend": %q, "wal_generation": %d, "last_snapshot_age_seconds": %d}`+"\n",
-			buildVersion(), runtime.Version(), s.triples.Load(), s.backend, ds.Generation, age)
+		fmt.Fprintf(w, `{"status": "ok", "version": %q, "go": %q, "triples": %d, "backend": %q%s, "wal_generation": %d, "last_snapshot_age_seconds": %d}`+"\n",
+			buildVersion(), runtime.Version(), s.triples.Load(), s.backend, shard, ds.Generation, age)
 		return
 	}
-	fmt.Fprintf(w, `{"status": "ok", "version": %q, "go": %q, "triples": %d, "backend": %q}`+"\n",
-		buildVersion(), runtime.Version(), s.triples.Load(), s.backend)
+	fmt.Fprintf(w, `{"status": "ok", "version": %q, "go": %q, "triples": %d, "backend": %q%s}`+"\n",
+		buildVersion(), runtime.Version(), s.triples.Load(), s.backend, shard)
+}
+
+// handleReadyz is the readiness probe, distinct from /healthz
+// liveness: it answers 503 once a graceful drain has begun (the
+// process is alive but should get no new traffic — load balancers and
+// the cluster coordinator's health prober key off this), and 200
+// otherwise.  Recovery ordering needs no explicit gate: the durable
+// store's Open and the -graph seeding both complete before the
+// listener exists.  Lock-free, like /healthz.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status": "draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status": "ready"}`)
 }

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// BackoffPolicy computes retry delays: exponential growth from Base by
+// Multiplier per attempt, capped at Max, with a uniform jitter of
+// ±Jitter (a fraction of the computed delay) so a fleet of retrying
+// coordinators does not thundering-herd a recovering shard.  The zero
+// value is unusable; DefaultBackoff is the tuned default.
+type BackoffPolicy struct {
+	// Base is the delay before the first retry.
+	Base time.Duration
+	// Max caps the grown delay (before jitter).
+	Max time.Duration
+	// Multiplier is the per-attempt growth factor (>= 1).
+	Multiplier float64
+	// Jitter is the fraction of the delay randomized around it:
+	// 0.2 means the actual delay is uniform in [0.8d, 1.2d].  Values
+	// are clamped to [0, 1].
+	Jitter float64
+	// MaxAttempts bounds the total number of tries (first attempt
+	// included); 0 or negative means exactly one try, no retries.
+	MaxAttempts int
+}
+
+// DefaultBackoff is the coordinator's retry policy: 10ms doubling to a
+// 500ms cap with 20% jitter, four tries total.
+var DefaultBackoff = BackoffPolicy{
+	Base:        10 * time.Millisecond,
+	Max:         500 * time.Millisecond,
+	Multiplier:  2,
+	Jitter:      0.2,
+	MaxAttempts: 4,
+}
+
+// Delay returns the backoff before retry number attempt (attempt 0 is
+// the delay after the first failure).  rng supplies the jitter; a nil
+// rng yields the deterministic un-jittered delay, which tests use to
+// pin expectations.
+func (p BackoffPolicy) Delay(attempt int, rng *rand.Rand) time.Duration {
+	d := float64(p.Base)
+	for i := 0; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.Max) {
+			break
+		}
+	}
+	if max := float64(p.Max); d > max {
+		d = max
+	}
+	if rng != nil && p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		// uniform in [d(1-j), d(1+j)]
+		d *= 1 - j + 2*j*rng.Float64()
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// SleepContext sleeps for d or until ctx is done, whichever comes
+// first, returning ctx.Err() when the sleep was cut short.  Retry
+// loops use it so a query deadline cancels a backoff sleep instead of
+// overshooting it.
+func SleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffGrowthAndCap pins the un-jittered schedule: exponential
+// growth from Base by Multiplier, clamped at Max.
+func TestBackoffGrowthAndCap(t *testing.T) {
+	p := BackoffPolicy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Multiplier: 2, MaxAttempts: 10}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+		80 * time.Millisecond,
+	}
+	for attempt, w := range want {
+		if got := p.Delay(attempt, nil); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+// TestBackoffJitterBounds draws many jittered delays from a pinned
+// seed and checks every one lands in [d(1-j), d(1+j)] around the
+// deterministic delay — and that they are not all identical (the
+// jitter actually jitters).
+func TestBackoffJitterBounds(t *testing.T) {
+	p := DefaultBackoff
+	rng := rand.New(rand.NewSource(42))
+	for attempt := 0; attempt < 5; attempt++ {
+		base := p.Delay(attempt, nil)
+		lo := time.Duration(float64(base) * (1 - p.Jitter))
+		hi := time.Duration(float64(base) * (1 + p.Jitter))
+		seen := map[time.Duration]bool{}
+		for i := 0; i < 200; i++ {
+			d := p.Delay(attempt, rng)
+			if d < lo || d > hi {
+				t.Fatalf("attempt %d draw %d: delay %v outside [%v, %v]", attempt, i, d, lo, hi)
+			}
+			seen[d] = true
+		}
+		if len(seen) < 2 {
+			t.Fatalf("attempt %d: jitter produced a single value %v", attempt, base)
+		}
+	}
+}
+
+// TestBackoffJitterDeterministicSeed checks that two RNGs with the
+// same seed produce the same jittered schedule — the property the
+// coordinator's Seed option relies on for reproducible tests.
+func TestBackoffJitterDeterministicSeed(t *testing.T) {
+	p := DefaultBackoff
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for attempt := 0; attempt < 20; attempt++ {
+		if da, db := p.Delay(attempt, a), p.Delay(attempt, b); da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", attempt, da, db)
+		}
+	}
+}
+
+// TestBackoffJitterClamped checks Jitter > 1 clamps to 1 and the delay
+// never goes negative.
+func TestBackoffJitterClamped(t *testing.T) {
+	p := BackoffPolicy{Base: 10 * time.Millisecond, Max: time.Second, Multiplier: 2, Jitter: 5, MaxAttempts: 3}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		if d := p.Delay(0, rng); d < 0 || d > 20*time.Millisecond {
+			t.Fatalf("clamped jitter produced %v, want within [0, 20ms]", d)
+		}
+	}
+}
+
+// TestSleepContextCancel cancels the context mid-sleep and checks
+// SleepContext returns promptly with the context error instead of
+// overshooting the query deadline.
+func TestSleepContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := SleepContext(ctx, 10*time.Second)
+	if err != context.Canceled {
+		t.Fatalf("SleepContext = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("SleepContext slept %v past cancellation", elapsed)
+	}
+}
+
+// TestSleepContextCompletes checks an uncancelled sleep returns nil,
+// and a non-positive duration returns immediately.
+func TestSleepContextCompletes(t *testing.T) {
+	if err := SleepContext(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("SleepContext = %v", err)
+	}
+	if err := SleepContext(context.Background(), 0); err != nil {
+		t.Fatalf("SleepContext(0) = %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := SleepContext(ctx, 0); err != context.Canceled {
+		t.Fatalf("SleepContext(cancelled, 0) = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,36 @@
+package cluster
+
+import (
+	"hash/fnv"
+
+	"repro/internal/rdf"
+)
+
+// ShardOf maps a subject IRI onto one of n shards by FNV-1a hash.
+// Hash-by-subject keeps every triple of a star rooted at one subject
+// on a single shard, so subject-bound scans touch one shard and the
+// insert router and the scan filter agree on ownership by
+// construction.  n <= 1 always maps to shard 0.
+func ShardOf(subject rdf.IRI, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(subject))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Partition splits triples into n buckets by subject hash; bucket i
+// holds exactly the triples shard i/n owns.  The input order is
+// preserved within each bucket.
+func Partition(triples []rdf.Triple, n int) [][]rdf.Triple {
+	if n <= 1 {
+		return [][]rdf.Triple{triples}
+	}
+	out := make([][]rdf.Triple, n)
+	for _, t := range triples {
+		i := ShardOf(t.S, n)
+		out[i] = append(out[i], t)
+	}
+	return out
+}

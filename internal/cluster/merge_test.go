@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func tr(s, p, o string) rdf.Triple {
+	return rdf.Triple{S: rdf.IRI(s), P: rdf.IRI(p), O: rdf.IRI(o)}
+}
+
+func collect(streams [][]rdf.Triple) []rdf.Triple {
+	var out []rdf.Triple
+	MergeSorted(streams, func(t rdf.Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// TestMergeSortedBasic merges disjoint sorted streams and checks the
+// output is their sorted union.
+func TestMergeSortedBasic(t *testing.T) {
+	a := []rdf.Triple{tr("a", "p", "1"), tr("c", "p", "1")}
+	b := []rdf.Triple{tr("b", "p", "1"), tr("d", "p", "1")}
+	got := collect([][]rdf.Triple{a, b})
+	want := []rdf.Triple{tr("a", "p", "1"), tr("b", "p", "1"), tr("c", "p", "1"), tr("d", "p", "1")}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d triples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMergeSortedDedup checks duplicates across (and within) streams
+// collapse to one emission.
+func TestMergeSortedDedup(t *testing.T) {
+	a := []rdf.Triple{tr("a", "p", "1"), tr("b", "p", "1")}
+	b := []rdf.Triple{tr("a", "p", "1"), tr("b", "p", "1")}
+	got := collect([][]rdf.Triple{a, b, a})
+	if len(got) != 2 {
+		t.Fatalf("merged %d triples, want 2 after dedup: %v", len(got), got)
+	}
+}
+
+// TestMergeSortedEarlyStop checks a false return from emit stops the
+// merge immediately.
+func TestMergeSortedEarlyStop(t *testing.T) {
+	a := []rdf.Triple{tr("a", "p", "1"), tr("b", "p", "1"), tr("c", "p", "1")}
+	n := 0
+	MergeSorted([][]rdf.Triple{a}, func(rdf.Triple) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("emit called %d times after early stop, want 2", n)
+	}
+}
+
+// TestMergeSortedRandomized cross-checks the k-way merge against
+// sort+dedup of the concatenation, over random partitions.
+func TestMergeSortedRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	letters := []string{"a", "b", "c", "d", "e", "f"}
+	for round := 0; round < 50; round++ {
+		k := 1 + rng.Intn(5)
+		streams := make([][]rdf.Triple, k)
+		var all []rdf.Triple
+		for i := range streams {
+			n := rng.Intn(10)
+			for j := 0; j < n; j++ {
+				t3 := tr(letters[rng.Intn(len(letters))], letters[rng.Intn(len(letters))], letters[rng.Intn(len(letters))])
+				streams[i] = append(streams[i], t3)
+				all = append(all, t3)
+			}
+			sort.Slice(streams[i], func(a, b int) bool { return streams[i][a].Less(streams[i][b]) })
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].Less(all[b]) })
+		var want []rdf.Triple
+		for i, t3 := range all {
+			if i == 0 || t3 != all[i-1] {
+				want = append(want, t3)
+			}
+		}
+		got := collect(streams)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: merged %d, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d position %d: got %v, want %v", round, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package cluster
+
+// The scan wire protocol: how a coordinator pulls one triple
+// pattern's matches out of one shard.
+//
+//	GET /scan?s=<iri>&p=<iri>&o=<iri>
+//
+// Each parameter is a raw IRI string (URL-encoded); an absent
+// parameter is a wildcard.  The response is text/plain: one N-Triples
+// statement per line, sorted by the lexicographic (S, P, O) triple
+// order so per-shard streams k-way-merge into one globally sorted
+// stream, terminated by the marker line
+//
+//	# eof <count>
+//
+// The marker is the torn-response detector: a shard killed mid-stream
+// (or a proxy truncating the body) leaves the marker missing or the
+// count wrong, and the coordinator treats the attempt as failed and
+// retries instead of silently serving a prefix.  Both halves of the
+// protocol live here so nsserve (the shard) and nscoord (the
+// coordinator) cannot drift apart, and tests can mount the real
+// handler on fake stores.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// scanEOFPrefix starts the end-of-stream marker line.
+const scanEOFPrefix = "# eof "
+
+// StoreSource yields a read-consistent view of a store: the returned
+// release func must be called when the scan is done.  nsserve backs
+// it with the read side of its graph RWMutex.
+type StoreSource func() (g rdf.Store, release func())
+
+// ScanHandler serves the shard side of the scan protocol over src.
+// Matches are collected under the source's read lock, sorted into the
+// global triple order and streamed with the eof marker; request
+// cancellation (client gone, deadline) aborts the write early, which
+// the coordinator sees as a torn response.
+func ScanHandler(src StoreSource) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		var sp, pp, op *rdf.IRI
+		for _, bind := range []struct {
+			key string
+			ptr **rdf.IRI
+		}{{"s", &sp}, {"p", &pp}, {"o", &op}} {
+			if q.Has(bind.key) {
+				iri := rdf.IRI(q.Get(bind.key))
+				*bind.ptr = &iri
+			}
+		}
+		g, release := src()
+		var matches []rdf.Triple
+		g.Match(sp, pp, op, func(t rdf.Triple) bool {
+			matches = append(matches, t)
+			return true
+		})
+		release()
+		// The index emits in per-permutation ID order; the wire order is
+		// the backend-independent lexicographic one so any two shards'
+		// streams merge, whatever their interning history.
+		sort.Slice(matches, func(i, j int) bool { return matches[i].Less(matches[j]) })
+
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		bw := bufio.NewWriter(w)
+		for _, t := range matches {
+			if _, err := bw.WriteString(t.NTriples()); err != nil {
+				return // peer gone: the torn stream is the signal
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return
+			}
+		}
+		fmt.Fprintf(bw, "%s%d\n", scanEOFPrefix, len(matches))
+		bw.Flush()
+	})
+}
+
+// ScanQuery renders tp as scan request parameters: constant positions
+// become s/p/o parameters, variables stay wildcards.
+func ScanQuery(tp sparql.TriplePattern) url.Values {
+	v := url.Values{}
+	for _, bind := range []struct {
+		key string
+		val sparql.Value
+	}{{"s", tp.S}, {"p", tp.P}, {"o", tp.O}} {
+		if !bind.val.IsVar() {
+			v.Set(bind.key, string(bind.val.IRI()))
+		}
+	}
+	return v
+}
+
+// ErrTornScan reports a scan response that ended without a valid eof
+// marker: the shard died (or was killed) mid-stream, or a middlebox
+// truncated the body.  Retryable.
+type ErrTornScan struct {
+	// Got is how many triples arrived before the stream ended.
+	Got int
+	// Want is the count the marker announced, or -1 when the marker
+	// never arrived.
+	Want int
+}
+
+func (e ErrTornScan) Error() string {
+	if e.Want < 0 {
+		return fmt.Sprintf("torn scan response: stream ended after %d triples with no eof marker", e.Got)
+	}
+	return fmt.Sprintf("torn scan response: eof marker announced %d triples, got %d", e.Want, e.Got)
+}
+
+// ParseScanBody reads one scan response stream, returning the triples
+// in wire (sorted) order.  A missing marker, a count mismatch or an
+// unparsable line yields an error; marker absence and count mismatch
+// are ErrTornScan, which the coordinator's retry loop treats as
+// transient.
+func ParseScanBody(r io.Reader) ([]rdf.Triple, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []rdf.Triple
+	sawEOF := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, strings.TrimSuffix(scanEOFPrefix, " ")); ok {
+				want, err := strconv.Atoi(strings.TrimSpace(rest))
+				if err != nil {
+					return nil, fmt.Errorf("bad eof marker %q", line)
+				}
+				if want != len(out) {
+					return nil, ErrTornScan{Got: len(out), Want: want}
+				}
+				sawEOF = true
+				break
+			}
+			continue
+		}
+		t, err := rdf.ParseTripleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("scan response: %w", err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		// A read error mid-body (connection reset, kill -9'd peer) is a
+		// torn stream, not a protocol error.
+		return nil, ErrTornScan{Got: len(out), Want: -1}
+	}
+	if !sawEOF {
+		return nil, ErrTornScan{Got: len(out), Want: -1}
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+func graphSource(g *rdf.Graph) StoreSource {
+	return func() (rdf.Store, func()) { return g, g.AcquireRead() }
+}
+
+// TestScanRoundTrip serves a graph through ScanHandler and parses it
+// back with ParseScanBody: the triples must survive, sorted, for
+// every binding shape.
+func TestScanRoundTrip(t *testing.T) {
+	g := rdf.NewGraph()
+	g.Add("a", "knows", "b")
+	g.Add("a", "type", "Person")
+	g.Add("b", "knows", "c")
+	srv := httptest.NewServer(ScanHandler(graphSource(g)))
+	defer srv.Close()
+
+	cases := []struct {
+		tp   sparql.TriplePattern
+		want int
+	}{
+		{sparql.TriplePattern{S: sparql.V("x"), P: sparql.V("p"), O: sparql.V("y")}, 3},
+		{sparql.TriplePattern{S: sparql.V("x"), P: sparql.I("knows"), O: sparql.V("y")}, 2},
+		{sparql.TriplePattern{S: sparql.I("a"), P: sparql.I("knows"), O: sparql.V("y")}, 1},
+		{sparql.TriplePattern{S: sparql.I("a"), P: sparql.I("knows"), O: sparql.I("b")}, 1},
+		{sparql.TriplePattern{S: sparql.I("zz"), P: sparql.V("p"), O: sparql.V("y")}, 0},
+	}
+	for _, tc := range cases {
+		resp, err := srv.Client().Get(srv.URL + "/scan?" + ScanQuery(tc.tp).Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := ParseScanBody(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("pattern %v: %v", tc.tp, err)
+		}
+		if len(ts) != tc.want {
+			t.Fatalf("pattern %v: got %d triples, want %d", tc.tp, len(ts), tc.want)
+		}
+		for i := 1; i < len(ts); i++ {
+			if !ts[i-1].Less(ts[i]) {
+				t.Fatalf("pattern %v: stream not strictly sorted at %d: %v !< %v", tc.tp, i, ts[i-1], ts[i])
+			}
+		}
+		for _, t3 := range ts {
+			if !g.ContainsTriple(t3) {
+				t.Fatalf("pattern %v: fabricated triple %v", tc.tp, t3)
+			}
+		}
+	}
+}
+
+// TestScanEscapedIRIs checks IRIs needing N-Triples escaping survive
+// the wire format.
+func TestScanEscapedIRIs(t *testing.T) {
+	g := rdf.NewGraph()
+	g.Add("http://ex.org/a b", "p>q", "o\nnl")
+	srv := httptest.NewServer(ScanHandler(graphSource(g)))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := ParseScanBody(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0] != tr("http://ex.org/a b", "p>q", "o\nnl") {
+		t.Fatalf("escaped triple did not round-trip: %v", ts)
+	}
+}
+
+// TestParseScanBodyTorn feeds truncated and corrupted streams and
+// checks each is flagged as torn (retryable), never silently accepted.
+func TestParseScanBodyTorn(t *testing.T) {
+	good := "<a> <p> <o1> .\n<b> <p> <o2> .\n# eof 2\n"
+	if ts, err := ParseScanBody(strings.NewReader(good)); err != nil || len(ts) != 2 {
+		t.Fatalf("well-formed stream: ts=%v err=%v", ts, err)
+	}
+	cases := []struct {
+		name, body string
+	}{
+		{"no marker", "<a> <p> <o1> .\n<b> <p> <o2> .\n"},
+		{"truncated before marker", "<a> <p> <o1> .\n"},
+		{"count mismatch high", "<a> <p> <o1> .\n# eof 2\n"},
+		{"count mismatch low", "<a> <p> <o1> .\n<b> <p> <o2> .\n# eof 1\n"},
+		{"empty body", ""},
+	}
+	for _, tc := range cases {
+		_, err := ParseScanBody(strings.NewReader(tc.body))
+		var torn ErrTornScan
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !asTorn(err, &torn) {
+			t.Fatalf("%s: error %v is not ErrTornScan", tc.name, err)
+		}
+	}
+	// A syntactically broken line is a protocol error, not a torn
+	// stream: retrying will not fix a peer that speaks garbage.
+	if _, err := ParseScanBody(strings.NewReader("<a> <p>\n# eof 1\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}
+
+func asTorn(err error, out *ErrTornScan) bool {
+	t, ok := err.(ErrTornScan)
+	if ok {
+		*out = t
+	}
+	return ok
+}
+
+// TestParseScanBodyEmptyValid checks a zero-match stream with a valid
+// marker parses as empty without error.
+func TestParseScanBodyEmptyValid(t *testing.T) {
+	ts, err := ParseScanBody(strings.NewReader("# eof 0\n"))
+	if err != nil || len(ts) != 0 {
+		t.Fatalf("empty stream: ts=%v err=%v", ts, err)
+	}
+}
+
+// TestScanQueryRendering checks constants render as parameters and
+// variables stay wildcards.
+func TestScanQueryRendering(t *testing.T) {
+	tp := sparql.TriplePattern{S: sparql.I("s1"), P: sparql.V("p"), O: sparql.I("o1")}
+	v := ScanQuery(tp)
+	if v.Get("s") != "s1" || v.Has("p") || v.Get("o") != "o1" {
+		t.Fatalf("ScanQuery = %v", v)
+	}
+	if fmt.Sprint(ScanQuery(sparql.TriplePattern{S: sparql.V("x"), P: sparql.V("y"), O: sparql.V("z")})) != "map[]" {
+		t.Fatal("all-variable pattern should render no parameters")
+	}
+}

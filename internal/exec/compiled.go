@@ -1,0 +1,75 @@
+package exec
+
+// Compiled queries: the shape both servers (nsserve and the cluster
+// coordinator nscoord) execute.  A Compiled bundles a prepared plan
+// with the query kind — SELECT, ASK or CONSTRUCT — and EvalCompiled
+// dispatches to the matching engine entry point, so the two servers
+// share one execution path and cannot drift apart on governor or
+// profiling behaviour.
+
+import (
+	"repro/internal/plan"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// Compiled is a query ready to execute: the optimized plan plus the
+// query kind.  Exactly one of Ask / Construct / neither (SELECT)
+// applies.
+type Compiled struct {
+	// Prepared is the optimized plan of the query's graph pattern (the
+	// WHERE pattern, for CONSTRUCT).
+	Prepared plan.Prepared
+	// Construct is non-nil for CONSTRUCT queries; its Template builds
+	// the output graph.
+	Construct *sparql.ConstructQuery
+	// Ask marks ASK queries.
+	Ask bool
+}
+
+// Compile prepares pattern against g and tags the result with the
+// query kind.  construct may be nil and ask false for plain SELECT /
+// pattern queries.
+func Compile(g rdf.Store, pattern sparql.Pattern, construct *sparql.ConstructQuery, ask bool) Compiled {
+	return Compiled{Prepared: plan.Prepare(g, pattern), Construct: construct, Ask: ask}
+}
+
+// Result is the outcome of EvalCompiled; exactly one field is set,
+// matching the Compiled's kind.
+type Result struct {
+	// Bool is set for ASK queries.
+	Bool *bool
+	// Rows is set for SELECT / pattern queries.
+	Rows *sparql.MappingSet
+	// Graph is set for CONSTRUCT queries.
+	Graph rdf.Store
+}
+
+// EvalCompiled executes c against g under the budget and planner
+// options: ASK through the early-terminating search, CONSTRUCT
+// through the template instantiation path, everything else through
+// the row evaluator.  g must be the store c was prepared against (or
+// one with identical contents — the plan embeds index cardinalities,
+// not data).
+func EvalCompiled(g rdf.Store, c Compiled, b *sparql.Budget, o plan.Options) (Result, error) {
+	switch {
+	case c.Ask:
+		ok, err := AskPreparedOpts(g, c.Prepared, b, o)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Bool: &ok}, nil
+	case c.Construct != nil:
+		out, err := plan.EvalConstructPreparedOpts(g, c.Prepared, c.Construct.Template, b, o)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Graph: out}, nil
+	default:
+		ms, err := plan.EvalPreparedOpts(g, c.Prepared, b, o)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Rows: ms}, nil
+	}
+}

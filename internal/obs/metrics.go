@@ -38,6 +38,41 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.counts[len(latencyBucketsUS)].Add(1)
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// durations from the bucket counts: it returns the upper bound of the
+// first bucket whose cumulative count reaches q of the total, which
+// over-estimates by at most one bucket width.  The +Inf bucket
+// resolves to the last finite bound.  It reports false when the
+// histogram has no observations (or the receiver is nil), so callers
+// can fall back to a configured default — the cluster coordinator
+// uses this for its hedging delay, where "no data yet" must not read
+// as "hedge immediately".
+func (h *Histogram) Quantile(q float64) (time.Duration, bool) {
+	if h == nil {
+		return 0, false
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0, false
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			le := latencyBucketsUS[len(latencyBucketsUS)-1]
+			if i < len(latencyBucketsUS) {
+				le = latencyBucketsUS[i]
+			}
+			return time.Duration(le) * time.Microsecond, true
+		}
+	}
+	return time.Duration(latencyBucketsUS[len(latencyBucketsUS)-1]) * time.Microsecond, true
+}
+
 // HistogramSnapshot is the serialized form of a Histogram.  Buckets
 // are non-cumulative; the final bucket's LeUS is -1, meaning +Inf.
 type HistogramSnapshot struct {
@@ -79,7 +114,7 @@ var metricsCodes = [...]int{200, 400, 404, 405, 413, 500, 503, 504}
 
 // metricsEndpoints are the instrumented endpoints, each with its own
 // latency histogram.
-var metricsEndpoints = [...]string{"query", "insert", "stats"}
+var metricsEndpoints = [...]string{"query", "insert", "stats", "scan"}
 
 // Metrics is the process-wide server metrics registry: request counts
 // by status, per-endpoint latency histograms, an in-flight gauge, and
@@ -197,6 +232,38 @@ type DurableStats struct {
 	FsyncLatency             HistogramSnapshot `json:"fsync_latency"`
 }
 
+// ShardStats is the /metrics view of one shard as seen by the cluster
+// coordinator: its health-prober state, the retry/hedge activity of
+// the scatter path, and the scan-latency histogram the hedging delay
+// is derived from.
+type ShardStats struct {
+	Shard        int               `json:"shard"`
+	Addr         string            `json:"addr"`
+	State        string            `json:"state"` // "healthy" | "ejected"
+	Scans        int64             `json:"scans"`
+	ScanErrors   int64             `json:"scan_errors"`
+	Retries      int64             `json:"retries"`
+	Hedges       int64             `json:"hedges"`
+	HedgeWins    int64             `json:"hedge_wins"`
+	HedgesWasted int64             `json:"hedges_wasted"`
+	Ejections    int64             `json:"ejections"`
+	Readmissions int64             `json:"readmissions"`
+	Probes       int64             `json:"probes"`
+	ProbeFails   int64             `json:"probe_fails"`
+	ScanLatency  HistogramSnapshot `json:"scan_latency"`
+}
+
+// ClusterStats is the /metrics view of the scatter-gather coordinator:
+// per-shard counters plus the query-level degradation accounting.
+// PartialResponses counts queries answered 200 with partial:true —
+// exactly once per degraded query.
+type ClusterStats struct {
+	Shards           []ShardStats `json:"shards"`
+	Queries          int64        `json:"queries"`
+	PartialResponses int64        `json:"partial_responses"`
+	FailedResponses  int64        `json:"failed_responses"`
+}
+
 // PlanCacheStats is the /metrics view of nsserve's parse/plan cache.
 type PlanCacheStats struct {
 	Size      int64 `json:"size"`
@@ -219,6 +286,7 @@ type MetricsSnapshot struct {
 	Store           *StoreStats                  `json:"store,omitempty"`
 	Durable         *DurableStats                `json:"durable,omitempty"`
 	PlanCache       *PlanCacheStats              `json:"plan_cache,omitempty"`
+	Cluster         *ClusterStats                `json:"cluster,omitempty"`
 	Latency         map[string]HistogramSnapshot `json:"latency"`
 }
 

@@ -87,6 +87,50 @@ func ParseQuery(input string) (Query, error) {
 	return Query{Pattern: pat}, nil
 }
 
+// Parsed is the syntax-independent shape of a parsed query: the graph
+// pattern to evaluate, the CONSTRUCT template if any, and whether the
+// query is an ASK.  Exactly the inputs an executor needs, regardless
+// of which surface syntax produced them.
+type Parsed struct {
+	// Pattern is the graph pattern to evaluate (the WHERE pattern for
+	// CONSTRUCT queries).
+	Pattern sparql.Pattern
+	// Construct is non-nil for CONSTRUCT queries.
+	Construct *sparql.ConstructQuery
+	// Ask is set for ASK queries (W3C syntax only).
+	Ask bool
+}
+
+// ParseAny parses input under the named surface syntax: "" or
+// "sparql" for the W3C-style syntax, "paper" for the paper notation.
+// nsserve and nscoord share it so both speak identical dialects.
+func ParseAny(syntax, input string) (Parsed, error) {
+	switch syntax {
+	case "", "sparql":
+		sq, err := ParseSPARQL(input)
+		if err != nil {
+			return Parsed{}, err
+		}
+		out := Parsed{Construct: sq.Construct, Ask: sq.Ask, Pattern: sq.Pattern}
+		if sq.Construct != nil {
+			out.Pattern = sq.Construct.Where
+		}
+		return out, nil
+	case "paper":
+		q, err := ParseQuery(input)
+		if err != nil {
+			return Parsed{}, err
+		}
+		out := Parsed{Construct: q.Construct, Pattern: q.Pattern}
+		if q.Construct != nil {
+			out.Pattern = q.Construct.Where
+		}
+		return out, nil
+	default:
+		return Parsed{}, fmt.Errorf("unknown syntax %q (want \"sparql\" or \"paper\")", syntax)
+	}
+}
+
 type parser struct {
 	toks []token
 	pos  int

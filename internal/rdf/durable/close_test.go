@@ -1,0 +1,82 @@
+package durable
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// TestCloseIdempotent double-closes a store and checks the second call
+// is a no-op returning the same verdict, not a second close of the
+// same descriptor.
+func TestCloseIdempotent(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), testOptions())
+	s.Add("a", "b", "c")
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestCloseConcurrentWithCommit races Close (twice, from separate
+// goroutines, as a signal handler and a deferred cleanup would) with
+// an in-flight insert workload.  Run under -race this is the
+// regression test for the shutdown torn-write bug: every commit must
+// either land in the WAL before the close or fail cleanly with an
+// append-after-close error — never write into a closed descriptor.
+func TestCloseConcurrentWithCommit(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		s := mustOpen(t, t.TempDir(), Options{Fsync: FsyncAlways, SnapshotEvery: -1})
+
+		commitErrs := make(chan error, 1)
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			var firstErr error
+			for i := 0; ; i++ {
+				s.BeginBatch()
+				s.Add(rdf.IRI(fmt.Sprintf("s%d", i)), "p", "o")
+				if err := s.CommitBatch(); err != nil {
+					firstErr = err
+					break
+				}
+			}
+			commitErrs <- firstErr
+		}()
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+		wg.Wait()
+
+		// The writer only stops when a commit fails, and the only
+		// acceptable failure here is the clean append-after-close error.
+		if err := <-commitErrs; err == nil || !strings.Contains(err.Error(), "after Close") {
+			t.Fatalf("round %d: commit failed with %v, want append-after-Close", round, err)
+		}
+	}
+}
+
+// TestAppendAfterCloseIsError checks a mutation after Close surfaces
+// as a sticky error on the next CommitBatch rather than panicking.
+func TestAppendAfterCloseIsError(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), testOptions())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.BeginBatch()
+	s.Add("a", "b", "c")
+	if err := s.CommitBatch(); err == nil || !strings.Contains(err.Error(), "after Close") {
+		t.Fatalf("CommitBatch after Close = %v, want append-after-Close error", err)
+	}
+}

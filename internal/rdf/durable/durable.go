@@ -46,6 +46,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -136,7 +137,16 @@ type Store struct {
 	dir  string
 	opts Options
 	mem  *rdf.Graph
-	wal  *walWriter
+
+	// walMu serializes every touch of the WAL writer — appends, the
+	// snapshot generation roll, and Close.  Mutations are single-writer
+	// by the Store contract, but shutdown is not on that path: a signal
+	// handler's Close may race an in-flight CommitBatch's fsync loop,
+	// and a double Close must be an idempotent no-op rather than a
+	// second close of the same file descriptor.
+	walMu  sync.Mutex
+	wal    *walWriter
+	closed bool
 
 	gen           atomic.Uint64
 	mutsSinceSnap int
@@ -307,16 +317,28 @@ func (s *Store) logOp(op walOp) {
 	s.maybeSnapshot()
 }
 
-// appendRecord writes one WAL record, folding failures into the
-// sticky error (the interface's mutation methods cannot return one;
-// callers needing a hard guarantee check CommitBatch or Close).
-func (s *Store) appendRecord(ops []walOp) {
-	if err := s.wal.append(ops); err != nil {
+// appendRecord writes one WAL record under walMu, returning the
+// append error after folding it into the sticky error (the
+// interface's mutation methods cannot return one; callers needing a
+// hard guarantee check CommitBatch or Close).  Appending to a closed
+// store is an error, not a crash: a drain that loses the race with
+// shutdown surfaces as a failed commit.
+func (s *Store) appendRecord(ops []walOp) error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	var err error
+	if s.closed || s.wal == nil {
+		err = fmt.Errorf("durable: WAL append after Close")
+	} else {
+		err = s.wal.append(ops)
+	}
+	if err != nil {
 		addInt64(&s.walErrors, 1)
 		if s.err == nil {
 			s.err = err
 		}
 	}
+	return err
 }
 
 // maybeSnapshot rolls the generation when enough mutations have
@@ -354,10 +376,19 @@ func (s *Store) snapshot() error {
 		return fmt.Errorf("durable: create WAL: %w", err)
 	}
 	syncDir(s.dir)
+	s.walMu.Lock()
+	if s.closed {
+		// Shutdown won the race mid-roll: the new snapshot is already
+		// durable, so just drop the fresh WAL handle and report.
+		s.walMu.Unlock()
+		f.Close()
+		return fmt.Errorf("durable: snapshot after Close")
+	}
 	if err := s.wal.close(); err != nil && s.err == nil {
 		s.err = err
 	}
 	s.wal = newWALWriter(f, 0, s.opts, &s.walRecords, &s.walBytes, &s.walSyncs, &s.fsyncHist)
+	s.walMu.Unlock()
 	atomic.StoreInt64(&s.walRecords, 0)
 	atomic.StoreInt64(&s.walBytes, 0)
 	s.gen.Store(newGen)
@@ -389,8 +420,18 @@ func (s *Store) DurableStats() obs.DurableStats {
 
 // Close flushes the WAL and closes it.  It returns the first I/O
 // error the store swallowed on a mutation path, if any — the caller's
-// last chance to learn a write never became durable.
+// last chance to learn a write never became durable.  Close is
+// idempotent and safe to call concurrently with an in-flight
+// CommitBatch (or another Close): whichever grabs walMu first wins,
+// and the loser sees either a completed commit or a clean
+// append-after-close error — never a write into a closed descriptor.
 func (s *Store) Close() error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
 	if s.wal != nil {
 		if err := s.wal.close(); err != nil && s.err == nil {
 			s.err = err
@@ -450,12 +491,7 @@ func (s *Store) CommitBatch() error {
 	s.batchOpen = false
 	var err error
 	if len(s.staged) > 0 {
-		if err = s.wal.append(s.staged); err != nil {
-			addInt64(&s.walErrors, 1)
-			if s.err == nil {
-				s.err = err
-			}
-		}
+		err = s.appendRecord(s.staged)
 	}
 	s.staged = s.staged[:0]
 	s.maybeSnapshot()

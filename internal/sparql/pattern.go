@@ -141,6 +141,49 @@ func varsInto(p Pattern, set map[Var]struct{}) {
 	}
 }
 
+// TriplePatterns returns the distinct triple patterns occurring in P,
+// in first-occurrence (left-to-right) order.  The answer to any
+// NS-SPARQL pattern over a graph G is a function of the match sets
+// ⟦tp⟧_G of exactly these triple patterns — every operator (AND,
+// UNION, OPT, FILTER, SELECT, NS) is defined compositionally from
+// them and never consults G directly — so a distributed evaluator may
+// gather ⋃_tp matches(G, tp) from the shards of a partition of G and
+// evaluate P locally on that subgraph with an answer identical to
+// evaluating over G.  The cluster coordinator relies on this.
+func TriplePatterns(p Pattern) []TriplePattern {
+	seen := make(map[TriplePattern]struct{})
+	var out []TriplePattern
+	var walk func(Pattern)
+	walk = func(p Pattern) {
+		switch q := p.(type) {
+		case TriplePattern:
+			if _, ok := seen[q]; !ok {
+				seen[q] = struct{}{}
+				out = append(out, q)
+			}
+		case And:
+			walk(q.L)
+			walk(q.R)
+		case Union:
+			walk(q.L)
+			walk(q.R)
+		case Opt:
+			walk(q.L)
+			walk(q.R)
+		case Filter:
+			walk(q.P)
+		case Select:
+			walk(q.P)
+		case NS:
+			walk(q.P)
+		default:
+			panic(fmt.Sprintf("sparql: unknown pattern type %T", p))
+		}
+	}
+	walk(p)
+	return out
+}
+
 // InScopeVars returns the variables that can occur in the domain of an
 // answer to P: all variables for the operators of the paper, except
 // that SELECT restricts scope to its variable list.
