@@ -1,11 +1,11 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test bench experiments fuzz cover clean ci fmt-check race staticcheck governor-race bench-smoke obs-smoke crash-smoke cluster-smoke
+.PHONY: all build vet test bench experiments fuzz cover clean ci fmt-check race staticcheck governor-race bench-smoke obs-smoke crash-smoke cluster-smoke load-smoke
 
 all: build vet test
 
 # Exactly what .github/workflows/ci.yml runs.
-ci: fmt-check vet staticcheck build test bench-smoke obs-smoke crash-smoke cluster-smoke race governor-race
+ci: fmt-check vet staticcheck build test bench-smoke obs-smoke crash-smoke cluster-smoke load-smoke race governor-race
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -29,7 +29,7 @@ race:
 	for procs in 1 4; do \
 		GOMAXPROCS=$$procs go test -race -count=1 -timeout 10m \
 			./internal/rdf/... ./internal/sparql/ ./internal/plan/ ./internal/exec/ ./internal/views/ \
-			./internal/cluster/ \
+			./internal/cluster/ ./internal/workload/ \
 			|| exit 1; \
 	done
 
@@ -44,6 +44,8 @@ bench-smoke:
 		|| { echo "BENCH_rowengine.json missing E25 storage-ablation rows" >&2; exit 1; }; \
 		jq -es '[.[] | select(.experiment == "E26")] | length >= 6 and ([.[] | select(.experiment == "E26" and .name == "insert-durable")] | length >= 3) and ([.[] | select(.experiment == "E26" and .name == "insert-durable" and .params.fsync == "always")] | length >= 1) and ([.[] | select(.experiment == "E26" and .name == "scan-durable")] | length >= 1)' BENCH_rowengine.json > /dev/null \
 		|| { echo "BENCH_rowengine.json missing E26 durability-ablation rows" >&2; exit 1; }; \
+		jq -es '[.[] | select(.experiment == "E28")] | length >= 9 and ([.[] | select(.experiment == "E28" and .name == "greedy")] | length >= 3) and ([.[] | select(.experiment == "E28" and .name == "dp")] | length >= 3) and ([.[] | select(.experiment == "E28" and .name == "dp-adaptive")] | length >= 3) and ([.[] | select(.experiment == "E28" and .params.workload == "star")] | length >= 3) and ([.[] | select(.experiment == "E28" and .params.workload == "chain")] | length >= 3)' BENCH_rowengine.json > /dev/null \
+		|| { echo "BENCH_rowengine.json missing E28 planner-ablation rows" >&2; exit 1; }; \
 	else \
 		echo "jq not installed; skipping bench smoke" >&2; \
 	fi
@@ -168,6 +170,34 @@ cluster-smoke:
 		echo "cluster-smoke: degraded scatter-gather OK"; \
 	else \
 		echo "jq not installed; skipping cluster smoke" >&2; \
+	fi
+
+# Mirrors the CI load-smoke step: boot nsserve, drive it with nsload
+# (open-loop, mixed-shape SPARQL workload, graph inserted first) and
+# assert the latency report and the server-side counter deltas with
+# jq.  Gated on jq like the other smokes.
+load-smoke:
+	@if command -v jq >/dev/null 2>&1; then \
+		go build -o /tmp/nsserve-load ./cmd/nsserve || exit 1; \
+		go build -o /tmp/nsload-smoke ./cmd/nsload || exit 1; \
+		/tmp/nsserve-load -addr 127.0.0.1:18326 -log-level warn & \
+		pid=$$!; \
+		trap "kill $$pid 2>/dev/null" EXIT; \
+		for i in $$(seq 1 50); do \
+			curl -sf http://127.0.0.1:18326/healthz > /dev/null && break; \
+			sleep 0.1; \
+		done; \
+		/tmp/nsload-smoke -url http://127.0.0.1:18326 -insert -people 400 -queries 60 \
+			-qps 80 -duration 3s > /tmp/nsload-report.json \
+		|| { echo "load-smoke: nsload failed" >&2; cat /tmp/nsload-report.json >&2; exit 1; }; \
+		jq -e '.completed > 0 and .errors == 0 and .achieved_qps > 0 and .p50_ms > 0 and .p95_ms >= .p50_ms and .p99_ms >= .p95_ms' /tmp/nsload-report.json > /dev/null \
+		|| { echo "load-smoke: latency report malformed" >&2; cat /tmp/nsload-report.json >&2; exit 1; }; \
+		jq -e '(.server | has("planner_replans")) and .server.planner_replans >= 0 and .server.requests_200 >= .completed and .server.governor_trips == 0' /tmp/nsload-report.json > /dev/null \
+		|| { echo "load-smoke: server counter deltas wrong" >&2; cat /tmp/nsload-report.json >&2; exit 1; }; \
+		kill $$pid; \
+		echo "load-smoke: open-loop latency report OK"; \
+	else \
+		echo "jq not installed; skipping load smoke" >&2; \
 	fi
 
 # The query-governor fault-injection suites under the race detector;

@@ -93,6 +93,10 @@ func main() {
 			"how long to drain in-flight requests on SIGINT/SIGTERM")
 		logLevel = flag.String("log-level", "info",
 			"structured-log threshold: debug, info, warn or error")
+		plannerName = flag.String("planner", "dp",
+			"query planner for the gathered subgraph: dp or greedy")
+		noReplan = flag.Bool("no-replan", false,
+			"disable adaptive mid-query re-optimization (dp planner only)")
 	)
 	flag.Parse()
 	lvl, err := parseLogLevel(*logLevel)
@@ -133,6 +137,15 @@ func main() {
 		maxRows:      *maxRows,
 		logger:       logger,
 	}
+	switch *plannerName {
+	case "dp":
+	case "greedy":
+		cfg.planner.Greedy = true
+	default:
+		fmt.Fprintf(os.Stderr, "nscoord: bad -planner %q (want dp or greedy)\n", *plannerName)
+		os.Exit(1)
+	}
+	cfg.planner.NoReplan = *noReplan
 	s := newCoordServer(coord, cfg)
 	srv := &http.Server{
 		Addr:              *addr,

@@ -30,6 +30,11 @@ type coordConfig struct {
 	maxSteps     int64
 	maxRows      int64
 	logger       *slog.Logger
+
+	// planner configures the per-query planner run over the gathered
+	// subgraph (-planner, -no-replan); the coordinator compiles each
+	// query fresh, so no cache key is involved.
+	planner plan.PlannerOptions
 }
 
 // coordServer is the HTTP face of the cluster coordinator: it parses
@@ -211,7 +216,7 @@ func (s *coordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.maxRows > 0 {
 		bud.WithMaxRows(s.cfg.maxRows)
 	}
-	compiled := exec.Compile(g, parsed.Pattern, parsed.Construct, parsed.Ask)
+	compiled := exec.CompileOpts(g, parsed.Pattern, parsed.Construct, parsed.Ask, s.cfg.planner)
 	res, err := exec.EvalCompiled(g, compiled, bud, plan.Options{})
 	if err != nil {
 		s.writeEngineError(w, err)

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunLoadAgainstStub drives the open-loop generator against a stub
+// endpoint and checks the report arithmetic: queries arrive in paper
+// syntax, completions and percentiles are populated, and the /metrics
+// delta reflects only the run's own traffic.
+func TestRunLoadAgainstStub(t *testing.T) {
+	var queries, inserts atomic.Int64
+	replans := int64(7) // pre-run value: deltas must subtract it away
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("syntax") != "paper" {
+			t.Errorf("missing syntax=paper in %s", r.URL.RawQuery)
+		}
+		if r.URL.Query().Get("q") == "" {
+			t.Error("empty q")
+		}
+		queries.Add(1)
+		w.Write([]byte(`{"results":{"bindings":[]}}`))
+	})
+	mux.HandleFunc("/insert", func(w http.ResponseWriter, r *http.Request) {
+		inserts.Add(1)
+		w.Write([]byte(`{"added":0}`))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		n := atomic.AddInt64(&replans, 3) // grows by 3 per scrape
+		json.NewEncoder(w).Encode(map[string]any{
+			"requests":        map[string]int64{"200": queries.Load()},
+			"planner_replans": n,
+		})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	rep, err := runLoad(loadConfig{
+		baseURL:        ts.URL,
+		qps:            200,
+		duration:       300 * time.Millisecond,
+		mix:            "mixed",
+		people:         100,
+		queries:        20,
+		seed:           1,
+		maxOutstanding: 64,
+		insert:         true,
+		timeout:        5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent == 0 || rep.Completed == 0 {
+		t.Fatalf("no traffic: %+v", rep)
+	}
+	if rep.Errors != 0 || rep.Dropped != 0 {
+		t.Fatalf("unexpected errors/drops: %+v", rep)
+	}
+	if rep.Completed != queries.Load() {
+		t.Fatalf("completed %d != server-observed %d", rep.Completed, queries.Load())
+	}
+	if rep.P50Ms <= 0 || rep.P99Ms < rep.P95Ms || rep.P95Ms < rep.P50Ms {
+		t.Fatalf("bad percentiles: %+v", rep)
+	}
+	if rep.AchievedQPS <= 0 {
+		t.Fatalf("achieved QPS not computed: %+v", rep)
+	}
+	// Two scrapes, +3 each observed... the delta is after-before = 3.
+	if rep.Server["planner_replans"] != 3 {
+		t.Fatalf("planner_replans delta = %d, want 3", rep.Server["planner_replans"])
+	}
+	if inserts.Load() == 0 {
+		t.Fatal("-insert did not POST the graph")
+	}
+}
+
+// TestRunLoadBadMix rejects unknown -mix values.
+func TestRunLoadBadMix(t *testing.T) {
+	_, err := runLoad(loadConfig{baseURL: "http://x", qps: 1, duration: time.Millisecond, mix: "spiral"})
+	if err == nil || !strings.Contains(err.Error(), "bad -mix") {
+		t.Fatalf("want bad -mix error, got %v", err)
+	}
+}
+
+// TestRunLoadDrops verifies the open-loop bound: with a stalled server
+// and max-outstanding 1, scheduled sends beyond the bound are counted
+// as dropped, not silently withheld (no coordinated omission).
+func TestRunLoadDrops(t *testing.T) {
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		w.Write([]byte(`{}`))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rep, err := runLoad(loadConfig{
+			baseURL:        ts.URL,
+			qps:            100,
+			duration:       250 * time.Millisecond,
+			mix:            "star",
+			people:         50,
+			queries:        5,
+			seed:           1,
+			maxOutstanding: 1,
+			timeout:        5 * time.Second,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if rep.Dropped == 0 {
+			t.Errorf("expected drops with a stalled server, got %+v", rep)
+		}
+		if rep.Sent > 1 {
+			t.Errorf("outstanding bound leaked: sent %d with max-outstanding 1", rep.Sent)
+		}
+	}()
+	// Unblock the stalled request once the run window has passed.
+	time.Sleep(300 * time.Millisecond)
+	close(release)
+	<-done
+}

@@ -63,6 +63,13 @@ func printStats(prof *obs.Node) {
 	fmt.Fprint(os.Stderr, prof.Snapshot().Tree())
 }
 
+// printPlan renders the planner's recorded decisions (join order,
+// index permutations, merge/hash choices) to stderr, above the
+// execution profile.
+func printPlan(pr plan.Prepared) {
+	fmt.Fprint(os.Stderr, pr.Explain().Summary())
+}
+
 func run(o runOpts) error {
 	if o.queryText == "" && o.queryFile == "" {
 		return fmt.Errorf("one of -query or -query-file is required")
@@ -110,7 +117,9 @@ func run(o runOpts) error {
 		}
 		if sq.Ask {
 			if o.stats {
-				ok, err := exec.AskOpts(g, sq.Pattern, bud, popts)
+				pr := plan.Prepare(g, sq.Pattern)
+				printPlan(pr)
+				ok, err := exec.AskPreparedOpts(g, pr, bud, popts)
 				if err != nil {
 					return err
 				}
@@ -146,7 +155,9 @@ func run(o runOpts) error {
 		}
 		var out rdf.Store
 		if o.stats {
-			out, err = plan.EvalConstructOpts(g, *q.Construct, bud, popts)
+			pr := plan.Prepare(g, q.Construct.Where)
+			printPlan(pr)
+			out, err = plan.EvalConstructPreparedOpts(g, pr, q.Construct.Template, bud, popts)
 			if err != nil {
 				return err
 			}
@@ -167,7 +178,9 @@ func run(o runOpts) error {
 		}
 		var res *sparql.MappingSet
 		if o.stats {
-			res, err = plan.EvalOpts(g, p, bud, popts)
+			pr := plan.Prepare(g, p)
+			printPlan(pr)
+			res, err = plan.EvalPreparedOpts(g, pr, bud, popts)
 			if err != nil {
 				return err
 			}

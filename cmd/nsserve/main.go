@@ -154,6 +154,10 @@ func main() {
 			"expose Go profiling under /debug/pprof (off by default: it leaks process internals)")
 		shardSpec = flag.String("shard", "",
 			`cluster mode: serve hash-by-subject partition i of N, given as "i/N" (e.g. "0/4")`)
+		plannerName = flag.String("planner", "dp",
+			"query planner: dp (cost-based DP join ordering) or greedy (v1 heuristic baseline)")
+		noReplan = flag.Bool("no-replan", false,
+			"disable adaptive mid-query re-optimization (dp planner only)")
 	)
 	flag.Parse()
 	lvl, err := parseLogLevel(*logLevel)
@@ -214,6 +218,15 @@ func main() {
 	cfg.planCache = *planCacheSize
 	cfg.pprof = *pprofFlag
 	cfg.logger = logger
+	switch *plannerName {
+	case "dp":
+	case "greedy":
+		cfg.planner.Greedy = true
+	default:
+		fmt.Fprintf(os.Stderr, "nsserve: bad -planner %q (want dp or greedy)\n", *plannerName)
+		os.Exit(1)
+	}
+	cfg.planner.NoReplan = *noReplan
 	if *shardSpec != "" {
 		idx, n, err := parseShardSpec(*shardSpec)
 		if err != nil {

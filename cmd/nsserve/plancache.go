@@ -55,8 +55,13 @@ func newPlanCache(capacity int) *planCache {
 	}
 }
 
-func planKey(syntax, qText string, epoch uint64) string {
-	return syntax + "\x00" + qText + "\x00" + strconv.FormatUint(epoch, 10)
+// planKey builds the cache key.  plannerTag (plan.PlannerOptions.
+// CacheTag) makes plans prepared under different planner
+// configurations — version, greedy vs DP, re-plan settings — distinct
+// entries, so a planner upgrade or flag flip can never serve a stale
+// plan shape.
+func planKey(syntax, qText string, epoch uint64, plannerTag string) string {
+	return syntax + "\x00" + qText + "\x00" + strconv.FormatUint(epoch, 10) + "\x00" + plannerTag
 }
 
 func (c *planCache) get(key string) (*cachedPlan, bool) {

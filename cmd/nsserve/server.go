@@ -52,6 +52,11 @@ type config struct {
 	// on small graphs.
 	minParallelEstimate float64
 	minPartition        int
+
+	// planner selects the planning algorithm (-planner, -no-replan);
+	// the zero value is the cost-based DP planner with adaptive
+	// re-optimization.  Part of every plan-cache key via CacheTag.
+	planner plan.PlannerOptions
 }
 
 func defaultConfig() config {
@@ -264,7 +269,8 @@ type jsonResults struct {
 	Results struct {
 		Bindings []map[string]jsonTerm `json:"bindings"`
 	} `json:"results"`
-	Profile *obs.Profile `json:"profile,omitempty"`
+	Profile *obs.Profile  `json:"profile,omitempty"`
+	Plan    *plan.Explain `json:"plan,omitempty"`
 }
 
 // jsonError is the error document for governed failures.  Partial is
@@ -386,9 +392,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// for the profile block.
 	prof := obs.NewNode("query", reqQID(r))
 	defer func() {
-		if prof.Snapshot().Sum(func(n *obs.Profile) int64 { return n.PoolInline }) > 0 {
+		snap := prof.Snapshot()
+		if snap.Sum(func(n *obs.Profile) int64 { return n.PoolInline }) > 0 {
 			s.metrics.PoolSaturation()
 		}
+		s.metrics.AddPlannerReplans(snap.Sum(func(n *obs.Profile) int64 { return n.Replans }))
 	}()
 	opts := plan.Options{
 		Parallel:            s.cfg.parallel,
@@ -407,6 +415,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		doc := map[string]any{"boolean": *res.Bool}
 		if wantProfile {
 			doc["profile"] = prof.Snapshot()
+			doc["plan"] = cp.compiled.Prepared.Explain()
 		}
 		w.Header().Set("Content-Type", "application/sparql-results+json")
 		s.encode(w, r, doc)
@@ -420,6 +429,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		doc := rowsToJSON(res.Rows)
 		if wantProfile {
 			doc.Profile = prof.Snapshot()
+			doc.Plan = cp.compiled.Prepared.Explain()
 		}
 		w.Header().Set("Content-Type", "application/sparql-results+json")
 		s.encode(w, r, doc)
@@ -463,7 +473,7 @@ func rowsToJSON(res *sparql.MappingSet) jsonResults {
 func (s *server) lookupPlan(syntax, qText string) (*cachedPlan, string) {
 	var key string
 	if s.plans != nil {
-		key = planKey(syntax, qText, s.graph.Epoch())
+		key = planKey(syntax, qText, s.graph.Epoch(), s.cfg.planner.CacheTag())
 		if cp, ok := s.plans.get(key); ok {
 			return cp, ""
 		}
@@ -472,7 +482,7 @@ func (s *server) lookupPlan(syntax, qText string) (*cachedPlan, string) {
 	if err != nil {
 		return nil, "parse error: " + err.Error()
 	}
-	cp := &cachedPlan{compiled: exec.Compile(s.graph, parsed.Pattern, parsed.Construct, parsed.Ask)}
+	cp := &cachedPlan{compiled: exec.CompileOpts(s.graph, parsed.Pattern, parsed.Construct, parsed.Ask, s.cfg.planner)}
 	if s.plans != nil {
 		s.plans.put(key, cp)
 	}

@@ -31,7 +31,14 @@ type Compiled struct {
 // query kind.  construct may be nil and ask false for plain SELECT /
 // pattern queries.
 func Compile(g rdf.Store, pattern sparql.Pattern, construct *sparql.ConstructQuery, ask bool) Compiled {
-	return Compiled{Prepared: plan.Prepare(g, pattern), Construct: construct, Ask: ask}
+	return CompileOpts(g, pattern, construct, ask, plan.PlannerOptions{})
+}
+
+// CompileOpts is Compile with explicit planner options; servers expose
+// these as flags (nsserve -planner) and must key their plan caches by
+// po.CacheTag().
+func CompileOpts(g rdf.Store, pattern sparql.Pattern, construct *sparql.ConstructQuery, ask bool, po plan.PlannerOptions) Compiled {
+	return Compiled{Prepared: plan.PrepareOpts(g, pattern, po), Construct: construct, Ask: ask}
 }
 
 // Result is the outcome of EvalCompiled; exactly one field is set,

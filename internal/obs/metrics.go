@@ -128,6 +128,7 @@ type Metrics struct {
 	inFlight        atomic.Int64
 	governorTrips   atomic.Int64
 	poolSaturations atomic.Int64
+	plannerReplans  atomic.Int64
 	panics          atomic.Int64
 }
 
@@ -191,6 +192,17 @@ func (m *Metrics) GovernorTrip() {
 func (m *Metrics) PoolSaturation() {
 	if m != nil {
 		m.poolSaturations.Add(1)
+	}
+}
+
+// AddPlannerReplans counts mid-query re-optimizations: the adaptive
+// chain executor re-planned the remaining join order after observed
+// rows drifted past the planner's estimate.  n is the replan count of
+// one query (from its profile), so the counter totals replans, not
+// replanned queries.
+func (m *Metrics) AddPlannerReplans(n int64) {
+	if m != nil && n > 0 {
+		m.plannerReplans.Add(n)
 	}
 }
 
@@ -282,6 +294,7 @@ type MetricsSnapshot struct {
 	InFlight        int64                        `json:"in_flight"`
 	GovernorTrips   int64                        `json:"governor_trips"`
 	PoolSaturations int64                        `json:"pool_saturations"`
+	PlannerReplans  int64                        `json:"planner_replans"`
 	Panics          int64                        `json:"panics"`
 	Store           *StoreStats                  `json:"store,omitempty"`
 	Durable         *DurableStats                `json:"durable,omitempty"`
@@ -308,6 +321,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	s.InFlight = m.inFlight.Load()
 	s.GovernorTrips = m.governorTrips.Load()
 	s.PoolSaturations = m.poolSaturations.Load()
+	s.PlannerReplans = m.plannerReplans.Load()
 	s.Panics = m.panics.Load()
 	return s
 }

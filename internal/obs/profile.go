@@ -60,6 +60,7 @@ type Node struct {
 
 	rangeScans atomic.Int64
 	mergeRuns  atomic.Int64
+	replans    atomic.Int64
 
 	budgetSteps atomic.Int64
 	budgetRows  atomic.Int64
@@ -203,6 +204,16 @@ func (n *Node) AddMergeRuns(v int64) {
 	n.mergeRuns.Add(v)
 }
 
+// AddReplans accumulates mid-query re-optimizations: the adaptive
+// chain executor re-planned the remaining operands after observed
+// cardinality drifted past the planner's estimate.
+func (n *Node) AddReplans(v int64) {
+	if n == nil {
+		return
+	}
+	n.replans.Add(v)
+}
+
 // AddBudget accumulates governor consumption attributed to this node:
 // search steps, result rows and estimated bytes.  The evaluators
 // attribute by wall-clock window, so a node's numbers include its
@@ -239,6 +250,7 @@ func (n *Node) Snapshot() *Profile {
 		PoolInline:   n.poolInline.Load(),
 		RangeScans:   n.rangeScans.Load(),
 		MergeRuns:    n.mergeRuns.Load(),
+		Replans:      n.replans.Load(),
 		BudgetSteps:  n.budgetSteps.Load(),
 		BudgetRows:   n.budgetRows.Load(),
 		BudgetBytes:  n.budgetBytes.Load(),
@@ -281,6 +293,7 @@ type Profile struct {
 
 	RangeScans int64 `json:"range_scans,omitempty"`
 	MergeRuns  int64 `json:"merge_runs,omitempty"`
+	Replans    int64 `json:"replans,omitempty"`
 
 	BudgetSteps int64 `json:"budget_steps,omitempty"`
 	BudgetRows  int64 `json:"budget_rows,omitempty"`
@@ -361,6 +374,9 @@ func (p *Profile) tree(sb *strings.Builder, depth int) {
 	}
 	if p.MergeRuns > 0 {
 		fmt.Fprintf(sb, " merge_runs=%d", p.MergeRuns)
+	}
+	if p.Replans > 0 {
+		fmt.Fprintf(sb, " replans=%d", p.Replans)
 	}
 	if p.PoolAcquired > 0 || p.PoolInline > 0 {
 		fmt.Fprintf(sb, " pool=%d acquired/%d inline", p.PoolAcquired, p.PoolInline)

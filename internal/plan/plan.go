@@ -3,9 +3,19 @@
 // reference evaluator of internal/sparql (which stays the oracle in
 // differential tests):
 //
-//   - AND chains are flattened and greedily reordered by estimated
-//     cardinality, preferring operands connected by already-bound
-//     variables (index-nested-loop flavoured join ordering);
+//   - AND chains are flattened, split into variable-connected
+//     components, and each component is ordered by a dynamic program
+//     over its connected subsets minimizing the C_out cost metric fed
+//     by exact index cardinalities (see cost.go and dp.go); components
+//     beyond DPMaxPatterns — and the v1 ablation baseline
+//     (PlannerOptions.Greedy) — use the greedy
+//     smallest-connected-estimate heuristic;
+//   - merge vs hash join is chosen per binary node by estimated cost
+//     and passed to the row engine as sparql.EvalHints;
+//   - on the serial path, long AND chains run under the adaptive
+//     executor (adaptive.go), which re-orders the remaining operands
+//     mid-query when observed cardinalities drift past ReplanFactor×
+//     the estimate;
 //   - conjunctive FILTER conditions are split and pushed down to the
 //     earliest operand that certainly binds their variables;
 //   - joins, differences and left-outer joins run hash-bucketed on the
@@ -23,7 +33,6 @@ package plan
 import (
 	"context"
 	"runtime"
-	"sort"
 	"time"
 
 	"repro/internal/obs"
@@ -110,25 +119,64 @@ func EvalBudget(g rdf.Store, p sparql.Pattern, b *sparql.Budget) (*sparql.Mappin
 }
 
 // Prepared is an optimized, ready-to-run query plan: the rewritten
-// pattern plus the planner's cardinality estimate for the
-// serial/parallel cutover.  Preparation reads the graph's index counts
-// (Optimize and Estimate call CountMatch), so a Prepared plan is only
-// valid for the graph contents it was built against — cache it keyed by
-// the graph's Epoch, as nsserve's plan cache does, and it never goes
-// stale.
+// pattern, the planner's cardinality estimate for the serial/parallel
+// cutover, the recorded plan (Explain), the engine hints, and — for
+// AND chains — the flattened operand order plus prefix estimates the
+// adaptive executor checkpoints against.  Preparation reads the
+// graph's index counts (CountMatch), so a Prepared plan is only valid
+// for the graph contents it was built against — cache it keyed by the
+// graph's Epoch and the PlannerOptions.CacheTag, as nsserve's plan
+// cache does, and it never goes stale.
 type Prepared struct {
 	pattern sparql.Pattern
 	est     float64
+	popts   PlannerOptions
+	explain *Explain
+	hints   *sparql.EvalHints
+	estr    *estimator
+	// chain is the ordered flat operand list when the whole pattern is
+	// an AND chain (components concatenated), nil otherwise;
+	// chainEsts[i] is the estimated cardinality after joining
+	// chain[:i+1].
+	chain     []sparql.Pattern
+	chainEsts []float64
 }
 
 // Pattern returns the optimized pattern the plan will evaluate.
 func (pr Prepared) Pattern() sparql.Pattern { return pr.pattern }
 
-// Prepare optimizes p for g and captures the cardinality estimate, the
+// Explain returns the recorded plan (nil only for a zero Prepared).
+func (pr Prepared) Explain() *Explain { return pr.explain }
+
+// Prepare optimizes p for g under the default planner options, the
 // graph-dependent (and therefore cacheable) half of EvalOpts.
 func Prepare(g rdf.Store, p sparql.Pattern) Prepared {
-	opt := Optimize(g, p)
-	return Prepared{pattern: opt, est: Estimate(g, opt)}
+	return PrepareOpts(g, p, PlannerOptions{})
+}
+
+// PrepareOpts is Prepare with explicit planner options (greedy
+// baseline, DP cutoff, re-plan factor).
+func PrepareOpts(g rdf.Store, p sparql.Pattern, po PlannerOptions) Prepared {
+	pc := &planCtx{g: g, e: newEstimator(g), po: po}
+	opt := pc.optimize(sparql.SimplifyPattern(p))
+	pr := Prepared{pattern: opt, popts: po, estr: pc.e}
+	if _, ok := opt.(sparql.And); ok {
+		// andOperands of the rebuilt tree recovers the planner's full
+		// chain order (left-deep within components, concatenated across).
+		pr.chain = andOperands(opt)
+		pr.chainEsts = chainCards(buildCands(pc.e, pr.chain), identityOrder(len(pr.chain)))
+	}
+	pr.explain, pr.hints = buildExplain(pc.e, opt, po, pr.adaptiveArmed())
+	pr.est = pr.explain.Estimate
+	return pr
+}
+
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
 }
 
 // EvalOpts is EvalBudget with explicit engine options: the optimized
@@ -154,13 +202,18 @@ func EvalPreparedOpts(g rdf.Store, pr Prepared, b *sparql.Budget, o Options) (*s
 		err error
 	)
 	if workers := o.workers(); workers > 1 && pr.est >= o.minEstimate() {
+		// The parallel engine keeps the static order (no sequential
+		// drift checkpoint exists once the chain fans out).
 		rs, ok, err = sparql.EvalRowsParOpts(g, opt, b, sparql.ParOptions{
 			Workers:      workers,
 			MinPartition: o.MinPartition,
 			Prof:         o.Prof,
+			Hints:        pr.hints,
 		})
+	} else if pr.adaptiveArmed() {
+		rs, ok, err = evalAdaptiveChain(g, pr, b, o.Prof)
 	} else {
-		rs, ok, err = sparql.EvalRowsProf(g, opt, b, o.Prof)
+		rs, ok, err = sparql.EvalRowsHints(g, opt, b, o.Prof, pr.hints)
 	}
 	recordRoot := func(resultRows int) {
 		if o.Prof == nil {
@@ -264,25 +317,35 @@ func EvalConstructPreparedOpts(g rdf.Store, pr Prepared, template []sparql.Tripl
 //	    when var(R) ⊆ cb(P1) (the certainly-bound variables);
 //	R1 ∧ R2 splits into two FILTER applications.
 func Optimize(g rdf.Store, p sparql.Pattern) sparql.Pattern {
-	return optimize(g, sparql.SimplifyPattern(p))
+	pc := &planCtx{g: g, e: newEstimator(g)}
+	return pc.optimize(sparql.SimplifyPattern(p))
 }
 
-func optimize(g rdf.Store, p sparql.Pattern) sparql.Pattern {
+// planCtx threads the shared estimator and planner options through one
+// optimization pass, so a k-pattern query costs O(k) index probes no
+// matter how many candidate orders the DP scores.
+type planCtx struct {
+	g  rdf.Store
+	e  *estimator
+	po PlannerOptions
+}
+
+func (pc *planCtx) optimize(p sparql.Pattern) sparql.Pattern {
 	switch q := p.(type) {
 	case sparql.TriplePattern:
 		return q
 	case sparql.And:
-		return optimizeAndChain(g, q)
+		return pc.optimizeAndChain(q)
 	case sparql.Union:
-		return sparql.Union{L: optimize(g, q.L), R: optimize(g, q.R)}
+		return sparql.Union{L: pc.optimize(q.L), R: pc.optimize(q.R)}
 	case sparql.Opt:
-		return sparql.Opt{L: optimize(g, q.L), R: optimize(g, q.R)}
+		return sparql.Opt{L: pc.optimize(q.L), R: pc.optimize(q.R)}
 	case sparql.Filter:
-		return optimizeFilter(g, q)
+		return pc.optimizeFilter(q)
 	case sparql.Select:
-		return sparql.Select{Vars: q.Vars, P: optimize(g, q.P)}
+		return sparql.Select{Vars: q.Vars, P: pc.optimize(q.P)}
 	case sparql.NS:
-		return sparql.NS{P: optimize(g, q.P)}
+		return sparql.NS{P: pc.optimize(q.P)}
 	default:
 		// Unknown operator: leave it untouched (optimization is always
 		// allowed to be the identity) and let the evaluator report a
@@ -299,71 +362,34 @@ func andOperands(p sparql.Pattern) []sparql.Pattern {
 	return []sparql.Pattern{p}
 }
 
-func optimizeAndChain(g rdf.Store, a sparql.And) sparql.Pattern {
+// optimizeAndChain orders a flattened AND chain: operands split into
+// variable-connected components (ordered by smallest member estimate,
+// reproducing the v1 greedy's global sequencing), and each component
+// is ordered by the connected-subset DP (dp.go) — or the v1 greedy
+// heuristic when PlannerOptions.Greedy is set or the component exceeds
+// the DP cutoff.
+func (pc *planCtx) optimizeAndChain(a sparql.And) sparql.Pattern {
 	ops := andOperands(a)
 	for i, op := range ops {
-		ops[i] = optimize(g, op)
+		ops[i] = pc.optimize(op)
 	}
-	// Greedy join ordering: start from the smallest estimate; then
-	// repeatedly take the connected operand (sharing a variable with
-	// what is already joined) with the smallest estimate, falling back
-	// to the globally smallest when nothing connects.
-	type cand struct {
-		p    sparql.Pattern
-		est  float64
-		vars map[sparql.Var]struct{}
-	}
-	cands := make([]cand, len(ops))
-	for i, op := range ops {
-		vars := make(map[sparql.Var]struct{})
-		for _, v := range sparql.Vars(op) {
-			vars[v] = struct{}{}
-		}
-		cands[i] = cand{p: op, est: Estimate(g, op), vars: vars}
-	}
-	// Stable start: smallest estimate, ties by original position.
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].est < cands[j].est })
-
-	used := make([]bool, len(cands))
-	bound := make(map[sparql.Var]struct{})
+	cands := buildCands(pc.e, ops)
+	comps := chainComponents(cands)
 	ordered := make([]sparql.Pattern, 0, len(cands))
-	// components records where each variable-disjoint connected
-	// component starts in the greedy order.  The greedy loop exhausts
-	// one component before falling back to a disconnected operand, so
-	// each fallback take is exactly a component boundary.
-	componentStart := []int{0}
-	take := func(i int) {
-		used[i] = true
-		ordered = append(ordered, cands[i].p)
-		for v := range cands[i].vars {
-			bound[v] = struct{}{}
+	starts := make([]int, 0, len(comps))
+	for _, members := range comps {
+		starts = append(starts, len(ordered))
+		var order []int
+		if pc.po.Greedy || len(members) > pc.po.dpMax() {
+			order = greedyOrderComponent(cands, members)
+		} else {
+			order = dpOrderComponent(cands, members)
+		}
+		for _, i := range order {
+			ordered = append(ordered, cands[i].p)
 		}
 	}
-	take(0)
-	for len(ordered) < len(cands) {
-		best, bestConnected := -1, false
-		for i, c := range cands {
-			if used[i] {
-				continue
-			}
-			connected := false
-			for v := range c.vars {
-				if _, ok := bound[v]; ok {
-					connected = true
-					break
-				}
-			}
-			if best == -1 || (connected && !bestConnected) ||
-				(connected == bestConnected && c.est < cands[best].est) {
-				best, bestConnected = i, connected
-			}
-		}
-		if !bestConnected {
-			componentStart = append(componentStart, len(ordered))
-		}
-		take(best)
-	}
-	return andComponents(ordered, componentStart)
+	return andComponents(ordered, starts)
 }
 
 // andComponents rebuilds the AND tree from the greedily ordered chain:
@@ -401,8 +427,8 @@ func balancedAnd(parts []sparql.Pattern) sparql.Pattern {
 	return sparql.And{L: balancedAnd(parts[:mid]), R: balancedAnd(parts[mid:])}
 }
 
-func optimizeFilter(g rdf.Store, f sparql.Filter) sparql.Pattern {
-	body := optimize(g, f.P)
+func (pc *planCtx) optimizeFilter(f sparql.Filter) sparql.Pattern {
+	body := pc.optimize(f.P)
 	conjuncts := splitConjuncts(f.Cond)
 	var remaining []sparql.Condition
 	for _, c := range conjuncts {
@@ -460,47 +486,10 @@ func pushFilter(p sparql.Pattern, cond sparql.Condition) (sparql.Pattern, bool) 
 
 // Estimate returns a rough upper estimate of |⟦P⟧_G| used for join
 // ordering.  Triple patterns use exact index counts; operators combine
-// estimates structurally.
+// estimates structurally.  (The formulas live on the memoizing
+// estimator in cost.go; this entry point builds a throwaway memo.)
 func Estimate(g rdf.Store, p sparql.Pattern) float64 {
-	switch q := p.(type) {
-	case sparql.TriplePattern:
-		var s, pr, o *rdf.IRI
-		if !q.S.IsVar() {
-			i := q.S.IRI()
-			s = &i
-		}
-		if !q.P.IsVar() {
-			i := q.P.IRI()
-			pr = &i
-		}
-		if !q.O.IsVar() {
-			i := q.O.IRI()
-			o = &i
-		}
-		return float64(g.CountMatch(s, pr, o))
-	case sparql.And:
-		l, r := Estimate(g, q.L), Estimate(g, q.R)
-		// Crude: assume the join keeps the smaller side's cardinality
-		// scaled by a fan-out of the larger's density.
-		if l < r {
-			return l * (1 + r/float64(g.Len()+1))
-		}
-		return r * (1 + l/float64(g.Len()+1))
-	case sparql.Union:
-		return Estimate(g, q.L) + Estimate(g, q.R)
-	case sparql.Opt:
-		return Estimate(g, q.L) * 1.5
-	case sparql.Filter:
-		return Estimate(g, q.P) / 2
-	case sparql.Select:
-		return Estimate(g, q.P)
-	case sparql.NS:
-		return Estimate(g, q.P)
-	default:
-		// Unknown operator: assume the worst (whole-graph cardinality)
-		// rather than crashing the planner on a malformed plan.
-		return float64(g.Len() + 1)
-	}
+	return newEstimator(g).estimate(p)
 }
 
 // evalOptBudget mirrors sparql.Eval with the hash-based algebra

@@ -63,6 +63,9 @@ type ParOptions struct {
 	// node per operator, with pool and partition counters on top of
 	// the serial engine's metrics.  See EvalRowsProf.
 	Prof *obs.Node
+	// Hints carries the planner's per-node join-strategy decisions
+	// (nil = structural auto behaviour).  See EvalHints.
+	Hints *EvalHints
 }
 
 func (o ParOptions) workers() int {
@@ -136,7 +139,7 @@ func EvalRowsParOpts(g rdf.Store, p Pattern, b *Budget, o ParOptions) (*RowSet, 
 		return nil, false, nil
 	}
 	if o.workers() <= 1 {
-		rs, err := evalRowsB(g, p, sc, b, o.Prof)
+		rs, err := evalRowsB(g, p, sc, b, o.Prof, o.Hints)
 		if err != nil {
 			return nil, true, err
 		}
@@ -148,6 +151,7 @@ func EvalRowsParOpts(g rdf.Store, p Pattern, b *Budget, o ParOptions) (*RowSet, 
 		b:       b,
 		po:      newPool(o.workers() - 1),
 		minPart: o.minPartition(),
+		hints:   o.Hints,
 	}
 	rs, err := e.eval(p, o.Prof)
 	if err != nil {
@@ -164,6 +168,7 @@ type parEval struct {
 	b       *Budget
 	po      *pool
 	minPart int
+	hints   *EvalHints
 }
 
 // eval attaches a profile node for p under parent and evaluates; the
@@ -189,8 +194,10 @@ func (e *parEval) evalOp(p Pattern, node *obs.Node) (*RowSet, error) {
 	case TriplePattern:
 		return evalTripleRowsB(e.g, q, e.sc, e.b, node)
 	case And:
-		if rs, handled, err := tryMergeScanJoin(e.g, q.L, q.R, e.sc, e.b, node, false); handled {
-			return rs, err
+		if e.hints.JoinStrategyFor(p) != StrategyHash {
+			if rs, handled, err := tryMergeScanJoin(e.g, q.L, q.R, e.sc, e.b, node, false); handled {
+				return rs, err
+			}
 		}
 		l, r, err := e.evalBoth(q.L, q.R, node)
 		if err != nil {
@@ -206,8 +213,10 @@ func (e *parEval) evalOp(p Pattern, node *obs.Node) (*RowSet, error) {
 		node.AddRowsIn(int64(l.Len() + r.Len()))
 		return l.UnionB(r, e.b)
 	case Opt:
-		if rs, handled, err := tryMergeScanJoin(e.g, q.L, q.R, e.sc, e.b, node, true); handled {
-			return rs, err
+		if e.hints.JoinStrategyFor(p) != StrategyHash {
+			if rs, handled, err := tryMergeScanJoin(e.g, q.L, q.R, e.sc, e.b, node, true); handled {
+				return rs, err
+			}
 		}
 		l, r, err := e.evalBoth(q.L, q.R, node)
 		if err != nil {

@@ -40,11 +40,17 @@ func EvalRowsBudget(g rdf.Store, p Pattern, b *Budget) (*RowSet, bool, error) {
 // exactly EvalRowsBudget — the instrumentation costs one nil check per
 // operator node, nothing per row.
 func EvalRowsProf(g rdf.Store, p Pattern, b *Budget, prof *obs.Node) (*RowSet, bool, error) {
+	return EvalRowsHints(g, p, b, prof, nil)
+}
+
+// EvalRowsHints is EvalRowsProf with planner join-strategy hints (see
+// EvalHints); nil hints keep the structural auto behaviour.
+func EvalRowsHints(g rdf.Store, p Pattern, b *Budget, prof *obs.Node, h *EvalHints) (*RowSet, bool, error) {
 	sc, ok := SchemaFor(p)
 	if !ok {
 		return nil, false, nil
 	}
-	rs, err := evalRowsB(g, p, sc, b, prof)
+	rs, err := evalRowsB(g, p, sc, b, prof, h)
 	if err != nil {
 		return nil, true, err
 	}
@@ -150,18 +156,19 @@ func EvalRowEngine(g rdf.Store, p Pattern) *MappingSet {
 // evalRowsB is the bottom-up evaluator over rows; every sub-result uses
 // the same query-wide schema, and every operator runs its budgeted
 // variant so a hostile sub-pattern cannot outrun the governor.  parent
-// is the enclosing profile node (nil disables instrumentation).
-func evalRowsB(g rdf.Store, p Pattern, sc *VarSchema, b *Budget, parent *obs.Node) (*RowSet, error) {
+// is the enclosing profile node (nil disables instrumentation); h
+// carries the planner's join-strategy hints (nil = structural auto).
+func evalRowsB(g rdf.Store, p Pattern, sc *VarSchema, b *Budget, parent *obs.Node, h *EvalHints) (*RowSet, error) {
 	node := childNode(parent, p)
 	return evalInstrumented(node, b, func() (*RowSet, error) {
-		return evalRowsOp(g, p, sc, b, node)
+		return evalRowsOp(g, p, sc, b, node, h)
 	})
 }
 
 // evalRowsOp dispatches one operator, recursing through evalRowsB so
 // the children attach under node.  Rows-in is the operand total fed to
 // the operator (its own output is recorded by the wrapper).
-func evalRowsOp(g rdf.Store, p Pattern, sc *VarSchema, b *Budget, node *obs.Node) (*RowSet, error) {
+func evalRowsOp(g rdf.Store, p Pattern, sc *VarSchema, b *Budget, node *obs.Node, h *EvalHints) (*RowSet, error) {
 	if err := b.Step(); err != nil {
 		return nil, err
 	}
@@ -169,60 +176,64 @@ func evalRowsOp(g rdf.Store, p Pattern, sc *VarSchema, b *Budget, node *obs.Node
 	case TriplePattern:
 		return evalTripleRowsB(g, q, sc, b, node)
 	case And:
-		if rs, handled, err := tryMergeScanJoin(g, q.L, q.R, sc, b, node, false); handled {
-			return rs, err
+		if h.JoinStrategyFor(p) != StrategyHash {
+			if rs, handled, err := tryMergeScanJoin(g, q.L, q.R, sc, b, node, false); handled {
+				return rs, err
+			}
 		}
-		l, err := evalRowsB(g, q.L, sc, b, node)
+		l, err := evalRowsB(g, q.L, sc, b, node, h)
 		if err != nil {
 			return nil, err
 		}
-		r, err := evalRowsB(g, q.R, sc, b, node)
+		r, err := evalRowsB(g, q.R, sc, b, node, h)
 		if err != nil {
 			return nil, err
 		}
 		node.AddRowsIn(int64(l.Len() + r.Len()))
 		return l.JoinB(r, b)
 	case Union:
-		l, err := evalRowsB(g, q.L, sc, b, node)
+		l, err := evalRowsB(g, q.L, sc, b, node, h)
 		if err != nil {
 			return nil, err
 		}
-		r, err := evalRowsB(g, q.R, sc, b, node)
+		r, err := evalRowsB(g, q.R, sc, b, node, h)
 		if err != nil {
 			return nil, err
 		}
 		node.AddRowsIn(int64(l.Len() + r.Len()))
 		return l.UnionB(r, b)
 	case Opt:
-		if rs, handled, err := tryMergeScanJoin(g, q.L, q.R, sc, b, node, true); handled {
-			return rs, err
+		if h.JoinStrategyFor(p) != StrategyHash {
+			if rs, handled, err := tryMergeScanJoin(g, q.L, q.R, sc, b, node, true); handled {
+				return rs, err
+			}
 		}
-		l, err := evalRowsB(g, q.L, sc, b, node)
+		l, err := evalRowsB(g, q.L, sc, b, node, h)
 		if err != nil {
 			return nil, err
 		}
-		r, err := evalRowsB(g, q.R, sc, b, node)
+		r, err := evalRowsB(g, q.R, sc, b, node, h)
 		if err != nil {
 			return nil, err
 		}
 		node.AddRowsIn(int64(l.Len() + r.Len()))
 		return l.LeftJoinB(r, b)
 	case Filter:
-		inner, err := evalRowsB(g, q.P, sc, b, node)
+		inner, err := evalRowsB(g, q.P, sc, b, node, h)
 		if err != nil {
 			return nil, err
 		}
 		node.AddRowsIn(int64(inner.Len()))
 		return inner.FilterB(CompileCond(q.Cond, sc, g.Dict()), b)
 	case Select:
-		inner, err := evalRowsB(g, q.P, sc, b, node)
+		inner, err := evalRowsB(g, q.P, sc, b, node, h)
 		if err != nil {
 			return nil, err
 		}
 		node.AddRowsIn(int64(inner.Len()))
 		return inner.ProjectB(sc.SlotMask(q.Vars), b)
 	case NS:
-		inner, err := evalRowsB(g, q.P, sc, b, node)
+		inner, err := evalRowsB(g, q.P, sc, b, node, h)
 		if err != nil {
 			return nil, err
 		}

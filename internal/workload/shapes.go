@@ -1,0 +1,295 @@
+// Realistic SPARQL workload shapes.  Analyses of public endpoint logs
+// (Wikidata, DBpedia — see Bonifati et al., "An Analytical Study of
+// Large SPARQL Query Logs") consistently find that conjunctive queries
+// are dominated by four join-graph shapes: stars (one center variable,
+// many arms), chains (paths), trees (stars whose arms extend) and
+// flowers (a star core with chain petals), with stars the clear
+// majority.  This file generates a social-network graph with
+// zipf-skewed connectivity and query streams reproducing that shape
+// distribution — the workload under which the cost-based planner is
+// measured (E28, cmd/nsload).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// Social-graph predicates.
+const (
+	PredType    = rdf.IRI("type")
+	PredKnows   = rdf.IRI("knows")
+	PredFollows = rdf.IRI("follows")
+	PredWorksAt = rdf.IRI("worksAt")
+	PredLivesIn = rdf.IRI("livesIn")
+	PredName    = rdf.IRI("name")
+	PredEmail   = rdf.IRI("email")
+	PredMentors = rdf.IRI("mentors")
+
+	ClassPerson    = rdf.IRI("Person")
+	ClassCelebrity = rdf.IRI("Celebrity")
+	ClassOrg       = rdf.IRI("Org")
+)
+
+// SocialOpts sizes the social graph.  The zero value of any field
+// picks a default proportional to People.
+type SocialOpts struct {
+	// People is the number of person entities (default 2000).
+	People int
+	// Celebrities is how many people are celebrities: follow targets
+	// are zipf-skewed so a celebrity's in-degree is orders of magnitude
+	// above the median (default People/100, min 1).
+	Celebrities int
+	// Orgs and Cities size the entity pools people attach to
+	// (defaults People/40 and People/80, min 1 — so anchored scans
+	// have a few dozen to a few thousand rows).
+	Orgs   int
+	Cities int
+	// FollowsPerPerson and KnowsPerPerson are per-person out-degrees
+	// (defaults 6 and 3).  follows objects are zipf-skewed toward
+	// celebrities; knows objects are uniform.
+	FollowsPerPerson int
+	KnowsPerPerson   int
+	// EmailPercent is the percentage of people with an email triple
+	// (default 25) — a sparse unanchored predicate, so query arms over
+	// it are selective without an object constant.
+	EmailPercent int
+	// Seed drives the generator (0 = a fixed default, so benchmarks
+	// are reproducible).
+	Seed int64
+}
+
+func (o *SocialOpts) fill() {
+	if o.People == 0 {
+		o.People = 2000
+	}
+	if o.Celebrities == 0 {
+		o.Celebrities = max(o.People/100, 1)
+	}
+	if o.Orgs == 0 {
+		o.Orgs = max(o.People/40, 1)
+	}
+	if o.Cities == 0 {
+		o.Cities = max(o.People/80, 1)
+	}
+	if o.FollowsPerPerson == 0 {
+		o.FollowsPerPerson = 6
+	}
+	if o.KnowsPerPerson == 0 {
+		o.KnowsPerPerson = 3
+	}
+	if o.EmailPercent == 0 {
+		o.EmailPercent = 25
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+}
+
+// Social is a generated social graph plus the entity naming scheme the
+// query-shape generators draw constants from.
+type Social struct {
+	G    *rdf.Graph
+	Opts SocialOpts
+}
+
+// Person returns the IRI of person i (celebrities are the lowest
+// indices, matching the zipf skew of follow targets).
+func (s *Social) Person(i int) rdf.IRI { return rdf.IRI(fmt.Sprintf("person_%d", i)) }
+
+// Org returns the IRI of organization i.
+func (s *Social) Org(i int) rdf.IRI { return rdf.IRI(fmt.Sprintf("org_%d", i)) }
+
+// City returns the IRI of city i.
+func (s *Social) City(i int) rdf.IRI { return rdf.IRI(fmt.Sprintf("city_%d", i)) }
+
+// NewSocial generates the graph: every person has type, name, worksAt
+// and livesIn triples, knows/follows edges (follows zipf-skewed toward
+// the celebrity indices) and, for EmailPercent of people, an email.
+func NewSocial(o SocialOpts) *Social {
+	o.fill()
+	rng := rand.New(rand.NewSource(o.Seed))
+	s := &Social{G: rdf.NewGraph(), Opts: o}
+	// Zipf over people indices: person_0 (a celebrity) is the most
+	// popular follow target, with a long uniform tail.
+	zipf := rand.NewZipf(rng, 1.4, 1, uint64(o.People-1))
+	for i := 0; i < o.People; i++ {
+		p := s.Person(i)
+		s.G.Add(p, PredType, ClassPerson)
+		if i < o.Celebrities {
+			s.G.Add(p, PredType, ClassCelebrity)
+		}
+		s.G.Add(p, PredName, rdf.IRI(fmt.Sprintf("name_%d", i)))
+		s.G.Add(p, PredWorksAt, s.Org(rng.Intn(o.Orgs)))
+		s.G.Add(p, PredLivesIn, s.City(rng.Intn(o.Cities)))
+		if rng.Intn(100) < o.EmailPercent {
+			s.G.Add(p, PredEmail, rdf.IRI(fmt.Sprintf("email_%d", i)))
+		}
+		for k := 0; k < o.KnowsPerPerson; k++ {
+			s.G.Add(p, PredKnows, s.Person(rng.Intn(o.People)))
+		}
+		for k := 0; k < o.FollowsPerPerson; k++ {
+			s.G.Add(p, PredFollows, s.Person(int(zipf.Uint64())))
+		}
+		// mentors is deliberately sparse (1% of people): chains through
+		// it are often empty, the case where adaptive execution can stop
+		// before scanning the expensive edge predicates at all.
+		if i%100 == 0 {
+			s.G.Add(p, PredMentors, s.Person(rng.Intn(o.People)))
+		}
+	}
+	for i := 0; i < o.Orgs; i++ {
+		s.G.Add(s.Org(i), PredType, ClassOrg)
+	}
+	return s
+}
+
+// Shape names one query join-graph shape.
+type Shape string
+
+// The four shapes of the generated mix.
+const (
+	ShapeStar   Shape = "star"
+	ShapeChain  Shape = "chain"
+	ShapeTree   Shape = "tree"
+	ShapeFlower Shape = "flower"
+)
+
+// DefaultMix is the shape distribution of the generated stream,
+// approximating the star-heavy distribution of real endpoint logs.
+var DefaultMix = map[Shape]int{
+	ShapeStar:   60,
+	ShapeChain:  24,
+	ShapeTree:   10,
+	ShapeFlower: 6,
+}
+
+func tp(s, p, o sparql.Value) sparql.TriplePattern { return sparql.TP(s, p, o) }
+func v(name string) sparql.Value                   { return sparql.V(sparql.Var(name)) }
+func c(iri rdf.IRI) sparql.Value                   { return sparql.I(iri) }
+
+// StarQuery builds a star: one center variable ?x with arms drawn from
+// the entity predicates.  Arms mix object-anchored scans (livesIn
+// city, worksAt org, type Person — merge-eligible on ?x) with
+// unanchored arms (email, knows) whose scans sort by the arm variable,
+// so the join-order and join-strategy choices are non-trivial.
+func (s *Social) StarQuery(rng *rand.Rand, arms int) sparql.Pattern {
+	if arms < 2 {
+		arms = 2
+	}
+	ops := []sparql.Pattern{
+		tp(v("x"), c(PredLivesIn), c(s.City(rng.Intn(s.Opts.Cities)))),
+		tp(v("x"), c(PredType), c(ClassPerson)),
+		tp(v("x"), c(PredEmail), v("e")),
+		tp(v("x"), c(PredWorksAt), c(s.Org(rng.Intn(s.Opts.Orgs)))),
+		tp(v("x"), c(PredKnows), v("y")),
+		tp(v("x"), c(PredName), v("n")),
+	}
+	if arms > len(ops) {
+		arms = len(ops)
+	}
+	return sparql.AndOf(ops[:arms]...)
+}
+
+// ChainQuery builds a path of length hops through follows/knows edges,
+// anchored at the far end by a livesIn or worksAt constant — the shape
+// where join direction matters most under skew.
+func (s *Social) ChainQuery(rng *rand.Rand, hops int) sparql.Pattern {
+	if hops < 2 {
+		hops = 2
+	}
+	ops := make([]sparql.Pattern, 0, hops+1)
+	for i := 0; i < hops; i++ {
+		pred := PredFollows
+		if i%2 == 1 {
+			pred = PredKnows
+		}
+		// Half the chains route the anchor-adjacent hop through the
+		// sparse mentors predicate, making the selective end of the path
+		// genuinely selective (often empty) rather than merely smaller.
+		if i == hops-1 && rng.Intn(2) == 0 {
+			pred = PredMentors
+		}
+		ops = append(ops, tp(v(fmt.Sprintf("x%d", i)), c(pred), v(fmt.Sprintf("x%d", i+1))))
+	}
+	if rng.Intn(2) == 0 {
+		ops = append(ops, tp(v(fmt.Sprintf("x%d", hops)), c(PredLivesIn), c(s.City(rng.Intn(s.Opts.Cities)))))
+	} else {
+		ops = append(ops, tp(v(fmt.Sprintf("x%d", hops)), c(PredWorksAt), c(s.Org(rng.Intn(s.Opts.Orgs)))))
+	}
+	return sparql.AndOf(ops...)
+}
+
+// TreeQuery builds a two-level tree: a star on ?x with one arm
+// extended to a star on its endpoint ?y.
+func (s *Social) TreeQuery(rng *rand.Rand) sparql.Pattern {
+	return sparql.AndOf(
+		tp(v("x"), c(PredWorksAt), c(s.Org(rng.Intn(s.Opts.Orgs)))),
+		tp(v("x"), c(PredKnows), v("y")),
+		tp(v("y"), c(PredLivesIn), c(s.City(rng.Intn(s.Opts.Cities)))),
+		tp(v("y"), c(PredName), v("n")),
+	)
+}
+
+// FlowerQuery builds a star core on ?x plus a chain petal through
+// follows, ending at a typed target.
+func (s *Social) FlowerQuery(rng *rand.Rand) sparql.Pattern {
+	return sparql.AndOf(
+		tp(v("x"), c(PredLivesIn), c(s.City(rng.Intn(s.Opts.Cities)))),
+		tp(v("x"), c(PredType), c(ClassPerson)),
+		tp(v("x"), c(PredFollows), v("y")),
+		tp(v("y"), c(PredType), c(ClassCelebrity)),
+		tp(v("y"), c(PredWorksAt), v("o")),
+	)
+}
+
+// Query draws one query of the given shape.
+func (s *Social) Query(rng *rand.Rand, shape Shape) sparql.Pattern {
+	switch shape {
+	case ShapeChain:
+		return s.ChainQuery(rng, 2+rng.Intn(2))
+	case ShapeTree:
+		return s.TreeQuery(rng)
+	case ShapeFlower:
+		return s.FlowerQuery(rng)
+	default:
+		return s.StarQuery(rng, 3+rng.Intn(3))
+	}
+}
+
+// MixedQueries draws n queries following the mix's shape distribution
+// (nil mix = DefaultMix).  The stream is deterministic in rng.
+func (s *Social) MixedQueries(rng *rand.Rand, n int, mix map[Shape]int) []sparql.Pattern {
+	if mix == nil {
+		mix = DefaultMix
+	}
+	shapes := []Shape{ShapeStar, ShapeChain, ShapeTree, ShapeFlower}
+	total := 0
+	for _, sh := range shapes {
+		total += mix[sh]
+	}
+	out := make([]sparql.Pattern, 0, n)
+	for i := 0; i < n; i++ {
+		r := rng.Intn(total)
+		var pick Shape
+		for _, sh := range shapes {
+			if r < mix[sh] {
+				pick = sh
+				break
+			}
+			r -= mix[sh]
+		}
+		out = append(out, s.Query(rng, pick))
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
