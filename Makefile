@@ -1,11 +1,11 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test bench experiments fuzz cover clean ci fmt-check race staticcheck governor-race bench-smoke obs-smoke crash-smoke cluster-smoke load-smoke
+.PHONY: all build vet test bench experiments fuzz cover clean ci fmt-check race staticcheck governor-race bench-smoke obs-smoke crash-smoke cluster-smoke load-smoke trace-smoke
 
 all: build vet test
 
 # Exactly what .github/workflows/ci.yml runs.
-ci: fmt-check vet staticcheck build test bench-smoke obs-smoke crash-smoke cluster-smoke load-smoke race governor-race
+ci: fmt-check vet staticcheck build test bench-smoke obs-smoke crash-smoke cluster-smoke trace-smoke load-smoke race governor-race
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -29,7 +29,7 @@ race:
 	for procs in 1 4; do \
 		GOMAXPROCS=$$procs go test -race -count=1 -timeout 10m \
 			./internal/rdf/... ./internal/sparql/ ./internal/plan/ ./internal/exec/ ./internal/views/ \
-			./internal/cluster/ ./internal/workload/ \
+			./internal/cluster/ ./internal/workload/ ./internal/obs/ \
 			|| exit 1; \
 	done
 
@@ -46,6 +46,8 @@ bench-smoke:
 		|| { echo "BENCH_rowengine.json missing E26 durability-ablation rows" >&2; exit 1; }; \
 		jq -es '[.[] | select(.experiment == "E28")] | length >= 9 and ([.[] | select(.experiment == "E28" and .name == "greedy")] | length >= 3) and ([.[] | select(.experiment == "E28" and .name == "dp")] | length >= 3) and ([.[] | select(.experiment == "E28" and .name == "dp-adaptive")] | length >= 3) and ([.[] | select(.experiment == "E28" and .params.workload == "star")] | length >= 3) and ([.[] | select(.experiment == "E28" and .params.workload == "chain")] | length >= 3)' BENCH_rowengine.json > /dev/null \
 		|| { echo "BENCH_rowengine.json missing E28 planner-ablation rows" >&2; exit 1; }; \
+		jq -es '[.[] | select(.experiment == "E29")] | length >= 3 and ([.[] | select(.experiment == "E29" and .name == "trace-off")] | length >= 1) and ([.[] | select(.experiment == "E29" and .name == "trace-sampled")] | length >= 1) and ([.[] | select(.experiment == "E29" and .name == "trace-on")] | length >= 1)' BENCH_rowengine.json > /dev/null \
+		|| { echo "BENCH_rowengine.json missing E29 tracing-ablation rows" >&2; exit 1; }; \
 	else \
 		echo "jq not installed; skipping bench smoke" >&2; \
 	fi
@@ -82,6 +84,13 @@ obs-smoke:
 		curl -sf http://127.0.0.1:18321/metrics \
 		| jq -e '.plan_cache.hits >= 1 and .plan_cache.misses >= 1 and .store.triples == 2 and .store.epoch >= 2' > /dev/null \
 		|| { echo "obs-smoke: plan-cache/store counters missing" >&2; exit 1; }; \
+		prom=$$(curl -sf -H 'Accept: text/plain' http://127.0.0.1:18321/metrics); \
+		echo "$$prom" | grep -q '^ns_requests_total{code="200"}' \
+		|| { echo "obs-smoke: Prometheus exposition missing ns_requests_total" >&2; exit 1; }; \
+		echo "$$prom" | grep -q '^ns_request_duration_seconds_bucket{' \
+		|| { echo "obs-smoke: Prometheus exposition missing latency histogram" >&2; exit 1; }; \
+		echo "$$prom" | grep -q '^# TYPE ns_traces_started_total counter' \
+		|| { echo "obs-smoke: Prometheus exposition missing traces counters" >&2; exit 1; }; \
 		kill $$pid; \
 	else \
 		echo "jq not installed; skipping obs smoke" >&2; \
@@ -170,6 +179,47 @@ cluster-smoke:
 		echo "cluster-smoke: degraded scatter-gather OK"; \
 	else \
 		echo "jq not installed; skipping cluster smoke" >&2; \
+	fi
+
+# Mirrors the CI trace-smoke step: two sharded nsserve processes with
+# always-on tracing behind an nscoord; run a query through the
+# coordinator, capture the NS-Trace-Id response header and assert the
+# stitched /debug/traces tree holds the coordinator pipeline (gather,
+# rpc.scan) AND the per-shard scan spans fetched from each shard's
+# ring, annotated with their shard index.  Gated on jq.
+trace-smoke:
+	@if command -v jq >/dev/null 2>&1; then \
+		go build -o /tmp/nsserve-trace ./cmd/nsserve || exit 1; \
+		go build -o /tmp/nscoord-trace ./cmd/nscoord || exit 1; \
+		/tmp/nsserve-trace -addr 127.0.0.1:18327 -shard 0/2 -trace-sample 1 -log-level warn & s0=$$!; \
+		/tmp/nsserve-trace -addr 127.0.0.1:18328 -shard 1/2 -trace-sample 1 -log-level warn & s1=$$!; \
+		/tmp/nscoord-trace -addr 127.0.0.1:18329 \
+			-shards http://127.0.0.1:18327,http://127.0.0.1:18328 \
+			-trace-sample 1 -probe-interval 200ms -scan-timeout 2s -query-timeout 10s -log-level warn & co=$$!; \
+		trap "kill -9 $$s0 $$s1 $$co 2>/dev/null" EXIT; \
+		for port in 18327 18328 18329; do \
+			for i in $$(seq 1 50); do \
+				curl -sf http://127.0.0.1:$$port/readyz > /dev/null && break; \
+				sleep 0.1; \
+			done; \
+		done; \
+		seq 0 49 | awk '{printf "<s%d> <knows> <o%d> .\n", $$1, $$1}' \
+		| curl -sf --data-binary @- http://127.0.0.1:18329/insert > /dev/null \
+		|| { echo "trace-smoke: /insert through the coordinator failed" >&2; exit 1; }; \
+		tid=$$(curl -sfG --data-urlencode 'q=(?x knows ?y)' --data-urlencode 'syntax=paper' \
+			-o /dev/null -D - http://127.0.0.1:18329/query \
+			| tr -d '\r' | awk 'tolower($$1) == "ns-trace-id:" {print $$2}'); \
+		[ -n "$$tid" ] || { echo "trace-smoke: no NS-Trace-Id on the query response" >&2; exit 1; }; \
+		curl -sf "http://127.0.0.1:18329/debug/traces?id=$$tid" > /tmp/trace-smoke.json \
+		|| { echo "trace-smoke: /debug/traces fetch failed" >&2; exit 1; }; \
+		jq -e '([.spans[] | select(.name == "gather")] | length >= 1) and ([.spans[] | select(.name == "rpc.scan")] | length >= 2) and ([.spans[] | select(.name == "scan" and .attrs.shard != null)] | length >= 2) and ([.spans[] | select(.name == "query" and .attrs.qid != null)] | length >= 1)' /tmp/trace-smoke.json > /dev/null \
+		|| { echo "trace-smoke: stitched trace malformed" >&2; cat /tmp/trace-smoke.json >&2; exit 1; }; \
+		curl -sf "http://127.0.0.1:18329/debug/traces" \
+		| jq -e '.traces | length >= 1' > /dev/null \
+		|| { echo "trace-smoke: /debug/traces listing empty" >&2; exit 1; }; \
+		echo "trace-smoke: stitched coordinator+shard trace OK"; \
+	else \
+		echo "jq not installed; skipping trace smoke" >&2; \
 	fi
 
 # Mirrors the CI load-smoke step: boot nsserve, drive it with nsload

@@ -22,7 +22,25 @@
 //	GET  /readyz       readiness: 503 once graceful shutdown began
 //	GET  /metrics      process metrics plus the "cluster" block:
 //	     per-shard scan/retry/hedge/ejection counters and latency
-//	     histograms, and query/partial/failed totals
+//	     histograms, and query/partial/failed totals.  JSON by
+//	     default; Prometheus text exposition with Accept: text/plain
+//	     or ?format=prometheus.
+//	GET  /debug/traces[?id=<trace>&limit=N]
+//	     recent trace summaries, or one stitched distributed trace by
+//	     ID: the coordinator's own spans (parse, plan, exec with
+//	     per-operator children, per-shard rpc.scan attempts with
+//	     retry/hedge outcomes) merged with the span segments fetched
+//	     from every shard's /debug/traces for that trace ID.
+//
+// # Tracing
+//
+// Every request starts a trace whose ID rides to the shards in the
+// NS-Trace-Id/NS-Parent-Span headers (and back to the client in the
+// response's NS-Trace-Id), and whose query ID is forwarded as
+// NS-Query-Id so shard logs correlate with the coordinator's.
+// Completed traces are kept tail-based: slow (-slow-query), errored
+// and partial traces always, the rest sampled at -trace-sample.
+// -trace-buffer bounds the ring; negative disables tracing.
 //
 // # Fault model
 //
@@ -97,6 +115,12 @@ func main() {
 			"query planner for the gathered subgraph: dp or greedy")
 		noReplan = flag.Bool("no-replan", false,
 			"disable adaptive mid-query re-optimization (dp planner only)")
+		slowQuery = flag.Duration("slow-query", 0,
+			"log a structured slow-query line (and always keep the trace) for queries at least this slow (0 = off)")
+		traceSample = flag.Float64("trace-sample", 0.1,
+			"tail-sampling keep probability for unremarkable traces (slow/error/partial traces are always kept)")
+		traceBuffer = flag.Int("trace-buffer", 256,
+			"completed traces retained for /debug/traces (negative disables tracing)")
 	)
 	flag.Parse()
 	lvl, err := parseLogLevel(*logLevel)
@@ -136,6 +160,9 @@ func main() {
 		maxSteps:     *maxSteps,
 		maxRows:      *maxRows,
 		logger:       logger,
+		slowQuery:    *slowQuery,
+		traceSample:  *traceSample,
+		traceBuffer:  *traceBuffer,
 	}
 	switch *plannerName {
 	case "dp":

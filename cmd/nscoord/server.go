@@ -35,6 +35,14 @@ type coordConfig struct {
 	// subgraph (-planner, -no-replan); the coordinator compiles each
 	// query fresh, so no cache key is involved.
 	planner plan.PlannerOptions
+
+	// Tracing knobs, mirroring nsserve: slowQuery logs a structured
+	// slow-query line and marks traces always-keep; traceSample is the
+	// tail sampler's keep probability; traceBuffer sizes the completed
+	// ring (0 = default 256, < 0 disables tracing).
+	slowQuery   time.Duration
+	traceSample float64
+	traceBuffer int
 }
 
 // coordServer is the HTTP face of the cluster coordinator: it parses
@@ -44,6 +52,7 @@ type coordServer struct {
 	coord   *cluster.Coordinator
 	cfg     coordConfig
 	metrics *obs.Metrics
+	tracer  *obs.Tracer // nil: tracing disabled (traceBuffer < 0)
 	qid     atomic.Uint64
 
 	draining atomic.Bool
@@ -55,12 +64,25 @@ func newCoordServer(coord *cluster.Coordinator, cfg coordConfig) *coordServer {
 		cfg.logger = slog.Default()
 	}
 	s := &coordServer{coord: coord, cfg: cfg, metrics: obs.NewMetrics()}
+	if cfg.traceBuffer >= 0 {
+		s.tracer = obs.NewTracer(obs.TracerOptions{
+			Capacity:      cfg.traceBuffer,
+			SampleRate:    cfg.traceSample,
+			SlowThreshold: cfg.slowQuery,
+		})
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.instrument("query", s.handleQuery))
 	mux.HandleFunc("/insert", s.instrument("insert", s.handleInsert))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	// Fetch-by-ID stitches the shard-side segments (pulled from each
+	// shard's /debug/traces by trace ID) into the coordinator's own
+	// snapshot, so one URL shows the whole distributed tree.
+	mux.Handle("/debug/traces", obs.TracesHandler(s.tracer, func(r *http.Request, id string) []obs.TraceSnapshot {
+		return s.coord.FetchShardTraces(r.Context(), id)
+	}))
 	s.handler = mux
 	return s
 }
@@ -72,11 +94,29 @@ func (s *coordServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // BeginDrain flips /readyz to 503; main calls it on a stop signal.
 func (s *coordServer) BeginDrain() { s.draining.Store(true) }
 
-// instrument gives each request a query ID, a scoped logger, and the
-// request/latency metrics — the same envelope nsserve uses.
+// instrument gives each request a query ID, a scoped logger, the
+// request/latency metrics, and the root span of its distributed trace
+// — the same envelope nsserve uses.  The query ID and span ride the
+// request context: the cluster client forwards both to the shards
+// (NS-Query-Id, NS-Trace-Id/NS-Parent-Span), so shard logs and traces
+// correlate with this coordinator's.  The trace ID is echoed on the
+// response for clients.
 func (s *coordServer) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		qid := fmt.Sprintf("q%06d", s.qid.Add(1))
+		var span *obs.Span
+		if tid := r.Header.Get(obs.HeaderTraceID); tid != "" {
+			span = s.tracer.StartRemoteTrace(tid, r.Header.Get(obs.HeaderParentSpan), endpoint, "")
+		} else {
+			span = s.tracer.StartTrace(endpoint, "")
+		}
+		span.SetAttr("qid", qid)
+		ctx := obs.ContextWithQueryID(r.Context(), qid)
+		ctx = obs.ContextWithSpan(ctx, span)
+		r = r.WithContext(ctx)
+		if tid := span.TraceID(); tid != "" {
+			w.Header().Set(obs.HeaderTraceID, tid)
+		}
 		s.metrics.IncInFlight()
 		defer s.metrics.DecInFlight()
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -84,6 +124,11 @@ func (s *coordServer) instrument(endpoint string, h http.HandlerFunc) http.Handl
 		h(sr, r)
 		d := time.Since(start)
 		s.metrics.ObserveRequest(endpoint, sr.status, d)
+		span.SetAttr("status", sr.status)
+		if sr.status >= 500 {
+			span.MarkError()
+		}
+		span.End()
 		s.cfg.logger.Info("request", "qid", qid, "endpoint", endpoint,
 			"method", r.Method, "status", sr.status, "duration", d)
 	}
@@ -168,16 +213,23 @@ func (s *coordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
+	start := time.Now()
+	span := obs.SpanFromContext(r.Context())
 	qText := r.URL.Query().Get("q")
 	if qText == "" {
 		http.Error(w, "missing q parameter", http.StatusBadRequest)
 		return
 	}
+	prsp := span.StartChild("parse", "")
 	parsed, err := parser.ParseAny(r.URL.Query().Get("syntax"), qText)
 	if err != nil {
+		prsp.SetStatus("error")
+		prsp.SetAttr("error", err.Error())
+		prsp.End()
 		http.Error(w, "parse error: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	prsp.End()
 	deadline, err := s.queryDeadline(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -216,8 +268,39 @@ func (s *coordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.maxRows > 0 {
 		bud.WithMaxRows(s.cfg.maxRows)
 	}
+	// The coordinator compiles fresh against the gathered subgraph
+	// (whose statistics drive join ordering), so the plan span carries
+	// the planner's Explain for this query's actual data.
+	psp := span.StartChild("plan", "")
 	compiled := exec.CompileOpts(g, parsed.Pattern, parsed.Construct, parsed.Ask, s.cfg.planner)
-	res, err := exec.EvalCompiled(g, compiled, bud, plan.Options{})
+	if ex := compiled.Prepared.Explain(); ex != nil {
+		psp.SetAttr("planner", ex.Planner)
+		psp.SetAttr("probes", ex.Probes)
+		psp.SetAttr("estimate", ex.Estimate)
+	}
+	psp.End()
+
+	// Every query is profiled, like nsserve: the counters feed the
+	// replan metric, the per-operator trace spans, and the slow-query
+	// log's hot-span list.
+	prof := obs.NewNode("query", obs.QueryIDFromContext(ctx))
+	defer func() {
+		snap := prof.Snapshot()
+		s.metrics.AddPlannerReplans(snap.Sum(func(n *obs.Profile) int64 { return n.Replans }))
+		if d := s.cfg.slowQuery; d > 0 {
+			if elapsed := time.Since(start); elapsed >= d {
+				s.logSlowQuery(r, qText, compiled, snap, elapsed)
+			}
+		}
+	}()
+	esp := span.StartChild("exec", "")
+	res, err := exec.EvalCompiled(g, compiled, bud, plan.Options{Prof: prof, Trace: esp})
+	if err != nil {
+		esp.SetStatus("error")
+		esp.SetAttr("error", err.Error())
+	}
+	esp.End()
+	esp.AttachProfile(prof.Snapshot())
 	if err != nil {
 		s.writeEngineError(w, err)
 		return
@@ -272,6 +355,44 @@ func rowsToDoc(res *sparql.MappingSet) queryDoc {
 		doc.Results.Bindings = append(doc.Results.Bindings, b)
 	}
 	return doc
+}
+
+// logSlowQuery mirrors nsserve's structured slow-query line: query
+// text, trace ID (fetch the stitched distributed tree from
+// /debug/traces), the planner's Explain JSON, and the hottest
+// operators of the profile.
+func (s *coordServer) logSlowQuery(r *http.Request, qText string, compiled exec.Compiled, snap *obs.Profile, elapsed time.Duration) {
+	args := []any{"query", qText, "duration", elapsed}
+	if tid := obs.SpanFromContext(r.Context()).TraceID(); tid != "" {
+		args = append(args, "trace_id", tid)
+	}
+	if ex := compiled.Prepared.Explain(); ex != nil {
+		if js, err := json.Marshal(ex); err == nil {
+			args = append(args, "plan", string(js))
+		}
+	}
+	args = append(args, "hot_spans", hottestSpans(snap, 3))
+	s.cfg.logger.Warn("slow query", args...)
+}
+
+// hottestSpans returns the k profile nodes with the most attributed
+// wall time, rendered one per string.
+func hottestSpans(p *obs.Profile, k int) []string {
+	var nodes []*obs.Profile
+	p.Walk(func(n *obs.Profile) { nodes = append(nodes, n) })
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].WallNS > nodes[j].WallNS })
+	if len(nodes) > k {
+		nodes = nodes[:k]
+	}
+	out := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		label := n.Op
+		if n.Detail != "" {
+			label += " " + n.Detail
+		}
+		out = append(out, fmt.Sprintf("%s wall=%s rows_out=%d", label, time.Duration(n.WallNS), n.RowsOut))
+	}
+	return out
 }
 
 // writeEngineError maps engine failures on the gathered store the same
@@ -348,11 +469,22 @@ func (s *coordServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics serves the process registry plus the cluster block:
 // per-shard scan/retry/hedge/ejection counters and latency histograms.
+// JSON by default; Prometheus text exposition when the request
+// negotiates it (Accept: text/plain or ?format=prometheus).
 func (s *coordServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
 	snap := s.metrics.Snapshot()
 	cs := s.coord.Stats()
 	snap.Cluster = &cs
+	if s.tracer != nil {
+		ts := s.tracer.Stats()
+		snap.Traces = &ts
+	}
+	if obs.WantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		obs.WritePrometheus(w, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(snap)
 }
 

@@ -23,8 +23,10 @@
 //
 // Output is one JSON document on stdout: offered/achieved QPS, client
 // p50/p95/p99 latency (exact, from the full sample, not bucketed),
-// error/drop counts, and the server-side /metrics deltas over the run
-// (including planner_replans, the adaptive re-optimization counter).
+// error/drop counts, the trace IDs of the p99-worst samples (from the
+// NS-Trace-Id response header — feed one to nsq -trace), and the
+// server-side /metrics deltas over the run (including planner_replans,
+// the adaptive re-optimization counter).
 package main
 
 import (
@@ -73,6 +75,11 @@ type report struct {
 	P95Ms       float64 `json:"p95_ms"`
 	P99Ms       float64 `json:"p99_ms"`
 	MaxMs       float64 `json:"max_ms"`
+	// SlowTraces holds the NS-Trace-Id of the slowest samples at or
+	// above the p99 latency, worst first (at most ten, empty when the
+	// server does not trace).  Feed one to `nsq -trace` or
+	// /debug/traces?id= to see where the tail latency went.
+	SlowTraces []string `json:"slow_traces,omitempty"`
 	// Server-side /metrics deltas over the run ({} when /metrics is
 	// unavailable).
 	Server map[string]int64 `json:"server"`
@@ -208,7 +215,7 @@ func runLoad(cfg loadConfig) (report, error) {
 		sent, completed, errors, dropped atomic.Int64
 		outstanding                      atomic.Int64
 		mu                               sync.Mutex
-		latencies                        []time.Duration
+		samples                          []sample
 		wg                               sync.WaitGroup
 	)
 	fire := func(q string) {
@@ -222,6 +229,9 @@ func runLoad(cfg loadConfig) (report, error) {
 			errors.Add(1)
 			return
 		}
+		// The server echoes each request's trace ID; keeping it per
+		// sample lets the report name the traces behind the tail.
+		tid := resp.Header.Get("NS-Trace-Id")
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
@@ -230,7 +240,7 @@ func runLoad(cfg loadConfig) (report, error) {
 		}
 		completed.Add(1)
 		mu.Lock()
-		latencies = append(latencies, d)
+		samples = append(samples, sample{d: d, traceID: tid})
 		mu.Unlock()
 	}
 
@@ -281,14 +291,46 @@ func runLoad(cfg loadConfig) (report, error) {
 	if elapsed > 0 {
 		rep.AchievedQPS = float64(rep.Completed) / elapsed.Seconds()
 	}
-	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	sort.Slice(samples, func(a, b int) bool { return samples[a].d < samples[b].d })
+	latencies := make([]time.Duration, len(samples))
+	for i, sm := range samples {
+		latencies[i] = sm.d
+	}
 	rep.P50Ms = quantileMs(latencies, 0.50)
 	rep.P95Ms = quantileMs(latencies, 0.95)
 	rep.P99Ms = quantileMs(latencies, 0.99)
 	if n := len(latencies); n > 0 {
 		rep.MaxMs = float64(latencies[n-1]) / float64(time.Millisecond)
 	}
+	rep.SlowTraces = slowTraces(samples, 10)
 	return rep, nil
+}
+
+// sample is one completed request: its client latency and the trace ID
+// the server echoed (empty when tracing is off).
+type sample struct {
+	d       time.Duration
+	traceID string
+}
+
+// slowTraces returns the trace IDs of the samples at or above the p99
+// latency, worst first, capped at max.  These are exactly the traces a
+// tail-sampling server is most likely to have kept.
+func slowTraces(sorted []sample, max int) []string {
+	if len(sorted) == 0 {
+		return nil
+	}
+	p99 := sorted[int(0.99*float64(len(sorted)-1))].d
+	var out []string
+	for i := len(sorted) - 1; i >= 0 && len(out) < max; i-- {
+		if sorted[i].d < p99 {
+			break
+		}
+		if tid := sorted[i].traceID; tid != "" {
+			out = append(out, tid)
+		}
+	}
+	return out
 }
 
 // quantileMs returns the exact q-quantile of the sorted sample in

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -25,7 +26,8 @@ func TestRunLoadAgainstStub(t *testing.T) {
 		if r.URL.Query().Get("q") == "" {
 			t.Error("empty q")
 		}
-		queries.Add(1)
+		n := queries.Add(1)
+		w.Header().Set("NS-Trace-Id", fmt.Sprintf("%016x", n))
 		w.Write([]byte(`{"results":{"bindings":[]}}`))
 	})
 	mux.HandleFunc("/insert", func(w http.ResponseWriter, r *http.Request) {
@@ -78,6 +80,40 @@ func TestRunLoadAgainstStub(t *testing.T) {
 	}
 	if inserts.Load() == 0 {
 		t.Fatal("-insert did not POST the graph")
+	}
+	if len(rep.SlowTraces) == 0 {
+		t.Fatalf("no slow traces captured from NS-Trace-Id: %+v", rep)
+	}
+	if len(rep.SlowTraces) > 10 {
+		t.Fatalf("slow traces not capped: %d", len(rep.SlowTraces))
+	}
+}
+
+// TestSlowTraces checks the p99 tail selection: worst first, capped,
+// samples without a trace ID skipped.
+func TestSlowTraces(t *testing.T) {
+	var sorted []sample
+	for i := 1; i <= 200; i++ {
+		tid := fmt.Sprintf("t%03d", i)
+		if i == 199 {
+			tid = "" // untraced sample inside the tail
+		}
+		sorted = append(sorted, sample{d: time.Duration(i) * time.Millisecond, traceID: tid})
+	}
+	got := slowTraces(sorted, 10)
+	// p99 index of 200 samples is 197 (0-based), so the tail is 198..200
+	// minus the untraced 199, worst first.
+	want := []string{"t200", "t198"}
+	if len(got) != len(want) {
+		t.Fatalf("slowTraces = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slowTraces = %v, want %v", got, want)
+		}
+	}
+	if slowTraces(nil, 10) != nil {
+		t.Fatal("empty sample should yield nil")
 	}
 }
 

@@ -7,18 +7,31 @@
 //	nsq -graph data.nt -query '(?p founder ?o)'
 //	nsq -graph data.nt -query-file q.rq -max
 //	echo 'a b c .' | nsq -query '(?x b ?y)'
+//	nsq -server http://localhost:8080 -trace 4be1c2d9e0f1a2b3
 //
 // With -stats, the per-operator execution profile (wall time, rows
 // in/out, dedup hits, NS candidates vs survivors, budget steps) is
 // printed to stderr after the results; -stats always evaluates through
 // the query planner.
+//
+// With -trace <id>, nsq fetches that trace from a server's
+// /debug/traces endpoint (-server, default http://localhost:8080) and
+// prints the span tree — against nscoord this is the stitched
+// distributed trace including the shard-side spans.  The trace ID
+// comes from a response's NS-Trace-Id header or a slow-query log line.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/obs"
@@ -38,6 +51,8 @@ type runOpts struct {
 	optimize  bool // use the query planner
 	w3c       bool // W3C SPARQL surface syntax
 	stats     bool // print the execution profile to stderr
+	traceID   string
+	server    string
 }
 
 func main() {
@@ -50,11 +65,47 @@ func main() {
 	flag.BoolVar(&o.optimize, "optimize", true, "use the query planner (hash joins, join reordering)")
 	flag.BoolVar(&o.w3c, "sparql", false, "parse the query in W3C-style SPARQL surface syntax")
 	flag.BoolVar(&o.stats, "stats", false, "print the per-operator execution profile to stderr (implies the planner)")
+	flag.StringVar(&o.traceID, "trace", "", "fetch this trace ID from a server's /debug/traces and print the span tree")
+	flag.StringVar(&o.server, "server", "http://localhost:8080", "server base URL for -trace")
 	flag.Parse()
+	if o.traceID != "" {
+		if err := fetchTrace(o.server, o.traceID); err != nil {
+			fmt.Fprintln(os.Stderr, "nsq:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "nsq:", err)
 		os.Exit(1)
 	}
+}
+
+// fetchTrace pulls one trace by ID from a server's /debug/traces
+// endpoint and prints its span tree.  Against nscoord the server
+// stitches the shard-side segments in before answering, so the tree
+// spans the whole cluster.
+func fetchTrace(server, id string) error {
+	u := strings.TrimSuffix(server, "/") + "/debug/traces?id=" + url.QueryEscape(id)
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(u)
+	if err != nil {
+		return fmt.Errorf("fetching trace: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("trace %s not found on %s (sampled out, evicted, or tracing disabled)", id, server)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("fetching trace: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var snap obs.TraceSnapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&snap); err != nil {
+		return fmt.Errorf("decoding trace: %w", err)
+	}
+	fmt.Print(snap.Tree())
+	return nil
 }
 
 // printStats renders the profile tree to stderr, keeping stdout clean

@@ -26,8 +26,15 @@
 //	                   per-endpoint latency histograms, in-flight gauge,
 //	                   governor-trip / pool-saturation / panic counters,
 //	                   triple-store index stats, plan-cache hit/miss
-//	                   counters and (durable backend) WAL/snapshot/recovery
-//	                   counters with an fsync-latency histogram
+//	                   counters, trace/sampler counters and (durable
+//	                   backend) WAL/snapshot/recovery counters with an
+//	                   fsync-latency histogram.  With Accept: text/plain
+//	                   or ?format=prometheus the same snapshot is served
+//	                   in the Prometheus text exposition format.
+//	GET  /debug/traces completed query traces from the tail-sampled ring
+//	                   buffer: a summary list, or one trace's span tree
+//	                   as JSON with ?id=<trace-id> (see NS-Trace-Id
+//	                   response headers and nsq -trace)
 //	GET  /debug/pprof  Go profiling endpoints (only with -pprof)
 //
 // The default query syntax is the W3C-style surface syntax; pass
@@ -46,6 +53,18 @@
 // Requests are logged as one structured line each (log/slog) carrying
 // a generated query ID; -log-level sets the threshold and -pprof
 // opt-in exposes /debug/pprof.
+//
+// Every request also runs under a distributed-tracing span.  A trace
+// context arriving in NS-Trace-Id/NS-Parent-Span headers (set by the
+// nscoord coordinator on /scan and /query fan-out) joins this server's
+// spans to the caller's trace; the NS-Query-Id header likewise carries
+// the coordinator's query ID into this server's log lines.  Completed
+// traces land in a bounded in-memory ring with tail-based retention —
+// slow, errored, partial and remote-adopted traces are always kept,
+// the rest sampled at -trace-sample — and are served from
+// /debug/traces.  -slow-query <dur> additionally logs a structured
+// slow-query line (query text, trace ID, plan Explain JSON, hottest
+// operators) for every query at least that slow.
 //
 // # Resource governance
 //
@@ -158,6 +177,12 @@ func main() {
 			"query planner: dp (cost-based DP join ordering) or greedy (v1 heuristic baseline)")
 		noReplan = flag.Bool("no-replan", false,
 			"disable adaptive mid-query re-optimization (dp planner only)")
+		slowQuery = flag.Duration("slow-query", 0,
+			"log a structured slow-query line (query, trace ID, plan, hottest operators) for /query requests at least this slow (0 = off)")
+		traceSample = flag.Float64("trace-sample", 0.1,
+			"tail-sampling keep probability for unremarkable traces (slow/error/partial/remote traces are always kept)")
+		traceBuffer = flag.Int("trace-buffer", 256,
+			"completed-trace ring buffer capacity for /debug/traces (negative disables tracing)")
 	)
 	flag.Parse()
 	lvl, err := parseLogLevel(*logLevel)
@@ -218,6 +243,9 @@ func main() {
 	cfg.planCache = *planCacheSize
 	cfg.pprof = *pprofFlag
 	cfg.logger = logger
+	cfg.slowQuery = *slowQuery
+	cfg.traceSample = *traceSample
+	cfg.traceBuffer = *traceBuffer
 	switch *plannerName {
 	case "dp":
 	case "greedy":

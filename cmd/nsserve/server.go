@@ -41,6 +41,16 @@ type config struct {
 	pprof          bool          // expose /debug/pprof (opt-in: it leaks host internals)
 	logger         *slog.Logger  // structured logger; nil = slog.Default()
 
+	// slowQuery, when > 0, logs a structured "slow query" line (query
+	// text, trace ID, plan Explain JSON, hottest operators) for every
+	// /query slower than it; it is also the tracer's always-keep
+	// threshold.  traceSample is the tail sampler's keep probability
+	// for unremarkable traces; traceBuffer is the completed-trace ring
+	// capacity (0 = default 256, < 0 disables tracing entirely).
+	slowQuery   time.Duration
+	traceSample float64
+	traceBuffer int
+
 	// shardIndex / shardCount put the server in cluster mode: it owns
 	// hash-by-subject partition shardIndex of shardCount and rejects
 	// inserts outside it.  shardCount 0 or 1 is single-node mode.
@@ -65,6 +75,7 @@ func defaultConfig() config {
 		maxConcurrent:  64,
 		maxInsertBytes: 16 << 20,
 		planCache:      256,
+		traceSample:    0.1,
 		logger:         slog.Default(),
 	}
 }
@@ -87,6 +98,7 @@ type server struct {
 	backend string
 
 	metrics    *obs.Metrics
+	tracer     *obs.Tracer                    // nil: tracing disabled (traceBuffer < 0)
 	triples    atomic.Int64                   // lock-free mirror of graph.Len() for /healthz
 	storeStats atomic.Pointer[obs.StoreStats] // lock-free mirror of graph.Stats() for /metrics
 	qid        atomic.Uint64                  // per-request query-ID generator
@@ -123,6 +135,13 @@ func newServerWith(g rdf.Store, cfg config) *server {
 		cfg.logger = slog.Default()
 	}
 	s := &server{graph: g, cfg: cfg, metrics: obs.NewMetrics(), plans: newPlanCache(cfg.planCache)}
+	if cfg.traceBuffer >= 0 {
+		s.tracer = obs.NewTracer(obs.TracerOptions{
+			Capacity:      cfg.traceBuffer,
+			SampleRate:    cfg.traceSample,
+			SlowThreshold: cfg.slowQuery,
+		})
+	}
 	s.backend = "memstore"
 	if d, ok := g.(*durable.Store); ok {
 		s.durable = d
@@ -147,6 +166,10 @@ func newServerWith(g rdf.Store, cfg config) *server {
 		return s.graph, s.mu.RUnlock
 	})
 	mux.HandleFunc("/scan", s.instrument("scan", scan.ServeHTTP))
+	// Completed-trace ring: list + fetch-by-ID.  Unlike pprof this
+	// exposes only query shapes and timings, so it is on by default;
+	// -trace-buffer -1 turns it (and all tracing) off.
+	mux.Handle("/debug/traces", obs.TracesHandler(s.tracer, nil))
 	if cfg.pprof {
 		// Opt-in only: the profiles expose memory contents and host
 		// details no public endpoint should leak.
@@ -192,17 +215,36 @@ func (sr *statusRecorder) WriteHeader(code int) {
 }
 
 // instrument wraps an endpoint with the observability envelope: a
-// generated request ID (rendered as qid), a per-request structured
-// logger in the context, the in-flight gauge, the request counter by
-// status code, and the endpoint's latency histogram.  One log line per
-// request, queryable by qid.
+// request ID (adopted from an NS-Query-Id header when the coordinator
+// forwarded one, generated otherwise), a per-request structured logger
+// in the context, the in-flight gauge, the request counter by status
+// code, the endpoint's latency histogram, and the request's root trace
+// span.  A trace context arriving in NS-Trace-Id/NS-Parent-Span joins
+// this request to the caller's trace (and exempts it from sampling, so
+// the coordinator can stitch it later); otherwise a fresh trace
+// starts.  The trace ID is echoed on the response so clients can fetch
+// /debug/traces?id=<it>.  One log line per request, queryable by qid.
 func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		qid := fmt.Sprintf("q%06d", s.qid.Add(1))
+		qid := r.Header.Get(obs.HeaderQueryID)
+		if qid == "" {
+			qid = fmt.Sprintf("q%06d", s.qid.Add(1))
+		}
 		logger := s.cfg.logger.With("qid", qid, "endpoint", endpoint)
 		ctx := context.WithValue(r.Context(), loggerKey{}, logger)
 		ctx = context.WithValue(ctx, qidKey{}, qid)
+		var span *obs.Span
+		if tid := r.Header.Get(obs.HeaderTraceID); tid != "" {
+			span = s.tracer.StartRemoteTrace(tid, r.Header.Get(obs.HeaderParentSpan), endpoint, "")
+		} else {
+			span = s.tracer.StartTrace(endpoint, "")
+		}
+		span.SetAttr("qid", qid)
+		ctx = obs.ContextWithSpan(ctx, span)
 		r = r.WithContext(ctx)
+		if tid := span.TraceID(); tid != "" {
+			w.Header().Set(obs.HeaderTraceID, tid)
+		}
 		s.metrics.IncInFlight()
 		defer s.metrics.DecInFlight()
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -210,6 +252,11 @@ func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		h(sr, r)
 		d := time.Since(start)
 		s.metrics.ObserveRequest(endpoint, sr.status, d)
+		span.SetAttr("status", sr.status)
+		if sr.status >= 500 {
+			span.MarkError()
+		}
+		span.End()
 		logger.Info("request", "method", r.Method, "status", sr.status, "duration", d)
 	}
 }
@@ -356,17 +403,34 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	syntax := r.URL.Query().Get("syntax")
 	wantProfile := r.URL.Query().Get("profile") == "1"
+	start := time.Now()
+	span := obs.SpanFromContext(r.Context())
 
 	// Parse and prepare under the read lock: preparation reads the
 	// graph's index counts, and the cache key's epoch must describe the
 	// same contents the query will run against.
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	cp, errMsg := s.lookupPlan(syntax, qText)
+	psp := span.StartChild("plan", "")
+	cp, hit, errMsg := s.lookupPlan(syntax, qText)
 	if errMsg != "" {
+		psp.SetAttr("cache", "miss")
+		psp.SetStatus("error")
+		psp.End()
 		http.Error(w, errMsg, http.StatusBadRequest)
 		return
 	}
+	if hit {
+		psp.SetAttr("cache", "hit")
+	} else {
+		psp.SetAttr("cache", "miss")
+	}
+	if ex := cp.compiled.Prepared.Explain(); ex != nil {
+		psp.SetAttr("planner", ex.Planner)
+		psp.SetAttr("probes", ex.Probes)
+		psp.SetAttr("estimate", ex.Estimate)
+	}
+	psp.End()
 
 	deadline, err := s.queryDeadline(r)
 	if err != nil {
@@ -397,15 +461,31 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.metrics.PoolSaturation()
 		}
 		s.metrics.AddPlannerReplans(snap.Sum(func(n *obs.Profile) int64 { return n.Replans }))
+		if d := s.cfg.slowQuery; d > 0 {
+			if elapsed := time.Since(start); elapsed >= d {
+				s.logSlowQuery(r, qText, cp, snap, elapsed)
+			}
+		}
 	}()
+	esp := span.StartChild("exec", "")
 	opts := plan.Options{
 		Parallel:            s.cfg.parallel,
 		MinParallelEstimate: s.cfg.minParallelEstimate,
 		MinPartition:        s.cfg.minPartition,
 		Prof:                prof,
+		Trace:               esp,
 	}
 
 	res, err := exec.EvalCompiled(s.graph, cp.compiled, bud, opts)
+	if err != nil {
+		esp.SetStatus("error")
+		esp.SetAttr("error", err.Error())
+	}
+	// Bridge the profile tree into the trace as per-operator child
+	// spans, whatever the outcome — a failed query's partial profile is
+	// exactly what the trace is for.
+	esp.End()
+	esp.AttachProfile(prof.Snapshot())
 	if err != nil {
 		s.writeEngineError(w, r, err)
 		return
@@ -470,23 +550,62 @@ func rowsToJSON(res *sparql.MappingSet) jsonResults {
 // with the read lock held (the prepare pass reads index counts and the
 // epoch in the key must match the contents).  Parse failures are
 // returned as a message for a 400 and are never cached.
-func (s *server) lookupPlan(syntax, qText string) (*cachedPlan, string) {
+func (s *server) lookupPlan(syntax, qText string) (cp *cachedPlan, hit bool, errMsg string) {
 	var key string
 	if s.plans != nil {
 		key = planKey(syntax, qText, s.graph.Epoch(), s.cfg.planner.CacheTag())
 		if cp, ok := s.plans.get(key); ok {
-			return cp, ""
+			return cp, true, ""
 		}
 	}
 	parsed, err := parser.ParseAny(syntax, qText)
 	if err != nil {
-		return nil, "parse error: " + err.Error()
+		return nil, false, "parse error: " + err.Error()
 	}
-	cp := &cachedPlan{compiled: exec.CompileOpts(s.graph, parsed.Pattern, parsed.Construct, parsed.Ask, s.cfg.planner)}
+	cp = &cachedPlan{compiled: exec.CompileOpts(s.graph, parsed.Pattern, parsed.Construct, parsed.Ask, s.cfg.planner)}
 	if s.plans != nil {
 		s.plans.put(key, cp)
 	}
-	return cp, ""
+	return cp, false, ""
+}
+
+// logSlowQuery emits the structured slow-query line: the query text,
+// the trace ID to fetch the full span tree with, the planner's Explain
+// JSON, and the hottest operators of the profile — enough to diagnose
+// most slow queries from the log alone, with /debug/traces as the
+// drill-down.
+func (s *server) logSlowQuery(r *http.Request, qText string, cp *cachedPlan, snap *obs.Profile, elapsed time.Duration) {
+	args := []any{"query", qText, "duration", elapsed}
+	if tid := obs.SpanFromContext(r.Context()).TraceID(); tid != "" {
+		args = append(args, "trace_id", tid)
+	}
+	if ex := cp.compiled.Prepared.Explain(); ex != nil {
+		if js, err := json.Marshal(ex); err == nil {
+			args = append(args, "plan", string(js))
+		}
+	}
+	args = append(args, "hot_spans", hottestSpans(snap, 3))
+	s.reqLogger(r).Warn("slow query", args...)
+}
+
+// hottestSpans returns the k profile nodes with the most attributed
+// wall time, rendered one per string.
+func hottestSpans(p *obs.Profile, k int) []string {
+	var nodes []*obs.Profile
+	p.Walk(func(n *obs.Profile) { nodes = append(nodes, n) })
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].WallNS > nodes[j].WallNS })
+	if len(nodes) > k {
+		nodes = nodes[:k]
+	}
+	out := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		label := n.Op
+		if n.Detail != "" {
+			label += " " + n.Detail
+		}
+		out = append(out, fmt.Sprintf("%s wall=%s rows_out=%d", label, time.Duration(n.WallNS), n.RowsOut))
+	}
+	return out
 }
 
 // refreshStoreStats updates the lock-free /metrics mirror of the
@@ -562,7 +681,16 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	// The whole insert is one durability batch: on the durable backend
 	// it commits as a single atomic WAL record, so a crash never
-	// persists half a request body.
+	// persists half a request body.  The commit span measures the batch
+	// under the write lock; on the durable backend its WAL/fsync work
+	// is attributed by before/after stat deltas (the stats are atomics,
+	// so reading them around the batch needs no storage-layer hooks),
+	// with a child span when the batch rolled a snapshot.
+	csp := obs.SpanFromContext(r.Context()).StartChild("commit", s.backend)
+	var durableBefore obs.DurableStats
+	if s.durable != nil {
+		durableBefore = s.durable.DurableStats()
+	}
 	s.mu.Lock()
 	before := s.graph.Len()
 	s.graph.BeginBatch()
@@ -573,6 +701,25 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	s.triples.Store(int64(after))
 	added := after - before
+	csp.SetAttr("added", added)
+	if s.durable != nil {
+		ds := s.durable.DurableStats()
+		csp.SetAttr("wal_records", ds.WALRecords-durableBefore.WALRecords)
+		csp.SetAttr("wal_bytes", ds.WALBytes-durableBefore.WALBytes)
+		csp.SetAttr("wal_syncs", ds.WALSyncs-durableBefore.WALSyncs)
+		csp.SetAttr("fsync_us", ds.FsyncLatency.SumUS-durableBefore.FsyncLatency.SumUS)
+		if rolls := ds.Snapshots - durableBefore.Snapshots; rolls > 0 {
+			ssp := csp.StartChild("durable.snapshot", "")
+			ssp.SetAttr("rolls", rolls)
+			ssp.SetAttr("generation", ds.Generation)
+			ssp.End()
+		}
+	}
+	if commitErr != nil {
+		csp.SetStatus("error")
+		csp.SetAttr("error", commitErr.Error())
+	}
+	csp.End()
 	if commitErr != nil {
 		// The triples are applied in memory but the log rejected them:
 		// the insert is NOT durable.  Fail the request loudly so the
@@ -596,13 +743,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, `{"triples": %d, "iris": %d}`+"\n", triples, iris)
 }
 
-// handleMetrics serves the process metrics registry as expvar-style
-// JSON: request counts by status, per-endpoint latency histograms, the
-// in-flight gauge, and governor-trip / pool-saturation / panic
-// counters.  Snapshot reads atomics only — no graph lock, so /metrics
-// answers even while heavy queries hold the read side.
+// handleMetrics serves the process metrics registry: expvar-style JSON
+// by default (unchanged schema), or the Prometheus text exposition
+// when the request asks for it (Accept: text/plain, or
+// ?format=prometheus).  Both views render the same snapshot value, so
+// they can never disagree.  Snapshot reads atomics only — no graph
+// lock, so /metrics answers even while heavy queries hold the read
+// side.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
 	snap := s.metrics.Snapshot()
 	snap.Store = s.storeStats.Load()
 	if s.durable != nil {
@@ -610,6 +758,16 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		snap.Durable = &ds
 	}
 	snap.PlanCache = s.plans.stats()
+	if s.tracer != nil {
+		ts := s.tracer.Stats()
+		snap.Traces = &ts
+	}
+	if obs.WantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		obs.WritePrometheus(w, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
 	s.encode(w, r, snap)
 }
 

@@ -42,6 +42,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -291,9 +292,11 @@ func (c *Coordinator) probeShard(sh *shard) {
 // recorded as failed and whatever arrived is returned.
 func (c *Coordinator) Gather(ctx context.Context, patterns []sparql.TriplePattern) (rdf.Store, []ShardStatus, bool) {
 	c.queries.Add(1)
+	qspan := obs.SpanFromContext(ctx)
 	g := rdf.NewGraph()
 	shardErr := make([]error, len(c.shards))
 	for _, tp := range patterns {
+		gsp := qspan.StartChild("gather", tp.String())
 		streams := make([][]rdf.Triple, len(c.shards))
 		var wg sync.WaitGroup
 		for i, sh := range c.shards {
@@ -307,7 +310,7 @@ func (c *Coordinator) Gather(ctx context.Context, patterns []sparql.TriplePatter
 			wg.Add(1)
 			go func(i int, sh *shard) {
 				defer wg.Done()
-				ts, err := c.scanShard(ctx, sh, tp)
+				ts, err := c.scanShard(ctx, sh, tp, gsp)
 				if err != nil {
 					shardErr[i] = err
 					return
@@ -316,10 +319,14 @@ func (c *Coordinator) Gather(ctx context.Context, patterns []sparql.TriplePatter
 			}(i, sh)
 		}
 		wg.Wait()
+		merged := 0
 		MergeSorted(streams, func(t rdf.Triple) bool {
 			g.AddTriple(t)
+			merged++
 			return true
 		})
+		gsp.SetAttr("triples", merged)
+		gsp.End()
 	}
 	g.Compact()
 
@@ -336,13 +343,14 @@ func (c *Coordinator) Gather(ctx context.Context, patterns []sparql.TriplePatter
 	// regardless of how many shards or patterns failed inside it.
 	if partial {
 		c.partials.Add(1)
+		qspan.MarkPartial()
 	}
 	return g, statuses, partial
 }
 
 // scanShard fetches one pattern from one shard: bounded retries with
 // jittered backoff around hedged attempts.
-func (c *Coordinator) scanShard(ctx context.Context, sh *shard, tp sparql.TriplePattern) ([]rdf.Triple, error) {
+func (c *Coordinator) scanShard(ctx context.Context, sh *shard, tp sparql.TriplePattern, parent *obs.Span) ([]rdf.Triple, error) {
 	maxAttempts := c.opts.Backoff.MaxAttempts
 	if maxAttempts < 1 {
 		maxAttempts = 1
@@ -357,7 +365,7 @@ func (c *Coordinator) scanShard(ctx context.Context, sh *shard, tp sparql.Triple
 				return nil, lastErr
 			}
 		}
-		ts, err := c.scanHedged(ctx, sh, tp)
+		ts, err := c.scanHedged(ctx, sh, tp, parent, attempt)
 		if err == nil {
 			return ts, nil
 		}
@@ -374,7 +382,14 @@ func (c *Coordinator) scanShard(ctx context.Context, sh *shard, tp sparql.Triple
 // latency-quantile delay.  The first success wins and the loser is
 // cancelled; if all launched requests fail, the first failure is
 // returned (the retry loop takes it from there).
-func (c *Coordinator) scanHedged(ctx context.Context, sh *shard, tp sparql.TriplePattern) ([]rdf.Triple, error) {
+//
+// Each launched request gets its own "rpc.scan" span under parent,
+// carrying the shard index, the retry attempt, and whether it was the
+// hedge lane; the select loop (never the request goroutines) ends the
+// spans, marking the winner and, when a success preempts the other
+// lane, marking the loser cancelled — its duration then reads "time
+// until the winner made it redundant".
+func (c *Coordinator) scanHedged(ctx context.Context, sh *shard, tp sparql.TriplePattern, parent *obs.Span, attempt int) ([]rdf.Triple, error) {
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type result struct {
@@ -383,15 +398,22 @@ func (c *Coordinator) scanHedged(ctx context.Context, sh *shard, tp sparql.Tripl
 		hedge bool
 	}
 	ch := make(chan result, 2) // buffered: the loser must never block
-	launch := func(hedge bool) {
+	launch := func(hedge bool) *obs.Span {
+		sp := parent.StartChild("rpc.scan", sh.base)
+		sp.SetAttr("shard", sh.index)
+		sp.SetAttr("attempt", attempt)
+		if hedge {
+			sp.SetAttr("hedge", true)
+		}
 		c.attempts.Add(1)
 		go func() {
 			defer c.attempts.Done()
-			ts, err := c.scanOnce(actx, sh, tp)
+			ts, err := c.scanOnce(actx, sh, tp, sp)
 			ch <- result{ts: ts, err: err, hedge: hedge}
 		}()
+		return sp
 	}
-	launch(false)
+	spans := map[bool]*obs.Span{false: launch(false)}
 	outstanding, hedged := 1, false
 
 	var hedgeC <-chan time.Time
@@ -407,18 +429,31 @@ func (c *Coordinator) scanHedged(ctx context.Context, sh *shard, tp sparql.Tripl
 			hedgeC = nil
 			sh.hedges.Add(1)
 			hedged = true
-			launch(true)
+			spans[true] = launch(true)
 			outstanding++
 		case r := <-ch:
 			outstanding--
+			sp := spans[r.hedge]
+			delete(spans, r.hedge)
 			if r.err == nil {
 				if r.hedge {
 					sh.hedgeWins.Add(1)
 				} else if hedged {
 					sh.hedgesWasted.Add(1)
 				}
+				sp.SetAttr("outcome", "winner")
+				sp.End()
+				for _, loser := range spans {
+					loser.SetAttr("outcome", "cancelled")
+					loser.SetStatus("cancelled")
+					loser.End()
+				}
 				return r.ts, nil
 			}
+			sp.SetAttr("outcome", "error")
+			sp.SetAttr("error", r.err.Error())
+			sp.SetStatus("error")
+			sp.End()
 			if firstErr == nil {
 				firstErr = r.err
 			}
@@ -446,8 +481,11 @@ func (c *Coordinator) hedgeDelay(sh *shard) time.Duration {
 }
 
 // scanOnce issues a single scan request under the per-attempt
-// timeout and parses the sorted stream.
-func (c *Coordinator) scanOnce(ctx context.Context, sh *shard, tp sparql.TriplePattern) ([]rdf.Triple, error) {
+// timeout and parses the sorted stream.  The span contributes only
+// trace-propagation headers (its IDs are immutable, so reading them
+// here cannot race with the select loop ending the span); the shard
+// adopts the trace and retains its segment for coordinator stitching.
+func (c *Coordinator) scanOnce(ctx context.Context, sh *shard, tp sparql.TriplePattern, sp *obs.Span) ([]rdf.Triple, error) {
 	sh.scans.Add(1)
 	if c.opts.ScanTimeout > 0 {
 		var cancel context.CancelFunc
@@ -458,6 +496,13 @@ func (c *Coordinator) scanOnce(ctx context.Context, sh *shard, tp sparql.TripleP
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, err
+	}
+	if tid := sp.TraceID(); tid != "" {
+		req.Header.Set(obs.HeaderTraceID, tid)
+		req.Header.Set(obs.HeaderParentSpan, sp.ID())
+	}
+	if qid := obs.QueryIDFromContext(ctx); qid != "" {
+		req.Header.Set(obs.HeaderQueryID, qid)
 	}
 	start := time.Now()
 	resp, err := c.client.Do(req)
@@ -584,6 +629,9 @@ func (c *Coordinator) insertOnce(ctx context.Context, sh *shard, body string) (i
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "text/plain")
+	if qid := obs.QueryIDFromContext(ctx); qid != "" {
+		req.Header.Set(obs.HeaderQueryID, qid)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return 0, err
@@ -602,6 +650,60 @@ func (c *Coordinator) insertOnce(ctx context.Context, sh *shard, body string) (i
 		return 0, err
 	}
 	return out.Added, nil
+}
+
+// --- trace stitching ---
+
+// FetchShardTraces pulls the shard-local segments of one distributed
+// trace from every shard's /debug/traces endpoint, for stitching into
+// the coordinator's own snapshot.  Shards that are down, don't have
+// the trace, or answer garbage are simply skipped — stitching is
+// best-effort diagnostics, never load-bearing.  Each fetched span is
+// annotated with a "shard" attribute so a stitched tree says where
+// every span ran.
+func (c *Coordinator) FetchShardTraces(ctx context.Context, id string) []obs.TraceSnapshot {
+	out := make([]obs.TraceSnapshot, 0, len(c.shards))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, sh := range c.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			fctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			u := sh.base + "/debug/traces?id=" + url.QueryEscape(id)
+			req, err := http.NewRequestWithContext(fctx, http.MethodGet, u, nil)
+			if err != nil {
+				return
+			}
+			resp, err := c.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer func() {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+				resp.Body.Close()
+			}()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			var ts obs.TraceSnapshot
+			if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&ts); err != nil {
+				return
+			}
+			for i := range ts.Spans {
+				if ts.Spans[i].Attrs == nil {
+					ts.Spans[i].Attrs = make(map[string]any, 1)
+				}
+				ts.Spans[i].Attrs["shard"] = sh.index
+			}
+			mu.Lock()
+			out = append(out, ts)
+			mu.Unlock()
+		}(sh)
+	}
+	wg.Wait()
+	return out
 }
 
 // --- metrics ---

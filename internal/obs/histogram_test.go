@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantileEmpty: no observations (or a nil receiver) must
+// report false, never a zero duration that reads as "instant".
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	if d, ok := h.Quantile(0.99); ok {
+		t.Fatalf("empty histogram produced a quantile: %v", d)
+	}
+	var nilH *Histogram
+	if _, ok := nilH.Quantile(0.5); ok {
+		t.Fatal("nil histogram produced a quantile")
+	}
+	nilH.Observe(time.Second) // no-op, must not panic
+	if s := nilH.Snapshot(); s.Count != 0 || s.Buckets != nil {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+}
+
+// TestHistogramQuantileSingle: with one observation every quantile
+// resolves to that observation's bucket bound.
+func TestHistogramQuantileSingle(t *testing.T) {
+	var h Histogram
+	h.Observe(300 * time.Microsecond) // bucket (250µs, 500µs]
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		d, ok := h.Quantile(q)
+		if !ok {
+			t.Fatalf("q=%v not ok", q)
+		}
+		if d != 500*time.Microsecond {
+			t.Fatalf("q=%v = %v, want 500µs (the bucket's upper bound)", q, d)
+		}
+	}
+}
+
+// TestHistogramOverflowBucket: observations beyond the last finite
+// bound land in +Inf; quantiles there clamp to the last finite bound
+// rather than inventing an infinite duration.
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Hour)
+	s := h.Snapshot()
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.LeUS != -1 || last.Count != 1 {
+		t.Fatalf("overflow bucket = %+v", last)
+	}
+	for _, b := range s.Buckets[:len(s.Buckets)-1] {
+		if b.Count != 0 {
+			t.Fatalf("finite bucket %d unexpectedly hit: %+v", b.LeUS, b)
+		}
+	}
+	d, ok := h.Quantile(0.5)
+	if !ok || d != 10*time.Second {
+		t.Fatalf("overflow quantile = %v ok=%v, want last finite bound 10s", d, ok)
+	}
+}
+
+// TestHistogramConcurrent hammers Observe against Snapshot/Quantile so
+// the race detector can inspect the atomics, at both GOMAXPROCS 1 and
+// 4 (single-P schedules interleave differently).
+func TestHistogramConcurrent(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		t.Run(map[int]string{1: "procs1", 4: "procs4"}[procs], func(t *testing.T) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			var h Histogram
+			const writers, perWriter = 4, 2000
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWriter; i++ {
+						h.Observe(time.Duration(w*i%5000) * time.Microsecond)
+					}
+				}(w)
+			}
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; i < 200; i++ {
+					s := h.Snapshot()
+					var sum int64
+					for _, b := range s.Buckets {
+						sum += b.Count
+					}
+					// Torn reads may lag but never exceed the count of a
+					// later snapshot; just require internal sanity.
+					if sum < 0 || s.Count < 0 {
+						t.Error("negative counters")
+						return
+					}
+					h.Quantile(0.99)
+				}
+			}()
+			wg.Wait()
+			<-done
+			s := h.Snapshot()
+			if s.Count != writers*perWriter {
+				t.Fatalf("count = %d, want %d", s.Count, writers*perWriter)
+			}
+			var sum int64
+			for _, b := range s.Buckets {
+				sum += b.Count
+			}
+			if sum != s.Count {
+				t.Fatalf("bucket sum %d != count %d after quiescence", sum, s.Count)
+			}
+		})
+	}
+}

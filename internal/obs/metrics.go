@@ -300,6 +300,7 @@ type MetricsSnapshot struct {
 	Durable         *DurableStats                `json:"durable,omitempty"`
 	PlanCache       *PlanCacheStats              `json:"plan_cache,omitempty"`
 	Cluster         *ClusterStats                `json:"cluster,omitempty"`
+	Traces          *TraceStats                  `json:"traces,omitempty"`
 	Latency         map[string]HistogramSnapshot `json:"latency"`
 }
 

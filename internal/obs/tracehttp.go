@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// TracesHandler serves the /debug/traces endpoint over a Tracer:
+//
+//	GET /debug/traces           → {"traces":[TraceSummary...]} (newest first)
+//	GET /debug/traces?limit=N   → at most N summaries
+//	GET /debug/traces?id=<id>   → one stitched TraceSnapshot, or 404
+//
+// stitch, when non-nil, fetches additional snapshots of the same trace
+// from other processes (the coordinator pulls shard-side segments by
+// trace ID); its results are merged into the local snapshot before
+// serving.  A fetch-by-ID succeeds if either side has the trace.
+func TracesHandler(t *Tracer, stitch func(r *http.Request, id string) []TraceSnapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, `{"error":"method not allowed"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+			list := t.List(limit)
+			if list == nil {
+				list = []TraceSummary{}
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(map[string]any{"traces": list})
+			return
+		}
+		snap, found := t.Get(id)
+		if stitch != nil {
+			for _, remote := range stitch(r, id) {
+				if !found {
+					snap = TraceSnapshot{TraceID: id}
+					found = true
+				}
+				snap.Merge(remote)
+			}
+		}
+		if !found {
+			http.Error(w, `{"error":"trace not found"}`, http.StatusNotFound)
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+}

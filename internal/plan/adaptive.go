@@ -38,7 +38,7 @@ func (pr Prepared) adaptiveArmed() bool {
 // re-planning.  ok = false means the chain's schema exceeds the row
 // engine's width and nothing was evaluated (the caller falls back to
 // the string algebra, like the other row-engine entry points).
-func evalAdaptiveChain(g rdf.Store, pr Prepared, b *sparql.Budget, prof *obs.Node) (*sparql.RowSet, bool, error) {
+func evalAdaptiveChain(g rdf.Store, pr Prepared, b *sparql.Budget, prof *obs.Node, span *obs.Span) (*sparql.RowSet, bool, error) {
 	sc, ok := sparql.SchemaFor(pr.pattern)
 	if !ok {
 		return nil, false, nil
@@ -46,7 +46,7 @@ func evalAdaptiveChain(g rdf.Store, pr Prepared, b *sparql.Budget, prof *obs.Nod
 	node := prof.Child("and", "adaptive")
 	start := time.Now()
 	steps0, rows0, bytes0 := b.Counters()
-	rs, err := runAdaptiveChain(g, pr, sc, b, node)
+	rs, err := runAdaptiveChain(g, pr, sc, b, node, span)
 	if node != nil {
 		node.AddWall(time.Since(start))
 		steps1, rows1, bytes1 := b.Counters()
@@ -61,7 +61,7 @@ func evalAdaptiveChain(g rdf.Store, pr Prepared, b *sparql.Budget, prof *obs.Nod
 	return rs, true, nil
 }
 
-func runAdaptiveChain(g rdf.Store, pr Prepared, sc *sparql.VarSchema, b *sparql.Budget, node *obs.Node) (*sparql.RowSet, error) {
+func runAdaptiveChain(g rdf.Store, pr Prepared, sc *sparql.VarSchema, b *sparql.Budget, node *obs.Node, span *obs.Span) (*sparql.RowSet, error) {
 	factor := pr.popts.replanFactor()
 	chain := append([]sparql.Pattern(nil), pr.chain...)
 	targets := append([]float64(nil), pr.chainEsts...)
@@ -103,7 +103,13 @@ func runAdaptiveChain(g rdf.Store, pr Prepared, sc *sparql.VarSchema, b *sparql.
 		}
 		obsCard := float64(acc.Len())
 		if est := targets[i-1]; len(chain)-i >= 2 && drifted(obsCard, est, factor) {
+			rsp := span.StartChild("replan", "")
+			rsp.SetAttr("position", i)
+			rsp.SetAttr("observed", obsCard)
+			rsp.SetAttr("estimate", est)
+			rsp.SetAttr("remaining", len(chain)-i)
 			replanTail(e, chain, targets, i, obsCard, accDV)
+			rsp.End()
 			node.AddReplans(1)
 		}
 		est := e.estimate(chain[i])

@@ -66,6 +66,12 @@ type Options struct {
 	// only root-level totals.  A nil Prof disables all instrumentation
 	// at the cost of one nil check per operator node.
 	Prof *obs.Node
+	// Trace, when non-nil, is the live execution span of the query's
+	// distributed trace: the adaptive chain executor records each
+	// mid-query replan checkpoint as a child span (position, observed
+	// vs estimated cardinality), so re-optimizations survive the
+	// request and show up in /debug/traces.  A nil Trace is a no-op.
+	Trace *obs.Span
 }
 
 // DefaultMinParallelEstimate is the default serial/parallel cutover
@@ -211,7 +217,7 @@ func EvalPreparedOpts(g rdf.Store, pr Prepared, b *sparql.Budget, o Options) (*s
 			Hints:        pr.hints,
 		})
 	} else if pr.adaptiveArmed() {
-		rs, ok, err = evalAdaptiveChain(g, pr, b, o.Prof)
+		rs, ok, err = evalAdaptiveChain(g, pr, b, o.Prof, o.Trace)
 	} else {
 		rs, ok, err = sparql.EvalRowsHints(g, opt, b, o.Prof, pr.hints)
 	}
