@@ -48,6 +48,8 @@ bench-smoke:
 		|| { echo "BENCH_rowengine.json missing E28 planner-ablation rows" >&2; exit 1; }; \
 		jq -es '[.[] | select(.experiment == "E29")] | length >= 3 and ([.[] | select(.experiment == "E29" and .name == "trace-off")] | length >= 1) and ([.[] | select(.experiment == "E29" and .name == "trace-sampled")] | length >= 1) and ([.[] | select(.experiment == "E29" and .name == "trace-on")] | length >= 1)' BENCH_rowengine.json > /dev/null \
 		|| { echo "BENCH_rowengine.json missing E29 tracing-ablation rows" >&2; exit 1; }; \
+		jq -es '[.[] | select(.experiment == "E30")] | length >= 9 and ([.[] | select(.experiment == "E30" and .name == "static-parallel")] | length >= 3) and ([.[] | select(.experiment == "E30" and .name == "staged-adaptive")] | length >= 3) and ([.[] | select(.experiment == "E30" and .name == "serial-adaptive")] | length >= 3) and ([.[] | select(.experiment == "E30" and .params.workload == "star")] | length >= 3) and ([.[] | select(.experiment == "E30" and .params.workload == "chain")] | length >= 3)' BENCH_rowengine.json > /dev/null \
+		|| { echo "BENCH_rowengine.json missing E30 staged-execution rows" >&2; exit 1; }; \
 	else \
 		echo "jq not installed; skipping bench smoke" >&2; \
 	fi
@@ -245,7 +247,21 @@ load-smoke:
 		jq -e '(.server | has("planner_replans")) and .server.planner_replans >= 0 and .server.requests_200 >= .completed and .server.governor_trips == 0' /tmp/nsload-report.json > /dev/null \
 		|| { echo "load-smoke: server counter deltas wrong" >&2; cat /tmp/nsload-report.json >&2; exit 1; }; \
 		kill $$pid; \
-		echo "load-smoke: open-loop latency report OK"; \
+		wait $$pid 2>/dev/null; \
+		/tmp/nsserve-load -addr 127.0.0.1:18330 -planner dp -no-replan -log-level warn & \
+		pid=$$!; \
+		trap "kill $$pid 2>/dev/null" EXIT; \
+		for i in $$(seq 1 50); do \
+			curl -sf http://127.0.0.1:18330/healthz > /dev/null && break; \
+			sleep 0.1; \
+		done; \
+		/tmp/nsload-smoke -url http://127.0.0.1:18330 -insert -people 400 -queries 60 \
+			-qps 80 -duration 3s > /tmp/nsload-static.json \
+		|| { echo "load-smoke: static-plan nsload failed" >&2; cat /tmp/nsload-static.json >&2; exit 1; }; \
+		jq -e '.completed > 0 and .errors == 0 and .server.planner_replans == 0 and .server.governor_trips == 0' /tmp/nsload-static.json > /dev/null \
+		|| { echo "load-smoke: -no-replan run still replanned (or errored)" >&2; cat /tmp/nsload-static.json >&2; exit 1; }; \
+		kill $$pid; \
+		echo "load-smoke: open-loop latency report OK (staged default + -no-replan static baseline)"; \
 	else \
 		echo "jq not installed; skipping load smoke" >&2; \
 	fi

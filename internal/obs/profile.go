@@ -61,6 +61,8 @@ type Node struct {
 	rangeScans atomic.Int64
 	mergeRuns  atomic.Int64
 	replans    atomic.Int64
+	stages     atomic.Int64
+	bindProbes atomic.Int64
 
 	budgetSteps atomic.Int64
 	budgetRows  atomic.Int64
@@ -214,6 +216,26 @@ func (n *Node) AddReplans(v int64) {
 	n.replans.Add(v)
 }
 
+// AddStages accumulates morsel-style execution stages: one parallel
+// fan-out (a join or bind-join step dispatched across the worker pool)
+// between two drift checkpoints of the staged chain executor.
+func (n *Node) AddStages(v int64) {
+	if n == nil {
+		return
+	}
+	n.stages.Add(v)
+}
+
+// AddBindProbes accumulates bind-join index probes: one per
+// accumulator row whose bindings were pinned as constants against the
+// sorted indexes (serial or morsel-parallel).
+func (n *Node) AddBindProbes(v int64) {
+	if n == nil {
+		return
+	}
+	n.bindProbes.Add(v)
+}
+
 // AddBudget accumulates governor consumption attributed to this node:
 // search steps, result rows and estimated bytes.  The evaluators
 // attribute by wall-clock window, so a node's numbers include its
@@ -251,6 +273,8 @@ func (n *Node) Snapshot() *Profile {
 		RangeScans:   n.rangeScans.Load(),
 		MergeRuns:    n.mergeRuns.Load(),
 		Replans:      n.replans.Load(),
+		Stages:       n.stages.Load(),
+		BindProbes:   n.bindProbes.Load(),
 		BudgetSteps:  n.budgetSteps.Load(),
 		BudgetRows:   n.budgetRows.Load(),
 		BudgetBytes:  n.budgetBytes.Load(),
@@ -294,6 +318,8 @@ type Profile struct {
 	RangeScans int64 `json:"range_scans,omitempty"`
 	MergeRuns  int64 `json:"merge_runs,omitempty"`
 	Replans    int64 `json:"replans,omitempty"`
+	Stages     int64 `json:"stages,omitempty"`
+	BindProbes int64 `json:"bind_probes,omitempty"`
 
 	BudgetSteps int64 `json:"budget_steps,omitempty"`
 	BudgetRows  int64 `json:"budget_rows,omitempty"`
@@ -377,6 +403,12 @@ func (p *Profile) tree(sb *strings.Builder, depth int) {
 	}
 	if p.Replans > 0 {
 		fmt.Fprintf(sb, " replans=%d", p.Replans)
+	}
+	if p.Stages > 0 {
+		fmt.Fprintf(sb, " stages=%d", p.Stages)
+	}
+	if p.BindProbes > 0 {
+		fmt.Fprintf(sb, " bind_probes=%d", p.BindProbes)
 	}
 	if p.PoolAcquired > 0 || p.PoolInline > 0 {
 		fmt.Fprintf(sb, " pool=%d acquired/%d inline", p.PoolAcquired, p.PoolInline)

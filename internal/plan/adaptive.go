@@ -1,21 +1,24 @@
 // Adaptive chain execution (mid-query re-optimization).
 //
-// When the whole optimized pattern is an AND chain, the serial engine
-// does not have to commit to the planner's join order: this executor
-// evaluates the chain one operand at a time, compares the accumulated
-// row count against the planner's prefix estimates (chainCards), and
-// when the observed cardinality drifts past ReplanFactor× the estimate
-// it re-orders the *remaining* operands against the observed
-// cardinality before continuing.  Estimates are exact for leaf scans
-// but join selectivities are only modeled, so a mid-chain blow-up (or
-// an unexpectedly empty prefix) is exactly the case a static order
-// gets wrong.
+// When the whole optimized pattern is an AND chain, the engine does
+// not have to commit to the planner's join order: the chain driver
+// (runChain) evaluates the chain one operand at a time, compares the
+// accumulated row count against the planner's prefix estimates
+// (chainCards), and when the observed cardinality drifts past
+// ReplanFactor× the estimate it re-orders the *remaining* operands
+// against the observed cardinality before continuing.  Estimates are
+// exact for leaf scans but join selectivities are only modeled, so a
+// mid-chain blow-up (or an unexpectedly empty prefix) is exactly the
+// case a static order gets wrong.
 //
-// Scope: the serial path only.  The parallel engine fans the chain out
-// as a tree and has no sequential point to observe drift at; it keeps
-// the static order (a documented non-goal, revisit if profiles say
-// otherwise).  Replans are visible as `replans=N` on the query profile
-// node and aggregate into the server's planner_replans counter.
+// The driver is engine-agnostic: it is parameterized by chainOps, the
+// executor primitives of one engine.  evalAdaptiveChain instantiates
+// it with the serial row operators; the staged parallel executor
+// (staged.go) instantiates it with the parallel pool's morsel
+// operators, making the same drift checkpoints, re-plans, bind-join
+// gate and empty-prefix short-circuit available to both engines.
+// Replans are visible as `replans=N` on the query profile node and
+// aggregate into the server's planner_replans counter.
 package plan
 
 import (
@@ -34,19 +37,59 @@ func (pr Prepared) adaptiveArmed() bool {
 	return !pr.popts.Greedy && !pr.popts.NoReplan && len(pr.chain) >= 3 && pr.estr != nil
 }
 
+// chainOps abstracts the executor primitives the chain driver drives:
+// the serial row engine and the staged parallel engine plug in here.
+// staged marks the parallel instantiation, which counts each join step
+// as one morsel fan-out stage and records a span per stage.
+type chainOps struct {
+	evalOperand   func(p sparql.Pattern, parent *obs.Node) (*sparql.RowSet, error)
+	tryMergeFirst func(l, r sparql.Pattern, node *obs.Node) (*sparql.RowSet, bool, error)
+	join          func(acc, r *sparql.RowSet, node *obs.Node) (*sparql.RowSet, error)
+	bindJoin      func(acc *sparql.RowSet, t sparql.TriplePattern, node *obs.Node) (*sparql.RowSet, error)
+	staged        bool
+}
+
+// serialChainOps builds the chain driver's primitives over the serial
+// row engine.
+func serialChainOps(g rdf.Store, sc *sparql.VarSchema, b *sparql.Budget, hints *sparql.EvalHints) chainOps {
+	return chainOps{
+		evalOperand: func(p sparql.Pattern, parent *obs.Node) (*sparql.RowSet, error) {
+			return sparql.EvalPatternRows(g, p, sc, b, parent, hints)
+		},
+		tryMergeFirst: func(l, r sparql.Pattern, node *obs.Node) (*sparql.RowSet, bool, error) {
+			return sparql.TryMergeScanJoin(g, l, r, sc, b, node, false)
+		},
+		join: func(acc, r *sparql.RowSet, node *obs.Node) (*sparql.RowSet, error) {
+			node.AddRowsIn(int64(acc.Len() + r.Len()))
+			return acc.JoinB(r, b)
+		},
+		bindJoin: func(acc *sparql.RowSet, t sparql.TriplePattern, node *obs.Node) (*sparql.RowSet, error) {
+			return sparql.BindJoinScan(g, acc, t, b, node)
+		},
+	}
+}
+
 // evalAdaptiveChain runs the prepared AND chain with drift-triggered
-// re-planning.  ok = false means the chain's schema exceeds the row
-// engine's width and nothing was evaluated (the caller falls back to
-// the string algebra, like the other row-engine entry points).
+// re-planning on the serial engine.  ok = false means the chain's
+// schema exceeds the row engine's width and nothing was evaluated (the
+// caller falls back to the string algebra, like the other row-engine
+// entry points).
 func evalAdaptiveChain(g rdf.Store, pr Prepared, b *sparql.Budget, prof *obs.Node, span *obs.Span) (*sparql.RowSet, bool, error) {
 	sc, ok := sparql.SchemaFor(pr.pattern)
 	if !ok {
 		return nil, false, nil
 	}
-	node := prof.Child("and", "adaptive")
+	return runInstrumentedChain(pr, serialChainOps(g, sc, b, pr.hints), "adaptive", b, prof, span)
+}
+
+// runInstrumentedChain wraps runChain with the driver's profile node
+// ("and" with the executor name as detail) and root counters, shared
+// by the serial and staged instantiations.
+func runInstrumentedChain(pr Prepared, ops chainOps, detail string, b *sparql.Budget, prof *obs.Node, span *obs.Span) (*sparql.RowSet, bool, error) {
+	node := prof.Child("and", detail)
 	start := time.Now()
 	steps0, rows0, bytes0 := b.Counters()
-	rs, err := runAdaptiveChain(g, pr, sc, b, node, span)
+	rs, err := runChain(pr, ops, node, span)
 	if node != nil {
 		node.AddWall(time.Since(start))
 		steps1, rows1, bytes1 := b.Counters()
@@ -61,7 +104,11 @@ func evalAdaptiveChain(g rdf.Store, pr Prepared, b *sparql.Budget, prof *obs.Nod
 	return rs, true, nil
 }
 
-func runAdaptiveChain(g rdf.Store, pr Prepared, sc *sparql.VarSchema, b *sparql.Budget, node *obs.Node, span *obs.Span) (*sparql.RowSet, error) {
+// runChain is the engine-agnostic chain driver: evaluate operands in
+// the planner's order, checkpoint observed cardinality against the
+// prefix estimates, re-plan the tail on drift, and pick bind vs hash
+// join per step against the observed accumulator size.
+func runChain(pr Prepared, ops chainOps, node *obs.Node, span *obs.Span) (*sparql.RowSet, error) {
 	factor := pr.popts.replanFactor()
 	chain := append([]sparql.Pattern(nil), pr.chain...)
 	targets := append([]float64(nil), pr.chainEsts...)
@@ -77,15 +124,16 @@ func runAdaptiveChain(g rdf.Store, pr Prepared, sc *sparql.VarSchema, b *sparql.
 	// first operand alone.
 	first := sparql.And{L: chain[0], R: chain[1]}
 	if pr.hints.JoinStrategyFor(first) != sparql.StrategyHash {
-		if rs, handled, merr := sparql.TryMergeScanJoin(g, chain[0], chain[1], sc, b, node, false); handled {
+		if rs, handled, merr := ops.tryMergeFirst(chain[0], chain[1], node); handled {
 			if merr != nil {
 				return nil, merr
 			}
 			acc, i = rs, 2
+			recordStage(ops, node, span, 1, "merge", acc)
 		}
 	}
 	if acc == nil {
-		acc, err = sparql.EvalPatternRows(g, chain[0], sc, b, node, pr.hints)
+		acc, err = ops.evalOperand(chain[0], node)
 		if err != nil {
 			return nil, err
 		}
@@ -97,8 +145,12 @@ func runAdaptiveChain(g rdf.Store, pr Prepared, sc *sparql.VarSchema, b *sparql.
 	accDV := prefixDV(e, chain[:i], float64(acc.Len()))
 	for ; i < len(chain); i++ {
 		// Drift checkpoint: the chain is all inner joins, so an empty
-		// prefix decides the query.
+		// prefix decides the query — return before evaluating (on the
+		// staged engine: before dispatching morsels for) the tail.
 		if acc.Len() == 0 {
+			if span != nil {
+				span.SetAttr("empty_prefix_at", i)
+			}
 			return acc, nil
 		}
 		obsCard := float64(acc.Len())
@@ -120,24 +172,44 @@ func runAdaptiveChain(g rdf.Store, pr Prepared, sc *sparql.VarSchema, b *sparql.
 		// make, because it depends on the prefix's actual row count.
 		if t, isTriple := chain[i].(sparql.TriplePattern); isTriple &&
 			bindJoinCost(obsCard) < hashJoinCost(obsCard, est) {
-			acc, err = sparql.BindJoinScan(g, acc, t, b, node)
+			acc, err = ops.bindJoin(acc, t, node)
 			if err != nil {
 				return nil, err
 			}
+			recordStage(ops, node, span, i, "bind", acc)
 		} else {
-			r, err := sparql.EvalPatternRows(g, chain[i], sc, b, node, pr.hints)
+			r, err := ops.evalOperand(chain[i], node)
 			if err != nil {
 				return nil, err
 			}
-			node.AddRowsIn(int64(acc.Len() + r.Len()))
-			acc, err = acc.JoinB(r, b)
+			acc, err = ops.join(acc, r, node)
 			if err != nil {
 				return nil, err
 			}
+			recordStage(ops, node, span, i, "hash", acc)
 		}
 		_, accDV = joinCardInto(float64(acc.Len()), accDV, leafDV(sparql.Vars(chain[i]), est))
 	}
 	return acc, nil
+}
+
+// recordStage accounts one completed morsel fan-out stage of the
+// staged parallel driver: a stage counter on the profile node and a
+// span carrying the stage's position, join strategy and output
+// cardinality.  Serial instantiations record nothing (their join steps
+// are not fan-outs).
+func recordStage(ops chainOps, node *obs.Node, span *obs.Span, position int, strategy string, acc *sparql.RowSet) {
+	if !ops.staged {
+		return
+	}
+	node.AddStages(1)
+	if span != nil {
+		ssp := span.StartChild("stage", strategy)
+		ssp.SetAttr("position", position)
+		ssp.SetAttr("strategy", strategy)
+		ssp.SetAttr("rows", acc.Len())
+		ssp.End()
+	}
 }
 
 // drifted reports whether the observed prefix cardinality left the

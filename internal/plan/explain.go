@@ -90,14 +90,22 @@ type JoinChoice struct {
 // reader should believe it.  Serialized as the "plan" block of
 // profile=1 responses.
 type Explain struct {
-	Planner      string       `json:"planner"` // "dp" | "greedy"
-	Version      int          `json:"version"`
-	Estimate     float64      `json:"estimate"`
-	Probes       int          `json:"probes"` // index probes during Prepare
-	WellDesigned bool         `json:"well_designed"`
-	Adaptive     bool         `json:"adaptive"` // adaptive chain executor armed
-	JoinOrder    []ScanChoice `json:"join_order,omitempty"`
-	Joins        []JoinChoice `json:"joins,omitempty"`
+	Planner      string  `json:"planner"` // "dp" | "greedy"
+	Version      int     `json:"version"`
+	Estimate     float64 `json:"estimate"`
+	Probes       int     `json:"probes"` // index probes during Prepare
+	WellDesigned bool    `json:"well_designed"`
+	Adaptive     bool    `json:"adaptive"` // adaptive chain executor armed
+	// Staged marks the plan eligible for morsel-style staged parallel
+	// execution: when the evaluator routes it to the parallel engine
+	// (workers > 1, estimate over the cutover) the chain runs stage by
+	// stage with drift checkpoints instead of as a static tree, unless
+	// Options.NoStaged forces the tree.  Always equal to Adaptive
+	// today (both require an armed chain) but recorded separately so
+	// the decision shows up in Explain JSON.
+	Staged    bool         `json:"staged"`
+	JoinOrder []ScanChoice `json:"join_order,omitempty"`
+	Joins     []JoinChoice `json:"joins,omitempty"`
 }
 
 // Summary renders the plan as indented text for `nsq -stats`.
@@ -106,8 +114,8 @@ func (ex *Explain) Summary() string {
 		return ""
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "plan planner=%s version=%d est=%g probes=%d well_designed=%t adaptive=%t\n",
-		ex.Planner, ex.Version, ex.Estimate, ex.Probes, ex.WellDesigned, ex.Adaptive)
+	fmt.Fprintf(&sb, "plan planner=%s version=%d est=%g probes=%d well_designed=%t adaptive=%t staged=%t\n",
+		ex.Planner, ex.Version, ex.Estimate, ex.Probes, ex.WellDesigned, ex.Adaptive, ex.Staged)
 	for _, s := range ex.JoinOrder {
 		fmt.Fprintf(&sb, "  scan %s index=%s est=%g\n", s.Pattern, s.Index, s.Est)
 	}
@@ -170,6 +178,7 @@ func buildExplain(e *estimator, opt sparql.Pattern, po PlannerOptions, adaptive 
 		Estimate:     e.estimate(opt),
 		WellDesigned: wellDesigned(opt),
 		Adaptive:     adaptive,
+		Staged:       adaptive,
 	}
 	for _, t := range sparql.TriplePatterns(opt) {
 		ex.JoinOrder = append(ex.JoinOrder, ScanChoice{

@@ -12,10 +12,13 @@
 //     smallest-connected-estimate heuristic;
 //   - merge vs hash join is chosen per binary node by estimated cost
 //     and passed to the row engine as sparql.EvalHints;
-//   - on the serial path, long AND chains run under the adaptive
-//     executor (adaptive.go), which re-orders the remaining operands
-//     mid-query when observed cardinalities drift past ReplanFactor×
-//     the estimate;
+//   - long AND chains run under the adaptive chain driver
+//     (adaptive.go): the serial path evaluates operand by operand and
+//     re-orders the remaining operands mid-query when observed
+//     cardinalities drift past ReplanFactor× the estimate; the
+//     parallel path runs the same driver morsel-style (staged.go),
+//     fanning each join stage out across the worker pool and
+//     re-planning between stages;
 //   - conjunctive FILTER conditions are split and pushed down to the
 //     earliest operand that certainly binds their variables;
 //   - joins, differences and left-outer joins run hash-bucketed on the
@@ -59,6 +62,13 @@ type Options struct {
 	// MinPartition is passed through to the row engine's partitioned
 	// operators (0 = sparql.DefaultMinPartition).
 	MinPartition int
+	// NoStaged forces the static parallel tree even when the plan is
+	// staged-eligible (an adaptive-armed AND chain): the whole chain
+	// fans out at once with no drift checkpoints — the E30 ablation
+	// baseline, exposed as -no-staged on nsserve and nscoord.  It has
+	// no effect on serial evaluation or on plans that are not
+	// adaptive-armed.
+	NoStaged bool
 	// Prof, when non-nil, collects a per-query execution profile: the
 	// evaluator attaches one obs child node per operator under it (see
 	// internal/obs and sparql.EvalRowsProf).  The string-algebra
@@ -208,14 +218,24 @@ func EvalPreparedOpts(g rdf.Store, pr Prepared, b *sparql.Budget, o Options) (*s
 		err error
 	)
 	if workers := o.workers(); workers > 1 && pr.est >= o.minEstimate() {
-		// The parallel engine keeps the static order (no sequential
-		// drift checkpoint exists once the chain fans out).
-		rs, ok, err = sparql.EvalRowsParOpts(g, opt, b, sparql.ParOptions{
-			Workers:      workers,
-			MinPartition: o.MinPartition,
-			Prof:         o.Prof,
-			Hints:        pr.hints,
-		})
+		if pr.adaptiveArmed() && !o.NoStaged {
+			// Morsel-style staged fan-out: run the chain stage by
+			// stage on the pool, observing materialized prefix
+			// cardinalities and re-planning the tail between stages
+			// (staged.go).
+			rs, ok, err = evalStagedChain(g, pr, b, o, o.Prof, o.Trace)
+		} else {
+			// Static tree: the whole plan fans out at once (no
+			// sequential drift checkpoint exists once the chain is
+			// committed) — non-chain plans, -no-replan, -no-staged
+			// and the greedy baseline.
+			rs, ok, err = sparql.EvalRowsParOpts(g, opt, b, sparql.ParOptions{
+				Workers:      workers,
+				MinPartition: o.MinPartition,
+				Prof:         o.Prof,
+				Hints:        pr.hints,
+			})
+		}
 	} else if pr.adaptiveArmed() {
 		rs, ok, err = evalAdaptiveChain(g, pr, b, o.Prof, o.Trace)
 	} else {

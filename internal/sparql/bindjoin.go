@@ -24,7 +24,25 @@ import (
 // the probe (that row's probe degrades toward a wider scan, keeping
 // the join exact for heterogeneous masks).
 func BindJoinScan(g rdf.Store, acc *RowSet, t TriplePattern, b *Budget, parent *obs.Node) (*RowSet, error) {
-	out := NewRowSet(acc.Schema)
+	return bindJoinScanPar(g, acc, t, b, nil, 0, parent)
+}
+
+// BindJoinScanPar is BindJoinScan with the accumulator's rows split
+// into morsels dispatched across a bounded worker pool: each worker
+// probes the sorted indexes for a contiguous chunk of accumulator rows
+// into a private RowSet, and the per-morsel results merge through the
+// open-addressed dedup (mergeParts).  workers counts the calling
+// goroutine; minPart is the accumulator size below which the join
+// stays serial (0 = DefaultMinPartition).  The budget is shared and
+// atomic, so a governor trip or injected fault stops every morsel
+// within a stride and the pool drains before the error returns.
+func BindJoinScanPar(g rdf.Store, acc *RowSet, t TriplePattern, b *Budget, workers, minPart int, parent *obs.Node) (*RowSet, error) {
+	o := ParOptions{Workers: workers, MinPartition: minPart}
+	return bindJoinScanPar(g, acc, t, b, newPool(o.workers()-1), o.minPartition(), parent)
+}
+
+func bindJoinScanPar(g rdf.Store, acc *RowSet, t TriplePattern, b *Budget, po *pool, minPart int, parent *obs.Node) (*RowSet, error) {
+	var out *RowSet
 	node := parent.Child("bindjoin", t.String())
 	start := time.Now()
 	steps0, rows0, bytes0 := b.Counters()
@@ -33,17 +51,53 @@ func BindJoinScan(g rdf.Store, acc *RowSet, t TriplePattern, b *Budget, parent *
 			node.AddWall(time.Since(start))
 			steps1, rows1, bytes1 := b.Counters()
 			node.AddBudget(steps1-steps0, rows1-rows0, bytes1-bytes0)
-			node.AddRowsOut(int64(out.Len()))
+			if out != nil {
+				node.AddRowsOut(int64(out.Len()))
+			}
 		}
 	}()
 	ts, ok := resolveTriple(t, acc.Schema, g.Dict())
 	if !ok {
 		// A constant of t is not in the dictionary: ⟦t⟧_G = ∅.
+		out = NewRowSet(acc.Schema)
 		return out, nil
 	}
 	node.AddRowsIn(int64(acc.Len()))
+	if po == nil || acc.Len() < minPart {
+		o := NewRowSet(acc.Schema)
+		if err := bindProbeRange(g, acc, &ts, 0, acc.Len(), o, b, node); err != nil {
+			return nil, err
+		}
+		out = o
+		return out, nil
+	}
+	parts, err := parChunks(po, acc.Len(), chunkOf(minPart), node, func(lo, hi int) (*RowSet, error) {
+		part := NewRowSet(acc.Schema)
+		if err := bindProbeRange(g, acc, &ts, lo, hi, part, b, node); err != nil {
+			return nil, err
+		}
+		return part, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	node.AddPartitions(int64(len(parts)))
+	merged, err := mergeParts(parts, b)
+	if err != nil {
+		return nil, err
+	}
+	out = merged
+	return out, nil
+}
+
+// bindProbeRange probes the sorted indexes for accumulator rows
+// [lo, hi), appending the join output to out — the per-morsel work of
+// the bind join, shared by the serial and parallel paths.  out is
+// private to the caller; the budget and profile node are shared and
+// atomic.
+func bindProbeRange(g rdf.Store, acc *RowSet, ts *tripleSlots, lo, hi int, out *RowSet, b *Budget, node *obs.Node) error {
 	scratch := make([]rdf.ID, acc.Schema.Len())
-	for i := 0; i < acc.Len(); i++ {
+	for i := lo; i < hi; i++ {
 		row, rowMask := acc.RowIDs(i), acc.Mask(i)
 		var vals [3]rdf.ID
 		var probe [3]*rdf.ID
@@ -57,9 +111,10 @@ func BindJoinScan(g rdf.Store, acc *RowSet, t TriplePattern, b *Budget, parent *
 			}
 		}
 		if err := b.Step(); err != nil {
-			return nil, err
+			return err
 		}
 		node.AddRangeScans(1)
+		node.AddBindProbes(1)
 		var err error
 		g.MatchIDs(probe[0], probe[1], probe[2], func(tr rdf.IDTriple) bool {
 			if err = b.Step(); err != nil {
@@ -74,8 +129,8 @@ func BindJoinScan(g rdf.Store, acc *RowSet, t TriplePattern, b *Budget, parent *
 			return true
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
